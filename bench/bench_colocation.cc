@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Sec 2.1's colocation argument, quantified: Confluence virtualizes
+ * one history per workload into the LLC, so colocating N workloads
+ * divides the usable history (and eats LLC capacity), while Shotgun
+ * keeps everything in core-private BTB storage and is unaffected.
+ * This bench shrinks Confluence's history/index by the colocation
+ * factor and compares against Shotgun at each degree.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "common/table.hh"
+#include "sim/simulator.hh"
+
+using namespace shotgun;
+
+int
+main(int argc, char **argv)
+{
+    const auto opts = bench::parseOptions(argc, argv);
+    bench::printBanner(
+        opts, "Colocation sensitivity (Sec 2.1 discussion)",
+        "Confluence's per-workload metadata shrinks ~1/N under "
+        "N-way colocation; Shotgun's in-BTB map is unaffected");
+
+    const unsigned degrees[] = {1, 2, 4};
+
+    TextTable table("Speedup under N-way colocation");
+    {
+        auto &row = table.row().cell("Workload");
+        for (unsigned n : degrees)
+            row.cell("confl. N=" + std::to_string(n));
+        row.cell("shotgun (any N)");
+    }
+
+    for (WorkloadId id : {WorkloadId::Oracle, WorkloadId::DB2,
+                          WorkloadId::Apache}) {
+        const auto preset = makePreset(id);
+        if (!bench::workloadSelected(opts, preset.name))
+            continue;
+        const SimResult base = baselineFor(
+            preset, opts.warmupInstructions, opts.measureInstructions);
+
+        auto &row = table.row().cell(preset.name);
+        for (unsigned n : degrees) {
+            SimConfig config =
+                SimConfig::make(preset, SchemeType::Confluence);
+            config.scheme.confluence.historyEntries = 65536 / n;
+            config.scheme.confluence.indexEntries = 8192 / n;
+            config.warmupInstructions = opts.warmupInstructions;
+            config.measureInstructions = opts.measureInstructions;
+            row.cell(speedup(runSimulation(config), base), 3);
+        }
+
+        SimConfig shot = SimConfig::make(preset, SchemeType::Shotgun);
+        shot.warmupInstructions = opts.warmupInstructions;
+        shot.measureInstructions = opts.measureInstructions;
+        row.cell(speedup(runSimulation(shot), base), 3);
+    }
+    table.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,72 @@
+#include "bench_common.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace shotgun
+{
+namespace bench
+{
+
+bool
+workloadSelected(const BenchOptions &opts, const std::string &name)
+{
+    return opts.onlyWorkload.empty() || opts.onlyWorkload == name;
+}
+
+void
+printBanner(const BenchOptions &opts, const char *experiment,
+            const char *paper_summary)
+{
+    std::printf("=== %s ===\n", experiment);
+    std::printf("Paper reference: %s\n", paper_summary);
+    std::printf("Run: %llu warmup + %llu measured instructions per "
+                "data point\n\n",
+                static_cast<unsigned long long>(opts.warmupInstructions),
+                static_cast<unsigned long long>(
+                    opts.measureInstructions));
+}
+
+double
+geomean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double v : values)
+        log_sum += std::log(v);
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+BenchOptions
+parseOptions(int argc, char **argv)
+{
+    BenchOptions opts;
+    if (const char *env = std::getenv("SHOTGUN_BENCH_INSTRS"))
+        opts.measureInstructions = std::strtoull(env, nullptr, 10);
+    if (const char *env = std::getenv("SHOTGUN_BENCH_WARMUP"))
+        opts.warmupInstructions = std::strtoull(env, nullptr, 10);
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--quick") == 0) {
+            opts.measureInstructions = 1000000;
+            opts.warmupInstructions = 500000;
+        } else if (std::strcmp(argv[i], "--instructions") == 0 &&
+                   i + 1 < argc) {
+            opts.measureInstructions =
+                std::strtoull(argv[++i], nullptr, 10);
+        } else if (std::strcmp(argv[i], "--warmup") == 0 &&
+                   i + 1 < argc) {
+            opts.warmupInstructions =
+                std::strtoull(argv[++i], nullptr, 10);
+        } else if (std::strcmp(argv[i], "--workload") == 0 &&
+                   i + 1 < argc) {
+            opts.onlyWorkload = argv[++i];
+        }
+    }
+    return opts;
+}
+
+} // namespace bench
+} // namespace shotgun

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Shared plumbing for the paper-reproduction bench binaries: run
+ * lengths (overridable with --quick / --instructions / environment
+ * variables) and workload filtering.
+ */
+
+#ifndef SHOTGUN_BENCH_COMMON_HH
+#define SHOTGUN_BENCH_COMMON_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace shotgun
+{
+namespace bench
+{
+
+struct BenchOptions
+{
+    /** Instructions simulated per (workload, scheme) data point. */
+    std::uint64_t measureInstructions = 5000000;
+
+    /** Warm-up instructions before measurement starts. */
+    std::uint64_t warmupInstructions = 2000000;
+
+    /** If non-empty, run only this workload. */
+    std::string onlyWorkload;
+};
+
+/**
+ * Parse --quick, --instructions N, --warmup N, --workload NAME and the
+ * SHOTGUN_BENCH_INSTRS / SHOTGUN_BENCH_WARMUP environment variables.
+ */
+BenchOptions parseOptions(int argc, char **argv);
+
+/** True when `name` passes the --workload filter. */
+bool workloadSelected(const BenchOptions &opts, const std::string &name);
+
+/** Print the bench banner: what is being reproduced and how. */
+void printBanner(const BenchOptions &opts, const char *experiment,
+                 const char *paper_summary);
+
+/** Geometric mean of a non-empty vector. */
+double geomean(const std::vector<double> &values);
+
+} // namespace bench
+} // namespace shotgun
+
+#endif // SHOTGUN_BENCH_COMMON_HH

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Figure 13: Boomerang and Shotgun speedup across BTB storage budgets
+ * (512 to 8K conventional-BTB-entry equivalents) on the two largest
+ * workloads, Oracle and DB2. Paper shape: Shotgun wins at every
+ * equal budget; Shotgun with a 1K-equivalent budget matches
+ * Boomerang with an 8K-entry BTB on Oracle, and Boomerang needs more
+ * than twice Shotgun's capacity to match it on DB2.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "common/table.hh"
+#include "sim/simulator.hh"
+
+using namespace shotgun;
+
+int
+main(int argc, char **argv)
+{
+    const auto opts = bench::parseOptions(argc, argv);
+    bench::printBanner(
+        opts, "Figure 13: speedup vs BTB storage budget (Oracle, DB2)",
+        "Shotgun wins at every equal budget; Shotgun@1K ~ "
+        "Boomerang@8K on Oracle");
+
+    const std::size_t budgets[] = {512, 1024, 2048, 4096, 8192};
+
+    TextTable table("Figure 13 (speedup over no-prefetch baseline)");
+    {
+        auto &row = table.row().cell("Workload").cell("Scheme");
+        for (std::size_t b : budgets) {
+            row.cell(b >= 1024 ? std::to_string(b / 1024) + "K"
+                               : std::to_string(b));
+        }
+    }
+
+    for (WorkloadId id : {WorkloadId::Oracle, WorkloadId::DB2}) {
+        const auto preset = makePreset(id);
+        if (!bench::workloadSelected(opts, preset.name))
+            continue;
+        const SimResult base = baselineFor(
+            preset, opts.warmupInstructions, opts.measureInstructions);
+
+        auto &boom_row = table.row().cell(preset.name).cell("boomerang");
+        for (std::size_t budget : budgets) {
+            SimConfig config =
+                SimConfig::make(preset, SchemeType::Boomerang);
+            config.scheme.conventionalEntries = budget;
+            config.warmupInstructions = opts.warmupInstructions;
+            config.measureInstructions = opts.measureInstructions;
+            boom_row.cell(speedup(runSimulation(config), base), 3);
+        }
+
+        auto &shot_row = table.row().cell(preset.name).cell("shotgun");
+        for (std::size_t budget : budgets) {
+            SimConfig config =
+                SimConfig::make(preset, SchemeType::Shotgun);
+            config.scheme.shotgun =
+                ShotgunBTBConfig::forBudgetOf(budget);
+            config.warmupInstructions = opts.warmupInstructions;
+            config.measureInstructions = opts.measureInstructions;
+            shot_row.cell(speedup(runSimulation(config), base), 3);
+        }
+    }
+    table.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Figure 1: competitive analysis -- speedup of the state-of-the-art
+ * unified front-end prefetchers (Confluence, Boomerang) and an ideal
+ * front end over a no-prefetch baseline, before Shotgun enters the
+ * picture. The shape to reproduce: Boomerang matches/outperforms
+ * Confluence on small-footprint workloads (Nutch, Zeus) while
+ * Confluence wins on the OLTP giants (Oracle +14%, DB2 +9%), and a
+ * large gap to Ideal remains on big-code workloads.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "common/table.hh"
+#include "sim/simulator.hh"
+
+using namespace shotgun;
+
+int
+main(int argc, char **argv)
+{
+    const auto opts = bench::parseOptions(argc, argv);
+    bench::printBanner(
+        opts, "Figure 1: Confluence vs Boomerang vs Ideal speedup",
+        "Boomerang >= Confluence on Nutch/Zeus; Confluence wins "
+        "Oracle by ~14% and DB2 by ~9%; Ideal ~1.45-1.85");
+
+    TextTable table("Figure 1 (speedup over no-prefetch baseline)");
+    table.row().cell("Workload").cell("Confluence").cell("Boomerang")
+        .cell("Ideal");
+
+    std::vector<double> g_conf, g_boom, g_ideal;
+    for (const auto &preset : allPresets()) {
+        if (!bench::workloadSelected(opts, preset.name))
+            continue;
+        const SimResult base = baselineFor(
+            preset, opts.warmupInstructions, opts.measureInstructions);
+
+        auto run = [&](SchemeType type) {
+            SimConfig config = SimConfig::make(preset, type);
+            config.warmupInstructions = opts.warmupInstructions;
+            config.measureInstructions = opts.measureInstructions;
+            return speedup(runSimulation(config), base);
+        };
+
+        const double conf = run(SchemeType::Confluence);
+        const double boom = run(SchemeType::Boomerang);
+        const double ideal = run(SchemeType::Ideal);
+        g_conf.push_back(conf);
+        g_boom.push_back(boom);
+        g_ideal.push_back(ideal);
+        table.row().cell(preset.name).cell(conf, 3).cell(boom, 3)
+            .cell(ideal, 3);
+    }
+    table.row().cell("gmean").cell(bench::geomean(g_conf), 3)
+        .cell(bench::geomean(g_boom), 3)
+        .cell(bench::geomean(g_ideal), 3);
+    table.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Figure 7: speedup of Confluence, Boomerang and Shotgun over the
+ * no-prefetch baseline. Paper shape: Shotgun ~32% average speedup,
+ * ~5% over both Boomerang and Confluence; the Boomerang gap is
+ * largest on the high-BTB-MPKI workloads (DB2 +10%, Oracle +8%);
+ * Confluence beats Shotgun only on Oracle (~7%).
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "common/table.hh"
+#include "sim/simulator.hh"
+
+using namespace shotgun;
+
+int
+main(int argc, char **argv)
+{
+    const auto opts = bench::parseOptions(argc, argv);
+    bench::printBanner(
+        opts, "Figure 7: speedup over no-prefetch baseline",
+        "Shotgun avg ~1.32 (+5% over Boomerang/Confluence); "
+        "+10% over Boomerang on DB2, +8% on Oracle");
+
+    TextTable table("Figure 7 (speedup over no-prefetch baseline)");
+    table.row().cell("Workload").cell("Confluence").cell("Boomerang")
+        .cell("Shotgun");
+
+    std::vector<double> g_conf, g_boom, g_shot;
+    for (const auto &preset : allPresets()) {
+        if (!bench::workloadSelected(opts, preset.name))
+            continue;
+        const SimResult base = baselineFor(
+            preset, opts.warmupInstructions, opts.measureInstructions);
+
+        auto run = [&](SchemeType type) {
+            SimConfig config = SimConfig::make(preset, type);
+            config.warmupInstructions = opts.warmupInstructions;
+            config.measureInstructions = opts.measureInstructions;
+            return speedup(runSimulation(config), base);
+        };
+
+        const double conf = run(SchemeType::Confluence);
+        const double boom = run(SchemeType::Boomerang);
+        const double shot = run(SchemeType::Shotgun);
+        g_conf.push_back(conf);
+        g_boom.push_back(boom);
+        g_shot.push_back(shot);
+        table.row().cell(preset.name).cell(conf, 3).cell(boom, 3)
+            .cell(shot, 3);
+    }
+    table.row().cell("gmean").cell(bench::geomean(g_conf), 3)
+        .cell(bench::geomean(g_boom), 3)
+        .cell(bench::geomean(g_shot), 3);
+    table.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Microbenchmarks (google-benchmark) for the simulator's own hot
+ * structures: trace generation, TAGE prediction, BTB lookups, cache
+ * accesses and footprint recording. These guard the simulator's
+ * throughput -- the paper-reproduction benches simulate tens of
+ * millions of instructions per data point.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "branch/tage.hh"
+#include "btb/conventional_btb.hh"
+#include "cache/cache.hh"
+#include "core/footprint_recorder.hh"
+#include "core/shotgun_btb.hh"
+#include "trace/generator.hh"
+#include "trace/presets.hh"
+
+namespace
+{
+
+using namespace shotgun;
+
+const Program &
+benchProgram()
+{
+    static Program program(makePreset(WorkloadId::Zeus).program);
+    return program;
+}
+
+void
+BM_TraceGeneration(benchmark::State &state)
+{
+    TraceGenerator gen(benchProgram(), 7);
+    BBRecord rec;
+    std::uint64_t instrs = 0;
+    for (auto _ : state) {
+        gen.next(rec);
+        instrs += rec.numInstrs;
+        benchmark::DoNotOptimize(rec.startAddr);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(instrs));
+}
+BENCHMARK(BM_TraceGeneration);
+
+void
+BM_TagePredictUpdate(benchmark::State &state)
+{
+    TraceGenerator gen(benchProgram(), 11);
+    TagePredictor tage;
+    BBRecord rec;
+    for (auto _ : state) {
+        gen.next(rec);
+        if (rec.type != BranchType::Conditional)
+            continue;
+        const bool pred = tage.predict(rec.branchPC());
+        benchmark::DoNotOptimize(pred);
+        tage.update(rec.branchPC(), rec.taken);
+    }
+}
+BENCHMARK(BM_TagePredictUpdate);
+
+void
+BM_ConventionalBTBLookup(benchmark::State &state)
+{
+    TraceGenerator gen(benchProgram(), 13);
+    ConventionalBTB btb(2048);
+    BBRecord rec;
+    for (auto _ : state) {
+        gen.next(rec);
+        if (!btb.lookup(rec.startAddr)) {
+            BTBEntry entry;
+            entry.bbStart = rec.startAddr;
+            entry.target = rec.target;
+            entry.numInstrs = rec.numInstrs;
+            entry.type = rec.type;
+            btb.insert(entry);
+        }
+    }
+}
+BENCHMARK(BM_ConventionalBTBLookup);
+
+void
+BM_ShotgunBTBLookup(benchmark::State &state)
+{
+    TraceGenerator gen(benchProgram(), 17);
+    ShotgunBTB btbs{ShotgunBTBConfig{}};
+    BBRecord rec;
+    for (auto _ : state) {
+        gen.next(rec);
+        const auto result = btbs.lookup(rec.startAddr);
+        if (!result.hit()) {
+            BTBEntry entry;
+            entry.bbStart = rec.startAddr;
+            entry.target = rec.target;
+            entry.numInstrs = rec.numInstrs;
+            entry.type = rec.type;
+            btbs.insertByType(entry);
+        }
+    }
+}
+BENCHMARK(BM_ShotgunBTBLookup);
+
+void
+BM_CacheAccess(benchmark::State &state)
+{
+    TraceGenerator gen(benchProgram(), 19);
+    Cache l1i(CacheParams{"l1i", 32, 2});
+    BBRecord rec;
+    for (auto _ : state) {
+        gen.next(rec);
+        for (Addr b = rec.firstBlock(); b <= rec.lastBlock(); ++b) {
+            if (!l1i.access(b))
+                l1i.fill(b, false);
+        }
+    }
+}
+BENCHMARK(BM_CacheAccess);
+
+void
+BM_FootprintRecording(benchmark::State &state)
+{
+    TraceGenerator gen(benchProgram(), 23);
+    ShotgunBTB btbs{ShotgunBTBConfig{}};
+    FootprintRecorder recorder(btbs);
+    BBRecord rec;
+    for (auto _ : state) {
+        gen.next(rec);
+        recorder.retire(rec);
+    }
+}
+BENCHMARK(BM_FootprintRecording);
+
+} // namespace
+
+BENCHMARK_MAIN();

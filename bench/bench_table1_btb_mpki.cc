@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Table 1: miss rate (MPKI) of a 2K-entry BTB without prefetching,
+ * per workload. The workload presets are calibrated against these
+ * values, so this bench doubles as the calibration report.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "common/table.hh"
+#include "sim/simulator.hh"
+
+using namespace shotgun;
+
+int
+main(int argc, char **argv)
+{
+    const auto opts = bench::parseOptions(argc, argv);
+    bench::printBanner(
+        opts, "Table 1: BTB MPKI, 2K-entry BTB, no prefetching",
+        "Nutch 2.5, Streaming 14.5, Apache 23.7, Zeus 14.6, "
+        "Oracle 45.1, DB2 40.2");
+
+    const double paper[] = {2.5, 14.5, 23.7, 14.6, 45.1, 40.2};
+
+    TextTable table("Table 1");
+    table.row().cell("Workload").cell("BTB MPKI (measured)")
+        .cell("BTB MPKI (paper)").cell("L1-I MPKI (measured)");
+
+    int i = 0;
+    for (const auto &preset : allPresets()) {
+        const int paper_idx = i++;
+        if (!bench::workloadSelected(opts, preset.name))
+            continue;
+        const SimResult base = baselineFor(
+            preset, opts.warmupInstructions, opts.measureInstructions);
+        table.row().cell(preset.name).cell(base.btbMPKI, 1)
+            .cell(paper[paper_idx], 1).cell(base.l1iMPKI, 1);
+    }
+    table.print(std::cout);
+    return 0;
+}

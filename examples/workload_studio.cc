@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Workload studio: build a *custom* synthetic server workload from
+ * command-line knobs and characterize it the way Sec 3 of the paper
+ * characterizes its commercial workloads -- code footprint, branch
+ * mix, BTB/L1-I pressure, region spatial locality, and hot-branch
+ * coverage. Useful for generating new calibration points beyond the
+ * six shipped presets.
+ *
+ * Usage: workload_studio [numFuncs] [zipfAlpha] [instructions]
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <unordered_map>
+#include <vector>
+
+#include "btb/conventional_btb.hh"
+#include "cache/cache.hh"
+#include "common/stats.hh"
+#include "trace/generator.hh"
+#include "trace/program.hh"
+
+using namespace shotgun;
+
+int
+main(int argc, char **argv)
+{
+    ProgramParams params;
+    params.name = "studio";
+    params.numFuncs =
+        argc > 1 ? static_cast<std::uint32_t>(std::atoi(argv[1])) : 6000;
+    params.zipfAlpha = argc > 2 ? std::atof(argv[2]) : 0.95;
+    const std::uint64_t instructions =
+        argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 3000000;
+    params.numOsFuncs = params.numFuncs / 5;
+    params.seed = 0x57d10;
+
+    Program program(params);
+    std::printf("program: %u functions (%u OS), %.2f MB code, %llu "
+                "static branch sites\n",
+                program.numFunctions(),
+                static_cast<unsigned>(params.numOsFuncs),
+                program.codeBytes() / 1024.0 / 1024.0,
+                static_cast<unsigned long long>(
+                    program.numStaticBranches()));
+
+    TraceGenerator gen(program, 1);
+    ConventionalBTB btb(2048);
+    Cache l1i(CacheParams{"l1i", 32, 2});
+    Histogram region_len(33);
+    std::unordered_map<Addr, std::uint64_t> branch_counts;
+
+    BBRecord rec;
+    std::uint64_t instrs = 0;
+    std::uint64_t region_blocks = 0;
+    Addr region_anchor = 0;
+    bool region_open = false;
+    while (instrs < instructions) {
+        gen.next(rec);
+        instrs += rec.numInstrs;
+        if (!btb.lookup(rec.startAddr)) {
+            BTBEntry e;
+            e.bbStart = rec.startAddr;
+            e.target = rec.target;
+            e.numInstrs = rec.numInstrs;
+            e.type = rec.type;
+            btb.insert(e);
+        }
+        for (Addr b = rec.firstBlock(); b <= rec.lastBlock(); ++b) {
+            if (!l1i.access(b))
+                l1i.fill(b, false);
+            if (region_open) {
+                const auto d = static_cast<std::int64_t>(b) -
+                               static_cast<std::int64_t>(region_anchor);
+                region_blocks = std::max<std::uint64_t>(
+                    region_blocks, static_cast<std::uint64_t>(
+                                       d < 0 ? 0 : d));
+            }
+        }
+        if (isBranch(rec.type))
+            ++branch_counts[rec.branchPC()];
+        if (endsRegion(rec.type)) {
+            if (region_open)
+                region_len.sample(region_blocks);
+            region_open = true;
+            region_anchor = blockNumber(rec.target);
+            region_blocks = 0;
+        }
+    }
+
+    const auto &stats = gen.stats();
+    std::printf("dynamic: %.1f branches/KI (%.0f%% conditional), "
+                "%llu requests\n",
+                1000.0 * stats.branches / stats.instructions,
+                100.0 * stats.conditionals / stats.branches,
+                static_cast<unsigned long long>(stats.requests));
+    std::printf("pressure: BTB MPKI %.2f | L1-I MPKI %.2f\n",
+                1000.0 * btb.misses() / instrs,
+                1000.0 * l1i.misses() / instrs);
+    std::printf("regions: median forward extent %zu blocks, p90 %zu "
+                "blocks\n",
+                region_len.percentileBucket(0.5),
+                region_len.percentileBucket(0.9));
+
+    // Hot-branch coverage (Fig 4 style).
+    std::vector<std::uint64_t> counts;
+    counts.reserve(branch_counts.size());
+    std::uint64_t total = 0;
+    for (const auto &[pc, count] : branch_counts) {
+        counts.push_back(count);
+        total += count;
+    }
+    std::sort(counts.begin(), counts.end(), std::greater<>());
+    std::uint64_t running = 0;
+    for (std::size_t i = 0; i < std::min<std::size_t>(counts.size(),
+                                                      2048); ++i) {
+        running += counts[i];
+    }
+    std::printf("hot set: top-2K static branches cover %.1f%% of "
+                "dynamic branches (%zu sites seen)\n",
+                100.0 * running / total, branch_counts.size());
+    return 0;
+}

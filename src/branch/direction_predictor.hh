@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Conditional-branch direction predictor interface. The modelled core
+ * uses TAGE with an 8KB storage budget (Table 3); bimodal and gshare
+ * are provided as ablation baselines and for tests.
+ */
+
+#ifndef SHOTGUN_BRANCH_DIRECTION_PREDICTOR_HH
+#define SHOTGUN_BRANCH_DIRECTION_PREDICTOR_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace shotgun
+{
+
+/**
+ * Abstract direction predictor.
+ *
+ * Usage protocol: predict(pc) followed immediately by
+ * update(pc, taken) for the same branch. This matches the simulator's
+ * trace-driven operation where the architectural outcome is known as
+ * soon as the prediction is made; predictors may stash prediction-time
+ * metadata between the two calls.
+ */
+class DirectionPredictor
+{
+  public:
+    virtual ~DirectionPredictor() = default;
+
+    /** Predict the direction of the conditional branch at `pc`. */
+    virtual bool predict(Addr pc) = 0;
+
+    /** Train with the architectural outcome of the branch at `pc`. */
+    virtual void update(Addr pc, bool taken) = 0;
+
+    /** Total predictor state in bits (for budget accounting). */
+    virtual std::uint64_t storageBits() const = 0;
+
+    /** Predictor name for stats output. */
+    virtual const char *name() const = 0;
+};
+
+} // namespace shotgun
+
+#endif // SHOTGUN_BRANCH_DIRECTION_PREDICTOR_HH

@@ -1,0 +1,45 @@
+#include "branch/gshare.hh"
+
+#include "common/logging.hh"
+
+namespace shotgun
+{
+
+GsharePredictor::GsharePredictor(std::size_t entries,
+                                 unsigned history_bits)
+    : mask_(entries - 1),
+      historyMask_((1ULL << history_bits) - 1)
+{
+    fatal_if(entries == 0 || (entries & (entries - 1)) != 0,
+             "gshare table size must be a power of two");
+    table_.assign(entries, SatCounter(2));
+    for (auto &c : table_)
+        c.set(c.weakTaken());
+}
+
+std::size_t
+GsharePredictor::index(Addr pc) const
+{
+    return ((pc >> 2) ^ history_) & mask_;
+}
+
+bool
+GsharePredictor::predict(Addr pc)
+{
+    return table_[index(pc)].predictTaken();
+}
+
+void
+GsharePredictor::update(Addr pc, bool taken)
+{
+    table_[index(pc)].update(taken);
+    history_ = ((history_ << 1) | (taken ? 1 : 0)) & historyMask_;
+}
+
+std::uint64_t
+GsharePredictor::storageBits() const
+{
+    return static_cast<std::uint64_t>(table_.size()) * 2 + 64;
+}
+
+} // namespace shotgun

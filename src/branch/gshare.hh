@@ -1,0 +1,45 @@
+/**
+ * @file
+ * gshare predictor: global history XOR PC indexing into a table of
+ * 2-bit counters. Used in tests and ablations as a middle ground
+ * between bimodal and TAGE.
+ */
+
+#ifndef SHOTGUN_BRANCH_GSHARE_HH
+#define SHOTGUN_BRANCH_GSHARE_HH
+
+#include <vector>
+
+#include "branch/direction_predictor.hh"
+#include "common/sat_counter.hh"
+
+namespace shotgun
+{
+
+class GsharePredictor : public DirectionPredictor
+{
+  public:
+    /**
+     * @param entries table size; must be a power of two.
+     * @param history_bits global-history length (<= log2(entries)).
+     */
+    explicit GsharePredictor(std::size_t entries = 16384,
+                             unsigned history_bits = 14);
+
+    bool predict(Addr pc) override;
+    void update(Addr pc, bool taken) override;
+    std::uint64_t storageBits() const override;
+    const char *name() const override { return "gshare"; }
+
+  private:
+    std::size_t index(Addr pc) const;
+
+    std::vector<SatCounter> table_;
+    std::size_t mask_;
+    std::uint64_t history_ = 0;
+    std::uint64_t historyMask_;
+};
+
+} // namespace shotgun
+
+#endif // SHOTGUN_BRANCH_GSHARE_HH

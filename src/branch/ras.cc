@@ -1,0 +1,56 @@
+#include "branch/ras.hh"
+
+#include "common/logging.hh"
+
+namespace shotgun
+{
+
+ReturnAddressStack::ReturnAddressStack(std::size_t entries)
+    : stack_(entries)
+{
+    fatal_if(entries == 0, "RAS needs at least one entry");
+}
+
+void
+ReturnAddressStack::push(Addr return_addr, Addr call_bb)
+{
+    if (size_ == stack_.size())
+        ++overflows_;
+    else
+        ++size_;
+    stack_[top_] = Entry{return_addr, call_bb, true};
+    top_ = (top_ + 1) % stack_.size();
+}
+
+ReturnAddressStack::Entry
+ReturnAddressStack::pop()
+{
+    if (size_ == 0) {
+        ++underflows_;
+        return Entry{};
+    }
+    top_ = (top_ + stack_.size() - 1) % stack_.size();
+    --size_;
+    Entry e = stack_[top_];
+    stack_[top_].valid = false;
+    return e;
+}
+
+ReturnAddressStack::Entry
+ReturnAddressStack::peek() const
+{
+    if (size_ == 0)
+        return Entry{};
+    return stack_[(top_ + stack_.size() - 1) % stack_.size()];
+}
+
+void
+ReturnAddressStack::clear()
+{
+    for (auto &e : stack_)
+        e = Entry{};
+    top_ = 0;
+    size_ = 0;
+}
+
+} // namespace shotgun

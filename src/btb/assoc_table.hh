@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Generic set-associative, LRU-replacement lookup table used by every
+ * BTB variant and by the cache models. Keys are pre-shifted
+ * identifiers (basic-block address >> 2 for BTBs, block number for
+ * caches); the set index is key modulo the number of sets, and the
+ * full key acts as the tag, so the model never suffers false aliasing
+ * (matching the paper's full-length tag storage accounting).
+ */
+
+#ifndef SHOTGUN_BTB_ASSOC_TABLE_HH
+#define SHOTGUN_BTB_ASSOC_TABLE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace shotgun
+{
+
+template <typename Value>
+class SetAssocTable
+{
+  public:
+    SetAssocTable(std::size_t sets, std::size_t ways)
+        : sets_(sets), ways_(ways), lines_(sets * ways)
+    {
+        fatal_if(sets == 0 || ways == 0,
+                 "SetAssocTable needs sets > 0 and ways > 0");
+    }
+
+    std::size_t sets() const { return sets_; }
+    std::size_t ways() const { return ways_; }
+    std::size_t capacity() const { return lines_.size(); }
+
+    /** Probe without updating recency. */
+    Value *
+    find(std::uint64_t key)
+    {
+        Line *line = findLine(key);
+        return line ? &line->value : nullptr;
+    }
+
+    const Value *
+    find(std::uint64_t key) const
+    {
+        const Line *line =
+            const_cast<SetAssocTable *>(this)->findLine(key);
+        return line ? &line->value : nullptr;
+    }
+
+    /** Probe and mark most-recently-used on hit. */
+    Value *
+    touch(std::uint64_t key)
+    {
+        Line *line = findLine(key);
+        if (line)
+            line->lru = ++clock_;
+        return line ? &line->value : nullptr;
+    }
+
+    /**
+     * Insert (or overwrite) the value for `key`, evicting the LRU way
+     * of the set if needed.
+     * @param evicted_key  if non-null, receives the evicted key.
+     * @param evicted      if non-null, receives the evicted value.
+     * @return true if a valid entry was evicted.
+     */
+    bool
+    insert(std::uint64_t key, const Value &value,
+           std::uint64_t *evicted_key = nullptr,
+           Value *evicted = nullptr)
+    {
+        Line *line = findLine(key);
+        if (line) {
+            line->value = value;
+            line->lru = ++clock_;
+            return false;
+        }
+
+        const std::size_t base = (key % sets_) * ways_;
+        Line *victim = &lines_[base];
+        for (std::size_t w = 0; w < ways_; ++w) {
+            Line &candidate = lines_[base + w];
+            if (!candidate.valid) {
+                victim = &candidate;
+                break;
+            }
+            if (candidate.lru < victim->lru)
+                victim = &candidate;
+        }
+
+        const bool evicting = victim->valid;
+        if (evicting) {
+            if (evicted_key)
+                *evicted_key = victim->key;
+            if (evicted)
+                *evicted = victim->value;
+        }
+        victim->key = key;
+        victim->value = value;
+        victim->valid = true;
+        victim->lru = ++clock_;
+        return evicting;
+    }
+
+    /** Remove the entry for `key`. @return true if it existed. */
+    bool
+    erase(std::uint64_t key)
+    {
+        Line *line = findLine(key);
+        if (!line)
+            return false;
+        line->valid = false;
+        return true;
+    }
+
+    /** Invalidate everything. */
+    void
+    clear()
+    {
+        for (auto &line : lines_)
+            line.valid = false;
+        clock_ = 0;
+    }
+
+    /** Count of valid entries (O(capacity); for tests/stats only). */
+    std::size_t
+    occupancy() const
+    {
+        std::size_t count = 0;
+        for (const auto &line : lines_)
+            count += line.valid;
+        return count;
+    }
+
+    /** Apply fn(key, value) to every valid entry (tests/stats). */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        for (const auto &line : lines_) {
+            if (line.valid)
+                fn(line.key, line.value);
+        }
+    }
+
+  private:
+    struct Line
+    {
+        std::uint64_t key = 0;
+        std::uint64_t lru = 0;
+        Value value{};
+        bool valid = false;
+    };
+
+    Line *
+    findLine(std::uint64_t key)
+    {
+        const std::size_t base = (key % sets_) * ways_;
+        for (std::size_t w = 0; w < ways_; ++w) {
+            Line &line = lines_[base + w];
+            if (line.valid && line.key == key)
+                return &line;
+        }
+        return nullptr;
+    }
+
+    std::size_t sets_;
+    std::size_t ways_;
+    std::vector<Line> lines_;
+    std::uint64_t clock_ = 0;
+};
+
+/**
+ * Pick an associativity for `entries` such that entries/ways is an
+ * integer, preferring `preferred` ways. Used when scaling BTB sizes
+ * for the storage-budget sweep (Fig 13).
+ */
+inline std::size_t
+chooseWays(std::size_t entries, std::size_t preferred)
+{
+    for (std::size_t ways : {preferred, std::size_t(4), std::size_t(8),
+                             std::size_t(6), std::size_t(2),
+                             std::size_t(16), std::size_t(1)}) {
+        if (ways <= entries && entries % ways == 0)
+            return ways;
+    }
+    return 1;
+}
+
+/** floor(log2(x)) for x >= 1; 0 for x == 0. */
+inline unsigned
+floorLog2(std::uint64_t x)
+{
+    unsigned log = 0;
+    while (x > 1) {
+        x >>= 1;
+        ++log;
+    }
+    return log;
+}
+
+} // namespace shotgun
+
+#endif // SHOTGUN_BTB_ASSOC_TABLE_HH

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * The basic-block-oriented BTB entry (Yeh & Patt style, as used by
+ * Boomerang and Shotgun): entries are indexed by basic-block start
+ * address and describe the block's extent plus its terminating
+ * branch. A BTB hit therefore tells the fetch engine both where the
+ * next control transfer is and where fetch continues.
+ */
+
+#ifndef SHOTGUN_BTB_BTB_ENTRY_HH
+#define SHOTGUN_BTB_BTB_ENTRY_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+#include "trace/instruction.hh"
+
+namespace shotgun
+{
+
+/** Entry of a conventional basic-block-oriented BTB. */
+struct BTBEntry
+{
+    Addr bbStart = 0;          ///< Identity: basic-block start address.
+    Addr target = 0;           ///< Taken target of the terminator.
+    std::uint8_t numInstrs = 1; ///< Block size (5-bit field).
+    BranchType type = BranchType::None;
+
+    BTBEntry() = default;
+
+    explicit BTBEntry(const StaticBBInfo &info)
+        : bbStart(info.startAddr), target(info.target),
+          numInstrs(info.numInstrs), type(info.type)
+    {}
+
+    /** Fall-through address (next sequential fetch). */
+    Addr
+    fallThrough() const
+    {
+        return bbStart + numInstrs * kInstrBytes;
+    }
+
+    /** PC of the terminating branch. */
+    Addr
+    branchPC() const
+    {
+        return bbStart + (numInstrs - 1) * kInstrBytes;
+    }
+};
+
+/**
+ * BTB lookup key: a bijective mix of the instruction-aligned basic
+ * block start address. The mix scatters set indices the way a real
+ * BTB's index hash does, so structured code layouts (e.g. functions
+ * aligned to 32B) do not pathologically alias onto a few sets;
+ * bijectivity keeps the key a faithful identity (full-tag semantics).
+ */
+inline std::uint64_t
+btbKey(Addr bb_start)
+{
+    std::uint64_t z = bb_start >> 2;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+} // namespace shotgun
+
+#endif // SHOTGUN_BTB_BTB_ENTRY_HH

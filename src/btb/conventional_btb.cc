@@ -1,0 +1,35 @@
+#include "btb/conventional_btb.hh"
+
+namespace shotgun
+{
+
+ConventionalBTB::ConventionalBTB(std::size_t entries, std::size_t ways)
+    : table_(entries / chooseWays(entries, ways),
+             chooseWays(entries, ways))
+{
+    fatal_if(entries == 0, "BTB needs at least one entry");
+}
+
+const BTBEntry *
+ConventionalBTB::lookup(Addr bb_start)
+{
+    ++lookups_;
+    BTBEntry *entry = table_.touch(btbKey(bb_start));
+    if (entry)
+        ++hits_;
+    return entry;
+}
+
+const BTBEntry *
+ConventionalBTB::probe(Addr bb_start) const
+{
+    return table_.find(btbKey(bb_start));
+}
+
+void
+ConventionalBTB::insert(const BTBEntry &entry)
+{
+    table_.insert(btbKey(entry.bbStart), entry);
+}
+
+} // namespace shotgun

@@ -1,0 +1,74 @@
+#include "cache/cache.hh"
+
+namespace shotgun
+{
+
+Cache::Cache(const CacheParams &params)
+    : params_(params),
+      table_(params.sizeKB * 1024 / kBlockBytes /
+                 chooseWays(params.sizeKB * 1024 / kBlockBytes,
+                            params.ways),
+             chooseWays(params.sizeKB * 1024 / kBlockBytes, params.ways))
+{
+    fatal_if(params.sizeKB == 0, "cache size must be positive");
+}
+
+bool
+Cache::access(Addr block_number)
+{
+    ++accesses_;
+    BlockState *state = table_.touch(block_number);
+    if (!state)
+        return false;
+    ++hits_;
+    if (state->prefetched) {
+        state->prefetched = false;
+        ++useful_;
+    }
+    return true;
+}
+
+bool
+Cache::contains(Addr block_number) const
+{
+    return table_.find(block_number) != nullptr;
+}
+
+void
+Cache::fill(Addr block_number, bool prefetched)
+{
+    ++fills_;
+    if (prefetched)
+        ++prefetchFills_;
+    Addr evicted_key = 0;
+    BlockState evicted;
+    BlockState state;
+    state.prefetched = prefetched;
+    if (BlockState *existing = table_.find(block_number)) {
+        // Re-fill of a resident block: keep it counted once; a
+        // prefetch fill of a demand-resident block adds no new
+        // provenance.
+        if (prefetched && existing->prefetched) {
+            // Still awaiting use; nothing changes.
+        }
+        table_.touch(block_number);
+        return;
+    }
+    if (table_.insert(block_number, state, &evicted_key, &evicted)) {
+        if (evicted.prefetched)
+            ++useless_;
+    }
+}
+
+void
+Cache::resetStats()
+{
+    accesses_.reset();
+    hits_.reset();
+    fills_.reset();
+    useful_.reset();
+    useless_.reset();
+    prefetchFills_.reset();
+}
+
+} // namespace shotgun

@@ -1,0 +1,45 @@
+#include "cache/mshr.hh"
+
+#include "common/logging.hh"
+
+namespace shotgun
+{
+
+MSHRFile::MSHRFile(std::size_t entries)
+    : capacity_(entries)
+{
+    fatal_if(entries == 0, "MSHR file needs at least one entry");
+}
+
+MSHRFile::Entry *
+MSHRFile::find(Addr block_number)
+{
+    auto it = entries_.find(block_number);
+    return it == entries_.end() ? nullptr : &it->second;
+}
+
+MSHRFile::Entry *
+MSHRFile::allocate(Addr block_number, Cycle ready_at, bool is_prefetch)
+{
+    if (entries_.size() >= capacity_)
+        return nullptr;
+    panic_if(entries_.count(block_number),
+             "MSHR double allocation for block");
+    Entry entry;
+    entry.block = block_number;
+    entry.readyAt = ready_at;
+    entry.isPrefetch = is_prefetch;
+    auto [it, inserted] = entries_.emplace(block_number, entry);
+    heap_.emplace(ready_at, block_number);
+    return &it->second;
+}
+
+void
+MSHRFile::clear()
+{
+    entries_.clear();
+    while (!heap_.empty())
+        heap_.pop();
+}
+
+} // namespace shotgun

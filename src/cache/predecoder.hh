@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Predecoder: extracts branch metadata from instruction cache blocks.
+ * Real hardware scans the block's instruction bytes; our equivalent
+ * consults the program image oracle, which yields exactly the basic
+ * blocks whose first instruction lies in the block -- the same
+ * information, without modelling instruction encodings.
+ *
+ * Used by three mechanisms from the paper:
+ *  - Boomerang's reactive BTB fill (extract the missing branch and
+ *    stage the rest in the BTB prefetch buffer),
+ *  - Shotgun's proactive C-BTB prefill from prefetched blocks,
+ *  - Confluence's BTB prefill during stream replay.
+ */
+
+#ifndef SHOTGUN_CACHE_PREDECODER_HH
+#define SHOTGUN_CACHE_PREDECODER_HH
+
+#include <vector>
+
+#include "btb/btb_entry.hh"
+#include "common/stats.hh"
+#include "trace/program.hh"
+
+namespace shotgun
+{
+
+class Predecoder
+{
+  public:
+    /** @param decode_cycles pipeline latency of predecoding a block. */
+    explicit Predecoder(const Program &program,
+                        unsigned decode_cycles = 1);
+
+    /**
+     * Extract all basic blocks starting inside `block_number`.
+     * The result is valid until the next call.
+     */
+    const std::vector<BTBEntry> &decodeBlock(Addr block_number);
+
+    /**
+     * Find the basic block starting exactly at `bb_start` inside its
+     * block.
+     * @return true and fills `out` when found.
+     */
+    bool decodeBB(Addr bb_start, BTBEntry &out) const;
+
+    unsigned decodeCycles() const { return decodeCycles_; }
+    std::uint64_t blocksDecoded() const { return decoded_.value(); }
+    std::uint64_t branchesExtracted() const { return extracted_.value(); }
+
+    void
+    resetStats()
+    {
+        decoded_.reset();
+        extracted_.reset();
+    }
+
+  private:
+    const Program &program_;
+    unsigned decodeCycles_;
+    std::vector<StaticBBInfo> scratch_;
+    std::vector<BTBEntry> result_;
+    Counter decoded_;
+    Counter extracted_;
+};
+
+} // namespace shotgun
+
+#endif // SHOTGUN_CACHE_PREDECODER_HH

@@ -1,0 +1,51 @@
+#include "common/logging.hh"
+
+#include <cstdarg>
+#include <vector>
+
+namespace shotgun
+{
+namespace logging_detail
+{
+
+void
+terminatePanic()
+{
+    std::abort();
+}
+
+void
+terminateFatal()
+{
+    std::exit(1);
+}
+
+void
+emit(const char *level, const char *file, int line,
+     const std::string &message)
+{
+    std::fprintf(stderr, "%s: %s (%s:%d)\n", level, message.c_str(),
+                 file, line);
+}
+
+std::string
+format(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    va_list args_copy;
+    va_copy(args_copy, args);
+    int needed = std::vsnprintf(nullptr, 0, fmt, args);
+    va_end(args);
+    if (needed < 0) {
+        va_end(args_copy);
+        return std::string(fmt);
+    }
+    std::vector<char> buffer(static_cast<std::size_t>(needed) + 1);
+    std::vsnprintf(buffer.data(), buffer.size(), fmt, args_copy);
+    va_end(args_copy);
+    return std::string(buffer.data());
+}
+
+} // namespace logging_detail
+} // namespace shotgun

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * gem5-style status and error reporting: panic() for internal
+ * invariant violations, fatal() for user/configuration errors, warn()
+ * and inform() for non-fatal conditions.
+ */
+
+#ifndef SHOTGUN_COMMON_LOGGING_HH
+#define SHOTGUN_COMMON_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace shotgun
+{
+
+namespace logging_detail
+{
+
+[[noreturn]] void terminatePanic();
+[[noreturn]] void terminateFatal();
+
+void emit(const char *level, const char *file, int line,
+          const std::string &message);
+
+std::string format(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace logging_detail
+
+/**
+ * panic() should be used when something happens that should never
+ * happen regardless of configuration, i.e. a simulator bug. It aborts
+ * so a core dump / debugger can pick it up.
+ */
+#define panic(...)                                                         \
+    do {                                                                   \
+        shotgun::logging_detail::emit(                                     \
+            "panic", __FILE__, __LINE__,                                   \
+            shotgun::logging_detail::format(__VA_ARGS__));                 \
+        shotgun::logging_detail::terminatePanic();                         \
+    } while (0)
+
+/**
+ * fatal() should be used when simulation cannot continue because of a
+ * user-level problem (bad parameters, unreadable file, ...). It exits
+ * with a normal error code.
+ */
+#define fatal(...)                                                         \
+    do {                                                                   \
+        shotgun::logging_detail::emit(                                     \
+            "fatal", __FILE__, __LINE__,                                   \
+            shotgun::logging_detail::format(__VA_ARGS__));                 \
+        shotgun::logging_detail::terminateFatal();                         \
+    } while (0)
+
+/** panic() if the given invariant does not hold. */
+#define panic_if(cond, ...)                                                \
+    do {                                                                   \
+        if (cond) {                                                        \
+            panic(__VA_ARGS__);                                            \
+        }                                                                  \
+    } while (0)
+
+/** fatal() if the given user-facing requirement does not hold. */
+#define fatal_if(cond, ...)                                                \
+    do {                                                                   \
+        if (cond) {                                                        \
+            fatal(__VA_ARGS__);                                            \
+        }                                                                  \
+    } while (0)
+
+/** Non-fatal warning about questionable behaviour. */
+#define warn(...)                                                          \
+    shotgun::logging_detail::emit(                                         \
+        "warn", __FILE__, __LINE__,                                        \
+        shotgun::logging_detail::format(__VA_ARGS__))
+
+/** Purely informational status message. */
+#define inform(...)                                                        \
+    shotgun::logging_detail::emit(                                         \
+        "info", __FILE__, __LINE__,                                        \
+        shotgun::logging_detail::format(__VA_ARGS__))
+
+} // namespace shotgun
+
+#endif // SHOTGUN_COMMON_LOGGING_HH

@@ -1,0 +1,74 @@
+#include "common/stats.hh"
+
+#include <iomanip>
+
+namespace shotgun
+{
+
+double
+Histogram::cumulativeFraction(std::size_t i) const
+{
+    if (total_ == 0)
+        return 0.0;
+    std::uint64_t sum = 0;
+    for (std::size_t b = 0; b <= i && b < buckets_.size(); ++b)
+        sum += buckets_[b];
+    if (i >= buckets_.size())
+        sum += overflow_;
+    return static_cast<double>(sum) / static_cast<double>(total_);
+}
+
+std::size_t
+Histogram::percentileBucket(double frac) const
+{
+    std::uint64_t sum = 0;
+    const auto threshold =
+        static_cast<std::uint64_t>(frac * static_cast<double>(total_));
+    for (std::size_t b = 0; b < buckets_.size(); ++b) {
+        sum += buckets_[b];
+        if (sum >= threshold)
+            return b;
+    }
+    return buckets_.size();
+}
+
+Counter &
+StatGroup::counter(const std::string &stat_name)
+{
+    return counters_[stat_name];
+}
+
+Average &
+StatGroup::average(const std::string &stat_name)
+{
+    return averages_[stat_name];
+}
+
+std::uint64_t
+StatGroup::counterValue(const std::string &stat_name) const
+{
+    auto it = counters_.find(stat_name);
+    return it == counters_.end() ? 0 : it->second.value();
+}
+
+void
+StatGroup::dump(std::ostream &os) const
+{
+    for (const auto &[stat_name, value] : counters_)
+        os << name_ << '.' << stat_name << ' ' << value.value() << '\n';
+    for (const auto &[stat_name, avg] : averages_) {
+        os << name_ << '.' << stat_name << ' ' << std::fixed
+           << std::setprecision(4) << avg.mean() << '\n';
+    }
+}
+
+void
+StatGroup::reset()
+{
+    for (auto &[stat_name, value] : counters_)
+        value.reset();
+    for (auto &[stat_name, avg] : averages_)
+        avg.reset();
+}
+
+} // namespace shotgun

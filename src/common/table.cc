@@ -1,0 +1,89 @@
+#include "common/table.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace shotgun
+{
+
+TextTable &
+TextTable::row()
+{
+    rows_.emplace_back();
+    return *this;
+}
+
+TextTable &
+TextTable::cell(const std::string &text)
+{
+    if (rows_.empty())
+        rows_.emplace_back();
+    rows_.back().push_back(text);
+    return *this;
+}
+
+TextTable &
+TextTable::cell(double value, int precision)
+{
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer), "%.*f", precision, value);
+    return cell(std::string(buffer));
+}
+
+TextTable &
+TextTable::cell(std::uint64_t value)
+{
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "%llu",
+                  static_cast<unsigned long long>(value));
+    return cell(std::string(buffer));
+}
+
+TextTable &
+TextTable::percentCell(double fraction, int precision)
+{
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer), "%.*f%%", precision,
+                  fraction * 100.0);
+    return cell(std::string(buffer));
+}
+
+void
+TextTable::print(std::ostream &os) const
+{
+    if (!title_.empty())
+        os << "== " << title_ << " ==\n";
+    if (rows_.empty())
+        return;
+
+    std::vector<std::size_t> widths;
+    for (const auto &row : rows_) {
+        if (row.size() > widths.size())
+            widths.resize(row.size(), 0);
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    auto print_row = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            os << row[c];
+            if (c + 1 < row.size()) {
+                for (std::size_t pad = row[c].size();
+                     pad < widths[c] + 2; ++pad) {
+                    os << ' ';
+                }
+            }
+        }
+        os << '\n';
+    };
+
+    print_row(rows_.front());
+    std::size_t rule = 0;
+    for (std::size_t c = 0; c < widths.size(); ++c)
+        rule += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+    os << std::string(rule, '-') << '\n';
+    for (std::size_t r = 1; r < rows_.size(); ++r)
+        print_row(rows_[r]);
+}
+
+} // namespace shotgun

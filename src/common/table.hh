@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Plain-text table printer used by the benchmark harness to emit
+ * paper-style tables and figure series.
+ */
+
+#ifndef SHOTGUN_COMMON_TABLE_HH
+#define SHOTGUN_COMMON_TABLE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace shotgun
+{
+
+/**
+ * A simple column-aligned table. Cells are strings; numeric helpers
+ * format with fixed precision. The first added row is the header.
+ */
+class TextTable
+{
+  public:
+    explicit TextTable(std::string title = "") : title_(std::move(title)) {}
+
+    /** Begin a new row; subsequent cell() calls append to it. */
+    TextTable &row();
+
+    TextTable &cell(const std::string &text);
+    TextTable &cell(const char *text) { return cell(std::string(text)); }
+    TextTable &cell(double value, int precision = 2);
+    TextTable &cell(std::uint64_t value);
+    TextTable &cell(int value) { return cell(std::uint64_t(value)); }
+
+    /** Percentage cell: 0.683 -> "68.3%". */
+    TextTable &percentCell(double fraction, int precision = 1);
+
+    void print(std::ostream &os) const;
+
+  private:
+    std::string title_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace shotgun
+
+#endif // SHOTGUN_COMMON_TABLE_HH

@@ -1,0 +1,21 @@
+#include "common/types.hh"
+
+namespace shotgun
+{
+
+const char *
+branchTypeName(BranchType type)
+{
+    switch (type) {
+      case BranchType::None: return "none";
+      case BranchType::Conditional: return "cond";
+      case BranchType::Jump: return "jump";
+      case BranchType::Call: return "call";
+      case BranchType::Return: return "return";
+      case BranchType::Trap: return "trap";
+      case BranchType::TrapReturn: return "trap-return";
+      default: return "invalid";
+    }
+}
+
+} // namespace shotgun

@@ -1,0 +1,35 @@
+#include "core/cbtb.hh"
+
+namespace shotgun
+{
+
+CBTB::CBTB(std::size_t entries, std::size_t ways)
+    : table_(entries / chooseWays(entries, ways),
+             chooseWays(entries, ways))
+{
+    fatal_if(entries == 0, "C-BTB needs at least one entry");
+}
+
+const CBTBEntry *
+CBTB::lookup(Addr bb_start)
+{
+    ++lookups_;
+    CBTBEntry *entry = table_.touch(btbKey(bb_start));
+    if (entry)
+        ++hits_;
+    return entry;
+}
+
+const CBTBEntry *
+CBTB::probe(Addr bb_start) const
+{
+    return table_.find(btbKey(bb_start));
+}
+
+void
+CBTB::insert(const CBTBEntry &entry)
+{
+    table_.insert(btbKey(entry.bbStart), entry);
+}
+
+} // namespace shotgun

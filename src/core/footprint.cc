@@ -1,0 +1,38 @@
+#include "core/footprint.hh"
+
+namespace shotgun
+{
+
+const char *
+footprintModeName(FootprintMode mode)
+{
+    switch (mode) {
+      case FootprintMode::NoBitVector: return "no-bit-vector";
+      case FootprintMode::BitVector8: return "8-bit-vector";
+      case FootprintMode::BitVector32: return "32-bit-vector";
+      case FootprintMode::EntireRegion: return "entire-region";
+      case FootprintMode::FiveBlocks: return "5-blocks";
+      default: return "invalid";
+    }
+}
+
+FootprintFormat
+FootprintFormat::forMode(FootprintMode mode)
+{
+    switch (mode) {
+      case FootprintMode::BitVector32:
+        return thirtyTwoBit();
+      case FootprintMode::NoBitVector:
+      case FootprintMode::FiveBlocks:
+        return {0, 0};
+      case FootprintMode::EntireRegion:
+        // Entry/exit points are tracked via the extent fields; the
+        // vector itself is unused.
+        return {0, 0};
+      case FootprintMode::BitVector8:
+      default:
+        return eightBit();
+    }
+}
+
+} // namespace shotgun

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Spatial footprints (Sec 4.2.2 of the paper): a short bit-vector
+ * summarizing which cache blocks around a code region's entry point
+ * were accessed during the region's last execution. Bit positions
+ * encode the signed block distance from the target block; the target
+ * block itself is always prefetched and is not represented.
+ *
+ * The default 8-bit format matches the paper: 6 bits for blocks after
+ * the target block, 2 bits for blocks before it.
+ */
+
+#ifndef SHOTGUN_CORE_FOOTPRINT_HH
+#define SHOTGUN_CORE_FOOTPRINT_HH
+
+#include <cstdint>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace shotgun
+{
+
+/**
+ * Region-prefetch mechanisms evaluated in Figs 8-10:
+ * no region prefetch at all, the 8- and 32-bit vectors, prefetching
+ * the whole entry-to-exit span, and a fixed five sequential blocks.
+ */
+enum class FootprintMode
+{
+    NoBitVector,  ///< No region prefetching (U-BTB grows instead).
+    BitVector8,   ///< 8-bit vector: 2 before + 6 after (default).
+    BitVector32,  ///< 32-bit vector: 8 before + 24 after.
+    EntireRegion, ///< Prefetch every block from entry to exit point.
+    FiveBlocks,   ///< Always prefetch 5 sequential blocks.
+};
+
+const char *footprintModeName(FootprintMode mode);
+
+/** Geometry of a footprint bit-vector. */
+struct FootprintFormat
+{
+    unsigned beforeBlocks = 2; ///< Bits for blocks before the target.
+    unsigned afterBlocks = 6;  ///< Bits for blocks after the target.
+
+    unsigned bits() const { return beforeBlocks + afterBlocks; }
+
+    /** Can this signed block offset be represented? (0 = target.) */
+    bool
+    inRange(int offset) const
+    {
+        return offset != 0 && offset >= -static_cast<int>(beforeBlocks) &&
+               offset <= static_cast<int>(afterBlocks);
+    }
+
+    /** Bit index of a representable offset. */
+    unsigned
+    bitIndex(int offset) const
+    {
+        panic_if(!inRange(offset), "footprint offset out of range");
+        if (offset < 0)
+            return static_cast<unsigned>(offset + static_cast<int>(
+                                                      beforeBlocks));
+        return beforeBlocks + static_cast<unsigned>(offset) - 1;
+    }
+
+    /** The paper's 8-bit format. */
+    static FootprintFormat eightBit() { return {2, 6}; }
+
+    /** The 32-bit ablation format. */
+    static FootprintFormat thirtyTwoBit() { return {8, 24}; }
+
+    /** Format implied by a mode (unused bits for non-vector modes). */
+    static FootprintFormat forMode(FootprintMode mode);
+};
+
+/**
+ * The bit-vector itself. Offsets are relative to the region's target
+ * block: offset -1 is the block immediately before it, +1 the block
+ * after.
+ */
+class SpatialFootprint
+{
+  public:
+    SpatialFootprint() = default;
+
+    void
+    set(int offset, const FootprintFormat &fmt)
+    {
+        if (fmt.inRange(offset))
+            bits_ |= 1u << fmt.bitIndex(offset);
+    }
+
+    bool
+    test(int offset, const FootprintFormat &fmt) const
+    {
+        if (!fmt.inRange(offset))
+            return false;
+        return (bits_ >> fmt.bitIndex(offset)) & 1u;
+    }
+
+    /** Call fn(offset) for every set bit, nearest-first order not
+     *  guaranteed; iteration is before-blocks then after-blocks. */
+    template <typename Fn>
+    void
+    forEachSet(const FootprintFormat &fmt, Fn &&fn) const
+    {
+        for (unsigned b = 0; b < fmt.beforeBlocks; ++b) {
+            if ((bits_ >> b) & 1u)
+                fn(static_cast<int>(b) -
+                   static_cast<int>(fmt.beforeBlocks));
+        }
+        for (unsigned a = 0; a < fmt.afterBlocks; ++a) {
+            if ((bits_ >> (fmt.beforeBlocks + a)) & 1u)
+                fn(static_cast<int>(a) + 1);
+        }
+    }
+
+    unsigned
+    popCount() const
+    {
+        return static_cast<unsigned>(__builtin_popcount(bits_));
+    }
+
+    std::uint32_t raw() const { return bits_; }
+    void setRaw(std::uint32_t bits) { bits_ = bits; }
+    void clear() { bits_ = 0; }
+    bool empty() const { return bits_ == 0; }
+
+  private:
+    std::uint32_t bits_ = 0;
+};
+
+} // namespace shotgun
+
+#endif // SHOTGUN_CORE_FOOTPRINT_HH

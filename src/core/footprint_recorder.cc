@@ -1,0 +1,140 @@
+#include "core/footprint_recorder.hh"
+
+namespace shotgun
+{
+
+namespace
+{
+
+/** Retire-side call-stack depth cap (mirrors a generous RAS). */
+constexpr std::size_t kMaxCallStack = 64;
+
+} // namespace
+
+FootprintRecorder::FootprintRecorder(ShotgunBTB &btbs)
+    : btbs_(btbs)
+{
+    callStack_.reserve(kMaxCallStack);
+}
+
+void
+FootprintRecorder::retire(const BBRecord &record)
+{
+    // Accumulate the blocks this basic block touched into the open
+    // region. The terminating branch's own blocks belong to the
+    // region it is closing.
+    if (region_.valid) {
+        const FootprintFormat &fmt = btbs_.format();
+        for (Addr block = record.firstBlock();
+             block <= record.lastBlock(); ++block) {
+            const std::int64_t offset =
+                static_cast<std::int64_t>(block) -
+                static_cast<std::int64_t>(region_.anchorBlock);
+            if (offset == 0)
+                continue;
+            if (fmt.inRange(static_cast<int>(offset))) {
+                region_.footprint.set(static_cast<int>(offset), fmt);
+            } else {
+                region_.overflowed = true;
+            }
+            if (offset > 0) {
+                region_.extent = static_cast<std::uint8_t>(
+                    std::min<std::int64_t>(offset, 63));
+            }
+        }
+    }
+
+    if (!endsRegion(record.type))
+        return;
+
+    // This unconditional branch closes the open region and opens the
+    // next one. It is also the retire-time U-BTB/RIB fill point.
+    closeRegion();
+
+    switch (record.type) {
+      case BranchType::Call:
+      case BranchType::Trap: {
+        UBTBEntry entry;
+        entry.bbStart = record.startAddr;
+        entry.target = record.target;
+        entry.numInstrs = record.numInstrs;
+        entry.isCall = true;
+        btbs_.ubtb().insert(entry);
+        if (callStack_.size() == kMaxCallStack)
+            callStack_.erase(callStack_.begin());
+        callStack_.push_back(record.startAddr);
+        break;
+      }
+      case BranchType::Jump: {
+        UBTBEntry entry;
+        entry.bbStart = record.startAddr;
+        entry.target = record.target;
+        entry.numInstrs = record.numInstrs;
+        entry.isCall = false;
+        btbs_.ubtb().insert(entry);
+        break;
+      }
+      case BranchType::Return:
+      case BranchType::TrapReturn: {
+        // Routed by type so the no-RIB ablation stores returns in
+        // the U-BTB instead.
+        BTBEntry entry;
+        entry.bbStart = record.startAddr;
+        entry.numInstrs = record.numInstrs;
+        entry.type = record.type;
+        btbs_.insertByType(entry);
+        break;
+      }
+      default:
+        panic("endsRegion type not handled in recorder");
+    }
+
+    openRegion(record);
+}
+
+void
+FootprintRecorder::closeRegion()
+{
+    if (!region_.valid)
+        return;
+    region_.valid = false;
+    ++regionsClosed_;
+    if (!region_.overflowed)
+        ++covered_;
+
+    UBTBEntry *owner = btbs_.ubtb().probe(region_.ownerBB);
+    if (!owner)
+        return; // Owner evicted since the region opened; drop it.
+
+    if (region_.isReturnRegion) {
+        owner->returnFootprint = region_.footprint;
+        owner->returnExtent = region_.extent;
+    } else {
+        owner->callFootprint = region_.footprint;
+        owner->callExtent = region_.extent;
+    }
+    ++stored_;
+}
+
+void
+FootprintRecorder::openRegion(const BBRecord &record)
+{
+    region_ = OpenRegion{};
+    region_.anchorBlock = blockNumber(record.target);
+
+    if (isReturnType(record.type)) {
+        // The return region's footprint belongs to the call that
+        // created this activation.
+        if (callStack_.empty())
+            return; // No owner known; leave the region invalid.
+        region_.ownerBB = callStack_.back();
+        callStack_.pop_back();
+        region_.isReturnRegion = true;
+    } else {
+        region_.ownerBB = record.startAddr;
+        region_.isReturnRegion = false;
+    }
+    region_.valid = true;
+}
+
+} // namespace shotgun

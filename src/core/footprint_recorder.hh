@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Spatial-footprint recording (Sec 4.2.2): Shotgun monitors the
+ * retire stream; an unconditional branch opens a code region anchored
+ * at its target block, subsequent retired blocks set bits relative to
+ * that anchor, and the next unconditional branch closes the region,
+ * at which point the footprint is written into the U-BTB entry of the
+ * branch that opened it.
+ *
+ * Return-target regions are call-site dependent, so their footprints
+ * are stored with the corresponding *call* (Return Footprint field);
+ * the recorder keeps a retire-side call stack to find that call.
+ *
+ * The recorder is also the retire-time fill path for the U-BTB and
+ * RIB: unconditional branches allocate their entries as they retire.
+ */
+
+#ifndef SHOTGUN_CORE_FOOTPRINT_RECORDER_HH
+#define SHOTGUN_CORE_FOOTPRINT_RECORDER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.hh"
+#include "core/shotgun_btb.hh"
+#include "trace/instruction.hh"
+
+namespace shotgun
+{
+
+class FootprintRecorder
+{
+  public:
+    explicit FootprintRecorder(ShotgunBTB &btbs);
+
+    /** Observe one retired basic block. */
+    void retire(const BBRecord &record);
+
+    std::uint64_t regionsClosed() const { return regionsClosed_.value(); }
+    std::uint64_t footprintsStored() const { return stored_.value(); }
+
+    /** Regions whose accesses all fit the bit-vector range. */
+    std::uint64_t regionsFullyCovered() const { return covered_.value(); }
+
+    void
+    resetStats()
+    {
+        regionsClosed_.reset();
+        stored_.reset();
+        covered_.reset();
+    }
+
+  private:
+    struct OpenRegion
+    {
+        bool valid = false;
+        bool isReturnRegion = false;
+        Addr ownerBB = 0;      ///< U-BTB key receiving the footprint.
+        Addr anchorBlock = 0;  ///< Block number of the region target.
+        SpatialFootprint footprint;
+        std::uint8_t extent = 0;   ///< Max forward offset, saturated.
+        bool overflowed = false;   ///< Saw an out-of-range offset.
+    };
+
+    void closeRegion();
+    void openRegion(const BBRecord &record);
+
+    ShotgunBTB &btbs_;
+    OpenRegion region_;
+    std::vector<Addr> callStack_; ///< BB addresses of retired calls.
+
+    Counter regionsClosed_;
+    Counter stored_;
+    Counter covered_;
+};
+
+} // namespace shotgun
+
+#endif // SHOTGUN_CORE_FOOTPRINT_RECORDER_HH

@@ -1,0 +1,35 @@
+#include "core/rib.hh"
+
+namespace shotgun
+{
+
+RIB::RIB(std::size_t entries, std::size_t ways)
+    : table_(entries / chooseWays(entries, ways),
+             chooseWays(entries, ways))
+{
+    fatal_if(entries == 0, "RIB needs at least one entry");
+}
+
+const RIBEntry *
+RIB::lookup(Addr bb_start)
+{
+    ++lookups_;
+    RIBEntry *entry = table_.touch(btbKey(bb_start));
+    if (entry)
+        ++hits_;
+    return entry;
+}
+
+const RIBEntry *
+RIB::probe(Addr bb_start) const
+{
+    return table_.find(btbKey(bb_start));
+}
+
+void
+RIB::insert(const RIBEntry &entry)
+{
+    table_.insert(btbKey(entry.bbStart), entry);
+}
+
+} // namespace shotgun

@@ -1,0 +1,91 @@
+#include "core/ubtb.hh"
+
+namespace shotgun
+{
+
+UBTB::UBTB(std::size_t entries, std::size_t ways, FootprintMode mode)
+    : table_(entries / chooseWays(entries, ways),
+             chooseWays(entries, ways)),
+      mode_(mode), format_(FootprintFormat::forMode(mode))
+{
+    fatal_if(entries == 0, "U-BTB needs at least one entry");
+}
+
+const UBTBEntry *
+UBTB::lookup(Addr bb_start)
+{
+    ++lookups_;
+    UBTBEntry *entry = table_.touch(btbKey(bb_start));
+    if (entry)
+        ++hits_;
+    return entry;
+}
+
+UBTBEntry *
+UBTB::probe(Addr bb_start)
+{
+    return table_.find(btbKey(bb_start));
+}
+
+const UBTBEntry *
+UBTB::probe(Addr bb_start) const
+{
+    return table_.find(btbKey(bb_start));
+}
+
+UBTBEntry &
+UBTB::insert(const UBTBEntry &entry, bool reset_footprints)
+{
+    UBTBEntry *existing = table_.find(btbKey(entry.bbStart));
+    if (existing) {
+        const SpatialFootprint call_fp = existing->callFootprint;
+        const SpatialFootprint ret_fp = existing->returnFootprint;
+        const std::uint8_t call_ext = existing->callExtent;
+        const std::uint8_t ret_ext = existing->returnExtent;
+        *existing = entry;
+        if (!reset_footprints) {
+            existing->callFootprint = call_fp;
+            existing->returnFootprint = ret_fp;
+            existing->callExtent = call_ext;
+            existing->returnExtent = ret_ext;
+        }
+        table_.touch(btbKey(entry.bbStart));
+        return *existing;
+    }
+    table_.insert(btbKey(entry.bbStart), entry);
+    return *table_.find(btbKey(entry.bbStart));
+}
+
+std::size_t
+UBTB::returnOccupancy() const
+{
+    std::size_t count = 0;
+    table_.forEach([&](std::uint64_t key, const UBTBEntry &entry) {
+        (void)key;
+        count += entry.isReturn;
+    });
+    return count;
+}
+
+unsigned
+UBTB::bitsPerEntry() const
+{
+    unsigned bits = tagBits() + 46 + 5 + 1;
+    switch (mode_) {
+      case FootprintMode::BitVector8:
+      case FootprintMode::BitVector32:
+        bits += 2 * format_.bits();
+        break;
+      case FootprintMode::EntireRegion:
+        // Entry + exit point per region: a 6-bit forward extent for
+        // each of the call and return regions.
+        bits += 2 * 6;
+        break;
+      case FootprintMode::NoBitVector:
+      case FootprintMode::FiveBlocks:
+        break;
+    }
+    return bits;
+}
+
+} // namespace shotgun

@@ -1,0 +1,268 @@
+#include "cpu/core.hh"
+
+namespace shotgun
+{
+
+Core::Core(const Program &program, TraceSource &source,
+           const CoreParams &core_params,
+           const HierarchyParams &hierarchy_params,
+           const SchemeConfig &scheme_config)
+    : program_(program), source_(source), params_(core_params),
+      mem_(hierarchy_params), ras_(core_params.rasEntries),
+      predecoder_(program, core_params.predecodeCycles),
+      ftq_(core_params.ftqEntries), dataRng_(core_params.dataSeed)
+{
+    SchemeContext ctx;
+    ctx.tage = &tage_;
+    ctx.ras = &ras_;
+    ctx.mem = &mem_;
+    ctx.predecoder = &predecoder_;
+    ctx.params = &params_;
+    scheme_ = makeScheme(scheme_config, ctx);
+}
+
+void
+Core::run(std::uint64_t instructions)
+{
+    const std::uint64_t target = retiredSinceReset_ + instructions;
+    while (retiredSinceReset_ < target)
+        step();
+}
+
+void
+Core::resetStats()
+{
+    cyclesSinceReset_ = 0;
+    retiredSinceReset_ = 0;
+    stalls_ = StallBreakdown{};
+    btbMisses_ = 0;
+    mispredicts_ = 0;
+    misfetches_ = 0;
+    l1dFill_.reset();
+    mem_.resetStats();
+}
+
+void
+Core::step()
+{
+    // Fills land first so fetch/BPU can use them this cycle.
+    mem_.drainFills(now_, [this](Addr block, bool was_prefetch) {
+        scheme_->onFill(block, was_prefetch, now_);
+    });
+    scheme_->tick(now_);
+
+    deliveredThisCycle_ = 0;
+    bpuStep();
+    fetchStep();
+    backendStep();
+    accountStarvation();
+
+    ++now_;
+    ++cyclesSinceReset_;
+}
+
+void
+Core::bpuStep()
+{
+    if (bpuWaitingRedirect_ || bpuStallUntil_ > now_)
+        return;
+    bpuStallKind_ = BpuStallKind::None;
+
+    for (unsigned i = 0; i < params_.bpuBBPerCycle; ++i) {
+        if (ftq_.full())
+            return;
+        BBRecord truth;
+        if (!source_.next(truth))
+            return; // Trace exhausted (file replay only).
+
+        BPUResult result;
+        scheme_->processBB(truth, now_, result);
+        ftq_.push(truth);
+
+        btbMisses_ += result.btbMiss;
+        mispredicts_ += result.mispredict;
+        misfetches_ += result.misfetch;
+
+        if (result.resolveStall && result.stallUntil > now_) {
+            bpuStallUntil_ = result.stallUntil;
+            bpuStallKind_ = BpuStallKind::Resolve;
+        }
+        if (result.mispredict || result.misfetch) {
+            // Halt at the redirecting branch; the bubble begins when
+            // fetch drains the FTQ down to it (see fetchStep).
+            bpuWaitingRedirect_ = true;
+            pendingRedirectPenalty_ = result.mispredict
+                                          ? params_.mispredictPenalty
+                                          : params_.misfetchPenalty;
+            pendingRedirectKind_ = result.mispredict
+                                       ? BpuStallKind::Mispredict
+                                       : BpuStallKind::Misfetch;
+            return;
+        }
+        if (bpuStallUntil_ > now_)
+            return;
+    }
+}
+
+void
+Core::fetchStep()
+{
+    if (fetchStallUntil_ > now_)
+        return;
+    unsigned budget = params_.fetchWidth;
+    while (budget > 0 && !ftq_.empty() &&
+           backendInstrs_ < params_.backendEntries) {
+        FTQEntry &entry = ftq_.front();
+        const Addr cur_addr =
+            entry.record.startAddr + entry.fetched * kInstrBytes;
+        const Addr block = blockNumber(cur_addr);
+
+        if (!entry.blockReady || entry.pendingBlock != block) {
+            if (scheme_->idealICache()) {
+                entry.blockReady = true;
+                entry.pendingBlock = block;
+            } else {
+                const auto result = mem_.demandFetch(block, now_);
+                scheme_->onDemandBlock(block, now_);
+                if (result.hit) {
+                    entry.blockReady = true;
+                    entry.pendingBlock = block;
+                } else {
+                    scheme_->onDemandMiss(block, now_);
+                    fetchStallUntil_ = result.readyAt;
+                    fetchStallKind_ = BpuStallKind::ICache;
+                    return;
+                }
+            }
+        }
+
+        // Deliver instructions up to the block boundary.
+        const unsigned remaining = entry.record.numInstrs - entry.fetched;
+        const Addr block_end = blockToAddr(block) + kBlockBytes;
+        const unsigned in_block =
+            static_cast<unsigned>((block_end - cur_addr) / kInstrBytes);
+        const unsigned n = std::min({budget, remaining, in_block});
+        entry.fetched += static_cast<std::uint8_t>(n);
+        budget -= n;
+        deliveredThisCycle_ += n;
+
+        if (entry.fetched == entry.record.numInstrs) {
+            backendQ_.push_back(
+                BackendItem{entry.record, entry.record.numInstrs});
+            backendInstrs_ += entry.record.numInstrs;
+            ftq_.pop();
+            if (bpuWaitingRedirect_ && ftq_.empty()) {
+                // The redirecting branch left the pipe: start the
+                // flush bubble. The BPU restarts afterwards with an
+                // empty FTQ -- its prefetch lead is gone.
+                const Cycle until = now_ + pendingRedirectPenalty_;
+                fetchStallUntil_ = std::max(fetchStallUntil_, until);
+                fetchStallKind_ = pendingRedirectKind_;
+                bpuStallUntil_ = std::max(bpuStallUntil_, until);
+                bpuStallKind_ = pendingRedirectKind_;
+                bpuWaitingRedirect_ = false;
+                return;
+            }
+        } else if (n == 0) {
+            return;
+        }
+        // Otherwise the block boundary was crossed; the loop
+        // continues with the next block of the same entry.
+    }
+}
+
+void
+Core::backendStep()
+{
+    if (dataStallUntil_ > now_)
+        return;
+
+    // Issue-efficiency model: the backend earns fractional retire
+    // credit each cycle (capped so stalls cannot bank a burst).
+    retireCredit_ += params_.retireWidth * params_.issueEfficiency;
+    retireCredit_ = std::min(retireCredit_,
+                             static_cast<double>(params_.retireWidth));
+    unsigned budget = static_cast<unsigned>(retireCredit_);
+    retireCredit_ -= budget;
+    while (budget > 0 && !backendQ_.empty()) {
+        BackendItem &item = backendQ_.front();
+        const unsigned n = std::min<unsigned>(budget, item.remaining);
+        for (unsigned i = 0; i < n; ++i) {
+            // Data-side model: per-instruction load/miss draws.
+            if (!dataRng_.chance(params_.loadFrac))
+                continue;
+            if (!dataRng_.chance(params_.l1dMissRate))
+                continue;
+            mem_.mesh().noteRequest(now_);
+            const Cycle latency =
+                dataRng_.chance(params_.llcDataMissFrac)
+                    ? mem_.mesh().memoryLatency(now_)
+                    : mem_.mesh().llcLatency(now_);
+            l1dFill_.sample(static_cast<double>(latency));
+            const Cycle stall = static_cast<Cycle>(
+                static_cast<double>(latency) /
+                params_.memLevelParallelism);
+            dataStallUntil_ = std::max(dataStallUntil_, now_ + stall);
+        }
+        item.remaining -= static_cast<std::uint8_t>(n);
+        budget -= n;
+        retiredSinceReset_ += n;
+        backendInstrs_ -= n;
+        if (item.remaining == 0) {
+            scheme_->onRetire(item.record);
+            backendQ_.pop_front();
+        }
+        if (dataStallUntil_ > now_)
+            break;
+    }
+}
+
+void
+Core::accountStarvation()
+{
+    if (deliveredThisCycle_ > 0 || backendInstrs_ > 0)
+        return; // The backend had work; no front-end starvation.
+    if (dataStallUntil_ > now_)
+        return; // Backend-side stall, not instruction supply.
+
+    if (fetchStallUntil_ > now_) {
+        switch (fetchStallKind_) {
+          case BpuStallKind::Misfetch:
+            ++stalls_.misfetch;
+            return;
+          case BpuStallKind::Mispredict:
+            ++stalls_.mispredict;
+            return;
+          default:
+            ++stalls_.icache;
+            return;
+        }
+    }
+    if (ftq_.empty() && bpuStallUntil_ > now_) {
+        switch (bpuStallKind_) {
+          case BpuStallKind::Resolve:
+            ++stalls_.btbResolve;
+            return;
+          case BpuStallKind::Misfetch:
+            ++stalls_.misfetch;
+            return;
+          case BpuStallKind::Mispredict:
+            ++stalls_.mispredict;
+            return;
+          default:
+            break;
+        }
+    }
+    ++stalls_.other;
+}
+
+double
+Core::l1iMPKI() const
+{
+    return retiredSinceReset_ == 0
+               ? 0.0
+               : 1000.0 * static_cast<double>(mem_.demandMisses()) /
+                     static_cast<double>(retiredSinceReset_);
+}
+
+} // namespace shotgun

@@ -1,0 +1,191 @@
+/**
+ * @file
+ * The simulated core: a decoupled front end (branch-prediction unit
+ * walking the correct path into an FTQ, fetch engine draining it
+ * through the L1-I) feeding a retire-width/ROB-occupancy backend
+ * model with an L1-D miss component. Redirect penalties model
+ * misfetches (decode) and mispredicts (execute) as BPU bubbles.
+ *
+ * The front-end stall accounting implements the paper's metric
+ * (Sec 6.1): cycles on the correct execution path where the backend
+ * is starved of instructions, attributed to their cause (L1-I miss
+ * wait, BTB-miss resolution stall, misfetch bubble, mispredict
+ * bubble). The first three are "front-end stall cycles"; coverage of
+ * a prefetcher is measured against the no-prefetch baseline's count.
+ */
+
+#ifndef SHOTGUN_CPU_CORE_HH
+#define SHOTGUN_CPU_CORE_HH
+
+#include <deque>
+#include <memory>
+
+#include "branch/ras.hh"
+#include "branch/tage.hh"
+#include "cache/hierarchy.hh"
+#include "cache/predecoder.hh"
+#include "common/random.hh"
+#include "cpu/ftq.hh"
+#include "cpu/params.hh"
+#include "prefetch/factory.hh"
+#include "trace/generator.hh"
+
+namespace shotgun
+{
+
+class Core
+{
+  public:
+    Core(const Program &program, TraceSource &source,
+         const CoreParams &core_params,
+         const HierarchyParams &hierarchy_params,
+         const SchemeConfig &scheme_config);
+
+    /** Simulate until `instructions` more have retired. */
+    void run(std::uint64_t instructions);
+
+    /** Zero all measurement state (call after warm-up). */
+    void resetStats();
+
+    // -- Measurement accessors (since the last resetStats) ----------
+
+    Cycle cycles() const { return cyclesSinceReset_; }
+    std::uint64_t instructionsRetired() const { return retiredSinceReset_; }
+
+    double
+    ipc() const
+    {
+        return cyclesSinceReset_ == 0
+                   ? 0.0
+                   : static_cast<double>(retiredSinceReset_) /
+                         static_cast<double>(cyclesSinceReset_);
+    }
+
+    /** Starvation-cycle attribution. */
+    struct StallBreakdown
+    {
+        std::uint64_t icache = 0;     ///< Waiting on an L1-I fill.
+        std::uint64_t btbResolve = 0; ///< BPU stalled on reactive fill.
+        std::uint64_t misfetch = 0;   ///< Decode-redirect bubbles.
+        std::uint64_t mispredict = 0; ///< Execute-redirect bubbles.
+        std::uint64_t other = 0;
+
+        /** The paper's front-end stall cycles. */
+        std::uint64_t
+        frontEnd() const
+        {
+            return icache + btbResolve + misfetch;
+        }
+    };
+
+    const StallBreakdown &stalls() const { return stalls_; }
+
+    std::uint64_t btbMisses() const { return btbMisses_; }
+    std::uint64_t mispredicts() const { return mispredicts_; }
+    std::uint64_t misfetches() const { return misfetches_; }
+
+    /** BTB misses per kilo-instruction (Table 1's metric). */
+    double
+    btbMPKI() const
+    {
+        return retiredSinceReset_ == 0
+                   ? 0.0
+                   : 1000.0 * static_cast<double>(btbMisses_) /
+                         static_cast<double>(retiredSinceReset_);
+    }
+
+    /** L1-I demand misses per kilo-instruction. */
+    double l1iMPKI() const;
+
+    /** Average cycles to fill an L1-D miss (Fig 11's metric). */
+    double avgL1DFillCycles() const { return l1dFill_.mean(); }
+
+    /** Prefetch accuracy (Fig 10's metric). */
+    double
+    prefetchAccuracy() const
+    {
+        return mem_.prefetchAccuracy();
+    }
+
+    Scheme &scheme() { return *scheme_; }
+    const Scheme &scheme() const { return *scheme_; }
+    InstrHierarchy &mem() { return mem_; }
+    TagePredictor &tage() { return tage_; }
+    ReturnAddressStack &ras() { return ras_; }
+    const CoreParams &params() const { return params_; }
+    Cycle now() const { return now_; }
+
+  private:
+    enum class BpuStallKind
+    {
+        None,
+        ICache,
+        Resolve,
+        Misfetch,
+        Mispredict,
+    };
+
+    void step();
+    void bpuStep();
+    void fetchStep();
+    void backendStep();
+    void accountStarvation();
+
+    const Program &program_;
+    TraceSource &source_;
+    CoreParams params_;
+
+    InstrHierarchy mem_;
+    TagePredictor tage_;
+    ReturnAddressStack ras_;
+    Predecoder predecoder_;
+    std::unique_ptr<Scheme> scheme_;
+
+    FTQ ftq_;
+
+    /** Fully fetched basic blocks awaiting retirement. */
+    struct BackendItem
+    {
+        BBRecord record;
+        std::uint8_t remaining;
+    };
+    std::deque<BackendItem> backendQ_;
+    std::size_t backendInstrs_ = 0;
+
+    Cycle now_ = 0;
+    Cycle bpuStallUntil_ = 0;
+    BpuStallKind bpuStallKind_ = BpuStallKind::None;
+
+    /**
+     * Redirect modelling: on a mispredict/misfetch the BPU halts at
+     * the offending branch (everything younger would be wrong-path).
+     * When fetch finishes draining the FTQ up to that branch, the
+     * redirect bubble starts: both fetch and the BPU stay idle for
+     * the penalty, after which the BPU restarts with an empty FTQ --
+     * losing its prefetch lead, exactly as a real flush does.
+     */
+    bool bpuWaitingRedirect_ = false;
+    unsigned pendingRedirectPenalty_ = 0;
+    BpuStallKind pendingRedirectKind_ = BpuStallKind::None;
+
+    Cycle fetchStallUntil_ = 0;
+    BpuStallKind fetchStallKind_ = BpuStallKind::None;
+    Cycle dataStallUntil_ = 0;
+    unsigned deliveredThisCycle_ = 0;
+    double retireCredit_ = 0.0;
+
+    Rng dataRng_;
+
+    // Measurement state.
+    Cycle cyclesSinceReset_ = 0;
+    std::uint64_t retiredSinceReset_ = 0;
+    StallBreakdown stalls_;
+    std::uint64_t btbMisses_ = 0;
+    std::uint64_t mispredicts_ = 0;
+    std::uint64_t misfetches_ = 0;
+    Average l1dFill_;
+};
+
+} // namespace shotgun
+
+#endif // SHOTGUN_CPU_CORE_HH

@@ -1,0 +1,28 @@
+#include "memory/main_memory.hh"
+
+namespace shotgun
+{
+
+MainMemory::MainMemory(const MainMemoryParams &params)
+    : params_(params)
+{
+}
+
+Cycle
+MainMemory::access(Cycle now)
+{
+    ++requests_;
+    const Cycle window = now / params_.window;
+    if (window != curWindow_) {
+        curWindow_ = window;
+        curCount_ = 0;
+    }
+    ++curCount_;
+    if (curCount_ > params_.maxRequestsPerWindow) {
+        ++throttled_;
+        return params_.accessCycles + params_.bandwidthStall;
+    }
+    return params_.accessCycles;
+}
+
+} // namespace shotgun

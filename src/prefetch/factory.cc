@@ -1,0 +1,74 @@
+#include "prefetch/factory.hh"
+
+#include <algorithm>
+#include <cctype>
+
+#include "core/shotgun.hh"
+#include "prefetch/baseline.hh"
+#include "prefetch/boomerang.hh"
+#include "prefetch/ideal.hh"
+
+namespace shotgun
+{
+
+const char *
+schemeTypeName(SchemeType type)
+{
+    switch (type) {
+      case SchemeType::Baseline: return "baseline";
+      case SchemeType::FDIP: return "fdip";
+      case SchemeType::Boomerang: return "boomerang";
+      case SchemeType::Confluence: return "confluence";
+      case SchemeType::Shotgun: return "shotgun";
+      case SchemeType::RDIP: return "rdip";
+      case SchemeType::Ideal: return "ideal";
+      default: return "invalid";
+    }
+}
+
+SchemeType
+schemeTypeByName(const std::string &name)
+{
+    std::string lower(name);
+    std::transform(lower.begin(), lower.end(), lower.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    for (SchemeType type :
+         {SchemeType::Baseline, SchemeType::FDIP, SchemeType::Boomerang,
+          SchemeType::Confluence, SchemeType::Shotgun, SchemeType::RDIP,
+          SchemeType::Ideal}) {
+        if (lower == schemeTypeName(type))
+            return type;
+    }
+    fatal("unknown scheme '%s'", name.c_str());
+}
+
+std::unique_ptr<Scheme>
+makeScheme(const SchemeConfig &config, SchemeContext ctx)
+{
+    switch (config.type) {
+      case SchemeType::Baseline:
+        return std::make_unique<BaselineScheme>(
+            ctx, false, config.conventionalEntries);
+      case SchemeType::FDIP:
+        return std::make_unique<BaselineScheme>(
+            ctx, true, config.conventionalEntries);
+      case SchemeType::Boomerang:
+        return std::make_unique<BoomerangScheme>(
+            ctx, config.conventionalEntries,
+            config.prefetchBufferEntries);
+      case SchemeType::Confluence:
+        return std::make_unique<ConfluenceScheme>(ctx,
+                                                  config.confluence);
+      case SchemeType::Shotgun:
+        return std::make_unique<ShotgunScheme>(
+            ctx, config.shotgun, config.prefetchBufferEntries);
+      case SchemeType::RDIP:
+        return std::make_unique<RdipScheme>(ctx, config.rdip);
+      case SchemeType::Ideal:
+        return std::make_unique<IdealScheme>(ctx);
+      default:
+        panic("invalid scheme type");
+    }
+}
+
+} // namespace shotgun

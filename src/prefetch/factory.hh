@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Scheme factory: builds any of the paper's evaluated control-flow
+ * delivery mechanisms from a declarative configuration.
+ */
+
+#ifndef SHOTGUN_PREFETCH_FACTORY_HH
+#define SHOTGUN_PREFETCH_FACTORY_HH
+
+#include <memory>
+#include <string>
+
+#include "core/shotgun_btb.hh"
+#include "prefetch/confluence.hh"
+#include "prefetch/rdip.hh"
+#include "prefetch/scheme.hh"
+
+namespace shotgun
+{
+
+/** The evaluated control-flow delivery mechanisms. */
+enum class SchemeType
+{
+    Baseline,   ///< Conventional BTB, no prefetch (speedup baseline).
+    FDIP,       ///< Fetch-directed instruction prefetching.
+    Boomerang,  ///< FDIP + reactive BTB fill.
+    Confluence, ///< Temporal streaming (SHIFT + 16K BTB).
+    Shotgun,    ///< This paper.
+    RDIP,       ///< RAS-directed prefetching (Sec 4.3 discussion).
+    Ideal,      ///< Perfect L1-I and BTB.
+};
+
+const char *schemeTypeName(SchemeType type);
+
+/** Parse a scheme name ("shotgun", "boomerang", ...); fatal() if unknown. */
+SchemeType schemeTypeByName(const std::string &name);
+
+struct SchemeConfig
+{
+    SchemeType type = SchemeType::Shotgun;
+
+    /** BTB capacity for Baseline/FDIP/Boomerang. */
+    std::size_t conventionalEntries = 2048;
+
+    /** Shotgun BTB organization (sizes + footprint mechanism). */
+    ShotgunBTBConfig shotgun{};
+
+    /** Confluence/SHIFT parameters. */
+    ConfluenceParams confluence{};
+
+    /** RDIP parameters. */
+    RdipParams rdip{};
+
+    /** BTB prefetch buffer entries (Boomerang & Shotgun). */
+    std::size_t prefetchBufferEntries = 32;
+};
+
+std::unique_ptr<Scheme> makeScheme(const SchemeConfig &config,
+                                   SchemeContext ctx);
+
+} // namespace shotgun
+
+#endif // SHOTGUN_PREFETCH_FACTORY_HH

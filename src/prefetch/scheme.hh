@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Control-flow-delivery scheme interface. A scheme encapsulates what
+ * distinguishes the paper's evaluated mechanisms: the BTB organization
+ * and its miss handling, the L1-I prefetch policy, fill-time
+ * predecode hooks, and retire-time training. The core's cycle loop,
+ * fetch engine, TAGE and RAS are shared across schemes.
+ */
+
+#ifndef SHOTGUN_PREFETCH_SCHEME_HH
+#define SHOTGUN_PREFETCH_SCHEME_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "branch/ras.hh"
+#include "branch/tage.hh"
+#include "cache/hierarchy.hh"
+#include "cache/predecoder.hh"
+#include "cpu/params.hh"
+#include "trace/instruction.hh"
+
+namespace shotgun
+{
+
+/** Shared front-end components a scheme operates on. */
+struct SchemeContext
+{
+    TagePredictor *tage = nullptr;
+    ReturnAddressStack *ras = nullptr;
+    InstrHierarchy *mem = nullptr;
+    Predecoder *predecoder = nullptr;
+    const CoreParams *params = nullptr;
+};
+
+/** What the BPU must do after a scheme processed one basic block. */
+struct BPUResult
+{
+    /** The (relevant) BTB lookup missed. */
+    bool btbMiss = false;
+
+    /** BPU must stall until `stallUntil` (reactive miss resolution). */
+    bool resolveStall = false;
+    Cycle stallUntil = 0;
+
+    /**
+     * Straight-line speculation past a taken branch; costs the
+     * decode-redirect penalty.
+     */
+    bool misfetch = false;
+
+    /** Direction or return-target mispredict; execute-redirect. */
+    bool mispredict = false;
+};
+
+class Scheme
+{
+  public:
+    explicit Scheme(SchemeContext ctx) : ctx_(ctx) {}
+    virtual ~Scheme() = default;
+
+    virtual const char *name() const = 0;
+
+    /**
+     * The BPU walks the next correct-path basic block at cycle `now`
+     * (this is also FTQ-insertion time, hence the natural prefetch
+     * trigger for FDIP-style schemes).
+     */
+    virtual void processBB(const BBRecord &truth, Cycle now,
+                           BPUResult &out) = 0;
+
+    /** A block arrived in the L1-I (prefetch or demand fill). */
+    virtual void onFill(Addr block_number, bool was_prefetch, Cycle now)
+    {
+        (void)block_number;
+        (void)was_prefetch;
+        (void)now;
+    }
+
+    /** A demand fetch missed the L1-I (temporal-stream trigger). */
+    virtual void onDemandMiss(Addr block_number, Cycle now)
+    {
+        (void)block_number;
+        (void)now;
+    }
+
+    /** Every demand-fetched block, hit or miss (stream tracking). */
+    virtual void onDemandBlock(Addr block_number, Cycle now)
+    {
+        (void)block_number;
+        (void)now;
+    }
+
+    /** A basic block retired. */
+    virtual void onRetire(const BBRecord &record) { (void)record; }
+
+    /** Once-per-cycle hook (stream engines). */
+    virtual void tick(Cycle now) { (void)now; }
+
+    /** Ideal front end: L1-I accesses never miss. */
+    virtual bool idealICache() const { return false; }
+
+    /** Control-flow metadata storage (BTBs + history), in bits. */
+    virtual std::uint64_t storageBits() const = 0;
+
+  protected:
+    /**
+     * Shared direction/target prediction for a *known* branch (after
+     * a BTB hit or a resolved miss): consults and trains TAGE for
+     * conditionals, maintains the RAS for calls/returns.
+     *
+     * @param popped receives the RAS entry consumed by a return.
+     * @return true when the prediction redirects wrongly (mispredict).
+     */
+    bool predictControl(const BBRecord &truth,
+                        ReturnAddressStack::Entry *popped = nullptr);
+
+    /** FDIP probe: prefetch every block the basic block spans. */
+    void probeBBBlocks(const BBRecord &record, Cycle now);
+
+    /**
+     * Wrong-path prefetch damage: until a redirect resolves, a real
+     * BTB-directed prefetcher keeps fetching down the wrong path.
+     * The simulator itself only walks the correct path, so schemes
+     * call this to issue the wasted sequential probes (traffic +
+     * pollution + accuracy loss) the wrong path would have caused.
+     *
+     * @param truth          the redirecting branch.
+     * @param after_misfetch true when the wrong path is straight-line
+     *                       speculation past a missed taken branch;
+     *                       false for a direction mispredict (the
+     *                       wrong path is the other arm).
+     */
+    void wrongPathProbes(const BBRecord &truth, bool after_misfetch,
+                         Cycle now, unsigned blocks = 4);
+
+    SchemeContext ctx_;
+};
+
+} // namespace shotgun
+
+#endif // SHOTGUN_PREFETCH_SCHEME_HH

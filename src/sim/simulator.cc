@@ -1,0 +1,130 @@
+#include "sim/simulator.hh"
+
+#include <map>
+#include <mutex>
+
+namespace shotgun
+{
+
+SimConfig
+SimConfig::make(const WorkloadPreset &workload, SchemeType type)
+{
+    SimConfig config;
+    config.workload = workload;
+    config.scheme.type = type;
+    return config;
+}
+
+double
+speedup(const SimResult &result, const SimResult &baseline)
+{
+    if (baseline.ipc == 0.0)
+        return 0.0;
+    return result.ipc / baseline.ipc;
+}
+
+double
+stallCoverage(const SimResult &result, const SimResult &baseline)
+{
+    if (baseline.frontEndStallCycles == 0 || baseline.instructions == 0 ||
+        result.instructions == 0) {
+        return 0.0;
+    }
+    // Normalize per instruction: runs may differ in cycle counts.
+    const double base = static_cast<double>(baseline.frontEndStallCycles) /
+                        static_cast<double>(baseline.instructions);
+    const double mine = static_cast<double>(result.frontEndStallCycles) /
+                        static_cast<double>(result.instructions);
+    return 1.0 - mine / base;
+}
+
+const Program &
+programFor(const WorkloadPreset &preset)
+{
+    static std::mutex mutex;
+    static std::map<std::pair<std::string, std::uint64_t>,
+                    std::unique_ptr<Program>>
+        cache;
+    std::lock_guard<std::mutex> lock(mutex);
+    const auto key = std::make_pair(preset.program.name,
+                                    preset.program.seed);
+    auto it = cache.find(key);
+    if (it == cache.end()) {
+        it = cache.emplace(key,
+                           std::make_unique<Program>(preset.program))
+                 .first;
+    }
+    return *it->second;
+}
+
+SimResult
+runSimulation(const SimConfig &config)
+{
+    const Program &program = programFor(config.workload);
+    TraceGenerator generator(program, config.traceSeed);
+
+    CoreParams core_params = config.core;
+    core_params.loadFrac = config.workload.loadFrac;
+    core_params.l1dMissRate = config.workload.l1dMissRate;
+    core_params.llcDataMissFrac = config.workload.llcDataMissFrac;
+    core_params.dataSeed =
+        mix64(config.traceSeed ^ mix64(config.workload.program.seed));
+
+    HierarchyParams hierarchy_params;
+    hierarchy_params.mesh.backgroundLoad = config.workload.backgroundLoad;
+
+    Core core(program, generator, core_params, hierarchy_params,
+              config.scheme);
+
+    core.run(config.warmupInstructions);
+    core.resetStats();
+    core.run(config.measureInstructions);
+
+    SimResult result;
+    result.workload = config.workload.name;
+    result.scheme = core.scheme().name();
+    result.instructions = core.instructionsRetired();
+    result.cycles = core.cycles();
+    result.ipc = core.ipc();
+    result.btbMPKI = core.btbMPKI();
+    result.l1iMPKI = core.l1iMPKI();
+    result.mispredictsPerKI =
+        result.instructions == 0
+            ? 0.0
+            : 1000.0 * static_cast<double>(core.mispredicts()) /
+                  static_cast<double>(result.instructions);
+    result.stalls = core.stalls();
+    result.frontEndStallCycles = core.stalls().frontEnd();
+    result.prefetchAccuracy = core.prefetchAccuracy();
+    result.avgL1DFillCycles = core.avgL1DFillCycles();
+    result.prefetchesIssued = core.mem().prefetchesIssued();
+    result.schemeStorageBits = core.scheme().storageBits();
+    return result;
+}
+
+SimResult
+baselineFor(const WorkloadPreset &preset, std::uint64_t warmup,
+            std::uint64_t measure, std::uint64_t trace_seed)
+{
+    static std::mutex mutex;
+    static std::map<std::tuple<std::string, std::uint64_t, std::uint64_t,
+                               std::uint64_t>,
+                    SimResult>
+        cache;
+    std::lock_guard<std::mutex> lock(mutex);
+    const auto key =
+        std::make_tuple(preset.name, warmup, measure, trace_seed);
+    auto it = cache.find(key);
+    if (it != cache.end())
+        return it->second;
+
+    SimConfig config = SimConfig::make(preset, SchemeType::Baseline);
+    config.warmupInstructions = warmup;
+    config.measureInstructions = measure;
+    config.traceSeed = trace_seed;
+    SimResult result = runSimulation(config);
+    cache.emplace(key, result);
+    return result;
+}
+
+} // namespace shotgun

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Top-level simulation driver: wires a workload preset (program +
+ * generator), a core, and a control-flow delivery scheme; runs
+ * warm-up then measurement; returns the metrics every experiment in
+ * the paper is built from.
+ */
+
+#ifndef SHOTGUN_SIM_SIMULATOR_HH
+#define SHOTGUN_SIM_SIMULATOR_HH
+
+#include <memory>
+#include <string>
+
+#include "cpu/core.hh"
+#include "trace/presets.hh"
+
+namespace shotgun
+{
+
+struct SimConfig
+{
+    WorkloadPreset workload;
+    SchemeConfig scheme{};
+    CoreParams core{};
+
+    std::uint64_t warmupInstructions = 2000000;
+    std::uint64_t measureInstructions = 5000000;
+    std::uint64_t traceSeed = 1;
+
+    /** Build a config for (workload, scheme type) with defaults. */
+    static SimConfig make(const WorkloadPreset &workload,
+                          SchemeType type);
+};
+
+/** Everything the paper's tables/figures are computed from. */
+struct SimResult
+{
+    std::string workload;
+    std::string scheme;
+
+    std::uint64_t instructions = 0;
+    Cycle cycles = 0;
+    double ipc = 0.0;
+
+    double btbMPKI = 0.0;
+    double l1iMPKI = 0.0;
+    double mispredictsPerKI = 0.0;
+
+    Core::StallBreakdown stalls{};
+    std::uint64_t frontEndStallCycles = 0;
+
+    double prefetchAccuracy = 0.0;
+    double avgL1DFillCycles = 0.0;
+    std::uint64_t prefetchesIssued = 0;
+
+    std::uint64_t schemeStorageBits = 0;
+};
+
+/** Speedup of `result` over `baseline` (same workload). */
+double speedup(const SimResult &result, const SimResult &baseline);
+
+/**
+ * Front-end stall-cycle coverage over the no-prefetch baseline
+ * (Fig 6's metric): the fraction of the baseline's front-end stall
+ * cycles the scheme eliminated, normalized per instruction.
+ */
+double stallCoverage(const SimResult &result, const SimResult &baseline);
+
+/**
+ * Shared program cache: building a multi-MB synthetic program takes
+ * noticeable time, and every scheme must run the *same* image, so
+ * programs are memoized by (name, seed).
+ */
+const Program &programFor(const WorkloadPreset &preset);
+
+/** Run one (workload, scheme) simulation. */
+SimResult runSimulation(const SimConfig &config);
+
+/**
+ * Convenience: run the no-prefetch baseline for a workload with the
+ * same run lengths (memoized per (workload, lengths, seed) because
+ * every figure needs it).
+ */
+SimResult baselineFor(const WorkloadPreset &preset,
+                      std::uint64_t warmup, std::uint64_t measure,
+                      std::uint64_t trace_seed = 1);
+
+} // namespace shotgun
+
+#endif // SHOTGUN_SIM_SIMULATOR_HH

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Dynamic trace generation: executes the synthetic program model and
+ * emits the stream of dynamic basic blocks consumed by the simulator.
+ */
+
+#ifndef SHOTGUN_TRACE_GENERATOR_HH
+#define SHOTGUN_TRACE_GENERATOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.hh"
+#include "trace/instruction.hh"
+#include "trace/program.hh"
+
+namespace shotgun
+{
+
+/**
+ * Abstract producer of the dynamic basic-block stream. The simulator
+ * only depends on this interface, so a recorded binary trace (see
+ * trace/trace_io.hh) can stand in for live generation.
+ */
+class TraceSource
+{
+  public:
+    virtual ~TraceSource() = default;
+
+    /**
+     * Produce the next dynamic basic block.
+     * @return false when the stream is exhausted (live generation
+     *         never exhausts).
+     */
+    virtual bool next(BBRecord &out) = 0;
+};
+
+/** Aggregate counts of what a generator has produced so far. */
+struct GeneratorStats
+{
+    std::uint64_t instructions = 0;
+    std::uint64_t basicBlocks = 0;
+    std::uint64_t branches = 0;
+    std::uint64_t conditionals = 0;
+    std::uint64_t takenConditionals = 0;
+    std::uint64_t calls = 0;
+    std::uint64_t returns = 0;
+    std::uint64_t traps = 0;
+    std::uint64_t requests = 0; ///< Top-level dispatches completed.
+};
+
+/**
+ * Executes the program model: walks intra-function CFGs, follows the
+ * acyclic call graph, services traps, and starts a new top-level
+ * "request" whenever the call stack unwinds completely. All branch
+ * outcomes are deterministic functions of (program, seed).
+ */
+class TraceGenerator : public TraceSource
+{
+  public:
+    TraceGenerator(const Program &program, std::uint64_t seed);
+
+    bool next(BBRecord &out) override;
+
+    /** Discard the next `count` basic blocks (cheap warm-up skip). */
+    void skip(std::uint64_t count);
+
+    const GeneratorStats &stats() const { return stats_; }
+    const Program &program() const { return program_; }
+
+    /** Current dynamic call-stack depth (for tests). */
+    std::size_t stackDepth() const { return stack_.size(); }
+
+  private:
+    /** Pick the next request's dispatcher and jump to it. */
+    std::uint32_t nextRequest();
+
+    bool conditionalOutcome(std::uint32_t bb_idx, const StaticBB &bb);
+
+    const Program &program_;
+    Rng rng_;
+    ZipfSampler topSampler_;
+    std::vector<std::uint32_t> stack_; ///< Resume BB indices.
+    std::uint32_t cur_;                ///< Global index of current BB.
+    std::uint32_t requestType_ = 0;    ///< Current dispatcher index.
+
+    /** Per-static-BB loop iteration / pattern position counters. */
+    std::vector<std::uint32_t> counters_;
+
+    GeneratorStats stats_;
+};
+
+} // namespace shotgun
+
+#endif // SHOTGUN_TRACE_GENERATOR_HH

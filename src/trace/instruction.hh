@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Dynamic trace record types. The trace is a stream of dynamic basic
+ * blocks: straight-line instruction runs ending with a branch (or with
+ * a None marker when a long run is split by the maximum block size).
+ * This is the same basic-block orientation that Boomerang's and
+ * Shotgun's BTBs use (Yeh & Patt style), so a record maps one-to-one
+ * onto a BTB entry.
+ */
+
+#ifndef SHOTGUN_TRACE_INSTRUCTION_HH
+#define SHOTGUN_TRACE_INSTRUCTION_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace shotgun
+{
+
+/** Maximum instructions per dynamic basic block (5-bit size field). */
+constexpr unsigned kMaxBBInstrs = 31;
+
+/**
+ * One dynamic basic block as produced by the trace generator.
+ *
+ * The stream invariant is: the next record's startAddr equals
+ * nextAddr() of this record. Conditional records carry both the taken
+ * target and the actual outcome; the front-end model predicts the
+ * outcome with TAGE and compares against `taken`.
+ */
+struct BBRecord
+{
+    /** Address of the first instruction of the block. */
+    Addr startAddr = 0;
+
+    /** Branch target if taken (meaningless for None). */
+    Addr target = 0;
+
+    /** Instruction count including the terminating branch. */
+    std::uint8_t numInstrs = 1;
+
+    /** Type of the terminating branch. */
+    BranchType type = BranchType::None;
+
+    /** Actual outcome for Conditional; true for other branch types. */
+    bool taken = false;
+
+    /** Address of the instruction after the block (fall-through). */
+    Addr
+    fallThrough() const
+    {
+        return startAddr + numInstrs * kInstrBytes;
+    }
+
+    /** PC of the terminating branch instruction. */
+    Addr
+    branchPC() const
+    {
+        return startAddr + (numInstrs - 1) * kInstrBytes;
+    }
+
+    /** Address the front end must fetch next on the correct path. */
+    Addr
+    nextAddr() const
+    {
+        return (isBranch(type) && taken) ? target : fallThrough();
+    }
+
+    /** Address of the last byte occupied by the block. */
+    Addr
+    lastByte() const
+    {
+        return startAddr + numInstrs * kInstrBytes - 1;
+    }
+
+    /** First and last cache-block numbers this basic block touches. */
+    Addr firstBlock() const { return blockNumber(startAddr); }
+    Addr lastBlock() const { return blockNumber(lastByte()); }
+
+    bool
+    operator==(const BBRecord &other) const
+    {
+        return startAddr == other.startAddr && target == other.target &&
+               numInstrs == other.numInstrs && type == other.type &&
+               taken == other.taken;
+    }
+};
+
+/**
+ * Static identity of a basic block inside the program image, as
+ * reported by the predecoder oracle (see trace/program.hh): everything
+ * a BTB fill needs, without a dynamic outcome.
+ */
+struct StaticBBInfo
+{
+    Addr startAddr = 0;
+    Addr target = 0;
+    std::uint8_t numInstrs = 1;
+    BranchType type = BranchType::None;
+};
+
+} // namespace shotgun
+
+#endif // SHOTGUN_TRACE_INSTRUCTION_HH

@@ -1,0 +1,259 @@
+/**
+ * @file
+ * Synthetic program model.
+ *
+ * The paper evaluates Shotgun on commercial server stacks (Oracle,
+ * DB2, Apache, ...) running under Flexus. Those workloads are not
+ * redistributable, so this module builds the closest synthetic
+ * equivalent: a static program image with the statistical properties
+ * that drive every result in the paper --
+ *
+ *  - code organized as many small functions (regions of a few
+ *    contiguous cache blocks) plus a long tail of larger ones,
+ *  - local control flow via short-offset conditional branches
+ *    (forward skips and loop back-edges) with high spatial locality
+ *    around the region entry point (Fig 3),
+ *  - global control flow via calls/returns/jumps/traps over a Zipf
+ *    popularity call graph whose skew controls the instruction
+ *    working-set size (Table 1 BTB MPKI, Fig 4 branch coverage),
+ *  - a separate OS code area entered through trap instructions,
+ *    modelling the deep-software-stack behaviour the paper motivates.
+ *
+ * The image also acts as the predecoder oracle: given a cache block,
+ * it reports the basic blocks starting inside it, which is exactly
+ * the information a real predecoder extracts from instruction bytes.
+ */
+
+#ifndef SHOTGUN_TRACE_PROGRAM_HH
+#define SHOTGUN_TRACE_PROGRAM_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/random.hh"
+#include "common/types.hh"
+#include "trace/instruction.hh"
+
+namespace shotgun
+{
+
+/** Behaviour class of a conditional branch. */
+enum class BiasClass : std::uint8_t
+{
+    StrongTaken,    ///< Taken with high probability (e.g. 0.98).
+    StrongNotTaken, ///< Not taken with high probability.
+    MediumTaken,    ///< Taken ~0.85.
+    MediumNotTaken, ///< Not taken ~0.85.
+    Weak,           ///< Nearly random (~0.55 toward one side).
+    Pattern,        ///< Deterministic short repeating history pattern.
+    Loop,           ///< Back-edge with a fixed trip count.
+};
+
+/** One static basic block of the program image. */
+struct StaticBB
+{
+    Addr startAddr = 0;       ///< Absolute address of the first instr.
+    Addr targetAddr = 0;      ///< Absolute taken-target (0 for Return).
+    std::uint32_t targetBB = 0; ///< Global BB index of the taken target.
+    std::uint32_t callee = 0; ///< Function index for Call/Trap.
+    float takenProb = 0.5f;   ///< Taken probability for bias classes.
+    std::uint16_t loopTrip = 0; ///< Loop trip count for Loop class.
+    std::uint32_t pattern = 0;  ///< Outcome bits for Pattern class.
+    std::uint8_t patternLen = 0;
+    std::uint8_t numInstrs = 1;
+    BranchType type = BranchType::None;
+    BiasClass bias = BiasClass::Weak;
+};
+
+/** One function: a contiguous slice of the global basic-block array. */
+struct Function
+{
+    Addr entry = 0;
+    std::uint32_t firstBB = 0; ///< Global index of the first BB.
+    std::uint32_t numBBs = 0;
+    std::uint32_t sizeBytes = 0;
+    std::uint32_t level = 0;   ///< Call-depth budget (callees are lower).
+    bool isOs = false;
+    bool isHandler = false;    ///< Trap-handler entry (ends TrapReturn).
+    bool isTopLevel = false;   ///< Request dispatch entry point.
+};
+
+/**
+ * Knobs of the synthetic program builder. The six workload presets in
+ * trace/presets.hh instantiate these to match the paper's per-workload
+ * characteristics.
+ */
+struct ProgramParams
+{
+    std::string name = "custom";
+
+    std::uint32_t numFuncs = 2000;     ///< Application functions.
+    std::uint32_t numOsFuncs = 400;    ///< OS helpers + handlers.
+    std::uint32_t numTrapHandlers = 32;
+    std::uint32_t numTopLevel = 64;    ///< Request entry points.
+
+    double zipfAlpha = 0.80;    ///< App callee popularity skew.
+    double osZipfAlpha = 0.90;  ///< OS callee popularity skew.
+    double topZipfAlpha = 0.50; ///< Request-type popularity skew.
+
+    /** Basic-block size: geometric in [min,max] instructions. */
+    double bbGrowProb = 0.80;
+    std::uint32_t minBBInstrs = 3;
+    std::uint32_t maxBBInstrs = 16;
+
+    /** Function size in basic blocks: geometric body + large tail. */
+    double funcGrowProb = 0.88;
+    std::uint32_t minBBsPerFunc = 3;
+    std::uint32_t maxBBsPerFunc = 48;
+    double largeFuncFrac = 0.05;       ///< Fraction of oversized funcs.
+    std::uint32_t largeFuncBBs = 96;   ///< Their max size in BBs.
+
+    /**
+     * Terminator mix. The remainder after conditionals, calls and
+     * jumps becomes None (fall-through splits of straight-line runs).
+     */
+    double condFrac = 0.62;
+    double callFrac = 0.22;
+    double jumpFrac = 0.06;
+    double trapFrac = 0.015;    ///< Of call sites, app code only.
+
+    /** Conditional behaviour mix. */
+    double loopFrac = 0.035;    ///< Of conditionals: loop back-edges.
+    double patternFrac = 0.12;  ///< History-predictable patterns.
+    double strongFrac = 0.62;   ///< Strongly biased.
+    double mediumFrac = 0.15;   ///< Moderately biased.
+    std::uint32_t minLoopTrip = 2;
+    std::uint32_t maxLoopTrip = 8;
+    double strongProb = 0.97;
+    double mediumProb = 0.88;
+    double weakProb = 0.65;
+
+    /**
+     * Fraction of biased forward conditionals biased *toward* taken.
+     * Forward branches in real code mostly fall through (skipping the
+     * error/slow path), which is what keeps execution flowing into
+     * the call sites laid out sequentially after them.
+     */
+    double takenBiasFrac = 0.25;
+
+    /**
+     * Fraction of biased conditionals whose outcome is a fixed
+     * function of (branch, current request type) instead of an
+     * independent coin flip. Real server requests of the same type
+     * re-execute near-identical paths -- the temporal repetition that
+     * history-based prefetchers (Confluence) exploit; OLTP presets
+     * set this high.
+     */
+    double stickyFrac = 0.5;
+
+    /** Maximum forward skip of a conditional, in basic blocks. */
+    std::uint32_t maxCondSkip = 3;
+
+    std::uint32_t maxCallDepth = 8;   ///< App call-level budget.
+    std::uint32_t maxOsCallDepth = 3; ///< OS call-level budget.
+
+    std::uint64_t seed = 42;
+};
+
+/**
+ * The immutable program image: functions, basic blocks and layout,
+ * plus the address-indexed queries used by BTBs and the predecoder.
+ */
+class Program
+{
+  public:
+    explicit Program(const ProgramParams &params);
+
+    const ProgramParams &params() const { return params_; }
+    const std::string &name() const { return params_.name; }
+
+    const std::vector<Function> &functions() const { return funcs_; }
+    const std::vector<StaticBB> &basicBlocks() const { return bbs_; }
+
+    const Function &function(std::uint32_t idx) const
+    {
+        return funcs_.at(idx);
+    }
+
+    const StaticBB &bb(std::uint32_t global_idx) const
+    {
+        return bbs_.at(global_idx);
+    }
+
+    std::uint32_t numFunctions() const { return funcs_.size(); }
+    std::uint32_t numBBs() const { return bbs_.size(); }
+
+    /** Total bytes of generated code (app + OS). */
+    std::uint64_t codeBytes() const { return codeBytes_; }
+
+    /** Number of static branch sites (BBs with a real terminator). */
+    std::uint64_t numStaticBranches() const { return staticBranches_; }
+
+    /** Global index of the trap-handler entry functions. */
+    const std::vector<std::uint32_t> &trapHandlers() const
+    {
+        return trapHandlers_;
+    }
+
+    /** Top-level (request entry) function indices. */
+    const std::vector<std::uint32_t> &topLevelFuncs() const
+    {
+        return topLevel_;
+    }
+
+    /**
+     * Predecoder oracle: the basic blocks whose first instruction
+     * lies inside the given cache block, in address order. This is
+     * what a hardware predecoder recovers by scanning the block's
+     * instruction bytes.
+     */
+    void blockBranches(Addr block_number,
+                       std::vector<StaticBBInfo> &out) const;
+
+    /**
+     * Exact lookup of the basic block starting at `addr`.
+     * @return true and fills `out` if such a block exists.
+     */
+    bool staticBBAt(Addr addr, StaticBBInfo &out) const;
+
+    /** Global BB index starting at `addr`, or UINT32_MAX. */
+    std::uint32_t bbIndexAt(Addr addr) const;
+
+    /** Function containing `addr`, or UINT32_MAX. */
+    std::uint32_t functionIndexAt(Addr addr) const;
+
+  private:
+    struct CallTargetTables;
+
+    void build();
+    void buildFunction(std::uint32_t func_idx, Rng &rng,
+                       const CallTargetTables &tables);
+    void finalizeAddresses(Rng &rng);
+
+    ProgramParams params_;
+    std::vector<Function> funcs_;
+    std::vector<StaticBB> bbs_;
+    std::vector<std::uint32_t> trapHandlers_;
+    std::vector<std::uint32_t> topLevel_;
+
+    /** Function entry addresses, sorted, for address->function. */
+    std::vector<Addr> funcEntries_;
+    std::vector<std::uint32_t> funcByEntry_;
+
+    /** Global BB indices sorted by start address. */
+    std::vector<std::uint32_t> bbsByAddr_;
+
+    std::uint64_t codeBytes_ = 0;
+    std::uint64_t staticBranches_ = 0;
+};
+
+/** Base virtual address of application code. */
+constexpr Addr kAppCodeBase = 0x0000000000400000ULL;
+
+/** Base virtual address of OS (trap handler) code. */
+constexpr Addr kOsCodeBase = 0x00007f0000000000ULL;
+
+} // namespace shotgun
+
+#endif // SHOTGUN_TRACE_PROGRAM_HH

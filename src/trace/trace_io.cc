@@ -1,0 +1,114 @@
+#include "trace/trace_io.hh"
+
+#include "common/logging.hh"
+
+namespace shotgun
+{
+
+namespace
+{
+
+template <typename T>
+void
+writeRaw(std::ofstream &out, const T &value)
+{
+    out.write(reinterpret_cast<const char *>(&value), sizeof(T));
+}
+
+template <typename T>
+bool
+readRaw(std::ifstream &in, T &value)
+{
+    in.read(reinterpret_cast<char *>(&value), sizeof(T));
+    return in.good();
+}
+
+} // namespace
+
+TraceWriter::TraceWriter(const std::string &path)
+    : out_(path, std::ios::binary | std::ios::trunc)
+{
+    fatal_if(!out_.is_open(), "cannot open trace file '%s' for writing",
+             path.c_str());
+    writeRaw(out_, kTraceMagic);
+    writeRaw(out_, kTraceVersion);
+    writeRaw(out_, count_); // placeholder, patched in close()
+}
+
+TraceWriter::~TraceWriter()
+{
+    if (!closed_)
+        close();
+}
+
+void
+TraceWriter::append(const BBRecord &record)
+{
+    panic_if(closed_, "append to closed TraceWriter");
+    writeRaw(out_, record.startAddr);
+    writeRaw(out_, record.target);
+    writeRaw(out_, record.numInstrs);
+    writeRaw(out_, static_cast<std::uint8_t>(record.type));
+    writeRaw(out_, static_cast<std::uint8_t>(record.taken));
+    ++count_;
+}
+
+void
+TraceWriter::close()
+{
+    if (closed_)
+        return;
+    out_.seekp(sizeof(kTraceMagic) + sizeof(kTraceVersion));
+    writeRaw(out_, count_);
+    out_.close();
+    closed_ = true;
+}
+
+TraceFileSource::TraceFileSource(const std::string &path)
+    : in_(path, std::ios::binary)
+{
+    fatal_if(!in_.is_open(), "cannot open trace file '%s'", path.c_str());
+    std::uint32_t magic = 0, version = 0;
+    fatal_if(!readRaw(in_, magic) || magic != kTraceMagic,
+             "'%s' is not a shotgun trace file", path.c_str());
+    fatal_if(!readRaw(in_, version) || version != kTraceVersion,
+             "'%s' has unsupported trace version %u", path.c_str(),
+             version);
+    fatal_if(!readRaw(in_, total_), "'%s': truncated header",
+             path.c_str());
+}
+
+bool
+TraceFileSource::next(BBRecord &out)
+{
+    if (read_ >= total_)
+        return false;
+    std::uint8_t type = 0, taken = 0;
+    if (!readRaw(in_, out.startAddr) || !readRaw(in_, out.target) ||
+        !readRaw(in_, out.numInstrs) || !readRaw(in_, type) ||
+        !readRaw(in_, taken)) {
+        fatal("truncated trace file after %llu records",
+              static_cast<unsigned long long>(read_));
+    }
+    out.type = static_cast<BranchType>(type);
+    out.taken = taken != 0;
+    ++read_;
+    return true;
+}
+
+std::uint64_t
+recordTrace(TraceSource &source, const std::string &path,
+            std::uint64_t count)
+{
+    TraceWriter writer(path);
+    BBRecord record;
+    for (std::uint64_t i = 0; i < count; ++i) {
+        if (!source.next(record))
+            break;
+        writer.append(record);
+    }
+    writer.close();
+    return writer.recordsWritten();
+}
+
+} // namespace shotgun

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Binary trace serialization. Live generation is the common case, but
+ * recorded traces make experiments replayable across tools and let
+ * downstream users feed their own control-flow traces (e.g. converted
+ * from ChampSim or gem5 output) into the simulator.
+ */
+
+#ifndef SHOTGUN_TRACE_TRACE_IO_HH
+#define SHOTGUN_TRACE_TRACE_IO_HH
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+
+#include "trace/generator.hh"
+#include "trace/instruction.hh"
+
+namespace shotgun
+{
+
+/** Magic bytes at the start of a trace file. */
+constexpr std::uint32_t kTraceMagic = 0x47544853; // "SHTG"
+
+/** Current trace format version. */
+constexpr std::uint32_t kTraceVersion = 1;
+
+/** Streams BBRecords into a binary trace file. */
+class TraceWriter
+{
+  public:
+    /** Open `path` for writing; fatal() on failure. */
+    explicit TraceWriter(const std::string &path);
+    ~TraceWriter();
+
+    TraceWriter(const TraceWriter &) = delete;
+    TraceWriter &operator=(const TraceWriter &) = delete;
+
+    void append(const BBRecord &record);
+
+    /** Flush and patch the record count into the header. */
+    void close();
+
+    std::uint64_t recordsWritten() const { return count_; }
+
+  private:
+    std::ofstream out_;
+    std::uint64_t count_ = 0;
+    bool closed_ = false;
+};
+
+/** Replays a binary trace file as a TraceSource. */
+class TraceFileSource : public TraceSource
+{
+  public:
+    /** Open `path` for reading; fatal() on failure or bad header. */
+    explicit TraceFileSource(const std::string &path);
+
+    bool next(BBRecord &out) override;
+
+    std::uint64_t totalRecords() const { return total_; }
+    std::uint64_t recordsRead() const { return read_; }
+
+  private:
+    std::ifstream in_;
+    std::uint64_t total_ = 0;
+    std::uint64_t read_ = 0;
+};
+
+/**
+ * Record `count` basic blocks from `source` into `path`.
+ * @return number of records written.
+ */
+std::uint64_t recordTrace(TraceSource &source, const std::string &path,
+                          std::uint64_t count);
+
+} // namespace shotgun
+
+#endif // SHOTGUN_TRACE_TRACE_IO_HH

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Tests for the mesh/NUCA contention model and main memory: base
+ * latency arithmetic, utilization tracking, the load -> latency
+ * coupling that powers Fig 11, and memory bandwidth throttling.
+ */
+
+#include <gtest/gtest.h>
+
+#include "memory/main_memory.hh"
+#include "noc/mesh.hh"
+
+namespace shotgun
+{
+namespace
+{
+
+TEST(MeshTest, BaseLatencyMatchesTable3Geometry)
+{
+    // 4x4 mesh: mean one-way distance 2.5 hops at 3 cycles/hop,
+    // +5-cycle NUCA access => 2*2.5*3 + 5 = 20 cycles uncontended.
+    MeshModel mesh;
+    EXPECT_EQ(mesh.baseLlcLatency(), 20u);
+}
+
+TEST(MeshTest, NoLoadNoQueueing)
+{
+    MeshParams params;
+    params.backgroundLoad = 0.0;
+    MeshModel mesh(params);
+    EXPECT_EQ(mesh.llcLatency(0), mesh.baseLlcLatency());
+}
+
+TEST(MeshTest, BackgroundLoadAddsQueueing)
+{
+    MeshParams quiet;
+    quiet.backgroundLoad = 0.0;
+    MeshParams busy;
+    busy.backgroundLoad = 4.0;
+    MeshModel a(quiet), b(busy);
+    EXPECT_GT(b.llcLatency(0), a.llcLatency(0));
+}
+
+TEST(MeshTest, OwnTrafficRaisesLatency)
+{
+    MeshParams params;
+    params.backgroundLoad = 1.0;
+    MeshModel mesh(params);
+    const Cycle idle = mesh.llcLatency(0);
+
+    // Saturate a full window, then read in the next window.
+    const Cycle window = params.rateWindow;
+    for (Cycle c = 0; c < window; c += 2)
+        mesh.noteRequest(c);
+    const Cycle loaded = mesh.llcLatency(window + 1);
+    EXPECT_GT(loaded, idle);
+    EXPECT_GT(mesh.utilization(window + 1), 0.5);
+}
+
+TEST(MeshTest, RateDecaysAfterIdleGap)
+{
+    MeshParams params;
+    params.backgroundLoad = 0.0;
+    MeshModel mesh(params);
+    for (Cycle c = 0; c < params.rateWindow; ++c)
+        mesh.noteRequest(c);
+    EXPECT_GT(mesh.ownRate(params.rateWindow + 1), 0.9);
+    // Skip several windows: measured rate returns to zero.
+    EXPECT_DOUBLE_EQ(mesh.ownRate(params.rateWindow * 10), 0.0);
+}
+
+TEST(MeshTest, QueueDelayIsCapped)
+{
+    MeshParams params;
+    params.backgroundLoad = 1000.0; // absurd overload
+    MeshModel mesh(params);
+    EXPECT_LE(mesh.llcLatency(0),
+              mesh.baseLlcLatency() + params.maxQueueCycles);
+}
+
+TEST(MeshTest, MemoryLatencyAddsMemoryCycles)
+{
+    MeshParams params;
+    params.backgroundLoad = 0.0;
+    MeshModel mesh(params);
+    EXPECT_EQ(mesh.memoryLatency(0),
+              mesh.llcLatency(0) + params.memoryCycles);
+}
+
+TEST(MainMemoryTest, BaseLatency)
+{
+    MainMemory memory;
+    EXPECT_EQ(memory.access(0), 90u);
+    EXPECT_EQ(memory.requests(), 1u);
+}
+
+TEST(MainMemoryTest, BandwidthThrottling)
+{
+    MainMemoryParams params;
+    params.maxRequestsPerWindow = 4;
+    params.window = 100;
+    params.bandwidthStall = 10;
+    MainMemory memory(params);
+    for (int i = 0; i < 4; ++i)
+        EXPECT_EQ(memory.access(50), params.accessCycles);
+    EXPECT_EQ(memory.access(50), params.accessCycles + 10u);
+    EXPECT_EQ(memory.throttled(), 1u);
+    // New window resets the budget.
+    EXPECT_EQ(memory.access(150), params.accessCycles);
+}
+
+} // namespace
+} // namespace shotgun

@@ -1,0 +1,304 @@
+/**
+ * @file
+ * Parameterized property tests: invariants that must hold across
+ * whole families of configurations — footprint formats, program
+ * generator parameter sweeps, Shotgun budget scalings, and the
+ * no-false-bits guarantee of footprint recording.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "core/footprint.hh"
+#include "core/footprint_recorder.hh"
+#include "core/shotgun_btb.hh"
+#include "noc/mesh.hh"
+#include "trace/generator.hh"
+#include "trace/presets.hh"
+
+namespace shotgun
+{
+namespace
+{
+
+// ---------------------------------------------------------------------
+// Footprint format family
+// ---------------------------------------------------------------------
+
+class FootprintFormatProperty
+    : public ::testing::TestWithParam<std::pair<unsigned, unsigned>>
+{
+};
+
+TEST_P(FootprintFormatProperty, RoundTripEveryOffset)
+{
+    const auto [before, after] = GetParam();
+    const FootprintFormat fmt{before, after};
+    for (int offset = -static_cast<int>(before);
+         offset <= static_cast<int>(after); ++offset) {
+        if (offset == 0)
+            continue;
+        SpatialFootprint fp;
+        fp.set(offset, fmt);
+        EXPECT_TRUE(fp.test(offset, fmt)) << offset;
+        EXPECT_EQ(fp.popCount(), 1u) << offset;
+    }
+}
+
+TEST_P(FootprintFormatProperty, BitIndicesAreAPermutation)
+{
+    const auto [before, after] = GetParam();
+    const FootprintFormat fmt{before, after};
+    std::set<unsigned> indices;
+    for (int offset = -static_cast<int>(before);
+         offset <= static_cast<int>(after); ++offset) {
+        if (offset == 0)
+            continue;
+        const unsigned idx = fmt.bitIndex(offset);
+        EXPECT_LT(idx, fmt.bits());
+        EXPECT_TRUE(indices.insert(idx).second);
+    }
+    EXPECT_EQ(indices.size(), fmt.bits());
+}
+
+TEST_P(FootprintFormatProperty, ForEachSetMatchesTest)
+{
+    const auto [before, after] = GetParam();
+    const FootprintFormat fmt{before, after};
+    SpatialFootprint fp;
+    // Set every third representable offset.
+    std::set<int> expected;
+    int i = 0;
+    for (int offset = -static_cast<int>(before);
+         offset <= static_cast<int>(after); ++offset) {
+        if (offset == 0)
+            continue;
+        if (i++ % 3 == 0) {
+            fp.set(offset, fmt);
+            expected.insert(offset);
+        }
+    }
+    std::set<int> visited;
+    fp.forEachSet(fmt, [&](int offset) { visited.insert(offset); });
+    EXPECT_EQ(visited, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Formats, FootprintFormatProperty,
+    ::testing::Values(std::pair<unsigned, unsigned>{2, 6},
+                      std::pair<unsigned, unsigned>{8, 24},
+                      std::pair<unsigned, unsigned>{1, 3},
+                      std::pair<unsigned, unsigned>{4, 12}));
+
+// ---------------------------------------------------------------------
+// Program generator parameter sweep
+// ---------------------------------------------------------------------
+
+class GeneratorSweep
+    : public ::testing::TestWithParam<
+          std::tuple<std::uint32_t, double, std::uint64_t>>
+{
+  protected:
+    ProgramParams
+    params() const
+    {
+        ProgramParams p;
+        const auto [funcs, alpha, seed] = GetParam();
+        p.name = "sweep";
+        p.numFuncs = funcs;
+        p.numOsFuncs = funcs / 5;
+        p.numTrapHandlers = 4;
+        p.numTopLevel = 8;
+        p.zipfAlpha = alpha;
+        p.seed = seed;
+        return p;
+    }
+};
+
+TEST_P(GeneratorSweep, StreamInvariantAndTermination)
+{
+    Program program(params());
+    TraceGenerator gen(program, 1);
+    BBRecord prev, cur;
+    ASSERT_TRUE(gen.next(prev));
+    for (int i = 0; i < 60000; ++i) {
+        ASSERT_TRUE(gen.next(cur));
+        ASSERT_EQ(cur.startAddr, prev.nextAddr());
+        prev = cur;
+    }
+    // Requests must complete (no livelock inside one function).
+    EXPECT_GT(gen.stats().requests, 1u);
+}
+
+TEST_P(GeneratorSweep, EveryExecutedBBIsInTheImage)
+{
+    Program program(params());
+    TraceGenerator gen(program, 2);
+    BBRecord rec;
+    StaticBBInfo info;
+    for (int i = 0; i < 30000; ++i) {
+        gen.next(rec);
+        ASSERT_TRUE(program.staticBBAt(rec.startAddr, info));
+    }
+}
+
+TEST_P(GeneratorSweep, FootprintScalesWithFunctionCount)
+{
+    auto p = params();
+    Program program(p);
+    // ~35 bytes/BB, ~10 BBs/function: code size must scale roughly
+    // linearly with the function count.
+    const double bytes_per_func =
+        static_cast<double>(program.codeBytes()) /
+        program.numFunctions();
+    EXPECT_GT(bytes_per_func, 80.0);
+    EXPECT_LT(bytes_per_func, 2000.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Params, GeneratorSweep,
+    ::testing::Combine(::testing::Values(100u, 600u, 2500u),
+                       ::testing::Values(0.7, 1.0, 1.4),
+                       ::testing::Values(1ull, 42ull)));
+
+// ---------------------------------------------------------------------
+// Shotgun budget scaling family
+// ---------------------------------------------------------------------
+
+class BudgetScaling : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(BudgetScaling, PartitionRatiosHold)
+{
+    const auto cfg = ShotgunBTBConfig::forBudgetOf(GetParam());
+    if (GetParam() < 8192) {
+        // U-BTB : RIB : C-BTB stays 12 : 4 : 1 below the 8K point.
+        EXPECT_EQ(cfg.ubtbEntries, cfg.ribEntries * 3);
+        EXPECT_EQ(cfg.ribEntries, cfg.cbtbEntries * 4);
+    } else {
+        EXPECT_EQ(cfg.ubtbEntries, 4096u);
+        EXPECT_EQ(cfg.cbtbEntries, 4096u);
+    }
+}
+
+TEST_P(BudgetScaling, StructuresConstructAndAnswerLookups)
+{
+    ShotgunBTB btbs{ShotgunBTBConfig::forBudgetOf(GetParam())};
+    BTBEntry entry;
+    entry.bbStart = 0x400104;
+    entry.target = 0x400200;
+    entry.numInstrs = 3;
+    entry.type = BranchType::Call;
+    btbs.insertByType(entry);
+    EXPECT_EQ(btbs.lookup(0x400104).where, ShotgunHit::UBTBHit);
+    EXPECT_GT(btbs.storageBits(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Budgets, BudgetScaling,
+                         ::testing::Values(512, 1024, 2048, 4096, 8192));
+
+// ---------------------------------------------------------------------
+// Recorder soundness: no false footprint bits
+// ---------------------------------------------------------------------
+
+TEST(RecorderSoundness, FootprintBitsOnlyForTouchedBlocks)
+{
+    // Shadow-track the blocks touched in each region; every bit the
+    // recorder stores must correspond to a block the region really
+    // accessed at its last execution (the format may *drop* blocks
+    // out of range, but must never invent them).
+    ProgramParams params;
+    params.name = "soundness";
+    params.numFuncs = 250;
+    params.numOsFuncs = 50;
+    params.numTrapHandlers = 4;
+    params.numTopLevel = 8;
+    params.seed = 1234;
+    Program program(params);
+    TraceGenerator gen(program, 9);
+    ShotgunBTB btbs{ShotgunBTBConfig{}};
+    FootprintRecorder recorder(btbs);
+
+    // ownerBB -> blocks touched during its most recent target region.
+    std::unordered_map<Addr, std::unordered_set<std::int64_t>> shadow;
+    Addr open_owner = 0;
+    bool open_is_return = false;
+    Addr anchor = 0;
+    bool open_valid = false;
+    std::vector<Addr> call_stack;
+
+    BBRecord rec;
+    for (int i = 0; i < 150000; ++i) {
+        gen.next(rec);
+
+        if (open_valid && !open_is_return) {
+            for (Addr b = rec.firstBlock(); b <= rec.lastBlock(); ++b)
+                shadow[open_owner].insert(
+                    static_cast<std::int64_t>(b) -
+                    static_cast<std::int64_t>(anchor));
+        }
+        recorder.retire(rec);
+        if (endsRegion(rec.type)) {
+            if (isCallType(rec.type))
+                call_stack.push_back(rec.startAddr);
+            if (isReturnType(rec.type)) {
+                open_is_return = true;
+                open_valid = !call_stack.empty();
+                if (open_valid)
+                    call_stack.pop_back();
+            } else {
+                open_is_return = false;
+                open_valid = true;
+                open_owner = rec.startAddr;
+                shadow[open_owner].clear();
+            }
+            anchor = blockNumber(rec.target);
+        }
+    }
+
+    // Verify: every call-footprint bit corresponds to a shadow block.
+    const auto &fmt = btbs.format();
+    std::size_t checked = 0;
+    btbs.ubtb();
+    for (const auto &[owner, blocks] : shadow) {
+        const UBTBEntry *entry = btbs.ubtb().probe(owner);
+        if (!entry || entry->callFootprint.empty())
+            continue;
+        entry->callFootprint.forEachSet(fmt, [&](int offset) {
+            EXPECT_TRUE(blocks.count(offset))
+                << "false footprint bit at offset " << offset;
+        });
+        ++checked;
+    }
+    EXPECT_GT(checked, 50u);
+}
+
+// ---------------------------------------------------------------------
+// Mesh monotonicity
+// ---------------------------------------------------------------------
+
+class MeshLoadSweep : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(MeshLoadSweep, LatencyMonotoneInBackgroundLoad)
+{
+    MeshParams lighter;
+    lighter.backgroundLoad = GetParam();
+    MeshParams heavier;
+    heavier.backgroundLoad = GetParam() + 1.0;
+    MeshModel a(lighter), b(heavier);
+    EXPECT_LE(a.llcLatency(0), b.llcLatency(0));
+    EXPECT_LE(a.memoryLatency(0), b.memoryLatency(0));
+}
+
+INSTANTIATE_TEST_SUITE_P(Loads, MeshLoadSweep,
+                         ::testing::Values(0.0, 1.0, 2.0, 3.5, 5.0));
+
+} // namespace
+} // namespace shotgun

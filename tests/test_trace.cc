@@ -1,0 +1,420 @@
+/**
+ * @file
+ * Tests for the synthetic program model, the trace generator and
+ * trace serialization: structural invariants of the program image,
+ * stream invariants of the dynamic trace, determinism, and the
+ * statistical properties the paper's workloads rely on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <map>
+#include <set>
+
+#include "trace/generator.hh"
+#include "trace/presets.hh"
+#include "trace/program.hh"
+#include "trace/trace_io.hh"
+
+namespace shotgun
+{
+namespace
+{
+
+ProgramParams
+smallParams(std::uint64_t seed = 7)
+{
+    ProgramParams p;
+    p.name = "test";
+    p.numFuncs = 200;
+    p.numOsFuncs = 40;
+    p.numTrapHandlers = 8;
+    p.numTopLevel = 8;
+    p.seed = seed;
+    return p;
+}
+
+TEST(ProgramTest, BuildsRequestedFunctionCounts)
+{
+    const auto params = smallParams();
+    Program prog(params);
+    EXPECT_EQ(prog.numFunctions(),
+              params.numTopLevel + params.numFuncs + params.numOsFuncs);
+    EXPECT_EQ(prog.topLevelFuncs().size(), params.numTopLevel);
+    EXPECT_EQ(prog.trapHandlers().size(), params.numTrapHandlers);
+    EXPECT_GT(prog.codeBytes(), 0u);
+    EXPECT_GT(prog.numStaticBranches(), 0u);
+}
+
+TEST(ProgramTest, FunctionsDoNotOverlap)
+{
+    Program prog(smallParams());
+    std::vector<std::pair<Addr, Addr>> spans;
+    for (const auto &fn : prog.functions())
+        spans.emplace_back(fn.entry, fn.entry + fn.sizeBytes);
+    std::sort(spans.begin(), spans.end());
+    for (std::size_t i = 1; i < spans.size(); ++i)
+        EXPECT_LE(spans[i - 1].second, spans[i].first);
+}
+
+TEST(ProgramTest, BBsAreContiguousWithinFunction)
+{
+    Program prog(smallParams());
+    for (const auto &fn : prog.functions()) {
+        Addr expect = fn.entry;
+        for (std::uint32_t i = 0; i < fn.numBBs; ++i) {
+            const StaticBB &bb = prog.bb(fn.firstBB + i);
+            EXPECT_EQ(bb.startAddr, expect);
+            expect += bb.numInstrs * kInstrBytes;
+        }
+        EXPECT_EQ(expect, fn.entry + fn.sizeBytes);
+    }
+}
+
+TEST(ProgramTest, LastBBIsReturn)
+{
+    Program prog(smallParams());
+    for (const auto &fn : prog.functions()) {
+        const StaticBB &last = prog.bb(fn.firstBB + fn.numBBs - 1);
+        if (fn.isHandler)
+            EXPECT_EQ(last.type, BranchType::TrapReturn);
+        else
+            EXPECT_EQ(last.type, BranchType::Return);
+    }
+}
+
+TEST(ProgramTest, BranchTargetsStayInsideFunction)
+{
+    Program prog(smallParams());
+    for (const auto &fn : prog.functions()) {
+        for (std::uint32_t i = 0; i < fn.numBBs; ++i) {
+            const StaticBB &bb = prog.bb(fn.firstBB + i);
+            if (bb.type == BranchType::Conditional ||
+                bb.type == BranchType::Jump) {
+                EXPECT_GE(bb.targetBB, fn.firstBB);
+                EXPECT_LT(bb.targetBB, fn.firstBB + fn.numBBs);
+                EXPECT_GE(bb.targetAddr, fn.entry);
+                EXPECT_LT(bb.targetAddr, fn.entry + fn.sizeBytes);
+            }
+        }
+    }
+}
+
+TEST(ProgramTest, CallGraphIsAcyclicByLevel)
+{
+    Program prog(smallParams());
+    for (const auto &fn : prog.functions()) {
+        for (std::uint32_t i = 0; i < fn.numBBs; ++i) {
+            const StaticBB &bb = prog.bb(fn.firstBB + i);
+            if (bb.type == BranchType::Call) {
+                const Function &callee = prog.function(bb.callee);
+                EXPECT_LT(callee.level, fn.level)
+                    << "call must target a strictly lower level";
+                EXPECT_EQ(callee.isOs, fn.isOs)
+                    << "plain calls stay within app or OS code";
+            } else if (bb.type == BranchType::Trap) {
+                EXPECT_TRUE(prog.function(bb.callee).isHandler);
+            }
+        }
+    }
+}
+
+TEST(ProgramTest, OsAndAppInDisjointAddressRegions)
+{
+    Program prog(smallParams());
+    for (const auto &fn : prog.functions()) {
+        if (fn.isOs)
+            EXPECT_GE(fn.entry, kOsCodeBase);
+        else
+            EXPECT_LT(fn.entry + fn.sizeBytes, kOsCodeBase);
+    }
+}
+
+TEST(ProgramTest, AddressLookupsRoundTrip)
+{
+    Program prog(smallParams());
+    for (std::uint32_t f = 0; f < prog.numFunctions(); f += 7) {
+        const Function &fn = prog.function(f);
+        EXPECT_EQ(prog.functionIndexAt(fn.entry), f);
+        EXPECT_EQ(prog.functionIndexAt(fn.entry + fn.sizeBytes - 1), f);
+        const StaticBB &bb0 = prog.bb(fn.firstBB);
+        EXPECT_EQ(prog.bbIndexAt(bb0.startAddr), fn.firstBB);
+    }
+    EXPECT_EQ(prog.functionIndexAt(0x1000), UINT32_MAX);
+    EXPECT_EQ(prog.bbIndexAt(0x1000), UINT32_MAX);
+}
+
+TEST(ProgramTest, BlockBranchesOracleMatchesBBs)
+{
+    Program prog(smallParams());
+    std::vector<StaticBBInfo> found;
+    // Exhaustively check a sample of functions: every BB must be
+    // reported by the oracle for its containing block.
+    for (std::uint32_t f = 0; f < prog.numFunctions(); f += 11) {
+        const Function &fn = prog.function(f);
+        for (std::uint32_t i = 0; i < fn.numBBs; ++i) {
+            const StaticBB &bb = prog.bb(fn.firstBB + i);
+            prog.blockBranches(blockNumber(bb.startAddr), found);
+            bool present = false;
+            for (const auto &info : found) {
+                if (info.startAddr == bb.startAddr) {
+                    present = true;
+                    EXPECT_EQ(info.numInstrs, bb.numInstrs);
+                    EXPECT_EQ(info.type, bb.type);
+                    EXPECT_EQ(info.target, bb.targetAddr);
+                }
+            }
+            EXPECT_TRUE(present);
+        }
+    }
+}
+
+TEST(ProgramTest, StaticBBAtExactMatchOnly)
+{
+    Program prog(smallParams());
+    const Function &fn = prog.function(0);
+    const StaticBB &bb = prog.bb(fn.firstBB);
+    StaticBBInfo info;
+    EXPECT_TRUE(prog.staticBBAt(bb.startAddr, info));
+    EXPECT_EQ(info.startAddr, bb.startAddr);
+    if (bb.numInstrs > 1)
+        EXPECT_FALSE(prog.staticBBAt(bb.startAddr + 4, info));
+}
+
+TEST(ProgramTest, DeterministicForSameSeed)
+{
+    Program a(smallParams(99)), b(smallParams(99));
+    ASSERT_EQ(a.numBBs(), b.numBBs());
+    for (std::uint32_t i = 0; i < a.numBBs(); i += 13) {
+        EXPECT_EQ(a.bb(i).startAddr, b.bb(i).startAddr);
+        EXPECT_EQ(a.bb(i).type, b.bb(i).type);
+        EXPECT_EQ(a.bb(i).targetAddr, b.bb(i).targetAddr);
+    }
+}
+
+TEST(ProgramTest, DifferentSeedsProduceDifferentLayouts)
+{
+    Program a(smallParams(1)), b(smallParams(2));
+    bool differs = a.numBBs() != b.numBBs();
+    for (std::uint32_t i = 0; !differs && i < a.numBBs(); ++i)
+        differs = a.bb(i).startAddr != b.bb(i).startAddr ||
+                  a.bb(i).type != b.bb(i).type;
+    EXPECT_TRUE(differs);
+}
+
+// ---------------------------------------------------------------------
+// Generator tests
+// ---------------------------------------------------------------------
+
+TEST(GeneratorTest, StreamInvariantHolds)
+{
+    Program prog(smallParams());
+    TraceGenerator gen(prog, 1);
+    BBRecord prev, cur;
+    ASSERT_TRUE(gen.next(prev));
+    for (int i = 0; i < 200000; ++i) {
+        ASSERT_TRUE(gen.next(cur));
+        ASSERT_EQ(cur.startAddr, prev.nextAddr())
+            << "at record " << i << " type "
+            << branchTypeName(prev.type);
+        prev = cur;
+    }
+}
+
+TEST(GeneratorTest, Deterministic)
+{
+    Program prog(smallParams());
+    TraceGenerator a(prog, 5), b(prog, 5);
+    BBRecord ra, rb;
+    for (int i = 0; i < 50000; ++i) {
+        a.next(ra);
+        b.next(rb);
+        ASSERT_TRUE(ra == rb);
+    }
+}
+
+TEST(GeneratorTest, RecordsMatchStaticImage)
+{
+    Program prog(smallParams());
+    TraceGenerator gen(prog, 3);
+    BBRecord rec;
+    StaticBBInfo info;
+    for (int i = 0; i < 100000; ++i) {
+        gen.next(rec);
+        ASSERT_TRUE(prog.staticBBAt(rec.startAddr, info));
+        ASSERT_EQ(info.numInstrs, rec.numInstrs);
+        ASSERT_EQ(info.type, rec.type);
+        if (rec.type == BranchType::Conditional ||
+            rec.type == BranchType::Jump) {
+            ASSERT_EQ(info.target, rec.target);
+        }
+    }
+}
+
+TEST(GeneratorTest, CallsAndReturnsBalance)
+{
+    Program prog(smallParams());
+    TraceGenerator gen(prog, 11);
+    gen.skip(500000);
+    const auto &s = gen.stats();
+    EXPECT_GT(s.calls, 0u);
+    EXPECT_GT(s.returns, 0u);
+    // Returns = calls + traps + one per completed request (top-level
+    // returns), so the two sides must be within requests of each
+    // other.
+    const auto lhs = s.calls + s.traps + s.requests;
+    const auto rhs = s.returns;
+    const auto diff = lhs > rhs ? lhs - rhs : rhs - lhs;
+    EXPECT_LE(diff, gen.stackDepth() + 1);
+}
+
+TEST(GeneratorTest, StackStaysBounded)
+{
+    Program prog(smallParams());
+    TraceGenerator gen(prog, 13);
+    BBRecord rec;
+    std::size_t max_depth = 0;
+    for (int i = 0; i < 300000; ++i) {
+        gen.next(rec);
+        max_depth = std::max(max_depth, gen.stackDepth());
+    }
+    const auto &p = prog.params();
+    EXPECT_LE(max_depth, p.maxCallDepth + p.maxOsCallDepth + 2);
+}
+
+TEST(GeneratorTest, LoopTripCountsRespected)
+{
+    // Find a loop branch and check its taken-run length matches the
+    // static trip count.
+    Program prog(smallParams());
+    std::uint32_t loop_bb = UINT32_MAX;
+    for (std::uint32_t i = 0; i < prog.numBBs(); ++i) {
+        if (prog.bb(i).bias == BiasClass::Loop &&
+            prog.bb(i).type == BranchType::Conditional) {
+            loop_bb = i;
+            break;
+        }
+    }
+    ASSERT_NE(loop_bb, UINT32_MAX) << "no loop generated";
+    const StaticBB &loop = prog.bb(loop_bb);
+
+    TraceGenerator gen(prog, 17);
+    BBRecord rec;
+    int run = 0;
+    std::vector<int> runs;
+    for (int i = 0; i < 2000000 && runs.size() < 5; ++i) {
+        gen.next(rec);
+        if (rec.startAddr != loop.startAddr)
+            continue;
+        if (rec.taken) {
+            ++run;
+        } else {
+            runs.push_back(run);
+            run = 0;
+        }
+    }
+    for (int r : runs)
+        EXPECT_EQ(r, loop.loopTrip - 1);
+}
+
+TEST(GeneratorTest, BranchDensityIsServerLike)
+{
+    Program prog(smallParams());
+    TraceGenerator gen(prog, 19);
+    gen.skip(1000000);
+    const auto &s = gen.stats();
+    const double branches_per_ki =
+        1000.0 * static_cast<double>(s.branches) /
+        static_cast<double>(s.instructions);
+    // Server code has roughly one branch per 5-8 instructions.
+    EXPECT_GT(branches_per_ki, 90.0);
+    EXPECT_LT(branches_per_ki, 260.0);
+}
+
+TEST(GeneratorTest, UnconditionalShareIsMinority)
+{
+    // Sec 3.1: conditional branches dominate the dynamic branch
+    // stream; the unconditional working set is the small part.
+    Program prog(smallParams());
+    TraceGenerator gen(prog, 23);
+    gen.skip(1000000);
+    const auto &s = gen.stats();
+    const double cond_frac = static_cast<double>(s.conditionals) /
+                             static_cast<double>(s.branches);
+    EXPECT_GT(cond_frac, 0.5);
+}
+
+TEST(GeneratorTest, VisitsManyFunctions)
+{
+    Program prog(smallParams());
+    TraceGenerator gen(prog, 29);
+    BBRecord rec;
+    std::set<std::uint32_t> funcs;
+    for (int i = 0; i < 200000; ++i) {
+        gen.next(rec);
+        if (isCallType(rec.type))
+            funcs.insert(prog.functionIndexAt(rec.target));
+    }
+    EXPECT_GT(funcs.size(), prog.numFunctions() / 4);
+}
+
+// ---------------------------------------------------------------------
+// Trace I/O tests
+// ---------------------------------------------------------------------
+
+TEST(TraceIOTest, RoundTrip)
+{
+    Program prog(smallParams());
+    TraceGenerator gen(prog, 31);
+    const std::string path = "/tmp/shotgun_test_trace.bin";
+
+    TraceGenerator recorder_gen(prog, 31);
+    const auto written = recordTrace(recorder_gen, path, 10000);
+    EXPECT_EQ(written, 10000u);
+
+    TraceFileSource replay(path);
+    EXPECT_EQ(replay.totalRecords(), 10000u);
+    BBRecord live, replayed;
+    for (int i = 0; i < 10000; ++i) {
+        ASSERT_TRUE(gen.next(live));
+        ASSERT_TRUE(replay.next(replayed));
+        ASSERT_TRUE(live == replayed) << "record " << i;
+    }
+    EXPECT_FALSE(replay.next(replayed));
+    std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------
+// Preset tests
+// ---------------------------------------------------------------------
+
+TEST(PresetTest, AllSixWorkloadsExist)
+{
+    const auto presets = allPresets();
+    ASSERT_EQ(presets.size(), 6u);
+    EXPECT_EQ(presets[0].name, "nutch");
+    EXPECT_EQ(presets[5].name, "db2");
+}
+
+TEST(PresetTest, LookupByName)
+{
+    EXPECT_EQ(presetByName("Oracle").id, WorkloadId::Oracle);
+    EXPECT_EQ(presetByName("db2").id, WorkloadId::DB2);
+}
+
+TEST(PresetTest, FootprintOrderingMatchesPaper)
+{
+    // Oracle and DB2 have the largest code footprints; Nutch the
+    // smallest (Table 1 ordering).
+    Program nutch(makePreset(WorkloadId::Nutch).program);
+    Program oracle(makePreset(WorkloadId::Oracle).program);
+    Program db2(makePreset(WorkloadId::DB2).program);
+    EXPECT_GT(oracle.codeBytes(), db2.codeBytes() / 2);
+    EXPECT_GT(db2.codeBytes(), nutch.codeBytes());
+    // Oracle's footprint is multi-MB like the paper's workload.
+    EXPECT_GT(oracle.codeBytes(), 3u * 1024 * 1024);
+}
+
+} // namespace
+} // namespace shotgun
