@@ -55,30 +55,47 @@ main(int argc, char **argv)
         "returns would occupy ~25% of U-BTB entries; dedicating a "
         "45-bit/entry RIB wins at equal storage");
 
+    struct Row
+    {
+        std::string name;
+        WorkloadPreset preset;
+        std::size_t base, withRib, withoutRib;
+    };
+    runner::ExperimentSet set;
+    std::vector<Row> rows;
+    for (const auto &preset : allPresets()) {
+        if (!bench::workloadSelected(opts, preset.name))
+            continue;
+        Row row;
+        row.name = preset.name;
+        row.preset = preset;
+        row.base = set.addBaseline(preset, opts.warmupInstructions,
+                                   opts.measureInstructions);
+        row.withRib = set.add(
+            preset, "shotgun+rib",
+            bench::configFor(preset, SchemeType::Shotgun, opts));
+        SimConfig without =
+            bench::configFor(preset, SchemeType::Shotgun, opts);
+        without.scheme.shotgun = ShotgunBTBConfig::withoutRIB();
+        row.withoutRib =
+            set.add(preset, "shotgun-rib", std::move(without));
+        rows.push_back(std::move(row));
+    }
+    const auto results = bench::runGrid(set, opts, "ablation_rib");
+
     TextTable table("RIB ablation (equal storage budgets)");
     table.row().cell("Workload").cell("Returns in U-BTB")
         .cell("Speedup w/ RIB").cell("Speedup w/o RIB").cell("Delta");
 
-    for (const auto &preset : allPresets()) {
-        if (!bench::workloadSelected(opts, preset.name))
-            continue;
-        const SimResult base = baselineFor(
-            preset, opts.warmupInstructions, opts.measureInstructions);
-
-        SimConfig with_rib = SimConfig::make(preset, SchemeType::Shotgun);
-        with_rib.warmupInstructions = opts.warmupInstructions;
-        with_rib.measureInstructions = opts.measureInstructions;
-
-        SimConfig without_rib = with_rib;
-        without_rib.scheme.shotgun = ShotgunBTBConfig::withoutRIB();
-
-        const double sp_with = speedup(runSimulation(with_rib), base);
+    for (const auto &row : rows) {
+        const SimResult &base = results[row.base];
+        const double sp_with = speedup(results[row.withRib], base);
         const double sp_without =
-            speedup(runSimulation(without_rib), base);
+            speedup(results[row.withoutRib], base);
         const double occupancy = returnOccupancyFraction(
-            preset, opts.measureInstructions / 2);
+            row.preset, opts.measureInstructions / 2);
 
-        table.row().cell(preset.name).percentCell(occupancy)
+        table.row().cell(row.name).percentCell(occupancy)
             .cell(sp_with, 3).cell(sp_without, 3)
             .percentCell(sp_with / sp_without - 1.0, 2);
     }

@@ -27,6 +27,39 @@ main(int argc, char **argv)
 
     const unsigned degrees[] = {1, 2, 4};
 
+    struct Row
+    {
+        std::string name;
+        std::size_t base, shot;
+        std::vector<std::size_t> conf;
+    };
+    runner::ExperimentSet set;
+    std::vector<Row> rows;
+    for (WorkloadId id : {WorkloadId::Oracle, WorkloadId::DB2,
+                          WorkloadId::Apache}) {
+        const auto preset = makePreset(id);
+        if (!bench::workloadSelected(opts, preset.name))
+            continue;
+        Row row;
+        row.name = preset.name;
+        row.base = set.addBaseline(preset, opts.warmupInstructions,
+                                   opts.measureInstructions);
+        for (unsigned n : degrees) {
+            SimConfig config =
+                bench::configFor(preset, SchemeType::Confluence, opts);
+            config.scheme.confluence.historyEntries = 65536 / n;
+            config.scheme.confluence.indexEntries = 8192 / n;
+            row.conf.push_back(
+                set.add(preset, "confluence@N=" + std::to_string(n),
+                        std::move(config)));
+        }
+        row.shot = set.add(
+            preset, "shotgun",
+            bench::configFor(preset, SchemeType::Shotgun, opts));
+        rows.push_back(std::move(row));
+    }
+    const auto results = bench::runGrid(set, opts, "colocation");
+
     TextTable table("Speedup under N-way colocation");
     {
         auto &row = table.row().cell("Workload");
@@ -35,29 +68,12 @@ main(int argc, char **argv)
         row.cell("shotgun (any N)");
     }
 
-    for (WorkloadId id : {WorkloadId::Oracle, WorkloadId::DB2,
-                          WorkloadId::Apache}) {
-        const auto preset = makePreset(id);
-        if (!bench::workloadSelected(opts, preset.name))
-            continue;
-        const SimResult base = baselineFor(
-            preset, opts.warmupInstructions, opts.measureInstructions);
-
-        auto &row = table.row().cell(preset.name);
-        for (unsigned n : degrees) {
-            SimConfig config =
-                SimConfig::make(preset, SchemeType::Confluence);
-            config.scheme.confluence.historyEntries = 65536 / n;
-            config.scheme.confluence.indexEntries = 8192 / n;
-            config.warmupInstructions = opts.warmupInstructions;
-            config.measureInstructions = opts.measureInstructions;
-            row.cell(speedup(runSimulation(config), base), 3);
-        }
-
-        SimConfig shot = SimConfig::make(preset, SchemeType::Shotgun);
-        shot.warmupInstructions = opts.warmupInstructions;
-        shot.measureInstructions = opts.measureInstructions;
-        row.cell(speedup(runSimulation(shot), base), 3);
+    for (const auto &row : rows) {
+        const SimResult &base = results[row.base];
+        auto &out = table.row().cell(row.name);
+        for (std::size_t point : row.conf)
+            out.cell(speedup(results[point], base), 3);
+        out.cell(speedup(results[row.shot], base), 3);
     }
     table.print(std::cout);
     return 0;

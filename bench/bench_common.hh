@@ -2,7 +2,9 @@
  * @file
  * Shared plumbing for the paper-reproduction bench binaries: run
  * lengths (overridable with --quick / --instructions / environment
- * variables) and workload filtering.
+ * variables), workload filtering, parallelism (--jobs) and structured
+ * result output, all routed through the src/runner/ experiment
+ * orchestration subsystem.
  */
 
 #ifndef SHOTGUN_BENCH_COMMON_HH
@@ -11,6 +13,9 @@
 #include <cstdint>
 #include <string>
 #include <vector>
+
+#include "runner/experiment.hh"
+#include "sim/simulator.hh"
 
 namespace shotgun
 {
@@ -27,12 +32,35 @@ struct BenchOptions
 
     /** If non-empty, run only this workload. */
     std::string onlyWorkload;
+
+    /** Concurrent simulations; 0 means one per hardware thread. */
+    unsigned jobs = 0;
+
+    /** Result-file base path; empty means results/<experiment>. */
+    std::string outBase;
+
+    /** --no-out: skip JSON/CSV result files. */
+    bool writeFiles = true;
+
+    /** --no-progress: suppress the per-point progress/ETA lines. */
+    bool showProgress = true;
 };
 
 /**
- * Parse --quick, --instructions N, --warmup N, --workload NAME and the
- * SHOTGUN_BENCH_INSTRS / SHOTGUN_BENCH_WARMUP environment variables.
+ * Parse --quick, --instructions N, --warmup N, --workload NAME,
+ * --jobs N, --out BASE, --no-out, --no-progress and the
+ * SHOTGUN_BENCH_INSTRS / SHOTGUN_BENCH_WARMUP / SHOTGUN_BENCH_JOBS
+ * environment variables into `opts`.
+ *
+ * Numeric values are validated strictly: a malformed or out-of-range
+ * value (e.g. "--instructions 10x6" or "--jobs 0") is an error, never
+ * a silent fallback to the default. On error, returns false and sets
+ * `error`; `opts` is left in an unspecified state.
  */
+bool tryParseOptions(int argc, char **argv, BenchOptions &opts,
+                     std::string &error);
+
+/** tryParseOptions, but prints usage and exits on error. */
 BenchOptions parseOptions(int argc, char **argv);
 
 /** True when `name` passes the --workload filter. */
@@ -44,6 +72,28 @@ void printBanner(const BenchOptions &opts, const char *experiment,
 
 /** Geometric mean of a non-empty vector. */
 double geomean(const std::vector<double> &values);
+
+/** A SimConfig for (preset, scheme) using the bench run lengths. */
+SimConfig configFor(const WorkloadPreset &preset, SchemeType type,
+                    const BenchOptions &opts);
+
+/**
+ * Worker count for a trace-analysis bench that fans `tasks` jobs out
+ * over a raw ThreadPool: the --jobs request (or hardware default)
+ * clamped to the task count. Also warns once on stderr when --out was
+ * requested, since analysis benches emit tables only, no JSON/CSV.
+ */
+unsigned analysisJobs(const BenchOptions &opts, std::size_t tasks);
+
+/**
+ * Execute the grid through the shared ExperimentRunner with the
+ * bench's job count, stream progress to stderr, and (unless --no-out)
+ * write results/<slug>.{json,csv} via a ResultSink. The returned
+ * vector is index-aligned with the set and independent of --jobs.
+ */
+std::vector<SimResult> runGrid(const runner::ExperimentSet &set,
+                               const BenchOptions &opts,
+                               const std::string &slug);
 
 } // namespace bench
 } // namespace shotgun

@@ -25,39 +25,52 @@ main(int argc, char **argv)
         "RDIP prefetches L1-I only (~64KB metadata); Shotgun covers "
         "both L1-I and BTB at conventional-BTB cost");
 
+    struct Row
+    {
+        std::string name;
+        std::size_t base, rdip, boom, shot;
+    };
+    runner::ExperimentSet set;
+    std::vector<Row> rows;
+    for (const auto &preset : allPresets()) {
+        if (!bench::workloadSelected(opts, preset.name))
+            continue;
+        Row row;
+        row.name = preset.name;
+        row.base = set.addBaseline(preset, opts.warmupInstructions,
+                                   opts.measureInstructions);
+        row.rdip = set.add(
+            preset, "rdip",
+            bench::configFor(preset, SchemeType::RDIP, opts));
+        row.boom = set.add(
+            preset, "boomerang",
+            bench::configFor(preset, SchemeType::Boomerang, opts));
+        row.shot = set.add(
+            preset, "shotgun",
+            bench::configFor(preset, SchemeType::Shotgun, opts));
+        rows.push_back(std::move(row));
+    }
+    const auto results = bench::runGrid(set, opts, "discussion_rdip");
+
     TextTable table("RDIP comparison (speedup / coverage / storage)");
     table.row().cell("Workload").cell("RDIP").cell("Boomerang")
         .cell("Shotgun").cell("RDIP cov").cell("Shotgun cov");
 
-    double storage_printed = 0;
     std::uint64_t rdip_bits = 0, shotgun_bits = 0;
-    for (const auto &preset : allPresets()) {
-        if (!bench::workloadSelected(opts, preset.name))
-            continue;
-        const SimResult base = baselineFor(
-            preset, opts.warmupInstructions, opts.measureInstructions);
-
-        auto run = [&](SchemeType type) {
-            SimConfig config = SimConfig::make(preset, type);
-            config.warmupInstructions = opts.warmupInstructions;
-            config.measureInstructions = opts.measureInstructions;
-            return runSimulation(config);
-        };
-
-        const SimResult rdip = run(SchemeType::RDIP);
-        const SimResult boom = run(SchemeType::Boomerang);
-        const SimResult shot = run(SchemeType::Shotgun);
+    for (const auto &row : rows) {
+        const SimResult &base = results[row.base];
+        const SimResult &rdip = results[row.rdip];
+        const SimResult &boom = results[row.boom];
+        const SimResult &shot = results[row.shot];
         rdip_bits = rdip.schemeStorageBits;
         shotgun_bits = shot.schemeStorageBits;
-
-        table.row().cell(preset.name).cell(speedup(rdip, base), 3)
+        table.row().cell(row.name).cell(speedup(rdip, base), 3)
             .cell(speedup(boom, base), 3).cell(speedup(shot, base), 3)
             .percentCell(stallCoverage(rdip, base))
             .percentCell(stallCoverage(shot, base));
-        storage_printed = 1;
     }
     table.print(std::cout);
-    if (storage_printed > 0) {
+    if (!rows.empty()) {
         std::cout << "\ncontrol-flow metadata storage: rdip "
                   << rdip_bits / 8 / 1024 << " KB (incl. 2K BTB), "
                   << "shotgun " << shotgun_bits / 8 / 1024

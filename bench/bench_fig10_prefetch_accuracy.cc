@@ -27,6 +27,30 @@ main(int argc, char **argv)
                                    FootprintMode::EntireRegion,
                                    FootprintMode::FiveBlocks};
 
+    struct Row
+    {
+        std::string name;
+        std::vector<std::size_t> points;
+    };
+    runner::ExperimentSet set;
+    std::vector<Row> rows;
+    for (const auto &preset : allPresets()) {
+        if (!bench::workloadSelected(opts, preset.name))
+            continue;
+        Row row;
+        row.name = preset.name;
+        for (const auto mode : modes) {
+            SimConfig config =
+                bench::configFor(preset, SchemeType::Shotgun, opts);
+            config.scheme.shotgun = ShotgunBTBConfig::forMode(mode);
+            row.points.push_back(set.add(
+                preset, footprintModeName(mode), std::move(config)));
+        }
+        rows.push_back(std::move(row));
+    }
+    const auto results =
+        bench::runGrid(set, opts, "fig10_prefetch_accuracy");
+
     TextTable table("Figure 10 (Shotgun prefetch accuracy)");
     {
         auto &row = table.row().cell("Workload");
@@ -35,28 +59,18 @@ main(int argc, char **argv)
     }
 
     std::vector<double> sums(std::size(modes), 0.0);
-    int count = 0;
-    for (const auto &preset : allPresets()) {
-        if (!bench::workloadSelected(opts, preset.name))
-            continue;
-        auto &row = table.row().cell(preset.name);
+    for (const auto &row : rows) {
+        auto &out = table.row().cell(row.name);
         for (std::size_t m = 0; m < std::size(modes); ++m) {
-            SimConfig config =
-                SimConfig::make(preset, SchemeType::Shotgun);
-            config.scheme.shotgun =
-                ShotgunBTBConfig::forMode(modes[m]);
-            config.warmupInstructions = opts.warmupInstructions;
-            config.measureInstructions = opts.measureInstructions;
-            const SimResult result = runSimulation(config);
-            sums[m] += result.prefetchAccuracy;
-            row.percentCell(result.prefetchAccuracy);
+            const double acc = results[row.points[m]].prefetchAccuracy;
+            sums[m] += acc;
+            out.percentCell(acc);
         }
-        ++count;
     }
-    if (count > 0) {
-        auto &row = table.row().cell("avg");
+    if (!rows.empty()) {
+        auto &out = table.row().cell("avg");
         for (double sum : sums)
-            row.percentCell(sum / count);
+            out.percentCell(sum / static_cast<double>(rows.size()));
     }
     table.print(std::cout);
     return 0;

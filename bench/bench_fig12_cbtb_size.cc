@@ -26,31 +26,50 @@ main(int argc, char **argv)
 
     const std::size_t sizes[] = {64, 128, 1024};
 
+    struct Row
+    {
+        std::string name;
+        std::size_t base;
+        std::vector<std::size_t> points;
+    };
+    runner::ExperimentSet set;
+    std::vector<Row> rows;
+    for (const auto &preset : allPresets()) {
+        if (!bench::workloadSelected(opts, preset.name))
+            continue;
+        Row row;
+        row.name = preset.name;
+        row.base = set.addBaseline(preset, opts.warmupInstructions,
+                                   opts.measureInstructions);
+        for (std::size_t size : sizes) {
+            SimConfig config =
+                bench::configFor(preset, SchemeType::Shotgun, opts);
+            config.scheme.shotgun.cbtbEntries = size;
+            row.points.push_back(
+                set.add(preset, "cbtb@" + std::to_string(size),
+                        std::move(config)));
+        }
+        rows.push_back(std::move(row));
+    }
+    const auto results = bench::runGrid(set, opts, "fig12_cbtb_size");
+
     TextTable table("Figure 12 (Shotgun speedup over no-prefetch)");
     table.row().cell("Workload").cell("64-entry").cell("128-entry")
         .cell("1K-entry");
 
     std::vector<std::vector<double>> columns(std::size(sizes));
-    for (const auto &preset : allPresets()) {
-        if (!bench::workloadSelected(opts, preset.name))
-            continue;
-        const SimResult base = baselineFor(
-            preset, opts.warmupInstructions, opts.measureInstructions);
-        auto &row = table.row().cell(preset.name);
+    for (const auto &row : rows) {
+        const SimResult &base = results[row.base];
+        auto &out = table.row().cell(row.name);
         for (std::size_t s = 0; s < std::size(sizes); ++s) {
-            SimConfig config =
-                SimConfig::make(preset, SchemeType::Shotgun);
-            config.scheme.shotgun.cbtbEntries = sizes[s];
-            config.warmupInstructions = opts.warmupInstructions;
-            config.measureInstructions = opts.measureInstructions;
-            const double sp = speedup(runSimulation(config), base);
+            const double sp = speedup(results[row.points[s]], base);
             columns[s].push_back(sp);
-            row.cell(sp, 3);
+            out.cell(sp, 3);
         }
     }
-    auto &row = table.row().cell("gmean");
+    auto &out = table.row().cell("gmean");
     for (const auto &column : columns)
-        row.cell(bench::geomean(column), 3);
+        out.cell(bench::geomean(column), 3);
     table.print(std::cout);
     return 0;
 }

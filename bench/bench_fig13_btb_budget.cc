@@ -27,6 +27,42 @@ main(int argc, char **argv)
 
     const std::size_t budgets[] = {512, 1024, 2048, 4096, 8192};
 
+    struct Row
+    {
+        std::string name;
+        std::size_t base;
+        std::vector<std::size_t> boom, shot;
+    };
+    runner::ExperimentSet set;
+    std::vector<Row> rows;
+    for (WorkloadId id : {WorkloadId::Oracle, WorkloadId::DB2}) {
+        const auto preset = makePreset(id);
+        if (!bench::workloadSelected(opts, preset.name))
+            continue;
+        Row row;
+        row.name = preset.name;
+        row.base = set.addBaseline(preset, opts.warmupInstructions,
+                                   opts.measureInstructions);
+        for (std::size_t budget : budgets) {
+            SimConfig config =
+                bench::configFor(preset, SchemeType::Boomerang, opts);
+            config.scheme.conventionalEntries = budget;
+            row.boom.push_back(
+                set.add(preset, "boomerang@" + std::to_string(budget),
+                        std::move(config)));
+        }
+        for (std::size_t budget : budgets) {
+            SimConfig config =
+                bench::configFor(preset, SchemeType::Shotgun, opts);
+            config.scheme.shotgun = ShotgunBTBConfig::forBudgetOf(budget);
+            row.shot.push_back(
+                set.add(preset, "shotgun@" + std::to_string(budget),
+                        std::move(config)));
+        }
+        rows.push_back(std::move(row));
+    }
+    const auto results = bench::runGrid(set, opts, "fig13_btb_budget");
+
     TextTable table("Figure 13 (speedup over no-prefetch baseline)");
     {
         auto &row = table.row().cell("Workload").cell("Scheme");
@@ -36,33 +72,14 @@ main(int argc, char **argv)
         }
     }
 
-    for (WorkloadId id : {WorkloadId::Oracle, WorkloadId::DB2}) {
-        const auto preset = makePreset(id);
-        if (!bench::workloadSelected(opts, preset.name))
-            continue;
-        const SimResult base = baselineFor(
-            preset, opts.warmupInstructions, opts.measureInstructions);
-
-        auto &boom_row = table.row().cell(preset.name).cell("boomerang");
-        for (std::size_t budget : budgets) {
-            SimConfig config =
-                SimConfig::make(preset, SchemeType::Boomerang);
-            config.scheme.conventionalEntries = budget;
-            config.warmupInstructions = opts.warmupInstructions;
-            config.measureInstructions = opts.measureInstructions;
-            boom_row.cell(speedup(runSimulation(config), base), 3);
-        }
-
-        auto &shot_row = table.row().cell(preset.name).cell("shotgun");
-        for (std::size_t budget : budgets) {
-            SimConfig config =
-                SimConfig::make(preset, SchemeType::Shotgun);
-            config.scheme.shotgun =
-                ShotgunBTBConfig::forBudgetOf(budget);
-            config.warmupInstructions = opts.warmupInstructions;
-            config.measureInstructions = opts.measureInstructions;
-            shot_row.cell(speedup(runSimulation(config), base), 3);
-        }
+    for (const auto &row : rows) {
+        const SimResult &base = results[row.base];
+        auto &boom_row = table.row().cell(row.name).cell("boomerang");
+        for (std::size_t point : row.boom)
+            boom_row.cell(speedup(results[point], base), 3);
+        auto &shot_row = table.row().cell(row.name).cell("shotgun");
+        for (std::size_t point : row.shot)
+            shot_row.cell(speedup(results[point], base), 3);
     }
     table.print(std::cout);
     return 0;

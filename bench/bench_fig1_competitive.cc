@@ -26,31 +26,47 @@ main(int argc, char **argv)
         "Boomerang >= Confluence on Nutch/Zeus; Confluence wins "
         "Oracle by ~14% and DB2 by ~9%; Ideal ~1.45-1.85");
 
+    struct Row
+    {
+        std::string name;
+        std::size_t base, conf, boom, ideal;
+    };
+    runner::ExperimentSet set;
+    std::vector<Row> rows;
+    for (const auto &preset : allPresets()) {
+        if (!bench::workloadSelected(opts, preset.name))
+            continue;
+        Row row;
+        row.name = preset.name;
+        row.base = set.addBaseline(preset, opts.warmupInstructions,
+                                   opts.measureInstructions);
+        row.conf = set.add(
+            preset, "confluence",
+            bench::configFor(preset, SchemeType::Confluence, opts));
+        row.boom = set.add(
+            preset, "boomerang",
+            bench::configFor(preset, SchemeType::Boomerang, opts));
+        row.ideal = set.add(
+            preset, "ideal",
+            bench::configFor(preset, SchemeType::Ideal, opts));
+        rows.push_back(std::move(row));
+    }
+    const auto results = bench::runGrid(set, opts, "fig1_competitive");
+
     TextTable table("Figure 1 (speedup over no-prefetch baseline)");
     table.row().cell("Workload").cell("Confluence").cell("Boomerang")
         .cell("Ideal");
 
     std::vector<double> g_conf, g_boom, g_ideal;
-    for (const auto &preset : allPresets()) {
-        if (!bench::workloadSelected(opts, preset.name))
-            continue;
-        const SimResult base = baselineFor(
-            preset, opts.warmupInstructions, opts.measureInstructions);
-
-        auto run = [&](SchemeType type) {
-            SimConfig config = SimConfig::make(preset, type);
-            config.warmupInstructions = opts.warmupInstructions;
-            config.measureInstructions = opts.measureInstructions;
-            return speedup(runSimulation(config), base);
-        };
-
-        const double conf = run(SchemeType::Confluence);
-        const double boom = run(SchemeType::Boomerang);
-        const double ideal = run(SchemeType::Ideal);
+    for (const auto &row : rows) {
+        const SimResult &base = results[row.base];
+        const double conf = speedup(results[row.conf], base);
+        const double boom = speedup(results[row.boom], base);
+        const double ideal = speedup(results[row.ideal], base);
         g_conf.push_back(conf);
         g_boom.push_back(boom);
         g_ideal.push_back(ideal);
-        table.row().cell(preset.name).cell(conf, 3).cell(boom, 3)
+        table.row().cell(row.name).cell(conf, 3).cell(boom, 3)
             .cell(ideal, 3);
     }
     table.row().cell("gmean").cell(bench::geomean(g_conf), 3)

@@ -6,18 +6,62 @@
  * branches in dynamic program order (Sec 3.1). Paper shape: ~90% of
  * accesses within 10 blocks of the entry point; small regions
  * dominate.
+ *
+ * This bench analyses traces rather than timing simulations, so it
+ * fans the per-workload walks out over the runner's thread pool
+ * directly (one task per preset).
  */
 
-#include <cstdlib>
+#include <chrono>
+#include <future>
 #include <iostream>
+#include <vector>
 
 #include "bench_common.hh"
 #include "common/stats.hh"
 #include "common/table.hh"
+#include "runner/progress.hh"
+#include "runner/thread_pool.hh"
 #include "sim/simulator.hh"
 #include "trace/generator.hh"
 
 using namespace shotgun;
+
+namespace
+{
+
+/** One workload's distance-from-entry CDF. */
+Histogram
+distanceHistogram(const WorkloadPreset &preset,
+                  std::uint64_t instructions)
+{
+    const Program &program = programFor(preset);
+    TraceGenerator gen(program, 1);
+
+    Histogram dist(17); // |distance| 0..16; overflow = >16
+    bool region_open = false;
+    Addr anchor = 0;
+    BBRecord rec;
+    std::uint64_t instrs = 0;
+    while (instrs < instructions) {
+        gen.next(rec);
+        instrs += rec.numInstrs;
+        if (region_open) {
+            for (Addr b = rec.firstBlock(); b <= rec.lastBlock(); ++b) {
+                const std::int64_t d = static_cast<std::int64_t>(b) -
+                                       static_cast<std::int64_t>(anchor);
+                dist.sample(static_cast<std::size_t>(d < 0 ? -d : d));
+            }
+        }
+        if (endsRegion(rec.type)) {
+            region_open = true;
+            anchor = blockNumber(rec.target);
+        }
+    }
+    return dist;
+}
+
+} // namespace
 
 int
 main(int argc, char **argv)
@@ -29,42 +73,41 @@ main(int argc, char **argv)
         "~90% of intra-region accesses within 10 blocks of entry; "
         ">16-block tail largest on Oracle/DB2");
 
+    std::vector<WorkloadPreset> presets;
+    for (const auto &preset : allPresets()) {
+        if (bench::workloadSelected(opts, preset.name))
+            presets.push_back(preset);
+    }
+
+    // Declared before the pool: its draining destructor may still run
+    // tasks that report progress.
+    runner::ProgressReporter progress(
+        presets.size(), opts.showProgress ? &std::cerr : nullptr);
+    runner::ThreadPool pool(bench::analysisJobs(opts, presets.size()));
+    std::vector<std::future<Histogram>> futures;
+    futures.reserve(presets.size());
+    for (const auto &preset : presets) {
+        futures.push_back(pool.submit([&preset, &opts, &progress]() {
+            const auto start = std::chrono::steady_clock::now();
+            Histogram dist =
+                distanceHistogram(preset, opts.measureInstructions);
+            progress.completed(
+                preset.name + "/fig3",
+                std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - start)
+                    .count());
+            return dist;
+        }));
+    }
+
     TextTable table(
         "Figure 3 (cumulative access probability by distance)");
     table.row().cell("Workload").cell("d=0").cell("<=1").cell("<=2")
         .cell("<=4").cell("<=6").cell("<=10").cell("<=16").cell(">16");
 
-    for (const auto &preset : allPresets()) {
-        if (!bench::workloadSelected(opts, preset.name))
-            continue;
-        const Program &program = programFor(preset);
-        TraceGenerator gen(program, 1);
-
-        Histogram dist(17); // |distance| 0..16; overflow = >16
-        bool region_open = false;
-        Addr anchor = 0;
-        BBRecord rec;
-        std::uint64_t instrs = 0;
-        while (instrs < opts.measureInstructions) {
-            gen.next(rec);
-            instrs += rec.numInstrs;
-            if (region_open) {
-                for (Addr b = rec.firstBlock(); b <= rec.lastBlock();
-                     ++b) {
-                    const std::int64_t d =
-                        static_cast<std::int64_t>(b) -
-                        static_cast<std::int64_t>(anchor);
-                    dist.sample(static_cast<std::size_t>(
-                        d < 0 ? -d : d));
-                }
-            }
-            if (endsRegion(rec.type)) {
-                region_open = true;
-                anchor = blockNumber(rec.target);
-            }
-        }
-
-        table.row().cell(preset.name)
+    for (std::size_t i = 0; i < presets.size(); ++i) {
+        const Histogram dist = futures[i].get();
+        table.row().cell(presets[i].name)
             .percentCell(dist.cumulativeFraction(0))
             .percentCell(dist.cumulativeFraction(1))
             .percentCell(dist.cumulativeFraction(2))

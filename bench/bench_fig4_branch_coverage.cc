@@ -7,14 +7,22 @@
  * while the hottest 2K unconditional branches cover ~84% of dynamic
  * unconditional executions (DB2: ~92%); even 8K all-branch sites stay
  * below 90% on Oracle.
+ *
+ * This bench analyses traces rather than timing simulations, so it
+ * fans the per-workload walks out over the runner's thread pool
+ * directly (one task per preset).
  */
 
 #include <algorithm>
+#include <chrono>
+#include <future>
 #include <iostream>
 #include <unordered_map>
 
 #include "bench_common.hh"
 #include "common/table.hh"
+#include "runner/progress.hh"
+#include "runner/thread_pool.hh"
 #include "sim/simulator.hh"
 #include "trace/generator.hh"
 
@@ -51,12 +59,42 @@ coverageCurve(const std::unordered_map<Addr, std::uint64_t> &counts,
     return result;
 }
 
+struct CoverageRows
+{
+    std::vector<double> all;
+    std::vector<double> uncond;
+};
+
+CoverageRows
+branchCoverage(const WorkloadPreset &preset, std::uint64_t instructions,
+               const std::vector<std::size_t> &cuts)
+{
+    const Program &program = programFor(preset);
+    TraceGenerator gen(program, 1);
+
+    std::unordered_map<Addr, std::uint64_t> all_counts;
+    std::unordered_map<Addr, std::uint64_t> uncond_counts;
+    BBRecord rec;
+    std::uint64_t instrs = 0;
+    while (instrs < instructions) {
+        gen.next(rec);
+        instrs += rec.numInstrs;
+        if (!isBranch(rec.type))
+            continue;
+        ++all_counts[rec.branchPC()];
+        if (isUnconditional(rec.type))
+            ++uncond_counts[rec.branchPC()];
+    }
+    return CoverageRows{coverageCurve(all_counts, cuts),
+                        coverageCurve(uncond_counts, cuts)};
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
-    auto opts = bench::parseOptions(argc, argv);
+    const auto opts = bench::parseOptions(argc, argv);
     bench::printBanner(
         opts,
         "Figure 4: dynamic coverage of the N hottest static branches",
@@ -66,6 +104,35 @@ main(int argc, char **argv)
     const std::vector<std::size_t> cuts = {1024, 2048, 3072, 4096,
                                            6144, 8192};
 
+    std::vector<WorkloadPreset> presets;
+    for (WorkloadId id : {WorkloadId::Oracle, WorkloadId::DB2}) {
+        const auto preset = makePreset(id);
+        if (bench::workloadSelected(opts, preset.name))
+            presets.push_back(preset);
+    }
+
+    // Declared before the pool: its draining destructor may still run
+    // tasks that report progress.
+    runner::ProgressReporter progress(
+        presets.size(), opts.showProgress ? &std::cerr : nullptr);
+    runner::ThreadPool pool(bench::analysisJobs(opts, presets.size()));
+    std::vector<std::future<CoverageRows>> futures;
+    futures.reserve(presets.size());
+    for (const auto &preset : presets) {
+        futures.push_back(
+            pool.submit([&preset, &opts, &cuts, &progress]() {
+                const auto start = std::chrono::steady_clock::now();
+                CoverageRows rows = branchCoverage(
+                    preset, opts.measureInstructions * 2, cuts);
+                progress.completed(
+                    preset.name + "/fig4",
+                    std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - start)
+                        .count());
+                return rows;
+            }));
+    }
+
     TextTable table("Figure 4 (cumulative dynamic branch coverage)");
     {
         auto &row = table.row().cell("Series");
@@ -73,36 +140,15 @@ main(int argc, char **argv)
             row.cell(std::to_string(cut / 1024) + "K");
     }
 
-    for (WorkloadId id : {WorkloadId::Oracle, WorkloadId::DB2}) {
-        const auto preset = makePreset(id);
-        if (!bench::workloadSelected(opts, preset.name))
-            continue;
-        const Program &program = programFor(preset);
-        TraceGenerator gen(program, 1);
-
-        std::unordered_map<Addr, std::uint64_t> all_counts;
-        std::unordered_map<Addr, std::uint64_t> uncond_counts;
-        BBRecord rec;
-        std::uint64_t instrs = 0;
-        while (instrs < opts.measureInstructions * 2) {
-            gen.next(rec);
-            instrs += rec.numInstrs;
-            if (!isBranch(rec.type))
-                continue;
-            ++all_counts[rec.branchPC()];
-            if (isUnconditional(rec.type))
-                ++uncond_counts[rec.branchPC()];
-        }
-
-        const auto all = coverageCurve(all_counts, cuts);
-        const auto uncond = coverageCurve(uncond_counts, cuts);
+    for (std::size_t i = 0; i < presets.size(); ++i) {
+        const CoverageRows rows = futures[i].get();
         auto &row_all =
-            table.row().cell(preset.name + " (all branches)");
-        for (double v : all)
+            table.row().cell(presets[i].name + " (all branches)");
+        for (double v : rows.all)
             row_all.percentCell(v);
         auto &row_uncond =
-            table.row().cell(preset.name + " (unconditional)");
-        for (double v : uncond)
+            table.row().cell(presets[i].name + " (unconditional)");
+        for (double v : rows.uncond)
             row_uncond.percentCell(v);
     }
     table.print(std::cout);

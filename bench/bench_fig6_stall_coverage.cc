@@ -24,38 +24,53 @@ main(int argc, char **argv)
         "Shotgun avg ~68% (+8% over Boomerang/Confluence); beats "
         "Boomerang everywhere; trails Confluence only on Oracle");
 
+    struct Row
+    {
+        std::string name;
+        std::size_t base, conf, boom, shot;
+    };
+    runner::ExperimentSet set;
+    std::vector<Row> rows;
+    for (const auto &preset : allPresets()) {
+        if (!bench::workloadSelected(opts, preset.name))
+            continue;
+        Row row;
+        row.name = preset.name;
+        row.base = set.addBaseline(preset, opts.warmupInstructions,
+                                   opts.measureInstructions);
+        row.conf = set.add(
+            preset, "confluence",
+            bench::configFor(preset, SchemeType::Confluence, opts));
+        row.boom = set.add(
+            preset, "boomerang",
+            bench::configFor(preset, SchemeType::Boomerang, opts));
+        row.shot = set.add(
+            preset, "shotgun",
+            bench::configFor(preset, SchemeType::Shotgun, opts));
+        rows.push_back(std::move(row));
+    }
+    const auto results = bench::runGrid(set, opts, "fig6_stall_coverage");
+
     TextTable table("Figure 6 (stall-cycle coverage vs no-prefetch)");
     table.row().cell("Workload").cell("Confluence").cell("Boomerang")
         .cell("Shotgun");
 
     double sum_conf = 0, sum_boom = 0, sum_shot = 0;
-    int count = 0;
-    for (const auto &preset : allPresets()) {
-        if (!bench::workloadSelected(opts, preset.name))
-            continue;
-        const SimResult base = baselineFor(
-            preset, opts.warmupInstructions, opts.measureInstructions);
-
-        auto coverage = [&](SchemeType type) {
-            SimConfig config = SimConfig::make(preset, type);
-            config.warmupInstructions = opts.warmupInstructions;
-            config.measureInstructions = opts.measureInstructions;
-            return stallCoverage(runSimulation(config), base);
-        };
-
-        const double conf = coverage(SchemeType::Confluence);
-        const double boom = coverage(SchemeType::Boomerang);
-        const double shot = coverage(SchemeType::Shotgun);
+    for (const auto &row : rows) {
+        const SimResult &base = results[row.base];
+        const double conf = stallCoverage(results[row.conf], base);
+        const double boom = stallCoverage(results[row.boom], base);
+        const double shot = stallCoverage(results[row.shot], base);
         sum_conf += conf;
         sum_boom += boom;
         sum_shot += shot;
-        ++count;
-        table.row().cell(preset.name).percentCell(conf)
+        table.row().cell(row.name).percentCell(conf)
             .percentCell(boom).percentCell(shot);
     }
-    if (count > 0) {
-        table.row().cell("avg").percentCell(sum_conf / count)
-            .percentCell(sum_boom / count).percentCell(sum_shot / count);
+    if (!rows.empty()) {
+        const double n = static_cast<double>(rows.size());
+        table.row().cell("avg").percentCell(sum_conf / n)
+            .percentCell(sum_boom / n).percentCell(sum_shot / n);
     }
     table.print(std::cout);
     return 0;

@@ -24,31 +24,47 @@ main(int argc, char **argv)
         "Shotgun avg ~1.32 (+5% over Boomerang/Confluence); "
         "+10% over Boomerang on DB2, +8% on Oracle");
 
+    struct Row
+    {
+        std::string name;
+        std::size_t base, conf, boom, shot;
+    };
+    runner::ExperimentSet set;
+    std::vector<Row> rows;
+    for (const auto &preset : allPresets()) {
+        if (!bench::workloadSelected(opts, preset.name))
+            continue;
+        Row row;
+        row.name = preset.name;
+        row.base = set.addBaseline(preset, opts.warmupInstructions,
+                                   opts.measureInstructions);
+        row.conf = set.add(
+            preset, "confluence",
+            bench::configFor(preset, SchemeType::Confluence, opts));
+        row.boom = set.add(
+            preset, "boomerang",
+            bench::configFor(preset, SchemeType::Boomerang, opts));
+        row.shot = set.add(
+            preset, "shotgun",
+            bench::configFor(preset, SchemeType::Shotgun, opts));
+        rows.push_back(std::move(row));
+    }
+    const auto results = bench::runGrid(set, opts, "fig7_speedup");
+
     TextTable table("Figure 7 (speedup over no-prefetch baseline)");
     table.row().cell("Workload").cell("Confluence").cell("Boomerang")
         .cell("Shotgun");
 
     std::vector<double> g_conf, g_boom, g_shot;
-    for (const auto &preset : allPresets()) {
-        if (!bench::workloadSelected(opts, preset.name))
-            continue;
-        const SimResult base = baselineFor(
-            preset, opts.warmupInstructions, opts.measureInstructions);
-
-        auto run = [&](SchemeType type) {
-            SimConfig config = SimConfig::make(preset, type);
-            config.warmupInstructions = opts.warmupInstructions;
-            config.measureInstructions = opts.measureInstructions;
-            return speedup(runSimulation(config), base);
-        };
-
-        const double conf = run(SchemeType::Confluence);
-        const double boom = run(SchemeType::Boomerang);
-        const double shot = run(SchemeType::Shotgun);
+    for (const auto &row : rows) {
+        const SimResult &base = results[row.base];
+        const double conf = speedup(results[row.conf], base);
+        const double boom = speedup(results[row.boom], base);
+        const double shot = speedup(results[row.shot], base);
         g_conf.push_back(conf);
         g_boom.push_back(boom);
         g_shot.push_back(shot);
-        table.row().cell(preset.name).cell(conf, 3).cell(boom, 3)
+        table.row().cell(row.name).cell(conf, 3).cell(boom, 3)
             .cell(shot, 3);
     }
     table.row().cell("gmean").cell(bench::geomean(g_conf), 3)

@@ -30,6 +30,33 @@ main(int argc, char **argv)
         FootprintMode::BitVector32, FootprintMode::EntireRegion,
         FootprintMode::FiveBlocks};
 
+    struct Row
+    {
+        std::string name;
+        std::size_t base;
+        std::vector<std::size_t> points;
+    };
+    runner::ExperimentSet set;
+    std::vector<Row> rows;
+    for (const auto &preset : allPresets()) {
+        if (!bench::workloadSelected(opts, preset.name))
+            continue;
+        Row row;
+        row.name = preset.name;
+        row.base = set.addBaseline(preset, opts.warmupInstructions,
+                                   opts.measureInstructions);
+        for (const auto mode : modes) {
+            SimConfig config =
+                bench::configFor(preset, SchemeType::Shotgun, opts);
+            config.scheme.shotgun = ShotgunBTBConfig::forMode(mode);
+            row.points.push_back(set.add(
+                preset, footprintModeName(mode), std::move(config)));
+        }
+        rows.push_back(std::move(row));
+    }
+    const auto results =
+        bench::runGrid(set, opts, "fig8_footprint_coverage");
+
     TextTable table("Figure 8 (Shotgun stall-cycle coverage)");
     {
         auto &row = table.row().cell("Workload");
@@ -38,31 +65,20 @@ main(int argc, char **argv)
     }
 
     std::vector<double> sums(std::size(modes), 0.0);
-    int count = 0;
-    for (const auto &preset : allPresets()) {
-        if (!bench::workloadSelected(opts, preset.name))
-            continue;
-        const SimResult base = baselineFor(
-            preset, opts.warmupInstructions, opts.measureInstructions);
-        auto &row = table.row().cell(preset.name);
+    for (const auto &row : rows) {
+        const SimResult &base = results[row.base];
+        auto &out = table.row().cell(row.name);
         for (std::size_t m = 0; m < std::size(modes); ++m) {
-            SimConfig config =
-                SimConfig::make(preset, SchemeType::Shotgun);
-            config.scheme.shotgun =
-                ShotgunBTBConfig::forMode(modes[m]);
-            config.warmupInstructions = opts.warmupInstructions;
-            config.measureInstructions = opts.measureInstructions;
             const double cov =
-                stallCoverage(runSimulation(config), base);
+                stallCoverage(results[row.points[m]], base);
             sums[m] += cov;
-            row.percentCell(cov);
+            out.percentCell(cov);
         }
-        ++count;
     }
-    if (count > 0) {
-        auto &row = table.row().cell("avg");
+    if (!rows.empty()) {
+        auto &out = table.row().cell("avg");
         for (double sum : sums)
-            row.percentCell(sum / count);
+            out.percentCell(sum / static_cast<double>(rows.size()));
     }
     table.print(std::cout);
     return 0;

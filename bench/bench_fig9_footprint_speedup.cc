@@ -29,6 +29,33 @@ main(int argc, char **argv)
         FootprintMode::BitVector32, FootprintMode::EntireRegion,
         FootprintMode::FiveBlocks};
 
+    struct Row
+    {
+        std::string name;
+        std::size_t base;
+        std::vector<std::size_t> points;
+    };
+    runner::ExperimentSet set;
+    std::vector<Row> rows;
+    for (const auto &preset : allPresets()) {
+        if (!bench::workloadSelected(opts, preset.name))
+            continue;
+        Row row;
+        row.name = preset.name;
+        row.base = set.addBaseline(preset, opts.warmupInstructions,
+                                   opts.measureInstructions);
+        for (const auto mode : modes) {
+            SimConfig config =
+                bench::configFor(preset, SchemeType::Shotgun, opts);
+            config.scheme.shotgun = ShotgunBTBConfig::forMode(mode);
+            row.points.push_back(set.add(
+                preset, footprintModeName(mode), std::move(config)));
+        }
+        rows.push_back(std::move(row));
+    }
+    const auto results =
+        bench::runGrid(set, opts, "fig9_footprint_speedup");
+
     TextTable table("Figure 9 (Shotgun speedup over no-prefetch)");
     {
         auto &row = table.row().cell("Workload");
@@ -37,27 +64,18 @@ main(int argc, char **argv)
     }
 
     std::vector<std::vector<double>> columns(std::size(modes));
-    for (const auto &preset : allPresets()) {
-        if (!bench::workloadSelected(opts, preset.name))
-            continue;
-        const SimResult base = baselineFor(
-            preset, opts.warmupInstructions, opts.measureInstructions);
-        auto &row = table.row().cell(preset.name);
+    for (const auto &row : rows) {
+        const SimResult &base = results[row.base];
+        auto &out = table.row().cell(row.name);
         for (std::size_t m = 0; m < std::size(modes); ++m) {
-            SimConfig config =
-                SimConfig::make(preset, SchemeType::Shotgun);
-            config.scheme.shotgun =
-                ShotgunBTBConfig::forMode(modes[m]);
-            config.warmupInstructions = opts.warmupInstructions;
-            config.measureInstructions = opts.measureInstructions;
-            const double sp = speedup(runSimulation(config), base);
+            const double sp = speedup(results[row.points[m]], base);
             columns[m].push_back(sp);
-            row.cell(sp, 3);
+            out.cell(sp, 3);
         }
     }
-    auto &row = table.row().cell("gmean");
+    auto &out = table.row().cell("gmean");
     for (const auto &column : columns)
-        row.cell(bench::geomean(column), 3);
+        out.cell(bench::geomean(column), 3);
     table.print(std::cout);
     return 0;
 }

@@ -24,19 +24,35 @@ main(int argc, char **argv)
 
     const double paper[] = {2.5, 14.5, 23.7, 14.6, 45.1, 40.2};
 
-    TextTable table("Table 1");
-    table.row().cell("Workload").cell("BTB MPKI (measured)")
-        .cell("BTB MPKI (paper)").cell("L1-I MPKI (measured)");
-
+    struct Row
+    {
+        std::string name;
+        double paperMPKI;
+        std::size_t base;
+    };
+    runner::ExperimentSet set;
+    std::vector<Row> rows;
     int i = 0;
     for (const auto &preset : allPresets()) {
         const int paper_idx = i++;
         if (!bench::workloadSelected(opts, preset.name))
             continue;
-        const SimResult base = baselineFor(
-            preset, opts.warmupInstructions, opts.measureInstructions);
-        table.row().cell(preset.name).cell(base.btbMPKI, 1)
-            .cell(paper[paper_idx], 1).cell(base.l1iMPKI, 1);
+        Row row;
+        row.name = preset.name;
+        row.paperMPKI = paper[paper_idx];
+        row.base = set.addBaseline(preset, opts.warmupInstructions,
+                                   opts.measureInstructions);
+        rows.push_back(std::move(row));
+    }
+    const auto results = bench::runGrid(set, opts, "table1_btb_mpki");
+
+    TextTable table("Table 1");
+    table.row().cell("Workload").cell("BTB MPKI (measured)")
+        .cell("BTB MPKI (paper)").cell("L1-I MPKI (measured)");
+    for (const auto &row : rows) {
+        const SimResult &base = results[row.base];
+        table.row().cell(row.name).cell(base.btbMPKI, 1)
+            .cell(row.paperMPKI, 1).cell(base.l1iMPKI, 1);
     }
     table.print(std::cout);
     return 0;

@@ -4,36 +4,88 @@
  * command-line knobs and characterize it the way Sec 3 of the paper
  * characterizes its commercial workloads -- code footprint, branch
  * mix, BTB/L1-I pressure, region spatial locality, and hot-branch
- * coverage. Useful for generating new calibration points beyond the
- * six shipped presets.
+ * coverage. Then runs the main delivery schemes on the custom
+ * workload through the experiment runner (concurrently, --jobs) for
+ * an instant paper-style comparison. Useful for generating new
+ * calibration points beyond the six shipped presets.
  *
- * Usage: workload_studio [numFuncs] [zipfAlpha] [instructions]
+ * Usage: workload_studio [numFuncs] [zipfAlpha] [instructions] [--jobs N]
  */
 
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <limits>
 #include <unordered_map>
 #include <vector>
 
 #include "btb/conventional_btb.hh"
 #include "cache/cache.hh"
 #include "common/stats.hh"
+#include "runner/experiment.hh"
+#include "sim/simulator.hh"
 #include "trace/generator.hh"
 #include "trace/program.hh"
 
 using namespace shotgun;
+
+namespace
+{
+
+/** Strict positive count for --jobs; exits with usage on bad input. */
+unsigned
+parseJobsArg(const char *text)
+{
+    char *end = nullptr;
+    const unsigned long value =
+        text ? std::strtoul(text, &end, 10) : 0;
+    if (text == nullptr || *text == '\0' || *end != '\0' ||
+        value == 0 ||
+        value > std::numeric_limits<unsigned>::max()) {
+        std::fprintf(stderr,
+                     "--jobs: expected a positive count, got '%s'\n",
+                     text ? text : "");
+        std::exit(2);
+    }
+    return static_cast<unsigned>(value);
+}
+
+} // namespace
 
 int
 main(int argc, char **argv)
 {
     ProgramParams params;
     params.name = "studio";
-    params.numFuncs =
-        argc > 1 ? static_cast<std::uint32_t>(std::atoi(argv[1])) : 6000;
-    params.zipfAlpha = argc > 2 ? std::atof(argv[2]) : 0.95;
-    const std::uint64_t instructions =
-        argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 3000000;
+    params.numFuncs = 6000;
+    params.zipfAlpha = 0.95;
+    std::uint64_t instructions = 3000000;
+    unsigned jobs = 0; // all cores
+    int positional = 0;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--jobs") == 0) {
+            jobs = parseJobsArg(i + 1 < argc ? argv[++i] : nullptr);
+        } else if (std::strncmp(argv[i], "--", 2) == 0) {
+            std::fprintf(stderr,
+                         "unknown option '%s'\nusage: workload_studio "
+                         "[numFuncs] [zipfAlpha] [instructions] "
+                         "[--jobs N]\n",
+                         argv[i]);
+            return 2;
+        } else if (positional == 0) {
+            params.numFuncs =
+                static_cast<std::uint32_t>(std::atoi(argv[i]));
+            ++positional;
+        } else if (positional == 1) {
+            params.zipfAlpha = std::atof(argv[i]);
+            ++positional;
+        } else if (positional == 2) {
+            instructions = std::strtoull(argv[i], nullptr, 10);
+            ++positional;
+        }
+    }
     params.numOsFuncs = params.numFuncs / 5;
     params.seed = 0x57d10;
 
@@ -121,5 +173,42 @@ main(int argc, char **argv)
     std::printf("hot set: top-2K static branches cover %.1f%% of "
                 "dynamic branches (%zu sites seen)\n",
                 100.0 * running / total, branch_counts.size());
+
+    // Paper-style scheme comparison on the custom workload, fanned out
+    // over the experiment runner.
+    WorkloadPreset preset;
+    preset.name = params.name;
+    preset.program = params;
+
+    runner::ExperimentSet set;
+    const std::size_t base_idx =
+        set.addBaseline(preset, instructions / 2, instructions);
+    std::vector<std::pair<std::string, std::size_t>> points;
+    for (SchemeType type : {SchemeType::Boomerang,
+                            SchemeType::Confluence,
+                            SchemeType::Shotgun}) {
+        SimConfig config = SimConfig::make(preset, type);
+        config.warmupInstructions = instructions / 2;
+        config.measureInstructions = instructions;
+        points.emplace_back(
+            schemeTypeName(type),
+            set.add(preset, schemeTypeName(type), std::move(config)));
+    }
+
+    runner::RunnerOptions runner_opts;
+    runner_opts.jobs = jobs;
+    const auto results =
+        runner::ExperimentRunner(runner_opts).run(set);
+    const SimResult &base = results[base_idx];
+
+    std::printf("\ndelivery schemes on '%s' (baseline IPC %.3f):\n",
+                preset.name.c_str(), base.ipc);
+    for (const auto &[name, index] : points) {
+        const SimResult &r = results[index];
+        std::printf("  %-10s speedup %.3fx | FE coverage %5.1f%% | "
+                    "L1-I MPKI %.1f\n",
+                    name.c_str(), speedup(r, base),
+                    100.0 * stallCoverage(r, base), r.l1iMPKI);
+    }
     return 0;
 }

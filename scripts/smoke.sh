@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Smoke test: configure, build, run the unit/integration test suite,
+# then exercise the parallel experiment runner end-to-end with one
+# quick bench sweep that must emit JSON/CSV results.
+#
+# Usage: scripts/smoke.sh [build-dir]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+
+echo "== configure =="
+cmake -B "$BUILD_DIR" -S .
+
+echo "== build =="
+cmake --build "$BUILD_DIR" -j
+
+echo "== ctest =="
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+
+echo "== bench smoke (fig7, --quick --jobs 2) =="
+OUT="$BUILD_DIR/smoke/fig7_speedup"
+"$BUILD_DIR/bench_fig7_speedup" --quick --jobs 2 --workload nutch \
+    --no-progress --out "$OUT"
+
+for ext in json csv; do
+    test -s "$OUT.$ext" || {
+        echo "missing result file $OUT.$ext" >&2
+        exit 1
+    }
+done
+grep -q '"experiment": "fig7_speedup"' "$OUT.json"
+grep -q '"label": "shotgun"' "$OUT.json"
+
+echo "smoke OK"

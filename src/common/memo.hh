@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Thread-safe once-per-key memoization. The table maps a key to a
+ * shared_future of the value: the first caller for a key computes
+ * outside the table lock (so distinct keys build concurrently), every
+ * concurrent duplicate waits on the same future, and later callers
+ * hit the cache. If the compute function throws, the entry is removed
+ * so a subsequent call can retry, and waiters see the exception.
+ */
+
+#ifndef SHOTGUN_COMMON_MEMO_HH
+#define SHOTGUN_COMMON_MEMO_HH
+
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <utility>
+
+namespace shotgun
+{
+
+template <typename Key, typename Value>
+class MemoCache
+{
+  public:
+    /**
+     * Return the cached value for `key`, running `compute` (signature
+     * `Value()`) at most once per key. The returned shared_ptr keeps
+     * the value alive independent of the cache.
+     */
+    template <typename Fn>
+    std::shared_ptr<const Value> get(const Key &key, Fn &&compute)
+    {
+        std::shared_future<std::shared_ptr<const Value>> future;
+        bool mine = false;
+        std::promise<std::shared_ptr<const Value>> promise;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            auto it = entries_.find(key);
+            if (it == entries_.end()) {
+                future = promise.get_future().share();
+                entries_.emplace(key, future);
+                mine = true;
+            } else {
+                future = it->second;
+            }
+        }
+
+        if (mine) {
+            try {
+                promise.set_value(std::make_shared<const Value>(
+                    std::forward<Fn>(compute)()));
+            } catch (...) {
+                {
+                    std::lock_guard<std::mutex> lock(mutex_);
+                    entries_.erase(key);
+                }
+                promise.set_exception(std::current_exception());
+                throw;
+            }
+        }
+        return future.get();
+    }
+
+    std::size_t size() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return entries_.size();
+    }
+
+  private:
+    mutable std::mutex mutex_;
+    std::map<Key, std::shared_future<std::shared_ptr<const Value>>>
+        entries_;
+};
+
+} // namespace shotgun
+
+#endif // SHOTGUN_COMMON_MEMO_HH

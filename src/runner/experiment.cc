@@ -1,0 +1,128 @@
+#include "runner/experiment.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <future>
+
+#include "runner/progress.hh"
+#include "runner/thread_pool.hh"
+
+namespace shotgun
+{
+namespace runner
+{
+
+std::size_t
+ExperimentSet::add(const WorkloadPreset &preset, std::string label,
+                   SimConfig config)
+{
+    Experiment exp;
+    exp.workload = preset.name;
+    exp.label = std::move(label);
+    exp.config = std::move(config);
+    all_.push_back(std::move(exp));
+    return all_.size() - 1;
+}
+
+std::size_t
+ExperimentSet::addBaseline(const WorkloadPreset &preset,
+                           std::uint64_t warmup, std::uint64_t measure,
+                           std::uint64_t trace_seed)
+{
+    auto it = baselines_.find(preset.name);
+    if (it != baselines_.end())
+        return it->second;
+
+    SimConfig config = SimConfig::make(preset, SchemeType::Baseline);
+    config.warmupInstructions = warmup;
+    config.measureInstructions = measure;
+    config.traceSeed = trace_seed;
+    const std::size_t index = add(preset, "baseline", std::move(config));
+    all_[index].viaBaselineCache = true;
+    baselines_.emplace(preset.name, index);
+    return index;
+}
+
+std::size_t
+ExperimentSet::baselineIndex(const std::string &workload) const
+{
+    auto it = baselines_.find(workload);
+    return it == baselines_.end() ? npos : it->second;
+}
+
+ExperimentRunner::ExperimentRunner(RunnerOptions options)
+    : options_(options)
+{
+}
+
+unsigned
+ExperimentRunner::effectiveJobs(std::size_t grid_size) const
+{
+    const unsigned requested =
+        options_.jobs == 0 ? ThreadPool::hardwareJobs() : options_.jobs;
+    if (grid_size == 0)
+        return 1;
+    return static_cast<unsigned>(
+        std::min<std::size_t>(requested, grid_size));
+}
+
+std::vector<SimResult>
+ExperimentRunner::run(const ExperimentSet &set, ResultSink *sink) const
+{
+    const auto &grid = set.experiments();
+    if (grid.empty())
+        return {};
+
+    ProgressReporter progress(grid.size(), options_.progress);
+    ThreadPool pool(effectiveJobs(grid.size()));
+
+    std::vector<std::future<SimResult>> futures;
+    futures.reserve(grid.size());
+    for (const Experiment &exp : grid) {
+        futures.push_back(pool.submit([&exp, &progress]() {
+            const auto start = std::chrono::steady_clock::now();
+            SimResult result =
+                exp.viaBaselineCache
+                    ? baselineFor(exp.config.workload,
+                                  exp.config.warmupInstructions,
+                                  exp.config.measureInstructions,
+                                  exp.config.traceSeed)
+                    : runSimulation(exp.config);
+            const double seconds =
+                std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+            progress.completed(exp.workload + "/" + exp.label, seconds);
+            return result;
+        }));
+    }
+
+    // Collect in grid order so results (and any sink/file output) are
+    // independent of scheduling. get() rethrows a simulation's
+    // exception; the pool destructor still drains the rest first.
+    std::vector<SimResult> results;
+    results.reserve(grid.size());
+    for (auto &future : futures)
+        results.push_back(future.get());
+
+    if (sink) {
+        for (std::size_t i = 0; i < grid.size(); ++i) {
+            ResultRow row;
+            row.workload = grid[i].workload;
+            row.label = grid[i].label;
+            row.result = results[i];
+            const std::size_t base = set.baselineIndex(row.workload);
+            if (base != ExperimentSet::npos) {
+                row.hasBaseline = true;
+                row.speedup = speedup(results[i], results[base]);
+                row.stallCoverage =
+                    stallCoverage(results[i], results[base]);
+            }
+            sink->add(std::move(row));
+        }
+    }
+    return results;
+}
+
+} // namespace runner
+} // namespace shotgun

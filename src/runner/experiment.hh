@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Experiment orchestration: a declarative grid of simulations
+ * (ExperimentSet) executed concurrently across a worker pool
+ * (ExperimentRunner). Results come back index-aligned with the grid,
+ * and every simulation is a pure function of its SimConfig, so a run
+ * with --jobs N is bitwise-identical to a serial run -- parallelism
+ * only changes wall-clock time.
+ */
+
+#ifndef SHOTGUN_RUNNER_EXPERIMENT_HH
+#define SHOTGUN_RUNNER_EXPERIMENT_HH
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "runner/result_sink.hh"
+#include "sim/simulator.hh"
+
+namespace shotgun
+{
+namespace runner
+{
+
+/** One grid point: a labelled simulation configuration. */
+struct Experiment
+{
+    std::string workload; ///< Preset name (grouping key for baselines).
+    std::string label;    ///< Scheme/variant, e.g. "shotgun@1K".
+    SimConfig config;
+
+    /**
+     * Route through baselineFor()'s process-wide memo instead of a
+     * direct runSimulation(), so ad-hoc baselineFor() callers later in
+     * the binary get a cache hit instead of a re-run.
+     */
+    bool viaBaselineCache = false;
+};
+
+/**
+ * An ordered grid of experiments. add() returns the experiment's
+ * index; the runner's result vector uses the same indices.
+ */
+class ExperimentSet
+{
+  public:
+    /** Append a grid point; returns its index. */
+    std::size_t add(const WorkloadPreset &preset, std::string label,
+                    SimConfig config);
+
+    /**
+     * Append the workload's no-prefetch baseline (memoized, label
+     * "baseline"). Idempotent per (workload, lengths are taken from
+     * the first call): returns the existing index when already added.
+     */
+    std::size_t addBaseline(const WorkloadPreset &preset,
+                            std::uint64_t warmup, std::uint64_t measure,
+                            std::uint64_t trace_seed = 1);
+
+    /** Index of the workload's baseline entry, or npos. */
+    std::size_t baselineIndex(const std::string &workload) const;
+
+    static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+    const std::vector<Experiment> &experiments() const { return all_; }
+    std::size_t size() const { return all_.size(); }
+    bool empty() const { return all_.empty(); }
+
+  private:
+    std::vector<Experiment> all_;
+    std::unordered_map<std::string, std::size_t> baselines_;
+};
+
+struct RunnerOptions
+{
+    /** Worker threads; 0 means one per hardware thread. */
+    unsigned jobs = 0;
+
+    /** Progress/ETA stream; nullptr runs quietly. */
+    std::ostream *progress = nullptr;
+};
+
+class ExperimentRunner
+{
+  public:
+    explicit ExperimentRunner(RunnerOptions options = {});
+
+    /**
+     * Execute every experiment, `jobs` at a time. The returned vector
+     * is index-aligned with `set.experiments()` and independent of the
+     * job count. The first exception thrown by a simulation is
+     * rethrown here once in-flight work finishes.
+     *
+     * When `sink` is non-null, one ResultRow per experiment is
+     * appended in grid order; rows whose workload has a baseline entry
+     * in the grid carry speedup/stall-coverage against it.
+     */
+    std::vector<SimResult> run(const ExperimentSet &set,
+                               ResultSink *sink = nullptr) const;
+
+    /** The worker count run() will use. */
+    unsigned effectiveJobs(std::size_t grid_size) const;
+
+  private:
+    RunnerOptions options_;
+};
+
+} // namespace runner
+} // namespace shotgun
+
+#endif // SHOTGUN_RUNNER_EXPERIMENT_HH

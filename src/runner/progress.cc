@@ -1,0 +1,73 @@
+#include "runner/progress.hh"
+
+#include <cmath>
+#include <cstdio>
+
+namespace shotgun
+{
+namespace runner
+{
+
+ProgressReporter::ProgressReporter(std::size_t total, std::ostream *os)
+    : total_(total), os_(os), start_(Clock::now())
+{
+}
+
+double
+ProgressReporter::elapsedSeconds() const
+{
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+}
+
+std::size_t
+ProgressReporter::done() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return done_;
+}
+
+void
+ProgressReporter::completed(const std::string &label, double seconds)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++done_;
+    if (!os_)
+        return;
+    const double elapsed = elapsedSeconds();
+    char line[256];
+    if (done_ < total_) {
+        const double eta =
+            elapsed / static_cast<double>(done_) *
+            static_cast<double>(total_ - done_);
+        std::snprintf(line, sizeof(line),
+                      "[%zu/%zu] %s (%.1fs)  eta %s\n", done_, total_,
+                      label.c_str(), seconds,
+                      formatDuration(eta).c_str());
+    } else {
+        std::snprintf(line, sizeof(line),
+                      "[%zu/%zu] %s (%.1fs)  total %s\n", done_, total_,
+                      label.c_str(), seconds,
+                      formatDuration(elapsed).c_str());
+    }
+    (*os_) << line << std::flush;
+}
+
+std::string
+formatDuration(double seconds)
+{
+    char buf[64];
+    const long total = static_cast<long>(std::lround(seconds));
+    if (total < 100) {
+        std::snprintf(buf, sizeof(buf), "%lds", total);
+    } else if (total < 3600) {
+        std::snprintf(buf, sizeof(buf), "%ldm%02lds", total / 60,
+                      total % 60);
+    } else {
+        std::snprintf(buf, sizeof(buf), "%ldh%02ldm", total / 3600,
+                      (total % 3600) / 60);
+    }
+    return buf;
+}
+
+} // namespace runner
+} // namespace shotgun

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Thread-safe progress/ETA reporter for long experiment sweeps. One
+ * line per completed data point: counter, label, per-point runtime,
+ * and a wall-clock ETA extrapolated from throughput so far.
+ */
+
+#ifndef SHOTGUN_RUNNER_PROGRESS_HH
+#define SHOTGUN_RUNNER_PROGRESS_HH
+
+#include <chrono>
+#include <cstddef>
+#include <mutex>
+#include <ostream>
+#include <string>
+
+namespace shotgun
+{
+namespace runner
+{
+
+class ProgressReporter
+{
+  public:
+    /**
+     * @param total number of data points in the sweep.
+     * @param os    stream to report on; nullptr silences the reporter.
+     */
+    ProgressReporter(std::size_t total, std::ostream *os);
+
+    /** Record (and possibly print) completion of one data point. */
+    void completed(const std::string &label, double seconds);
+
+    std::size_t done() const;
+
+    /** Seconds since the reporter was constructed. */
+    double elapsedSeconds() const;
+
+  private:
+    using Clock = std::chrono::steady_clock;
+
+    const std::size_t total_;
+    std::ostream *os_;
+    const Clock::time_point start_;
+
+    mutable std::mutex mutex_;
+    std::size_t done_ = 0;
+};
+
+/** "73s" / "4m08s" / "1h02m" -- compact ETA formatting. */
+std::string formatDuration(double seconds);
+
+} // namespace runner
+} // namespace shotgun
+
+#endif // SHOTGUN_RUNNER_PROGRESS_HH

@@ -1,0 +1,192 @@
+#include "runner/result_sink.hh"
+
+#include <filesystem>
+#include <fstream>
+#include <iomanip>
+
+#include "common/logging.hh"
+#include "common/table.hh"
+
+namespace shotgun
+{
+namespace runner
+{
+
+namespace
+{
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+/** Shortest round-trippable formatting keeps files cross-job stable. */
+std::ostream &
+num(std::ostream &os, double v)
+{
+    os << std::setprecision(17) << v;
+    return os;
+}
+
+void
+writeRowJson(std::ostream &os, const ResultRow &row)
+{
+    const SimResult &r = row.result;
+    os << "    {\"workload\": \"" << jsonEscape(row.workload)
+       << "\", \"label\": \"" << jsonEscape(row.label) << "\",\n"
+       << "     \"instructions\": " << r.instructions
+       << ", \"cycles\": " << r.cycles << ", \"ipc\": ";
+    num(os, r.ipc) << ",\n     \"btb_mpki\": ";
+    num(os, r.btbMPKI) << ", \"l1i_mpki\": ";
+    num(os, r.l1iMPKI) << ", \"mispredicts_per_ki\": ";
+    num(os, r.mispredictsPerKI) << ",\n     \"fe_stall_cycles\": "
+       << r.frontEndStallCycles
+       << ", \"stall_icache\": " << r.stalls.icache
+       << ", \"stall_btb_resolve\": " << r.stalls.btbResolve
+       << ", \"stall_misfetch\": " << r.stalls.misfetch
+       << ", \"stall_mispredict\": " << r.stalls.mispredict
+       << ",\n     \"prefetch_accuracy\": ";
+    num(os, r.prefetchAccuracy) << ", \"avg_l1d_fill_cycles\": ";
+    num(os, r.avgL1DFillCycles)
+        << ", \"prefetches_issued\": " << r.prefetchesIssued
+        << ", \"storage_bits\": " << r.schemeStorageBits;
+    if (row.hasBaseline) {
+        os << ",\n     \"speedup\": ";
+        num(os, row.speedup) << ", \"stall_coverage\": ";
+        num(os, row.stallCoverage);
+    }
+    os << "}";
+}
+
+} // namespace
+
+ResultSink::ResultSink(std::string experiment)
+    : experiment_(std::move(experiment))
+{
+}
+
+void
+ResultSink::add(ResultRow row)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    rows_.push_back(std::move(row));
+}
+
+std::size_t
+ResultSink::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return rows_.size();
+}
+
+std::vector<ResultRow>
+ResultSink::rows() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return rows_;
+}
+
+void
+ResultSink::printTable(std::ostream &os) const
+{
+    TextTable table(experiment_);
+    table.row().cell("Workload").cell("Scheme").cell("IPC")
+        .cell("Speedup").cell("FE cov").cell("L1-I MPKI")
+        .cell("BTB MPKI").cell("PF acc");
+    for (const auto &row : rows()) {
+        auto &r = table.row().cell(row.workload).cell(row.label)
+                      .cell(row.result.ipc, 3);
+        if (row.hasBaseline) {
+            r.cell(row.speedup, 3).percentCell(row.stallCoverage);
+        } else {
+            r.cell("-").cell("-");
+        }
+        r.cell(row.result.l1iMPKI, 1).cell(row.result.btbMPKI, 1)
+            .percentCell(row.result.prefetchAccuracy);
+    }
+    table.print(os);
+}
+
+void
+ResultSink::writeJson(std::ostream &os) const
+{
+    os << "{\n  \"experiment\": \"" << jsonEscape(experiment_)
+       << "\",\n  \"rows\": [\n";
+    const auto snapshot = rows();
+    for (std::size_t i = 0; i < snapshot.size(); ++i) {
+        writeRowJson(os, snapshot[i]);
+        os << (i + 1 < snapshot.size() ? ",\n" : "\n");
+    }
+    os << "  ]\n}\n";
+}
+
+void
+ResultSink::writeCsv(std::ostream &os) const
+{
+    os << "workload,label,instructions,cycles,ipc,btb_mpki,l1i_mpki,"
+          "mispredicts_per_ki,fe_stall_cycles,prefetch_accuracy,"
+          "avg_l1d_fill_cycles,prefetches_issued,storage_bits,"
+          "speedup,stall_coverage\n";
+    for (const auto &row : rows()) {
+        const SimResult &r = row.result;
+        os << row.workload << ',' << row.label << ','
+           << r.instructions << ',' << r.cycles << ',';
+        num(os, r.ipc) << ',';
+        num(os, r.btbMPKI) << ',';
+        num(os, r.l1iMPKI) << ',';
+        num(os, r.mispredictsPerKI) << ',' << r.frontEndStallCycles
+           << ',';
+        num(os, r.prefetchAccuracy) << ',';
+        num(os, r.avgL1DFillCycles) << ',' << r.prefetchesIssued << ','
+           << r.schemeStorageBits << ',';
+        if (row.hasBaseline) {
+            num(os, row.speedup) << ',';
+            num(os, row.stallCoverage);
+        } else {
+            os << ',';
+        }
+        os << '\n';
+    }
+}
+
+bool
+ResultSink::writeFiles(const std::string &base) const
+{
+    const std::filesystem::path json_path(base + ".json");
+    const std::filesystem::path csv_path(base + ".csv");
+    std::error_code ec;
+    if (json_path.has_parent_path())
+        std::filesystem::create_directories(json_path.parent_path(), ec);
+
+    std::ofstream json(json_path);
+    std::ofstream csv(csv_path);
+    if (!json || !csv) {
+        warn("cannot write results under '%s'", base.c_str());
+        return false;
+    }
+    writeJson(json);
+    writeCsv(csv);
+    return json.good() && csv.good();
+}
+
+} // namespace runner
+} // namespace shotgun

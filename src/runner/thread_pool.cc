@@ -1,0 +1,77 @@
+#include "runner/thread_pool.hh"
+
+#include <algorithm>
+
+namespace shotgun
+{
+namespace runner
+{
+
+ThreadPool::ThreadPool(unsigned threads)
+{
+    const unsigned count = std::max(1u, threads);
+    workers_.reserve(count);
+    for (unsigned i = 0; i < count; ++i)
+        workers_.emplace_back([this]() { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    wake_.notify_all();
+    for (auto &worker : workers_)
+        worker.join();
+}
+
+std::size_t
+ThreadPool::pending() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return queue_.size() + inFlight_;
+}
+
+void
+ThreadPool::enqueue(std::function<void()> task)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        queue_.push_back(std::move(task));
+    }
+    wake_.notify_one();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            wake_.wait(lock,
+                       [this]() { return stopping_ || !queue_.empty(); });
+            if (queue_.empty())
+                return; // stopping_ and drained
+            task = std::move(queue_.front());
+            queue_.pop_front();
+            ++inFlight_;
+        }
+        task(); // packaged_task: exceptions land in the future
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            --inFlight_;
+        }
+    }
+}
+
+unsigned
+ThreadPool::hardwareJobs()
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
+}
+
+} // namespace runner
+} // namespace shotgun

@@ -1,10 +1,76 @@
 #include "sim/simulator.hh"
 
-#include <map>
-#include <mutex>
+#include <cstring>
+#include <tuple>
+#include <utility>
+
+#include "common/memo.hh"
 
 namespace shotgun
 {
+
+namespace
+{
+
+std::uint64_t
+mixIn(std::uint64_t hash, std::uint64_t value)
+{
+    return mix64(hash ^ mix64(value));
+}
+
+std::uint64_t
+mixIn(std::uint64_t hash, double value)
+{
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &value, sizeof(bits));
+    return mixIn(hash, bits);
+}
+
+/**
+ * Identity of a program image: every ProgramParams field that shapes
+ * generation. Two presets may share a name (e.g. ad-hoc "studio"
+ * workloads) yet differ in knobs; the caches must treat them as
+ * distinct.
+ */
+std::uint64_t
+programFingerprint(const ProgramParams &p)
+{
+    std::uint64_t h = mix64(0x5107611);
+    for (std::uint64_t v :
+         {std::uint64_t(p.numFuncs), std::uint64_t(p.numOsFuncs),
+          std::uint64_t(p.numTrapHandlers), std::uint64_t(p.numTopLevel),
+          std::uint64_t(p.minBBInstrs), std::uint64_t(p.maxBBInstrs),
+          std::uint64_t(p.minBBsPerFunc), std::uint64_t(p.maxBBsPerFunc),
+          std::uint64_t(p.largeFuncBBs), std::uint64_t(p.minLoopTrip),
+          std::uint64_t(p.maxLoopTrip), std::uint64_t(p.maxCondSkip),
+          std::uint64_t(p.maxCallDepth), std::uint64_t(p.maxOsCallDepth),
+          p.seed}) {
+        h = mixIn(h, v);
+    }
+    for (double v :
+         {p.zipfAlpha, p.osZipfAlpha, p.topZipfAlpha, p.bbGrowProb,
+          p.funcGrowProb, p.largeFuncFrac, p.condFrac, p.callFrac,
+          p.jumpFrac, p.trapFrac, p.loopFrac, p.patternFrac,
+          p.strongFrac, p.mediumFrac, p.strongProb, p.mediumProb,
+          p.weakProb, p.takenBiasFrac, p.stickyFrac}) {
+        h = mixIn(h, v);
+    }
+    return h;
+}
+
+/** Program identity plus the preset's data-side behaviour. */
+std::uint64_t
+presetFingerprint(const WorkloadPreset &preset)
+{
+    std::uint64_t h = programFingerprint(preset.program);
+    h = mixIn(h, preset.loadFrac);
+    h = mixIn(h, preset.l1dMissRate);
+    h = mixIn(h, preset.llcDataMissFrac);
+    h = mixIn(h, preset.backgroundLoad);
+    return h;
+}
+
+} // namespace
 
 SimConfig
 SimConfig::make(const WorkloadPreset &workload, SchemeType type)
@@ -41,20 +107,19 @@ stallCoverage(const SimResult &result, const SimResult &baseline)
 const Program &
 programFor(const WorkloadPreset &preset)
 {
-    static std::mutex mutex;
-    static std::map<std::pair<std::string, std::uint64_t>,
-                    std::unique_ptr<Program>>
+    // Key on (name, fingerprint of every generation parameter):
+    // presets sharing a name but differing in any knob get distinct
+    // images. MemoCache computes outside its lock, so two threads
+    // building *different* programs proceed in parallel while
+    // duplicates wait.
+    static MemoCache<std::pair<std::string, std::uint64_t>, Program>
         cache;
-    std::lock_guard<std::mutex> lock(mutex);
     const auto key = std::make_pair(preset.program.name,
-                                    preset.program.seed);
-    auto it = cache.find(key);
-    if (it == cache.end()) {
-        it = cache.emplace(key,
-                           std::make_unique<Program>(preset.program))
-                 .first;
-    }
-    return *it->second;
+                                    programFingerprint(preset.program));
+    // The cache retains every entry for the process lifetime, so the
+    // reference stays valid.
+    return *cache.get(key,
+                      [&preset]() { return Program(preset.program); });
 }
 
 SimResult
@@ -106,25 +171,24 @@ SimResult
 baselineFor(const WorkloadPreset &preset, std::uint64_t warmup,
             std::uint64_t measure, std::uint64_t trace_seed)
 {
-    static std::mutex mutex;
-    static std::map<std::tuple<std::string, std::uint64_t, std::uint64_t,
-                               std::uint64_t>,
-                    SimResult>
+    // Computed outside the cache's lock: baselines for different
+    // workloads run concurrently, and only one thread simulates a
+    // given (workload, lengths, seed) no matter how many request it.
+    static MemoCache<std::tuple<std::string, std::uint64_t,
+                                std::uint64_t, std::uint64_t,
+                                std::uint64_t>,
+                     SimResult>
         cache;
-    std::lock_guard<std::mutex> lock(mutex);
-    const auto key =
-        std::make_tuple(preset.name, warmup, measure, trace_seed);
-    auto it = cache.find(key);
-    if (it != cache.end())
-        return it->second;
-
-    SimConfig config = SimConfig::make(preset, SchemeType::Baseline);
-    config.warmupInstructions = warmup;
-    config.measureInstructions = measure;
-    config.traceSeed = trace_seed;
-    SimResult result = runSimulation(config);
-    cache.emplace(key, result);
-    return result;
+    const auto key = std::make_tuple(preset.name,
+                                     presetFingerprint(preset), warmup,
+                                     measure, trace_seed);
+    return *cache.get(key, [&]() {
+        SimConfig config = SimConfig::make(preset, SchemeType::Baseline);
+        config.warmupInstructions = warmup;
+        config.measureInstructions = measure;
+        config.traceSeed = trace_seed;
+        return runSimulation(config);
+    });
 }
 
 } // namespace shotgun

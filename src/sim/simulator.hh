@@ -70,7 +70,8 @@ double stallCoverage(const SimResult &result, const SimResult &baseline);
 /**
  * Shared program cache: building a multi-MB synthetic program takes
  * noticeable time, and every scheme must run the *same* image, so
- * programs are memoized by (name, seed).
+ * programs are memoized by (name, fingerprint of all generation
+ * parameters). Thread-safe; distinct programs build concurrently.
  */
 const Program &programFor(const WorkloadPreset &preset);
 
@@ -79,8 +80,9 @@ SimResult runSimulation(const SimConfig &config);
 
 /**
  * Convenience: run the no-prefetch baseline for a workload with the
- * same run lengths (memoized per (workload, lengths, seed) because
- * every figure needs it).
+ * same run lengths (memoized per (workload fingerprint, lengths,
+ * seed) because every figure needs it). Thread-safe; concurrent
+ * requests for one baseline run a single simulation.
  */
 SimResult baselineFor(const WorkloadPreset &preset,
                       std::uint64_t warmup, std::uint64_t measure,

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Unit tests for the bench command-line layer: strict numeric
+ * validation (malformed --instructions/--warmup/--jobs values must be
+ * rejected, never silently defaulted) and the new parallelism/output
+ * options.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_common.hh"
+
+namespace shotgun
+{
+namespace
+{
+
+using bench::BenchOptions;
+using bench::tryParseOptions;
+
+/** argv helper: owns the strings, exposes char** like main(). */
+class Argv
+{
+  public:
+    explicit Argv(std::vector<std::string> args)
+        : strings_(std::move(args))
+    {
+        pointers_.push_back(const_cast<char *>("bench_test"));
+        for (auto &s : strings_)
+            pointers_.push_back(s.data());
+    }
+
+    int argc() const { return static_cast<int>(pointers_.size()); }
+    char **argv() { return pointers_.data(); }
+
+  private:
+    std::vector<std::string> strings_;
+    std::vector<char *> pointers_;
+};
+
+bool
+parse(std::vector<std::string> args, BenchOptions &opts,
+      std::string &error)
+{
+    Argv argv(std::move(args));
+    return tryParseOptions(argv.argc(), argv.argv(), opts, error);
+}
+
+class BenchOptionsTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        // Tests must not inherit the caller's environment overrides.
+        unsetenv("SHOTGUN_BENCH_INSTRS");
+        unsetenv("SHOTGUN_BENCH_WARMUP");
+        unsetenv("SHOTGUN_BENCH_JOBS");
+    }
+
+    BenchOptions opts;
+    std::string error;
+};
+
+TEST_F(BenchOptionsTest, Defaults)
+{
+    ASSERT_TRUE(parse({}, opts, error));
+    EXPECT_EQ(opts.measureInstructions, 5000000u);
+    EXPECT_EQ(opts.warmupInstructions, 2000000u);
+    EXPECT_EQ(opts.jobs, 0u);
+    EXPECT_TRUE(opts.writeFiles);
+    EXPECT_TRUE(opts.showProgress);
+    EXPECT_TRUE(opts.onlyWorkload.empty());
+}
+
+TEST_F(BenchOptionsTest, QuickAndExplicitValues)
+{
+    ASSERT_TRUE(parse({"--quick"}, opts, error));
+    EXPECT_EQ(opts.measureInstructions, 1000000u);
+    EXPECT_EQ(opts.warmupInstructions, 500000u);
+
+    ASSERT_TRUE(parse({"--instructions", "123456", "--warmup", "0",
+                       "--jobs", "3", "--workload", "db2"},
+                      opts, error));
+    EXPECT_EQ(opts.measureInstructions, 123456u);
+    EXPECT_EQ(opts.warmupInstructions, 0u);
+    EXPECT_EQ(opts.jobs, 3u);
+    EXPECT_EQ(opts.onlyWorkload, "db2");
+}
+
+TEST_F(BenchOptionsTest, OutputFlags)
+{
+    ASSERT_TRUE(parse({"--out", "tmp/run", "--no-progress"}, opts,
+                      error));
+    EXPECT_EQ(opts.outBase, "tmp/run");
+    EXPECT_FALSE(opts.showProgress);
+
+    ASSERT_TRUE(parse({"--no-out"}, opts, error));
+    EXPECT_FALSE(opts.writeFiles);
+}
+
+TEST_F(BenchOptionsTest, RejectsMalformedInstructions)
+{
+    EXPECT_FALSE(parse({"--instructions", "10x6"}, opts, error));
+    EXPECT_NE(error.find("--instructions"), std::string::npos);
+
+    EXPECT_FALSE(parse({"--instructions", "-5"}, opts, error));
+    EXPECT_FALSE(parse({"--instructions", ""}, opts, error));
+    EXPECT_FALSE(parse({"--instructions", "1e6"}, opts, error));
+    EXPECT_FALSE(parse({"--instructions", "0"}, opts, error));
+    EXPECT_FALSE(parse({"--instructions"}, opts, error))
+        << "missing value must be an error";
+}
+
+TEST_F(BenchOptionsTest, RejectsMalformedWarmup)
+{
+    EXPECT_FALSE(parse({"--warmup", "abc"}, opts, error));
+    EXPECT_NE(error.find("--warmup"), std::string::npos);
+    EXPECT_FALSE(parse({"--warmup", "12 34"}, opts, error));
+    EXPECT_FALSE(parse({"--warmup"}, opts, error));
+    // Zero warm-up is legitimate.
+    EXPECT_TRUE(parse({"--warmup", "0"}, opts, error));
+}
+
+TEST_F(BenchOptionsTest, RejectsMalformedJobs)
+{
+    EXPECT_FALSE(parse({"--jobs", "many"}, opts, error));
+    EXPECT_FALSE(parse({"--jobs", "0"}, opts, error))
+        << "--jobs 0 is reserved: omit the flag for hardware default";
+    EXPECT_FALSE(parse({"--jobs"}, opts, error));
+    // Values that only fit uint64 must not truncate to unsigned.
+    EXPECT_FALSE(parse({"--jobs", "4294967296"}, opts, error))
+        << "2^32 would silently truncate to 0 (hardware default)";
+    EXPECT_FALSE(parse({"--jobs", "4294967297"}, opts, error));
+}
+
+TEST_F(BenchOptionsTest, RejectsUnknownOption)
+{
+    EXPECT_FALSE(parse({"--frobnicate"}, opts, error));
+    EXPECT_NE(error.find("--frobnicate"), std::string::npos);
+}
+
+TEST_F(BenchOptionsTest, EnvironmentOverridesAreValidated)
+{
+    setenv("SHOTGUN_BENCH_INSTRS", "250000", 1);
+    setenv("SHOTGUN_BENCH_JOBS", "2", 1);
+    ASSERT_TRUE(parse({}, opts, error));
+    EXPECT_EQ(opts.measureInstructions, 250000u);
+    EXPECT_EQ(opts.jobs, 2u);
+
+    setenv("SHOTGUN_BENCH_INSTRS", "zillion", 1);
+    EXPECT_FALSE(parse({}, opts, error));
+    EXPECT_NE(error.find("SHOTGUN_BENCH_INSTRS"), std::string::npos);
+
+    unsetenv("SHOTGUN_BENCH_INSTRS");
+    unsetenv("SHOTGUN_BENCH_JOBS");
+}
+
+TEST_F(BenchOptionsTest, FlagsOverrideEnvironment)
+{
+    setenv("SHOTGUN_BENCH_INSTRS", "250000", 1);
+    ASSERT_TRUE(parse({"--instructions", "750000"}, opts, error));
+    EXPECT_EQ(opts.measureInstructions, 750000u);
+    unsetenv("SHOTGUN_BENCH_INSTRS");
+}
+
+TEST_F(BenchOptionsTest, WorkloadSelection)
+{
+    ASSERT_TRUE(parse({}, opts, error));
+    EXPECT_TRUE(bench::workloadSelected(opts, "oracle"));
+    ASSERT_TRUE(parse({"--workload", "oracle"}, opts, error));
+    EXPECT_TRUE(bench::workloadSelected(opts, "oracle"));
+    EXPECT_FALSE(bench::workloadSelected(opts, "db2"));
+}
+
+TEST_F(BenchOptionsTest, RejectsUnknownWorkload)
+{
+    EXPECT_FALSE(parse({"--workload", "nosuch"}, opts, error));
+    EXPECT_NE(error.find("nosuch"), std::string::npos);
+}
+
+} // namespace
+} // namespace shotgun

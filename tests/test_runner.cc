@@ -1,0 +1,328 @@
+/**
+ * @file
+ * Tests for the src/runner/ experiment-orchestration subsystem: the
+ * thread pool (ordering, results, exception propagation), the
+ * experiment set/grid bookkeeping, the result sink's serialization,
+ * and -- the load-bearing property -- that a parallel grid run is
+ * bitwise-identical to a serial one.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+#include "runner/experiment.hh"
+#include "runner/progress.hh"
+#include "runner/result_sink.hh"
+#include "runner/thread_pool.hh"
+#include "sim/simulator.hh"
+
+namespace shotgun
+{
+namespace
+{
+
+using runner::ExperimentRunner;
+using runner::ExperimentSet;
+using runner::ProgressReporter;
+using runner::ResultRow;
+using runner::ResultSink;
+using runner::RunnerOptions;
+using runner::ThreadPool;
+
+// ---------------------------------------------------------------- ThreadPool
+
+TEST(ThreadPoolTest, RunsEveryTaskExactlyOnce)
+{
+    ThreadPool pool(4);
+    std::atomic<int> counter{0};
+    std::vector<std::future<int>> futures;
+    for (int i = 0; i < 100; ++i) {
+        futures.push_back(pool.submit([&counter, i]() {
+            ++counter;
+            return i;
+        }));
+    }
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(futures[static_cast<std::size_t>(i)].get(), i);
+    EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, FuturesAlignWithSubmissionOrder)
+{
+    // Futures must return each task's own result regardless of which
+    // worker ran it or in what order tasks finished.
+    ThreadPool pool(8);
+    std::vector<std::future<int>> futures;
+    for (int i = 0; i < 64; ++i)
+        futures.push_back(pool.submit([i]() { return i * i; }));
+    for (int i = 0; i < 64; ++i)
+        EXPECT_EQ(futures[static_cast<std::size_t>(i)].get(), i * i);
+}
+
+TEST(ThreadPoolTest, ClampsZeroThreadsToOne)
+{
+    ThreadPool pool(0);
+    EXPECT_EQ(pool.size(), 1u);
+    EXPECT_EQ(pool.submit([]() { return 7; }).get(), 7);
+}
+
+TEST(ThreadPoolTest, PropagatesExceptions)
+{
+    ThreadPool pool(2);
+    auto ok = pool.submit([]() { return 1; });
+    auto bad = pool.submit(
+        []() -> int { throw std::runtime_error("boom"); });
+    auto after = pool.submit([]() { return 2; });
+
+    EXPECT_EQ(ok.get(), 1);
+    EXPECT_THROW(bad.get(), std::runtime_error);
+    // A throwing task must not take down the pool.
+    EXPECT_EQ(after.get(), 2);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueue)
+{
+    std::atomic<int> counter{0};
+    {
+        ThreadPool pool(2);
+        for (int i = 0; i < 50; ++i)
+            pool.submit([&counter]() { ++counter; });
+    } // destructor joins after draining
+    EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPoolTest, UsesMultipleWorkers)
+{
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.size(), 4u);
+    std::mutex mutex;
+    std::condition_variable cv;
+    int waiting = 0;
+    std::vector<std::future<void>> futures;
+    // Tasks only complete once two of them are in flight at the same
+    // time, so the test hangs unless the pool is actually concurrent.
+    for (int i = 0; i < 2; ++i) {
+        futures.push_back(pool.submit([&]() {
+            std::unique_lock<std::mutex> lock(mutex);
+            ++waiting;
+            cv.notify_all();
+            cv.wait(lock, [&]() { return waiting >= 2; });
+        }));
+    }
+    for (auto &future : futures)
+        future.get();
+    EXPECT_EQ(waiting, 2);
+}
+
+// ------------------------------------------------------------ ExperimentSet
+
+TEST(ExperimentSetTest, AddReturnsSequentialIndices)
+{
+    const WorkloadPreset preset = makePreset(WorkloadId::Nutch);
+    ExperimentSet set;
+    EXPECT_EQ(set.add(preset, "a",
+                      SimConfig::make(preset, SchemeType::Shotgun)),
+              0u);
+    EXPECT_EQ(set.add(preset, "b",
+                      SimConfig::make(preset, SchemeType::Boomerang)),
+              1u);
+    EXPECT_EQ(set.size(), 2u);
+    EXPECT_EQ(set.experiments()[1].label, "b");
+}
+
+TEST(ExperimentSetTest, BaselineIsDeduplicated)
+{
+    const WorkloadPreset preset = makePreset(WorkloadId::Nutch);
+    ExperimentSet set;
+    const std::size_t first = set.addBaseline(preset, 1000, 2000);
+    const std::size_t second = set.addBaseline(preset, 1000, 2000);
+    EXPECT_EQ(first, second);
+    EXPECT_EQ(set.size(), 1u);
+    EXPECT_EQ(set.baselineIndex(preset.name), first);
+    EXPECT_EQ(set.baselineIndex("no-such-workload"),
+              ExperimentSet::npos);
+    EXPECT_TRUE(set.experiments()[first].viaBaselineCache);
+}
+
+// ------------------------------------------------------------------ Progress
+
+TEST(ProgressTest, CountsAndFormats)
+{
+    std::ostringstream os;
+    ProgressReporter progress(2, &os);
+    progress.completed("w/a", 0.5);
+    progress.completed("w/b", 0.25);
+    EXPECT_EQ(progress.done(), 2u);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("[1/2] w/a"), std::string::npos);
+    EXPECT_NE(out.find("[2/2] w/b"), std::string::npos);
+    EXPECT_NE(out.find("total"), std::string::npos);
+}
+
+TEST(ProgressTest, NullStreamIsQuiet)
+{
+    ProgressReporter progress(1, nullptr);
+    progress.completed("x", 0.0); // must not crash
+    EXPECT_EQ(progress.done(), 1u);
+}
+
+TEST(ProgressTest, FormatDuration)
+{
+    EXPECT_EQ(runner::formatDuration(7.2), "7s");
+    EXPECT_EQ(runner::formatDuration(125.0), "2m05s");
+    EXPECT_EQ(runner::formatDuration(3723.0), "1h02m");
+}
+
+// ---------------------------------------------------------------- ResultSink
+
+TEST(ResultSinkTest, SerializesRows)
+{
+    ResultSink sink("unit");
+    ResultRow row;
+    row.workload = "nutch";
+    row.label = "shotgun";
+    row.result.instructions = 1000;
+    row.result.cycles = 2000;
+    row.result.ipc = 0.5;
+    row.hasBaseline = true;
+    row.speedup = 1.25;
+    row.stallCoverage = 0.5;
+    sink.add(row);
+
+    std::ostringstream json;
+    sink.writeJson(json);
+    EXPECT_NE(json.str().find("\"experiment\": \"unit\""),
+              std::string::npos);
+    EXPECT_NE(json.str().find("\"workload\": \"nutch\""),
+              std::string::npos);
+    EXPECT_NE(json.str().find("\"speedup\": 1.25"), std::string::npos);
+
+    std::ostringstream csv;
+    sink.writeCsv(csv);
+    EXPECT_NE(csv.str().find("nutch,shotgun,1000,2000,0.5"),
+              std::string::npos);
+
+    std::ostringstream table;
+    sink.printTable(table);
+    EXPECT_NE(table.str().find("nutch"), std::string::npos);
+}
+
+// ----------------------------------------------- parallel == serial results
+
+/** Small but non-trivial synthetic workload: fast to simulate. */
+WorkloadPreset
+tinyPreset(const std::string &name, std::uint64_t seed)
+{
+    WorkloadPreset preset;
+    preset.name = name;
+    preset.program.name = name;
+    preset.program.numFuncs = 150;
+    preset.program.numOsFuncs = 30;
+    preset.program.numTrapHandlers = 4;
+    preset.program.numTopLevel = 8;
+    preset.program.seed = seed;
+    return preset;
+}
+
+ExperimentSet
+quickGrid()
+{
+    const std::uint64_t warmup = 20000, measure = 50000;
+    ExperimentSet set;
+    for (int w = 0; w < 3; ++w) {
+        const WorkloadPreset preset =
+            tinyPreset("runner-w" + std::to_string(w),
+                       0xabc0 + static_cast<std::uint64_t>(w));
+        set.addBaseline(preset, warmup, measure);
+        for (SchemeType type :
+             {SchemeType::Boomerang, SchemeType::Confluence,
+              SchemeType::Shotgun}) {
+            SimConfig config = SimConfig::make(preset, type);
+            config.warmupInstructions = warmup;
+            config.measureInstructions = measure;
+            set.add(preset, schemeTypeName(type), config);
+        }
+    }
+    return set;
+}
+
+void
+expectIdentical(const SimResult &a, const SimResult &b)
+{
+    EXPECT_EQ(a.workload, b.workload);
+    EXPECT_EQ(a.scheme, b.scheme);
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.ipc, b.ipc);
+    EXPECT_EQ(a.btbMPKI, b.btbMPKI);
+    EXPECT_EQ(a.l1iMPKI, b.l1iMPKI);
+    EXPECT_EQ(a.mispredictsPerKI, b.mispredictsPerKI);
+    EXPECT_EQ(a.stalls.icache, b.stalls.icache);
+    EXPECT_EQ(a.stalls.btbResolve, b.stalls.btbResolve);
+    EXPECT_EQ(a.stalls.misfetch, b.stalls.misfetch);
+    EXPECT_EQ(a.stalls.mispredict, b.stalls.mispredict);
+    EXPECT_EQ(a.stalls.other, b.stalls.other);
+    EXPECT_EQ(a.frontEndStallCycles, b.frontEndStallCycles);
+    EXPECT_EQ(a.prefetchAccuracy, b.prefetchAccuracy);
+    EXPECT_EQ(a.avgL1DFillCycles, b.avgL1DFillCycles);
+    EXPECT_EQ(a.prefetchesIssued, b.prefetchesIssued);
+    EXPECT_EQ(a.schemeStorageBits, b.schemeStorageBits);
+}
+
+TEST(ExperimentRunnerTest, ParallelRunMatchesSerialBitwise)
+{
+    const ExperimentSet set = quickGrid();
+
+    RunnerOptions serial_opts;
+    serial_opts.jobs = 1;
+    const auto serial = ExperimentRunner(serial_opts).run(set);
+
+    RunnerOptions parallel_opts;
+    parallel_opts.jobs = 4;
+    ResultSink sink("determinism");
+    const auto parallel =
+        ExperimentRunner(parallel_opts).run(set, &sink);
+
+    ASSERT_EQ(serial.size(), set.size());
+    ASSERT_EQ(parallel.size(), set.size());
+    for (std::size_t i = 0; i < set.size(); ++i)
+        expectIdentical(serial[i], parallel[i]);
+
+    // Sink rows arrive in grid order with baseline-relative metrics.
+    const auto rows = sink.rows();
+    ASSERT_EQ(rows.size(), set.size());
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        EXPECT_EQ(rows[i].workload, set.experiments()[i].workload);
+        EXPECT_EQ(rows[i].label, set.experiments()[i].label);
+        EXPECT_TRUE(rows[i].hasBaseline);
+    }
+    // Baseline rows: speedup exactly 1.
+    for (const auto &row : rows) {
+        if (row.label == "baseline") {
+            EXPECT_EQ(row.speedup, 1.0);
+        }
+    }
+}
+
+TEST(ExperimentRunnerTest, EffectiveJobsClampsToGridSize)
+{
+    RunnerOptions opts;
+    opts.jobs = 16;
+    ExperimentRunner engine(opts);
+    EXPECT_EQ(engine.effectiveJobs(3), 3u);
+    EXPECT_EQ(engine.effectiveJobs(100), 16u);
+    EXPECT_EQ(engine.effectiveJobs(0), 1u);
+}
+
+TEST(ExperimentRunnerTest, EmptyGridReturnsEmpty)
+{
+    ExperimentSet set;
+    EXPECT_TRUE(ExperimentRunner().run(set).empty());
+}
+
+} // namespace
+} // namespace shotgun

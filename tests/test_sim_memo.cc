@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Regression tests for the thread-safety of the simulator's shared
+ * memoization: the generic MemoCache and the programFor/baselineFor
+ * caches that every concurrent experiment hammers. Before the runner
+ * subsystem these were guarded per-call; the tests pin down the
+ * stronger contract the parallel runner needs: compute-once per key,
+ * stable references, and no serialization of distinct keys.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "common/memo.hh"
+#include "sim/simulator.hh"
+
+namespace shotgun
+{
+namespace
+{
+
+TEST(MemoCacheTest, ComputesOncePerKey)
+{
+    MemoCache<int, int> cache;
+    std::atomic<int> computes{0};
+    for (int i = 0; i < 5; ++i) {
+        const auto value = cache.get(42, [&computes]() {
+            ++computes;
+            return 7;
+        });
+        EXPECT_EQ(*value, 7);
+    }
+    EXPECT_EQ(computes.load(), 1);
+    EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(MemoCacheTest, DistinctKeysComputeIndependently)
+{
+    MemoCache<int, int> cache;
+    for (int k = 0; k < 10; ++k)
+        EXPECT_EQ(*cache.get(k, [k]() { return k * 3; }), k * 3);
+    EXPECT_EQ(cache.size(), 10u);
+}
+
+TEST(MemoCacheTest, ConcurrentHammerComputesOnce)
+{
+    MemoCache<int, int> cache;
+    constexpr int kThreads = 8, kKeys = 4, kIters = 200;
+    std::atomic<int> computes{0};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&]() {
+            for (int i = 0; i < kIters; ++i) {
+                const int key = i % kKeys;
+                const auto value = cache.get(key, [&computes, key]() {
+                    ++computes;
+                    return key + 100;
+                });
+                ASSERT_EQ(*value, key + 100);
+            }
+        });
+    }
+    for (auto &thread : threads)
+        thread.join();
+    EXPECT_EQ(computes.load(), kKeys);
+}
+
+TEST(MemoCacheTest, ThrowingComputeAllowsRetry)
+{
+    MemoCache<int, int> cache;
+    int attempts = 0;
+    EXPECT_THROW(cache.get(1,
+                           [&attempts]() -> int {
+                               ++attempts;
+                               throw std::runtime_error("first try");
+                           }),
+                 std::runtime_error);
+    // The failed entry must not be cached.
+    EXPECT_EQ(*cache.get(1, [&attempts]() { return ++attempts; }), 2);
+}
+
+/** Small synthetic workloads so the hammer stays fast. */
+WorkloadPreset
+tinyPreset(const std::string &name, std::uint64_t seed)
+{
+    WorkloadPreset preset;
+    preset.name = name;
+    preset.program.name = name;
+    preset.program.numFuncs = 100;
+    preset.program.numOsFuncs = 20;
+    preset.program.numTrapHandlers = 4;
+    preset.program.numTopLevel = 8;
+    preset.program.seed = seed;
+    return preset;
+}
+
+TEST(SimulatorMemoTest, ProgramForReturnsOneImagePerKey)
+{
+    const WorkloadPreset preset = tinyPreset("memo-a", 0x11);
+    const Program &first = programFor(preset);
+    const Program &second = programFor(preset);
+    EXPECT_EQ(&first, &second);
+
+    const WorkloadPreset other = tinyPreset("memo-b", 0x22);
+    EXPECT_NE(&programFor(other), &first);
+}
+
+TEST(SimulatorMemoTest, SameNameDifferentParamsAreDistinct)
+{
+    // Ad-hoc presets (workload_studio style) may reuse a name while
+    // sweeping generation knobs; the cache must not conflate them.
+    const WorkloadPreset a = tinyPreset("memo-knobs", 0x44);
+    WorkloadPreset b = a;
+    b.program.zipfAlpha = a.program.zipfAlpha + 0.2;
+    EXPECT_NE(&programFor(a), &programFor(b));
+
+    WorkloadPreset c = a;
+    c.loadFrac = a.loadFrac + 0.1; // data-side only: same program...
+    EXPECT_EQ(&programFor(a), &programFor(c));
+    // ...but a different baseline.
+    const SimResult base_a = baselineFor(a, 5000, 20000);
+    const SimResult base_c = baselineFor(c, 5000, 20000);
+    EXPECT_NE(base_a.cycles, base_c.cycles);
+}
+
+TEST(SimulatorMemoTest, ConcurrentProgramForIsStable)
+{
+    // Hammer the shared program cache from many threads over a mix of
+    // new and already-cached keys; every thread must observe the same
+    // image per key (the pre-runner code would have raced here).
+    constexpr int kThreads = 8;
+    std::vector<WorkloadPreset> presets;
+    for (int i = 0; i < 4; ++i) {
+        presets.push_back(tinyPreset("memo-hammer-" + std::to_string(i),
+                                     0x100 + static_cast<std::uint64_t>(i)));
+    }
+
+    std::vector<std::vector<const Program *>> seen(kThreads);
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t]() {
+            for (const auto &preset : presets)
+                seen[static_cast<std::size_t>(t)].push_back(
+                    &programFor(preset));
+        });
+    }
+    for (auto &thread : threads)
+        thread.join();
+
+    for (int t = 1; t < kThreads; ++t)
+        EXPECT_EQ(seen[static_cast<std::size_t>(t)], seen[0]);
+}
+
+TEST(SimulatorMemoTest, ConcurrentBaselineForAgrees)
+{
+    // Many threads request the same baseline; all must get the result
+    // of a single simulation, and repeated calls must stay stable.
+    const WorkloadPreset preset = tinyPreset("memo-baseline", 0x33);
+    constexpr int kThreads = 8;
+    std::vector<SimResult> results(kThreads);
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t]() {
+            results[static_cast<std::size_t>(t)] =
+                baselineFor(preset, 10000, 30000);
+        });
+    }
+    for (auto &thread : threads)
+        thread.join();
+
+    for (int t = 1; t < kThreads; ++t) {
+        EXPECT_EQ(results[static_cast<std::size_t>(t)].cycles,
+                  results[0].cycles);
+        EXPECT_EQ(results[static_cast<std::size_t>(t)].ipc,
+                  results[0].ipc);
+        EXPECT_EQ(results[static_cast<std::size_t>(t)].instructions,
+                  results[0].instructions);
+    }
+    // And a later (cached) call returns the very same numbers.
+    const SimResult again = baselineFor(preset, 10000, 30000);
+    EXPECT_EQ(again.cycles, results[0].cycles);
+
+    // Different lengths are a different key, hence a fresh run.
+    const SimResult longer = baselineFor(preset, 10000, 60000);
+    EXPECT_NE(longer.instructions, results[0].instructions);
+}
+
+} // namespace
+} // namespace shotgun

@@ -178,8 +178,9 @@ TEST(ProgramTest, StaticBBAtExactMatchOnly)
     StaticBBInfo info;
     EXPECT_TRUE(prog.staticBBAt(bb.startAddr, info));
     EXPECT_EQ(info.startAddr, bb.startAddr);
-    if (bb.numInstrs > 1)
+    if (bb.numInstrs > 1) {
         EXPECT_FALSE(prog.staticBBAt(bb.startAddr + 4, info));
+    }
 }
 
 TEST(ProgramTest, DeterministicForSameSeed)
