@@ -12,9 +12,11 @@
 #include <iostream>
 
 #include "bench_common.hh"
+#include "common/logging.hh"
 #include "common/table.hh"
 #include "core/shotgun.hh"
 #include "sim/simulator.hh"
+#include "trace/trace_io.hh"
 
 using namespace shotgun;
 
@@ -29,11 +31,16 @@ returnOccupancyFraction(const WorkloadPreset &preset,
     const Program &program = programFor(preset);
     ShotgunBTB btbs{ShotgunBTBConfig::withoutRIB()};
     FootprintRecorder recorder(btbs);
-    TraceGenerator gen(program, 1);
+    const auto gen = openTraceSource(preset, program, 1);
     BBRecord rec;
     std::uint64_t instrs = 0;
     while (instrs < instructions) {
-        gen.next(rec);
+        fatal_if(!gen->next(rec),
+                 "workload '%s': trace ran dry after %llu of %llu "
+                 "analysis instructions; record a longer trace",
+                 preset.name.c_str(),
+                 static_cast<unsigned long long>(instrs),
+                 static_cast<unsigned long long>(instructions));
         instrs += rec.numInstrs;
         recorder.retire(rec);
     }
@@ -63,9 +70,7 @@ main(int argc, char **argv)
     };
     runner::ExperimentSet set;
     std::vector<Row> rows;
-    for (const auto &preset : allPresets()) {
-        if (!bench::workloadSelected(opts, preset.name))
-            continue;
+    for (const auto &preset : bench::selectedPresets(opts)) {
         Row row;
         row.name = preset.name;
         row.preset = preset;

@@ -33,13 +33,15 @@ main(int argc, char **argv)
         std::size_t base, shot;
         std::vector<std::size_t> conf;
     };
+    // Defaults to the three metadata-heavy workloads; --workload (a
+    // preset or a trace:<path> spec) overrides the sweep.
+    const std::vector<WorkloadPreset> presets = bench::selectedPresets(
+        opts,
+        {WorkloadId::Oracle, WorkloadId::DB2, WorkloadId::Apache});
+
     runner::ExperimentSet set;
     std::vector<Row> rows;
-    for (WorkloadId id : {WorkloadId::Oracle, WorkloadId::DB2,
-                          WorkloadId::Apache}) {
-        const auto preset = makePreset(id);
-        if (!bench::workloadSelected(opts, preset.name))
-            continue;
+    for (const auto &preset : presets) {
         Row row;
         row.name = preset.name;
         row.base = set.addBaseline(preset, opts.warmupInstructions,

@@ -9,6 +9,7 @@
 #include <cstring>
 #include <iostream>
 
+#include "common/parse.hh"
 #include "runner/thread_pool.hh"
 
 namespace shotgun
@@ -18,25 +19,6 @@ namespace bench
 
 namespace
 {
-
-/** Strict full-string decimal parse; rejects "", "12x", "-3", "1e6". */
-bool
-parseU64(const char *text, std::uint64_t &out)
-{
-    if (text == nullptr || *text == '\0')
-        return false;
-    for (const char *p = text; *p; ++p) {
-        if (*p < '0' || *p > '9')
-            return false;
-    }
-    errno = 0;
-    char *end = nullptr;
-    const unsigned long long value = std::strtoull(text, &end, 10);
-    if (errno == ERANGE || end == text || *end != '\0')
-        return false;
-    out = value;
-    return true;
-}
 
 bool
 parseCount(const char *flag, const char *text, bool allow_zero,
@@ -75,7 +57,8 @@ const char *kUsage =
     "  --quick             1M measured / 0.5M warm-up instructions\n"
     "  --instructions N    measured instructions per data point\n"
     "  --warmup N          warm-up instructions per data point\n"
-    "  --workload NAME     run a single workload\n"
+    "  --workload NAME     run a single workload; NAME may be a\n"
+    "                      recorded trace: trace:<path>[:name]\n"
     "  --jobs N            concurrent simulations (default: all cores)\n"
     "  --out BASE          write BASE.json/BASE.csv (default:\n"
     "                      results/<experiment>)\n"
@@ -86,10 +69,24 @@ const char *kUsage =
 
 } // namespace
 
-bool
-workloadSelected(const BenchOptions &opts, const std::string &name)
+std::vector<WorkloadPreset>
+selectedPresets(const BenchOptions &opts)
 {
-    return opts.onlyWorkload.empty() || opts.onlyWorkload == name;
+    if (!opts.onlyWorkload.empty())
+        return {presetByName(opts.onlyWorkload)};
+    return allPresets();
+}
+
+std::vector<WorkloadPreset>
+selectedPresets(const BenchOptions &opts,
+                std::initializer_list<WorkloadId> defaults)
+{
+    if (!opts.onlyWorkload.empty())
+        return {presetByName(opts.onlyWorkload)};
+    std::vector<WorkloadPreset> presets;
+    for (WorkloadId id : defaults)
+        presets.push_back(makePreset(id));
+    return presets;
 }
 
 void
@@ -171,13 +168,25 @@ tryParseOptions(int argc, char **argv, BenchOptions &opts,
                 error = "--workload: expected a workload name";
                 return false;
             }
-            bool known = false;
-            for (const auto &preset : allPresets())
-                known = known || preset.name == name;
-            if (!known) {
-                error = std::string("--workload: unknown workload '") +
-                        name + "' (see trace/presets.hh)";
-                return false;
+            if (isTraceWorkloadSpec(name)) {
+                // Syntactic check only; the file itself is opened and
+                // validated when the preset is built.
+                if (std::strlen(name) <= 6) {
+                    error = "--workload: expected trace:<path>[:name]";
+                    return false;
+                }
+            } else {
+                bool known = false;
+                for (const auto &preset : allPresets())
+                    known = known || preset.name == name;
+                if (!known) {
+                    error =
+                        std::string("--workload: unknown workload '") +
+                        name +
+                        "' (see trace/presets.hh, or use "
+                        "trace:<path>[:name])";
+                    return false;
+                }
             }
             opts.onlyWorkload = name;
         } else if (std::strcmp(arg, "--out") == 0) {

@@ -11,6 +11,7 @@
 #define SHOTGUN_BENCH_COMMON_HH
 
 #include <cstdint>
+#include <initializer_list>
 #include <string>
 #include <vector>
 
@@ -63,8 +64,23 @@ bool tryParseOptions(int argc, char **argv, BenchOptions &opts,
 /** tryParseOptions, but prints usage and exits on error. */
 BenchOptions parseOptions(int argc, char **argv);
 
-/** True when `name` passes the --workload filter. */
-bool workloadSelected(const BenchOptions &opts, const std::string &name);
+/**
+ * The workloads this bench run sweeps: all six presets, or -- when
+ * --workload was given -- the single named preset, which may be a
+ * recorded trace via `trace:<path>[:name]` (see trace/trace_io.hh).
+ * Every bench iterates this instead of filtering allPresets() so
+ * recorded traces flow through every experiment grid.
+ */
+std::vector<WorkloadPreset> selectedPresets(const BenchOptions &opts);
+
+/**
+ * Like selectedPresets(opts), but a bench that defaults to a curated
+ * workload subset (e.g. the paper's two OLTP traces) sweeps
+ * `defaults` when no --workload filter was given.
+ */
+std::vector<WorkloadPreset>
+selectedPresets(const BenchOptions &opts,
+                std::initializer_list<WorkloadId> defaults);
 
 /** Print the bench banner: what is being reproduced and how. */
 void printBanner(const BenchOptions &opts, const char *experiment,

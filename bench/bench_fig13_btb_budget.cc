@@ -33,12 +33,14 @@ main(int argc, char **argv)
         std::size_t base;
         std::vector<std::size_t> boom, shot;
     };
+    // Defaults to the paper's two OLTP workloads; --workload (a preset
+    // or a trace:<path> spec) overrides the sweep.
+    const std::vector<WorkloadPreset> presets = bench::selectedPresets(
+        opts, {WorkloadId::Oracle, WorkloadId::DB2});
+
     runner::ExperimentSet set;
     std::vector<Row> rows;
-    for (WorkloadId id : {WorkloadId::Oracle, WorkloadId::DB2}) {
-        const auto preset = makePreset(id);
-        if (!bench::workloadSelected(opts, preset.name))
-            continue;
+    for (const auto &preset : presets) {
         Row row;
         row.name = preset.name;
         row.base = set.addBaseline(preset, opts.warmupInstructions,

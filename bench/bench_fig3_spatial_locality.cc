@@ -18,12 +18,13 @@
 #include <vector>
 
 #include "bench_common.hh"
+#include "common/logging.hh"
 #include "common/stats.hh"
 #include "common/table.hh"
 #include "runner/progress.hh"
 #include "runner/thread_pool.hh"
 #include "sim/simulator.hh"
-#include "trace/generator.hh"
+#include "trace/trace_io.hh"
 
 using namespace shotgun;
 
@@ -36,7 +37,7 @@ distanceHistogram(const WorkloadPreset &preset,
                   std::uint64_t instructions)
 {
     const Program &program = programFor(preset);
-    TraceGenerator gen(program, 1);
+    const auto gen = openTraceSource(preset, program, 1);
 
     Histogram dist(17); // |distance| 0..16; overflow = >16
     bool region_open = false;
@@ -44,7 +45,12 @@ distanceHistogram(const WorkloadPreset &preset,
     BBRecord rec;
     std::uint64_t instrs = 0;
     while (instrs < instructions) {
-        gen.next(rec);
+        fatal_if(!gen->next(rec),
+                 "workload '%s': trace ran dry after %llu of %llu "
+                 "analysis instructions; record a longer trace",
+                 preset.name.c_str(),
+                 static_cast<unsigned long long>(instrs),
+                 static_cast<unsigned long long>(instructions));
         instrs += rec.numInstrs;
         if (region_open) {
             for (Addr b = rec.firstBlock(); b <= rec.lastBlock(); ++b) {
@@ -73,11 +79,8 @@ main(int argc, char **argv)
         "~90% of intra-region accesses within 10 blocks of entry; "
         ">16-block tail largest on Oracle/DB2");
 
-    std::vector<WorkloadPreset> presets;
-    for (const auto &preset : allPresets()) {
-        if (bench::workloadSelected(opts, preset.name))
-            presets.push_back(preset);
-    }
+    const std::vector<WorkloadPreset> presets =
+        bench::selectedPresets(opts);
 
     // Declared before the pool: its draining destructor may still run
     // tasks that report progress.

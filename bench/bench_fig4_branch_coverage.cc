@@ -20,11 +20,12 @@
 #include <unordered_map>
 
 #include "bench_common.hh"
+#include "common/logging.hh"
 #include "common/table.hh"
 #include "runner/progress.hh"
 #include "runner/thread_pool.hh"
 #include "sim/simulator.hh"
-#include "trace/generator.hh"
+#include "trace/trace_io.hh"
 
 using namespace shotgun;
 
@@ -70,14 +71,19 @@ branchCoverage(const WorkloadPreset &preset, std::uint64_t instructions,
                const std::vector<std::size_t> &cuts)
 {
     const Program &program = programFor(preset);
-    TraceGenerator gen(program, 1);
+    const auto gen = openTraceSource(preset, program, 1);
 
     std::unordered_map<Addr, std::uint64_t> all_counts;
     std::unordered_map<Addr, std::uint64_t> uncond_counts;
     BBRecord rec;
     std::uint64_t instrs = 0;
     while (instrs < instructions) {
-        gen.next(rec);
+        fatal_if(!gen->next(rec),
+                 "workload '%s': trace ran dry after %llu of %llu "
+                 "analysis instructions; record a longer trace",
+                 preset.name.c_str(),
+                 static_cast<unsigned long long>(instrs),
+                 static_cast<unsigned long long>(instructions));
         instrs += rec.numInstrs;
         if (!isBranch(rec.type))
             continue;
@@ -104,12 +110,10 @@ main(int argc, char **argv)
     const std::vector<std::size_t> cuts = {1024, 2048, 3072, 4096,
                                            6144, 8192};
 
-    std::vector<WorkloadPreset> presets;
-    for (WorkloadId id : {WorkloadId::Oracle, WorkloadId::DB2}) {
-        const auto preset = makePreset(id);
-        if (bench::workloadSelected(opts, preset.name))
-            presets.push_back(preset);
-    }
+    // Defaults to the paper's two OLTP workloads; --workload (a preset
+    // or a trace:<path> spec) overrides the sweep.
+    const std::vector<WorkloadPreset> presets = bench::selectedPresets(
+        opts, {WorkloadId::Oracle, WorkloadId::DB2});
 
     // Declared before the pool: its draining destructor may still run
     // tasks that report progress.

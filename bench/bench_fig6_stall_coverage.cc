@@ -31,9 +31,7 @@ main(int argc, char **argv)
     };
     runner::ExperimentSet set;
     std::vector<Row> rows;
-    for (const auto &preset : allPresets()) {
-        if (!bench::workloadSelected(opts, preset.name))
-            continue;
+    for (const auto &preset : bench::selectedPresets(opts)) {
         Row row;
         row.name = preset.name;
         row.base = set.addBaseline(preset, opts.warmupInstructions,

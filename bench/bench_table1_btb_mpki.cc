@@ -27,19 +27,18 @@ main(int argc, char **argv)
     struct Row
     {
         std::string name;
-        double paperMPKI;
+        double paperMPKI; ///< Negative when no paper reference exists.
         std::size_t base;
     };
     runner::ExperimentSet set;
     std::vector<Row> rows;
-    int i = 0;
-    for (const auto &preset : allPresets()) {
-        const int paper_idx = i++;
-        if (!bench::workloadSelected(opts, preset.name))
-            continue;
+    for (const auto &preset : bench::selectedPresets(opts)) {
         Row row;
         row.name = preset.name;
-        row.paperMPKI = paper[paper_idx];
+        // Recorded traces are ad-hoc workloads without a Table 1 row.
+        row.paperMPKI = preset.tracePath.empty()
+                            ? paper[static_cast<int>(preset.id)]
+                            : -1.0;
         row.base = set.addBaseline(preset, opts.warmupInstructions,
                                    opts.measureInstructions);
         rows.push_back(std::move(row));
@@ -51,8 +50,12 @@ main(int argc, char **argv)
         .cell("BTB MPKI (paper)").cell("L1-I MPKI (measured)");
     for (const auto &row : rows) {
         const SimResult &base = results[row.base];
-        table.row().cell(row.name).cell(base.btbMPKI, 1)
-            .cell(row.paperMPKI, 1).cell(base.l1iMPKI, 1);
+        auto &out = table.row().cell(row.name).cell(base.btbMPKI, 1);
+        if (row.paperMPKI >= 0.0)
+            out.cell(row.paperMPKI, 1);
+        else
+            out.cell("-");
+        out.cell(base.l1iMPKI, 1);
     }
     table.print(std::cout);
     return 0;

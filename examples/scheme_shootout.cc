@@ -9,6 +9,7 @@
  * as one grid and executed concurrently by the experiment runner.
  *
  * Usage: scheme_shootout [workload] [instructions] [--jobs N]
+ *        (workload may be a preset name or trace:<path>[:name])
  */
 
 #include <cstdio>

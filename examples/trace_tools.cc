@@ -5,7 +5,7 @@
  * through the simulator and verify the run is bit-identical to live
  * generation. Downstream users can convert traces from other
  * simulators into this format (see trace/trace_io.hh) and drive the
- * whole harness from them.
+ * whole harness from them; the full-featured CLI is `shotgun-trace`.
  *
  * Usage: trace_tools [workload] [basic_blocks] [path]
  */
@@ -30,13 +30,21 @@ main(int argc, char **argv)
     const WorkloadPreset preset = presetByName(workload);
     const Program &program = programFor(preset);
 
-    // Record.
-    TraceGenerator recorder(program, 1);
-    const std::uint64_t written = recordTrace(recorder, path, num_bbs);
+    // Record. The source may itself be a recorded trace when the
+    // workload is a trace:<path> spec -- that just trims it, and the
+    // trimmed file must keep the original recording seed so replays
+    // still reproduce the run it was captured from.
+    const std::uint64_t seed =
+        preset.tracePath.empty()
+            ? 1
+            : readTraceInfo(preset.tracePath).traceSeed;
+    const auto recorder = openTraceSource(preset, program, seed);
+    const std::uint64_t written =
+        recordTrace(*recorder, preset, seed, path, num_bbs);
+    const TraceInfo info = readTraceInfo(path);
     std::printf("recorded %llu basic blocks (%llu instructions) to %s\n",
                 static_cast<unsigned long long>(written),
-                static_cast<unsigned long long>(
-                    recorder.stats().instructions),
+                static_cast<unsigned long long>(info.instructions),
                 path.c_str());
 
     // Replay through the full core with Shotgun, against live
@@ -51,14 +59,14 @@ main(int argc, char **argv)
         SchemeConfig scheme;
         scheme.type = SchemeType::Shotgun;
         Core core(program, source, core_params, hier, scheme);
-        core.run(recorder.stats().instructions - 64);
+        core.run(info.instructions - 64);
         return core;
     };
 
-    TraceGenerator live(program, 1);
+    const auto live = openTraceSource(preset, program, seed);
     TraceFileSource replay(path);
 
-    Core live_core = run(live);
+    Core live_core = run(*live);
     Core replay_core = run(replay);
 
     std::printf("live   : %llu cycles, IPC %.4f\n",

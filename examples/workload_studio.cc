@@ -1,15 +1,17 @@
 /**
  * @file
  * Workload studio: build a *custom* synthetic server workload from
- * command-line knobs and characterize it the way Sec 3 of the paper
- * characterizes its commercial workloads -- code footprint, branch
- * mix, BTB/L1-I pressure, region spatial locality, and hot-branch
- * coverage. Then runs the main delivery schemes on the custom
- * workload through the experiment runner (concurrently, --jobs) for
- * an instant paper-style comparison. Useful for generating new
- * calibration points beyond the six shipped presets.
+ * command-line knobs -- or load a recorded trace -- and characterize
+ * it the way Sec 3 of the paper characterizes its commercial
+ * workloads: code footprint, branch mix, BTB/L1-I pressure, region
+ * spatial locality, and hot-branch coverage. Then runs the main
+ * delivery schemes on the workload through the experiment runner
+ * (concurrently, --jobs) for an instant paper-style comparison.
+ * Useful for generating new calibration points beyond the six
+ * shipped presets.
  *
  * Usage: workload_studio [numFuncs] [zipfAlpha] [instructions] [--jobs N]
+ *        workload_studio trace:<path>[:name] [instructions] [--jobs N]
  */
 
 #include <algorithm>
@@ -26,8 +28,8 @@
 #include "common/stats.hh"
 #include "runner/experiment.hh"
 #include "sim/simulator.hh"
-#include "trace/generator.hh"
 #include "trace/program.hh"
+#include "trace/trace_io.hh"
 
 using namespace shotgun;
 
@@ -61,6 +63,7 @@ main(int argc, char **argv)
     params.name = "studio";
     params.numFuncs = 6000;
     params.zipfAlpha = 0.95;
+    std::string trace_spec; // trace:<path>[:name] replaces the knobs
     std::uint64_t instructions = 3000000;
     unsigned jobs = 0; // all cores
     int positional = 0;
@@ -70,10 +73,14 @@ main(int argc, char **argv)
         } else if (std::strncmp(argv[i], "--", 2) == 0) {
             std::fprintf(stderr,
                          "unknown option '%s'\nusage: workload_studio "
-                         "[numFuncs] [zipfAlpha] [instructions] "
-                         "[--jobs N]\n",
+                         "[numFuncs|trace:<path>[:name]] [zipfAlpha] "
+                         "[instructions] [--jobs N]\n",
                          argv[i]);
             return 2;
+        } else if (positional == 0 &&
+                   isTraceWorkloadSpec(argv[i])) {
+            trace_spec = argv[i];
+            positional = 2; // only [instructions] may follow
         } else if (positional == 0) {
             params.numFuncs =
                 static_cast<std::uint32_t>(std::atoi(argv[i]));
@@ -89,16 +96,26 @@ main(int argc, char **argv)
     params.numOsFuncs = params.numFuncs / 5;
     params.seed = 0x57d10;
 
-    Program program(params);
+    WorkloadPreset preset;
+    if (trace_spec.empty()) {
+        preset.name = params.name;
+        preset.program = params;
+    } else {
+        preset = presetByName(trace_spec);
+        std::printf("workload '%s' loaded from %s\n",
+                    preset.name.c_str(), preset.tracePath.c_str());
+    }
+
+    const Program &program = programFor(preset);
     std::printf("program: %u functions (%u OS), %.2f MB code, %llu "
                 "static branch sites\n",
                 program.numFunctions(),
-                static_cast<unsigned>(params.numOsFuncs),
+                static_cast<unsigned>(preset.program.numOsFuncs),
                 program.codeBytes() / 1024.0 / 1024.0,
                 static_cast<unsigned long long>(
                     program.numStaticBranches()));
 
-    TraceGenerator gen(program, 1);
+    const auto gen = openTraceSource(preset, program, 1);
     ConventionalBTB btb(2048);
     Cache l1i(CacheParams{"l1i", 32, 2});
     Histogram region_len(33);
@@ -106,12 +123,24 @@ main(int argc, char **argv)
 
     BBRecord rec;
     std::uint64_t instrs = 0;
+    std::uint64_t blocks = 0, branches = 0, conditionals = 0;
     std::uint64_t region_blocks = 0;
     Addr region_anchor = 0;
     bool region_open = false;
     while (instrs < instructions) {
-        gen.next(rec);
+        if (!gen->next(rec)) {
+            std::fprintf(stderr,
+                         "error: trace ran dry after %llu of %llu "
+                         "instructions; record a longer trace\n",
+                         static_cast<unsigned long long>(instrs),
+                         static_cast<unsigned long long>(
+                             instructions));
+            return 1;
+        }
         instrs += rec.numInstrs;
+        ++blocks;
+        branches += isBranch(rec.type);
+        conditionals += rec.type == BranchType::Conditional;
         if (!btb.lookup(rec.startAddr)) {
             BTBEntry e;
             e.bbStart = rec.startAddr;
@@ -142,12 +171,12 @@ main(int argc, char **argv)
         }
     }
 
-    const auto &stats = gen.stats();
     std::printf("dynamic: %.1f branches/KI (%.0f%% conditional), "
-                "%llu requests\n",
-                1000.0 * stats.branches / stats.instructions,
-                100.0 * stats.conditionals / stats.branches,
-                static_cast<unsigned long long>(stats.requests));
+                "%llu basic blocks\n",
+                1000.0 * branches / instrs,
+                branches == 0 ? 0.0
+                              : 100.0 * conditionals / branches,
+                static_cast<unsigned long long>(blocks));
     std::printf("pressure: BTB MPKI %.2f | L1-I MPKI %.2f\n",
                 1000.0 * btb.misses() / instrs,
                 1000.0 * l1i.misses() / instrs);
@@ -174,12 +203,8 @@ main(int argc, char **argv)
                 "dynamic branches (%zu sites seen)\n",
                 100.0 * running / total, branch_counts.size());
 
-    // Paper-style scheme comparison on the custom workload, fanned out
-    // over the experiment runner.
-    WorkloadPreset preset;
-    preset.name = params.name;
-    preset.program = params;
-
+    // Paper-style scheme comparison on the workload, fanned out over
+    // the experiment runner.
     runner::ExperimentSet set;
     const std::size_t base_idx =
         set.addBaseline(preset, instructions / 2, instructions);

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Smoke test: configure, build, run the unit/integration test suite,
-# then exercise the parallel experiment runner end-to-end with one
-# quick bench sweep that must emit JSON/CSV results.
+# exercise the parallel experiment runner end-to-end with one quick
+# bench sweep that must emit JSON/CSV results, then record a trace and
+# verify replaying it (standalone and through a bench grid) works.
 #
 # Usage: scripts/smoke.sh [build-dir]
 set -euo pipefail
@@ -31,5 +32,25 @@ for ext in json csv; do
 done
 grep -q '"experiment": "fig7_speedup"' "$OUT.json"
 grep -q '"label": "shotgun"' "$OUT.json"
+
+echo "== trace record -> replay -> verify =="
+TRACE="$BUILD_DIR/smoke/nutch.trace"
+"$BUILD_DIR/shotgun-trace" record nutch "$TRACE" \
+    --warmup 100000 --instructions 200000
+"$BUILD_DIR/shotgun-trace" info "$TRACE" | grep -q "workload.*nutch"
+"$BUILD_DIR/shotgun-trace" replay "$TRACE" \
+    --warmup 100000 --instructions 200000 --scheme shotgun
+
+# Sweep the recorded trace through a bench grid...
+TRACE_OUT="$BUILD_DIR/smoke/fig7_trace"
+"$BUILD_DIR/bench_fig7_speedup" --workload "trace:$TRACE" \
+    --warmup 100000 --instructions 200000 --jobs 2 --no-progress \
+    --out "$TRACE_OUT"
+grep -q '"workload": "nutch"' "$TRACE_OUT.json"
+
+# ...and verify replay is bit-identical to live generation
+# (trace_tools exits non-zero on divergence).
+"$BUILD_DIR/trace_tools" nutch 100000 "$BUILD_DIR/smoke/verify.trace" \
+    | grep -q "OK: file replay is bit-identical"
 
 echo "smoke OK"

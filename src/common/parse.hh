@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Strict numeric parsing shared by the CLI layers (bench options,
+ * shotgun-trace): a count is accepted only if the whole string is
+ * decimal digits and fits std::uint64_t -- never a silent fallback,
+ * truncation or saturation.
+ */
+
+#ifndef SHOTGUN_COMMON_PARSE_HH
+#define SHOTGUN_COMMON_PARSE_HH
+
+#include <cerrno>
+#include <cstdint>
+#include <cstdlib>
+
+namespace shotgun
+{
+
+/** Strict full-string decimal parse; rejects "", "12x", "-3", "1e6". */
+inline bool
+parseU64(const char *text, std::uint64_t &out)
+{
+    if (text == nullptr || *text == '\0')
+        return false;
+    for (const char *p = text; *p; ++p) {
+        if (*p < '0' || *p > '9')
+            return false;
+    }
+    errno = 0;
+    char *end = nullptr;
+    const unsigned long long value = std::strtoull(text, &end, 10);
+    if (errno == ERANGE || end == text || *end != '\0')
+        return false;
+    out = value;
+    return true;
+}
+
+} // namespace shotgun
+
+#endif // SHOTGUN_COMMON_PARSE_HH

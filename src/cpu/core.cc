@@ -25,8 +25,13 @@ void
 Core::run(std::uint64_t instructions)
 {
     const std::uint64_t target = retiredSinceReset_ + instructions;
-    while (retiredSinceReset_ < target)
+    while (retiredSinceReset_ < target) {
+        // A drained pipeline with no source left can never retire
+        // again; stop instead of spinning (the caller reports it).
+        if (sourceExhausted_ && ftq_.empty() && backendQ_.empty())
+            break;
         step();
+    }
 }
 
 void
@@ -72,8 +77,10 @@ Core::bpuStep()
         if (ftq_.full())
             return;
         BBRecord truth;
-        if (!source_.next(truth))
-            return; // Trace exhausted (file replay only).
+        if (!source_.next(truth)) {
+            sourceExhausted_ = true; // File replay only; see run().
+            return;
+        }
 
         BPUResult result;
         scheme_->processBB(truth, now_, result);

@@ -41,8 +41,16 @@ class Core
          const HierarchyParams &hierarchy_params,
          const SchemeConfig &scheme_config);
 
-    /** Simulate until `instructions` more have retired. */
+    /**
+     * Simulate until `instructions` more have retired. Returns early
+     * when a finite trace source runs dry and the pipeline has fully
+     * drained (live generation never exhausts); check
+     * sourceExhausted() / instructionsRetired() afterwards.
+     */
     void run(std::uint64_t instructions);
+
+    /** True once the trace source returned end-of-stream. */
+    bool sourceExhausted() const { return sourceExhausted_; }
 
     /** Zero all measurement state (call after warm-up). */
     void resetStats();
@@ -155,6 +163,7 @@ class Core
     Cycle now_ = 0;
     Cycle bpuStallUntil_ = 0;
     BpuStallKind bpuStallKind_ = BpuStallKind::None;
+    bool sourceExhausted_ = false;
 
     /**
      * Redirect modelling: on a mispredict/misfetch the BPU halts at

@@ -2,7 +2,6 @@
 
 #include <filesystem>
 #include <fstream>
-#include <iomanip>
 
 #include "common/logging.hh"
 #include "common/table.hh"
@@ -39,11 +38,39 @@ jsonEscape(const std::string &s)
     return out;
 }
 
-/** Shortest round-trippable formatting keeps files cross-job stable. */
+/**
+ * RFC 4180 CSV field: quote when the value contains a comma, quote or
+ * newline (ad-hoc workload names like `trace:` specs or studio labels
+ * may), doubling embedded quotes.
+ */
+std::string
+csvField(const std::string &s)
+{
+    if (s.find_first_of(",\"\r\n") == std::string::npos)
+        return s;
+    std::string out;
+    out.reserve(s.size() + 2);
+    out += '"';
+    for (char c : s) {
+        if (c == '"')
+            out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+/**
+ * Round-trippable formatting keeps files cross-job stable. The
+ * precision is restored afterwards: the stream is the caller's
+ * (possibly std::cout) and must not come back reformatted.
+ */
 std::ostream &
 num(std::ostream &os, double v)
 {
-    os << std::setprecision(17) << v;
+    const auto saved = os.precision(17);
+    os << v;
+    os.precision(saved);
     return os;
 }
 
@@ -148,7 +175,7 @@ ResultSink::writeCsv(std::ostream &os) const
           "speedup,stall_coverage\n";
     for (const auto &row : rows()) {
         const SimResult &r = row.result;
-        os << row.workload << ',' << row.label << ','
+        os << csvField(row.workload) << ',' << csvField(row.label) << ','
            << r.instructions << ',' << r.cycles << ',';
         num(os, r.ipc) << ',';
         num(os, r.btbMPKI) << ',';

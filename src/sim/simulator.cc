@@ -1,10 +1,13 @@
 #include "sim/simulator.hh"
 
 #include <cstring>
+#include <functional>
+#include <memory>
 #include <tuple>
 #include <utility>
 
 #include "common/memo.hh"
+#include "trace/trace_io.hh"
 
 namespace shotgun
 {
@@ -67,6 +70,10 @@ presetFingerprint(const WorkloadPreset &preset)
     h = mixIn(h, preset.l1dMissRate);
     h = mixIn(h, preset.llcDataMissFrac);
     h = mixIn(h, preset.backgroundLoad);
+    // A trace-backed workload must never share a memoized baseline
+    // with its live-generated twin: the file may be shorter or come
+    // from a different recording seed.
+    h = mixIn(h, std::hash<std::string>{}(preset.tracePath));
     return h;
 }
 
@@ -126,24 +133,68 @@ SimResult
 runSimulation(const SimConfig &config)
 {
     const Program &program = programFor(config.workload);
-    TraceGenerator generator(program, config.traceSeed);
+
+    // A workload either generates its control flow live or replays a
+    // recorded trace file; both feed the core through TraceSource.
+    std::unique_ptr<TraceSource> source;
+    std::uint64_t control_seed = config.traceSeed;
+    const std::string &trace_path = config.workload.tracePath;
+    if (!trace_path.empty()) {
+        auto replay = std::make_unique<TraceFileSource>(trace_path);
+        fatal_if(programFingerprint(replay->preset().program) !=
+                     programFingerprint(config.workload.program),
+                 "trace '%s' was recorded from program '%s', which "
+                 "does not match this workload's program parameters",
+                 trace_path.c_str(),
+                 replay->preset().program.name.c_str());
+        const std::uint64_t needed =
+            config.warmupInstructions + config.measureInstructions;
+        fatal_if(replay->totalInstructions() < needed,
+                 "trace '%s' holds %llu instructions but the run "
+                 "needs %llu (%llu warm-up + %llu measured); record "
+                 "a longer trace",
+                 trace_path.c_str(),
+                 static_cast<unsigned long long>(
+                     replay->totalInstructions()),
+                 static_cast<unsigned long long>(needed),
+                 static_cast<unsigned long long>(
+                     config.warmupInstructions),
+                 static_cast<unsigned long long>(
+                     config.measureInstructions));
+        // Use the recorded seed so the data-side model reproduces the
+        // run the trace was captured from, bit for bit.
+        control_seed = replay->traceSeed();
+        source = std::move(replay);
+    } else {
+        source =
+            std::make_unique<TraceGenerator>(program, config.traceSeed);
+    }
 
     CoreParams core_params = config.core;
     core_params.loadFrac = config.workload.loadFrac;
     core_params.l1dMissRate = config.workload.l1dMissRate;
     core_params.llcDataMissFrac = config.workload.llcDataMissFrac;
     core_params.dataSeed =
-        mix64(config.traceSeed ^ mix64(config.workload.program.seed));
+        mix64(control_seed ^ mix64(config.workload.program.seed));
 
     HierarchyParams hierarchy_params;
     hierarchy_params.mesh.backgroundLoad = config.workload.backgroundLoad;
 
-    Core core(program, generator, core_params, hierarchy_params,
+    Core core(program, *source, core_params, hierarchy_params,
               config.scheme);
 
     core.run(config.warmupInstructions);
     core.resetStats();
     core.run(config.measureInstructions);
+    fatal_if(core.sourceExhausted() &&
+                 core.instructionsRetired() <
+                     config.measureInstructions,
+             "trace '%s' ran dry after %llu of %llu measured "
+             "instructions",
+             trace_path.c_str(),
+             static_cast<unsigned long long>(core.instructionsRetired()),
+             static_cast<unsigned long long>(
+                 config.measureInstructions));
 
     SimResult result;
     result.workload = config.workload.name;

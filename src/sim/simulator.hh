@@ -20,12 +20,24 @@ namespace shotgun
 
 struct SimConfig
 {
+    /**
+     * The workload doubles as the trace-source selector: when
+     * `workload.tracePath` is empty the control-flow stream is
+     * generated live from `workload.program` with `traceSeed`;
+     * otherwise the recorded trace file is replayed (and the seed
+     * recorded in its header drives the data-side model, so a replay
+     * is bitwise-identical to the run it was captured from). Use
+     * presetByName("trace:<path>[:name]") to build a trace-backed
+     * workload.
+     */
     WorkloadPreset workload;
     SchemeConfig scheme{};
     CoreParams core{};
 
     std::uint64_t warmupInstructions = 2000000;
     std::uint64_t measureInstructions = 5000000;
+
+    /** Generator seed; ignored for trace replay (header seed wins). */
     std::uint64_t traceSeed = 1;
 
     /** Build a config for (workload, scheme type) with defaults. */

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cctype>
+#include <filesystem>
 
 #include "common/logging.hh"
+#include "trace/trace_io.hh"
 
 namespace shotgun
 {
@@ -167,9 +169,49 @@ allPresets()
     return presets;
 }
 
+bool
+isTraceWorkloadSpec(const std::string &name)
+{
+    return name.rfind("trace:", 0) == 0;
+}
+
+namespace
+{
+
+/** Resolve `trace:<path>[:name]` into a trace-backed preset. */
+WorkloadPreset
+presetFromTraceSpec(const std::string &spec)
+{
+    const std::string rest = spec.substr(6);
+    fatal_if(rest.empty(),
+             "workload spec '%s': expected trace:<path>[:name]",
+             spec.c_str());
+    std::string path = rest, name;
+    // Prefer the whole remainder as a path (it may contain ':');
+    // otherwise the part after the last ':' is the display name.
+    if (!std::filesystem::exists(path)) {
+        const auto colon = rest.rfind(':');
+        if (colon != std::string::npos) {
+            path = rest.substr(0, colon);
+            name = rest.substr(colon + 1);
+        }
+    }
+    fatal_if(path.empty(),
+             "workload spec '%s': expected trace:<path>[:name]",
+             spec.c_str());
+    WorkloadPreset preset = readTraceInfo(path).preset;
+    if (!name.empty())
+        preset.name = name;
+    return preset;
+}
+
+} // namespace
+
 WorkloadPreset
 presetByName(const std::string &name)
 {
+    if (isTraceWorkloadSpec(name))
+        return presetFromTraceSpec(name);
     std::string lower(name);
     std::transform(lower.begin(), lower.end(), lower.begin(),
                    [](unsigned char c) { return std::tolower(c); });
@@ -179,7 +221,8 @@ presetByName(const std::string &name)
             return makePreset(id);
     }
     fatal("unknown workload '%s' (expected one of nutch, streaming, "
-          "apache, zeus, oracle, db2)", name.c_str());
+          "apache, zeus, oracle, db2, or a trace:<path>[:name] spec)",
+          name.c_str());
 }
 
 } // namespace shotgun

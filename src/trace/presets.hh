@@ -49,6 +49,14 @@ struct WorkloadPreset
 
     ProgramParams program;
 
+    /**
+     * When non-empty, the control-flow stream is replayed from this
+     * recorded trace file (see trace/trace_io.hh) instead of being
+     * generated live; `program` then describes the image the trace
+     * was recorded from. Set by presetByName("trace:<path>[:name]").
+     */
+    std::string tracePath;
+
     /** Fraction of retired instructions that access the L1-D. */
     double loadFrac = 0.30;
 
@@ -74,8 +82,19 @@ WorkloadPreset makePreset(WorkloadId id);
 /** All six presets in paper order. */
 std::vector<WorkloadPreset> allPresets();
 
-/** Find a preset by (case-insensitive) name; fatal() if unknown. */
+/**
+ * Find a preset by (case-insensitive) name; fatal() if unknown.
+ *
+ * Besides the six built-in names, accepts recorded-trace workload
+ * specs of the form `trace:<path>[:name]`: the preset is
+ * reconstructed from the trace file's header (program model, data
+ * knobs and `tracePath`), with the optional `name` overriding the
+ * display name. Paths containing ':' need the explicit name suffix.
+ */
 WorkloadPreset presetByName(const std::string &name);
+
+/** True when `name` is a `trace:<path>[:name]` workload spec. */
+bool isTraceWorkloadSpec(const std::string &name);
 
 } // namespace shotgun
 

@@ -1,5 +1,8 @@
 #include "trace/trace_io.hh"
 
+#include <cstring>
+#include <limits>
+
 #include "common/logging.hh"
 
 namespace shotgun
@@ -8,31 +11,234 @@ namespace shotgun
 namespace
 {
 
-template <typename T>
+// Byte offsets of the counters patched by TraceWriter::close().
+constexpr std::streamoff kRecordCountOffset = 8;
+
+/** Serialize `value`'s low `bytes` bytes little-endian. */
 void
-writeRaw(std::ofstream &out, const T &value)
+putLE(std::ofstream &out, std::uint64_t value, unsigned bytes)
 {
-    out.write(reinterpret_cast<const char *>(&value), sizeof(T));
+    char buf[8];
+    for (unsigned i = 0; i < bytes; ++i)
+        buf[i] = static_cast<char>(value >> (8 * i));
+    out.write(buf, bytes);
 }
 
-template <typename T>
+/**
+ * Deserialize `bytes` little-endian bytes; false on short read so the
+ * caller can attach the file/record context to the error.
+ */
 bool
-readRaw(std::ifstream &in, T &value)
+getLE(std::ifstream &in, std::uint64_t &value, unsigned bytes)
 {
-    in.read(reinterpret_cast<char *>(&value), sizeof(T));
-    return in.good();
+    unsigned char buf[8];
+    in.read(reinterpret_cast<char *>(buf), bytes);
+    if (static_cast<std::size_t>(in.gcount()) != bytes)
+        return false;
+    value = 0;
+    for (unsigned i = 0; i < bytes; ++i)
+        value |= static_cast<std::uint64_t>(buf[i]) << (8 * i);
+    return true;
+}
+
+std::uint32_t
+byteSwap32(std::uint32_t v)
+{
+    return ((v & 0x000000ffu) << 24) | ((v & 0x0000ff00u) << 8) |
+           ((v & 0x00ff0000u) >> 8) | ((v & 0xff000000u) >> 24);
+}
+
+/** Writing side of the symmetric header field list below. */
+struct WriteArchive
+{
+    std::ofstream &out;
+
+    void u32(std::uint32_t &v) { putLE(out, v, 4); }
+    void u64(std::uint64_t &v) { putLE(out, v, 8); }
+
+    void
+    f64(double &v)
+    {
+        std::uint64_t bits = 0;
+        std::memcpy(&bits, &v, sizeof(bits));
+        putLE(out, bits, 8);
+    }
+
+    void
+    str(std::string &s)
+    {
+        fatal_if(s.size() > std::numeric_limits<std::uint16_t>::max(),
+                 "trace header string too long (%zu bytes)", s.size());
+        putLE(out, s.size(), 2);
+        out.write(s.data(), static_cast<std::streamsize>(s.size()));
+    }
+
+    std::uint8_t
+    u8r(std::uint8_t v)
+    {
+        putLE(out, v, 1);
+        return v;
+    }
+};
+
+/** Reading side; any short read is fatal with the file name. */
+struct ReadArchive
+{
+    std::ifstream &in;
+    const std::string &path;
+
+    std::uint64_t
+    get(unsigned bytes)
+    {
+        std::uint64_t value = 0;
+        fatal_if(!getLE(in, value, bytes), "'%s': truncated trace header",
+                 path.c_str());
+        return value;
+    }
+
+    void u32(std::uint32_t &v) { v = static_cast<std::uint32_t>(get(4)); }
+    void u64(std::uint64_t &v) { v = get(8); }
+
+    void
+    f64(double &v)
+    {
+        const std::uint64_t bits = get(8);
+        std::memcpy(&v, &bits, sizeof(v));
+    }
+
+    void
+    str(std::string &s)
+    {
+        const auto len = static_cast<std::size_t>(get(2));
+        s.resize(len);
+        in.read(s.data(), static_cast<std::streamsize>(len));
+        fatal_if(static_cast<std::size_t>(in.gcount()) != len,
+                 "'%s': truncated trace header", path.c_str());
+    }
+
+    std::uint8_t
+    u8r(std::uint8_t v)
+    {
+        (void)v;
+        return static_cast<std::uint8_t>(get(1));
+    }
+};
+
+/**
+ * The one field list both sides share: every WorkloadPreset knob that
+ * shapes generation or the data-side model, in fixed order. tracePath
+ * is a runtime binding, not file content, so it is not serialized.
+ */
+template <typename Ar>
+void
+archivePreset(Ar &ar, WorkloadPreset &p)
+{
+    p.id = static_cast<WorkloadId>(
+        ar.u8r(static_cast<std::uint8_t>(p.id)));
+    ar.str(p.name);
+    ar.f64(p.loadFrac);
+    ar.f64(p.l1dMissRate);
+    ar.f64(p.llcDataMissFrac);
+    ar.f64(p.backgroundLoad);
+
+    ProgramParams &g = p.program;
+    ar.str(g.name);
+    ar.u32(g.numFuncs);
+    ar.u32(g.numOsFuncs);
+    ar.u32(g.numTrapHandlers);
+    ar.u32(g.numTopLevel);
+    ar.f64(g.zipfAlpha);
+    ar.f64(g.osZipfAlpha);
+    ar.f64(g.topZipfAlpha);
+    ar.f64(g.bbGrowProb);
+    ar.u32(g.minBBInstrs);
+    ar.u32(g.maxBBInstrs);
+    ar.f64(g.funcGrowProb);
+    ar.u32(g.minBBsPerFunc);
+    ar.u32(g.maxBBsPerFunc);
+    ar.f64(g.largeFuncFrac);
+    ar.u32(g.largeFuncBBs);
+    ar.f64(g.condFrac);
+    ar.f64(g.callFrac);
+    ar.f64(g.jumpFrac);
+    ar.f64(g.trapFrac);
+    ar.f64(g.loopFrac);
+    ar.f64(g.patternFrac);
+    ar.f64(g.strongFrac);
+    ar.f64(g.mediumFrac);
+    ar.u32(g.minLoopTrip);
+    ar.u32(g.maxLoopTrip);
+    ar.f64(g.strongProb);
+    ar.f64(g.mediumProb);
+    ar.f64(g.weakProb);
+    ar.f64(g.takenBiasFrac);
+    ar.f64(g.stickyFrac);
+    ar.u32(g.maxCondSkip);
+    ar.u32(g.maxCallDepth);
+    ar.u32(g.maxOsCallDepth);
+    ar.u64(g.seed);
+}
+
+/** Validate magic/version and parse the full header of an open file. */
+TraceInfo
+parseHeader(std::ifstream &in, const std::string &path)
+{
+    std::uint64_t value = 0;
+    fatal_if(!getLE(in, value, 4), "'%s': truncated trace header",
+             path.c_str());
+    const auto magic = static_cast<std::uint32_t>(value);
+    fatal_if(magic == byteSwap32(kTraceMagic),
+             "'%s' has byte-swapped magic bytes: this is a "
+             "foreign-endian (version-1 era) trace; re-record it -- "
+             "version %u files are explicitly little-endian",
+             path.c_str(), kTraceVersion);
+    fatal_if(magic != kTraceMagic, "'%s' is not a shotgun trace file",
+             path.c_str());
+
+    fatal_if(!getLE(in, value, 4), "'%s': truncated trace header",
+             path.c_str());
+    const auto version = static_cast<std::uint32_t>(value);
+    fatal_if(version == 1,
+             "'%s' is a version-1 trace (raw host-endian, no workload "
+             "header); that format is no longer supported -- re-record "
+             "it with shotgun-trace to get version %u",
+             path.c_str(), kTraceVersion);
+    fatal_if(version != kTraceVersion,
+             "'%s' has unsupported trace version %u (this build reads "
+             "version %u)",
+             path.c_str(), version, kTraceVersion);
+
+    TraceInfo info;
+    ReadArchive ar{in, path};
+    ar.u64(info.records);
+    ar.u64(info.instructions);
+    ar.u64(info.traceSeed);
+    archivePreset(ar, info.preset);
+    fatal_if(info.preset.id >= WorkloadId::NumWorkloads,
+             "'%s': corrupt trace header (bad workload id)",
+             path.c_str());
+    info.preset.tracePath = path;
+    return info;
 }
 
 } // namespace
 
-TraceWriter::TraceWriter(const std::string &path)
-    : out_(path, std::ios::binary | std::ios::trunc)
+TraceWriter::TraceWriter(const std::string &path,
+                         const WorkloadPreset &preset,
+                         std::uint64_t trace_seed)
+    : out_(path, std::ios::binary | std::ios::trunc), path_(path)
 {
     fatal_if(!out_.is_open(), "cannot open trace file '%s' for writing",
              path.c_str());
-    writeRaw(out_, kTraceMagic);
-    writeRaw(out_, kTraceVersion);
-    writeRaw(out_, count_); // placeholder, patched in close()
+    putLE(out_, kTraceMagic, 4);
+    putLE(out_, kTraceVersion, 4);
+    putLE(out_, count_, 8);  // patched in close()
+    putLE(out_, instrs_, 8); // patched in close()
+    putLE(out_, trace_seed, 8);
+    WorkloadPreset copy = preset;
+    WriteArchive ar{out_};
+    archivePreset(ar, copy);
+    fatal_if(!out_, "write error on trace file '%s'", path.c_str());
 }
 
 TraceWriter::~TraceWriter()
@@ -45,12 +251,13 @@ void
 TraceWriter::append(const BBRecord &record)
 {
     panic_if(closed_, "append to closed TraceWriter");
-    writeRaw(out_, record.startAddr);
-    writeRaw(out_, record.target);
-    writeRaw(out_, record.numInstrs);
-    writeRaw(out_, static_cast<std::uint8_t>(record.type));
-    writeRaw(out_, static_cast<std::uint8_t>(record.taken));
+    putLE(out_, record.startAddr, 8);
+    putLE(out_, record.target, 8);
+    putLE(out_, record.numInstrs, 1);
+    putLE(out_, static_cast<std::uint8_t>(record.type), 1);
+    putLE(out_, record.taken ? 1 : 0, 1);
     ++count_;
+    instrs_ += record.numInstrs;
 }
 
 void
@@ -58,24 +265,29 @@ TraceWriter::close()
 {
     if (closed_)
         return;
-    out_.seekp(sizeof(kTraceMagic) + sizeof(kTraceVersion));
-    writeRaw(out_, count_);
-    out_.close();
     closed_ = true;
+    out_.seekp(kRecordCountOffset);
+    putLE(out_, count_, 8);
+    putLE(out_, instrs_, 8);
+    out_.flush();
+    // A full disk or I/O error anywhere (records or the count patch)
+    // must never look like a successfully recorded trace.
+    fatal_if(!out_, "write error on trace file '%s' (disk full?)",
+             path_.c_str());
+    out_.close();
+    fatal_if(out_.fail(), "error closing trace file '%s'",
+             path_.c_str());
 }
 
 TraceFileSource::TraceFileSource(const std::string &path)
-    : in_(path, std::ios::binary)
+    : in_(path, std::ios::binary), path_(path)
 {
     fatal_if(!in_.is_open(), "cannot open trace file '%s'", path.c_str());
-    std::uint32_t magic = 0, version = 0;
-    fatal_if(!readRaw(in_, magic) || magic != kTraceMagic,
-             "'%s' is not a shotgun trace file", path.c_str());
-    fatal_if(!readRaw(in_, version) || version != kTraceVersion,
-             "'%s' has unsupported trace version %u", path.c_str(),
-             version);
-    fatal_if(!readRaw(in_, total_), "'%s': truncated header",
-             path.c_str());
+    TraceInfo info = parseHeader(in_, path_);
+    preset_ = std::move(info.preset);
+    traceSeed_ = info.traceSeed;
+    total_ = info.records;
+    totalInstrs_ = info.instructions;
 }
 
 bool
@@ -83,24 +295,45 @@ TraceFileSource::next(BBRecord &out)
 {
     if (read_ >= total_)
         return false;
-    std::uint8_t type = 0, taken = 0;
-    if (!readRaw(in_, out.startAddr) || !readRaw(in_, out.target) ||
-        !readRaw(in_, out.numInstrs) || !readRaw(in_, type) ||
-        !readRaw(in_, taken)) {
-        fatal("truncated trace file after %llu records",
-              static_cast<unsigned long long>(read_));
-    }
-    out.type = static_cast<BranchType>(type);
-    out.taken = taken != 0;
+    unsigned char buf[19];
+    in_.read(reinterpret_cast<char *>(buf), sizeof(buf));
+    fatal_if(static_cast<std::size_t>(in_.gcount()) != sizeof(buf),
+             "'%s': truncated trace file after %llu of %llu records",
+             path_.c_str(), static_cast<unsigned long long>(read_),
+             static_cast<unsigned long long>(total_));
+    auto le64 = [&buf](unsigned at) {
+        std::uint64_t v = 0;
+        for (unsigned i = 0; i < 8; ++i)
+            v |= static_cast<std::uint64_t>(buf[at + i]) << (8 * i);
+        return v;
+    };
+    out.startAddr = le64(0);
+    out.target = le64(8);
+    out.numInstrs = buf[16];
+    fatal_if(buf[17] >= static_cast<unsigned>(BranchType::NumTypes),
+             "'%s': corrupt record %llu (bad branch type %u)",
+             path_.c_str(), static_cast<unsigned long long>(read_),
+             buf[17]);
+    out.type = static_cast<BranchType>(buf[17]);
+    out.taken = buf[18] != 0;
     ++read_;
     return true;
 }
 
+TraceInfo
+readTraceInfo(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    fatal_if(!in.is_open(), "cannot open trace file '%s'", path.c_str());
+    return parseHeader(in, path);
+}
+
 std::uint64_t
-recordTrace(TraceSource &source, const std::string &path,
+recordTrace(TraceSource &source, const WorkloadPreset &preset,
+            std::uint64_t trace_seed, const std::string &path,
             std::uint64_t count)
 {
-    TraceWriter writer(path);
+    TraceWriter writer(path, preset, trace_seed);
     BBRecord record;
     for (std::uint64_t i = 0; i < count; ++i) {
         if (!source.next(record))
@@ -109,6 +342,31 @@ recordTrace(TraceSource &source, const std::string &path,
     }
     writer.close();
     return writer.recordsWritten();
+}
+
+std::uint64_t
+recordTraceInstructions(TraceSource &source, const WorkloadPreset &preset,
+                        std::uint64_t trace_seed, const std::string &path,
+                        std::uint64_t instructions)
+{
+    TraceWriter writer(path, preset, trace_seed);
+    BBRecord record;
+    while (writer.instructionsWritten() < instructions) {
+        if (!source.next(record))
+            break;
+        writer.append(record);
+    }
+    writer.close();
+    return writer.recordsWritten();
+}
+
+std::unique_ptr<TraceSource>
+openTraceSource(const WorkloadPreset &preset, const Program &program,
+                std::uint64_t seed)
+{
+    if (!preset.tracePath.empty())
+        return std::make_unique<TraceFileSource>(preset.tracePath);
+    return std::make_unique<TraceGenerator>(program, seed);
 }
 
 } // namespace shotgun

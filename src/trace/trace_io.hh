@@ -4,6 +4,22 @@
  * recorded traces make experiments replayable across tools and let
  * downstream users feed their own control-flow traces (e.g. converted
  * from ChampSim or gem5 output) into the simulator.
+ *
+ * Format (version 2) -- every integer is serialized explicitly
+ * little-endian, so files interchange between hosts of any endianness:
+ *
+ *   u32  magic "SHTG"
+ *   u32  version (2)
+ *   u64  record count        (patched on close)
+ *   u64  instruction count   (patched on close)
+ *   u64  generator seed the trace was recorded with
+ *   WorkloadPreset            (the full program-model + data-side
+ *                              parameters, so a trace file is a
+ *                              self-describing workload)
+ *   records: u64 startAddr, u64 target, u8 numInstrs, u8 type, u8 taken
+ *
+ * Version 1 files were raw host-endian structs without the embedded
+ * preset; they are rejected with a clear message (re-record them).
  */
 
 #ifndef SHOTGUN_TRACE_TRACE_IO_HH
@@ -11,10 +27,12 @@
 
 #include <cstdint>
 #include <fstream>
+#include <memory>
 #include <string>
 
 #include "trace/generator.hh"
 #include "trace/instruction.hh"
+#include "trace/presets.hh"
 
 namespace shotgun
 {
@@ -23,14 +41,18 @@ namespace shotgun
 constexpr std::uint32_t kTraceMagic = 0x47544853; // "SHTG"
 
 /** Current trace format version. */
-constexpr std::uint32_t kTraceVersion = 1;
+constexpr std::uint32_t kTraceVersion = 2;
 
 /** Streams BBRecords into a binary trace file. */
 class TraceWriter
 {
   public:
-    /** Open `path` for writing; fatal() on failure. */
-    explicit TraceWriter(const std::string &path);
+    /**
+     * Open `path` for writing a trace of `preset` recorded with
+     * generator seed `trace_seed`; fatal() on failure.
+     */
+    TraceWriter(const std::string &path, const WorkloadPreset &preset,
+                std::uint64_t trace_seed);
     ~TraceWriter();
 
     TraceWriter(const TraceWriter &) = delete;
@@ -38,14 +60,21 @@ class TraceWriter
 
     void append(const BBRecord &record);
 
-    /** Flush and patch the record count into the header. */
+    /**
+     * Flush and patch the record/instruction counts into the header;
+     * fatal() if any write (including the patch) failed, so a full
+     * disk can never masquerade as success.
+     */
     void close();
 
     std::uint64_t recordsWritten() const { return count_; }
+    std::uint64_t instructionsWritten() const { return instrs_; }
 
   private:
     std::ofstream out_;
+    std::string path_;
     std::uint64_t count_ = 0;
+    std::uint64_t instrs_ = 0;
     bool closed_ = false;
 };
 
@@ -59,20 +88,69 @@ class TraceFileSource : public TraceSource
     bool next(BBRecord &out) override;
 
     std::uint64_t totalRecords() const { return total_; }
+    std::uint64_t totalInstructions() const { return totalInstrs_; }
     std::uint64_t recordsRead() const { return read_; }
+
+    /**
+     * The workload the trace was recorded from, reconstructed from
+     * the header (tracePath points back at this file).
+     */
+    const WorkloadPreset &preset() const { return preset_; }
+
+    /** Generator seed the trace was recorded with. */
+    std::uint64_t traceSeed() const { return traceSeed_; }
 
   private:
     std::ifstream in_;
+    std::string path_;
+    WorkloadPreset preset_;
+    std::uint64_t traceSeed_ = 1;
     std::uint64_t total_ = 0;
+    std::uint64_t totalInstrs_ = 0;
     std::uint64_t read_ = 0;
 };
 
+/** Header summary of a trace file (shotgun-trace info, trace: specs). */
+struct TraceInfo
+{
+    WorkloadPreset preset;
+    std::uint64_t traceSeed = 1;
+    std::uint64_t records = 0;
+    std::uint64_t instructions = 0;
+};
+
+/** Read and validate just the header of `path`; fatal() on a bad file. */
+TraceInfo readTraceInfo(const std::string &path);
+
 /**
- * Record `count` basic blocks from `source` into `path`.
+ * Record up to `count` basic blocks from `source` into `path`.
  * @return number of records written.
  */
-std::uint64_t recordTrace(TraceSource &source, const std::string &path,
-                          std::uint64_t count);
+std::uint64_t recordTrace(TraceSource &source,
+                          const WorkloadPreset &preset,
+                          std::uint64_t trace_seed,
+                          const std::string &path, std::uint64_t count);
+
+/**
+ * Record basic blocks from `source` into `path` until at least
+ * `instructions` instructions are captured (or the source runs dry).
+ * @return number of records written.
+ */
+std::uint64_t recordTraceInstructions(TraceSource &source,
+                                      const WorkloadPreset &preset,
+                                      std::uint64_t trace_seed,
+                                      const std::string &path,
+                                      std::uint64_t instructions);
+
+/**
+ * The TraceSource for a workload: file replay when `preset.tracePath`
+ * is set, otherwise a live generator over `program` with `seed`.
+ * `program` must be the image built from `preset.program` (see
+ * programFor in sim/simulator.hh).
+ */
+std::unique_ptr<TraceSource> openTraceSource(const WorkloadPreset &preset,
+                                             const Program &program,
+                                             std::uint64_t seed);
 
 } // namespace shotgun
 

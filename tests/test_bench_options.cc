@@ -167,19 +167,56 @@ TEST_F(BenchOptionsTest, FlagsOverrideEnvironment)
     unsetenv("SHOTGUN_BENCH_INSTRS");
 }
 
-TEST_F(BenchOptionsTest, WorkloadSelection)
+TEST_F(BenchOptionsTest, CuratedDefaultsRespectWorkloadFilter)
 {
+    // Benches with a curated default subset sweep it only when no
+    // --workload filter was given.
     ASSERT_TRUE(parse({}, opts, error));
-    EXPECT_TRUE(bench::workloadSelected(opts, "oracle"));
-    ASSERT_TRUE(parse({"--workload", "oracle"}, opts, error));
-    EXPECT_TRUE(bench::workloadSelected(opts, "oracle"));
-    EXPECT_FALSE(bench::workloadSelected(opts, "db2"));
+    const auto defaults = bench::selectedPresets(
+        opts, {WorkloadId::Oracle, WorkloadId::DB2});
+    ASSERT_EQ(defaults.size(), 2u);
+    EXPECT_EQ(defaults[0].name, "oracle");
+    EXPECT_EQ(defaults[1].name, "db2");
+
+    ASSERT_TRUE(parse({"--workload", "nutch"}, opts, error));
+    const auto filtered = bench::selectedPresets(
+        opts, {WorkloadId::Oracle, WorkloadId::DB2});
+    ASSERT_EQ(filtered.size(), 1u);
+    EXPECT_EQ(filtered[0].name, "nutch");
 }
 
 TEST_F(BenchOptionsTest, RejectsUnknownWorkload)
 {
     EXPECT_FALSE(parse({"--workload", "nosuch"}, opts, error));
     EXPECT_NE(error.find("nosuch"), std::string::npos);
+}
+
+TEST_F(BenchOptionsTest, AcceptsTraceWorkloadSpecs)
+{
+    // trace:<path>[:name] passes the syntactic check; the file itself
+    // is opened (and validated) only when the preset is built.
+    ASSERT_TRUE(
+        parse({"--workload", "trace:/tmp/foo.trace"}, opts, error));
+    EXPECT_EQ(opts.onlyWorkload, "trace:/tmp/foo.trace");
+
+    ASSERT_TRUE(parse({"--workload", "trace:/tmp/foo.trace:oltp"},
+                      opts, error));
+    EXPECT_EQ(opts.onlyWorkload, "trace:/tmp/foo.trace:oltp");
+
+    EXPECT_FALSE(parse({"--workload", "trace:"}, opts, error));
+    EXPECT_NE(error.find("trace:<path>"), std::string::npos);
+}
+
+TEST_F(BenchOptionsTest, SelectedPresetsHonorsFilter)
+{
+    ASSERT_TRUE(parse({}, opts, error));
+    EXPECT_EQ(bench::selectedPresets(opts).size(), 6u);
+
+    ASSERT_TRUE(parse({"--workload", "oracle"}, opts, error));
+    const auto selected = bench::selectedPresets(opts);
+    ASSERT_EQ(selected.size(), 1u);
+    EXPECT_EQ(selected[0].name, "oracle");
+    EXPECT_TRUE(selected[0].tracePath.empty());
 }
 
 } // namespace

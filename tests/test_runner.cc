@@ -211,6 +211,59 @@ TEST(ResultSinkTest, SerializesRows)
     EXPECT_NE(table.str().find("nutch"), std::string::npos);
 }
 
+TEST(ResultSinkTest, CsvQuotesSpecialCharacters)
+{
+    // Ad-hoc workload names (trace: specs, studio labels) may contain
+    // commas and quotes; RFC 4180 quoting must keep the CSV parseable.
+    ResultSink sink("unit");
+    ResultRow row;
+    row.workload = "trace:/tmp/a,b.trace";
+    row.label = "shotgun \"tuned\"";
+    sink.add(row);
+
+    std::ostringstream csv;
+    sink.writeCsv(csv);
+    EXPECT_NE(csv.str().find("\"trace:/tmp/a,b.trace\""),
+              std::string::npos);
+    EXPECT_NE(csv.str().find("\"shotgun \"\"tuned\"\"\""),
+              std::string::npos);
+
+    // Plain names stay unquoted.
+    ResultSink plain("unit");
+    ResultRow simple;
+    simple.workload = "nutch";
+    simple.label = "shotgun";
+    plain.add(simple);
+    std::ostringstream plain_csv;
+    plain.writeCsv(plain_csv);
+    EXPECT_NE(plain_csv.str().find("\nnutch,shotgun,"),
+              std::string::npos);
+}
+
+TEST(ResultSinkTest, SerializationDoesNotLeakStreamFormatting)
+{
+    ResultSink sink("unit");
+    ResultRow row;
+    row.workload = "w";
+    row.label = "l";
+    row.result.ipc = 1.0 / 3.0;
+    sink.add(row);
+
+    std::ostringstream os;
+    const auto precision_before = os.precision();
+    sink.writeCsv(os);
+    sink.writeJson(os);
+    EXPECT_EQ(os.precision(), precision_before);
+
+    // A later plain double write must use default formatting again.
+    std::ostringstream tail;
+    sink.writeCsv(tail);
+    tail << 1.0 / 3.0;
+    const std::string text = tail.str();
+    ASSERT_GE(text.size(), 8u);
+    EXPECT_EQ(text.substr(text.size() - 8), "0.333333");
+}
+
 // ----------------------------------------------- parallel == serial results
 
 /** Small but non-trivial synthetic workload: fast to simulate. */

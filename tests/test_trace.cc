@@ -9,9 +9,13 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <filesystem>
+#include <fstream>
 #include <map>
 #include <set>
+#include <vector>
 
+#include "sim/simulator.hh"
 #include "trace/generator.hh"
 #include "trace/presets.hh"
 #include "trace/program.hh"
@@ -364,25 +368,287 @@ TEST(GeneratorTest, VisitsManyFunctions)
 // Trace I/O tests
 // ---------------------------------------------------------------------
 
+/** A fast-to-simulate workload wrapped around smallParams(). */
+WorkloadPreset
+tinyPreset(std::uint64_t seed = 7)
+{
+    WorkloadPreset preset;
+    preset.name = "tiny";
+    preset.program = smallParams(seed);
+    preset.program.name = "tiny";
+    return preset;
+}
+
 TEST(TraceIOTest, RoundTrip)
 {
-    Program prog(smallParams());
+    const WorkloadPreset preset = tinyPreset();
+    Program prog(preset.program);
     TraceGenerator gen(prog, 31);
     const std::string path = "/tmp/shotgun_test_trace.bin";
 
     TraceGenerator recorder_gen(prog, 31);
-    const auto written = recordTrace(recorder_gen, path, 10000);
+    const auto written = recordTrace(recorder_gen, preset, 31, path,
+                                     10000);
     EXPECT_EQ(written, 10000u);
 
     TraceFileSource replay(path);
     EXPECT_EQ(replay.totalRecords(), 10000u);
+    EXPECT_EQ(replay.traceSeed(), 31u);
     BBRecord live, replayed;
+    std::uint64_t instrs = 0;
     for (int i = 0; i < 10000; ++i) {
         ASSERT_TRUE(gen.next(live));
         ASSERT_TRUE(replay.next(replayed));
         ASSERT_TRUE(live == replayed) << "record " << i;
+        instrs += live.numInstrs;
     }
     EXPECT_FALSE(replay.next(replayed));
+    EXPECT_EQ(replay.totalInstructions(), instrs);
+    std::remove(path.c_str());
+}
+
+TEST(TraceIOTest, HeaderRoundTripsPresetAndSeed)
+{
+    WorkloadPreset preset = tinyPreset(123);
+    preset.loadFrac = 0.41;
+    preset.l1dMissRate = 0.017;
+    preset.llcDataMissFrac = 0.23;
+    preset.backgroundLoad = 2.75;
+    preset.program.zipfAlpha = 1.4375;
+    preset.program.stickyFrac = 0.61;
+    Program prog(preset.program);
+    TraceGenerator gen(prog, 99);
+    const std::string path = "/tmp/shotgun_test_trace_hdr.bin";
+    recordTrace(gen, preset, 99, path, 500);
+
+    const TraceInfo info = readTraceInfo(path);
+    EXPECT_EQ(info.records, 500u);
+    EXPECT_GT(info.instructions, 500u);
+    EXPECT_EQ(info.traceSeed, 99u);
+    EXPECT_EQ(info.preset.name, "tiny");
+    EXPECT_EQ(info.preset.tracePath, path);
+    EXPECT_EQ(info.preset.loadFrac, 0.41);
+    EXPECT_EQ(info.preset.l1dMissRate, 0.017);
+    EXPECT_EQ(info.preset.llcDataMissFrac, 0.23);
+    EXPECT_EQ(info.preset.backgroundLoad, 2.75);
+    EXPECT_EQ(info.preset.program.name, "tiny");
+    EXPECT_EQ(info.preset.program.numFuncs, preset.program.numFuncs);
+    EXPECT_EQ(info.preset.program.zipfAlpha, 1.4375);
+    EXPECT_EQ(info.preset.program.stickyFrac, 0.61);
+    EXPECT_EQ(info.preset.program.seed, 123u);
+    std::remove(path.c_str());
+}
+
+TEST(TraceIOTest, PresetByNameParsesTraceSpecs)
+{
+    const WorkloadPreset preset = tinyPreset();
+    Program prog(preset.program);
+    TraceGenerator gen(prog, 1);
+    const std::string path = "/tmp/shotgun_test_trace_spec.bin";
+    recordTrace(gen, preset, 1, path, 200);
+
+    const WorkloadPreset by_path = presetByName("trace:" + path);
+    EXPECT_EQ(by_path.name, "tiny");
+    EXPECT_EQ(by_path.tracePath, path);
+
+    const WorkloadPreset renamed =
+        presetByName("trace:" + path + ":web-oltp");
+    EXPECT_EQ(renamed.name, "web-oltp");
+    EXPECT_EQ(renamed.tracePath, path);
+    // The program identity is the recorded one, not the display name.
+    EXPECT_EQ(renamed.program.name, "tiny");
+    EXPECT_EQ(renamed.program.numFuncs, preset.program.numFuncs);
+    std::remove(path.c_str());
+}
+
+TEST(TraceIOTest, OpenTraceSourceDispatchesOnTracePath)
+{
+    WorkloadPreset preset = tinyPreset();
+    Program prog(preset.program);
+    TraceGenerator gen(prog, 1);
+    const std::string path = "/tmp/shotgun_test_trace_open.bin";
+    recordTrace(gen, preset, 1, path, 100);
+
+    auto live = openTraceSource(preset, prog, 1);
+    EXPECT_NE(dynamic_cast<TraceGenerator *>(live.get()), nullptr);
+
+    preset.tracePath = path;
+    auto replay = openTraceSource(preset, prog, 1);
+    auto *file = dynamic_cast<TraceFileSource *>(replay.get());
+    ASSERT_NE(file, nullptr);
+    EXPECT_EQ(file->totalRecords(), 100u);
+    std::remove(path.c_str());
+}
+
+TEST(TraceIOTest, ReplayedSimulationBitwiseMatchesLiveRun)
+{
+    const WorkloadPreset preset = tinyPreset();
+    const std::uint64_t warmup = 20000, measure = 50000;
+    const std::string path = "/tmp/shotgun_test_trace_replay.bin";
+
+    // Record with slack beyond warmup+measure: the decoupled BPU
+    // reads ahead of retirement, and the tail must match too.
+    TraceGenerator gen(programFor(preset), 1);
+    recordTraceInstructions(gen, preset, 1, path,
+                            warmup + measure + 8000);
+
+    SimConfig live = SimConfig::make(preset, SchemeType::Shotgun);
+    live.warmupInstructions = warmup;
+    live.measureInstructions = measure;
+    const SimResult live_result = runSimulation(live);
+
+    SimConfig replay = SimConfig::make(presetByName("trace:" + path),
+                                       SchemeType::Shotgun);
+    replay.warmupInstructions = warmup;
+    replay.measureInstructions = measure;
+    const SimResult a = runSimulation(replay);
+    const SimResult b = runSimulation(replay); // deterministic re-run
+
+    for (const SimResult *r : {&a, &b}) {
+        EXPECT_EQ(r->workload, live_result.workload);
+        EXPECT_EQ(r->scheme, live_result.scheme);
+        EXPECT_EQ(r->instructions, live_result.instructions);
+        EXPECT_EQ(r->cycles, live_result.cycles);
+        EXPECT_EQ(r->ipc, live_result.ipc);
+        EXPECT_EQ(r->btbMPKI, live_result.btbMPKI);
+        EXPECT_EQ(r->l1iMPKI, live_result.l1iMPKI);
+        EXPECT_EQ(r->mispredictsPerKI, live_result.mispredictsPerKI);
+        EXPECT_EQ(r->stalls.icache, live_result.stalls.icache);
+        EXPECT_EQ(r->stalls.btbResolve, live_result.stalls.btbResolve);
+        EXPECT_EQ(r->stalls.misfetch, live_result.stalls.misfetch);
+        EXPECT_EQ(r->stalls.mispredict, live_result.stalls.mispredict);
+        EXPECT_EQ(r->frontEndStallCycles,
+                  live_result.frontEndStallCycles);
+        EXPECT_EQ(r->prefetchAccuracy, live_result.prefetchAccuracy);
+        EXPECT_EQ(r->avgL1DFillCycles, live_result.avgL1DFillCycles);
+        EXPECT_EQ(r->prefetchesIssued, live_result.prefetchesIssued);
+        EXPECT_EQ(r->schemeStorageBits, live_result.schemeStorageBits);
+    }
+    std::remove(path.c_str());
+}
+
+// --------------------------------------------------------- rejection paths
+
+/** Write raw bytes to a scratch file for header-rejection tests. */
+std::string
+writeRawFile(const std::string &path,
+             const std::vector<unsigned char> &bytes)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char *>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+    return path;
+}
+
+void
+appendLE32(std::vector<unsigned char> &bytes, std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        bytes.push_back(static_cast<unsigned char>(v >> (8 * i)));
+}
+
+TEST(TraceIODeathTest, RejectsBadMagic)
+{
+    const auto path = writeRawFile(
+        "/tmp/shotgun_test_badmagic.bin",
+        {'n', 'o', 't', 'a', 't', 'r', 'a', 'c', 'e', '!'});
+    EXPECT_EXIT(TraceFileSource source(path),
+                ::testing::ExitedWithCode(1),
+                "not a shotgun trace file");
+    std::remove(path.c_str());
+}
+
+TEST(TraceIODeathTest, RejectsForeignEndianMagic)
+{
+    std::vector<unsigned char> bytes;
+    appendLE32(bytes, 0x53485447); // kTraceMagic byte-swapped
+    appendLE32(bytes, kTraceVersion);
+    const auto path =
+        writeRawFile("/tmp/shotgun_test_bigendian.bin", bytes);
+    EXPECT_EXIT(TraceFileSource source(path),
+                ::testing::ExitedWithCode(1), "foreign-endian");
+    std::remove(path.c_str());
+}
+
+TEST(TraceIODeathTest, RejectsVersion1)
+{
+    std::vector<unsigned char> bytes;
+    appendLE32(bytes, kTraceMagic);
+    appendLE32(bytes, 1);
+    const auto path = writeRawFile("/tmp/shotgun_test_v1.bin", bytes);
+    EXPECT_EXIT(TraceFileSource source(path),
+                ::testing::ExitedWithCode(1),
+                "version-1 trace.*no longer supported");
+    std::remove(path.c_str());
+}
+
+TEST(TraceIODeathTest, RejectsUnknownFutureVersion)
+{
+    std::vector<unsigned char> bytes;
+    appendLE32(bytes, kTraceMagic);
+    appendLE32(bytes, 99);
+    const auto path =
+        writeRawFile("/tmp/shotgun_test_v99.bin", bytes);
+    EXPECT_EXIT(TraceFileSource source(path),
+                ::testing::ExitedWithCode(1),
+                "unsupported trace version 99");
+    std::remove(path.c_str());
+}
+
+TEST(TraceIODeathTest, RejectsTruncatedRecords)
+{
+    const WorkloadPreset preset = tinyPreset();
+    Program prog(preset.program);
+    TraceGenerator gen(prog, 1);
+    const std::string path = "/tmp/shotgun_test_truncated.bin";
+    recordTrace(gen, preset, 1, path, 1000);
+
+    // Chop the tail off the last records; the header still claims
+    // 1000, so replay must fail loudly rather than end quietly.
+    const auto size = std::filesystem::file_size(path);
+    std::filesystem::resize_file(path, size - 30);
+
+    EXPECT_EXIT(
+        {
+            TraceFileSource source(path);
+            BBRecord rec;
+            while (source.next(rec)) {
+            }
+        },
+        ::testing::ExitedWithCode(1), "truncated trace file");
+    std::remove(path.c_str());
+}
+
+TEST(TraceIODeathTest, RejectsTraceShorterThanRun)
+{
+    const WorkloadPreset preset = tinyPreset();
+    TraceGenerator gen(programFor(preset), 1);
+    const std::string path = "/tmp/shotgun_test_short.bin";
+    recordTraceInstructions(gen, preset, 1, path, 5000);
+
+    SimConfig config = SimConfig::make(presetByName("trace:" + path),
+                                       SchemeType::Shotgun);
+    config.warmupInstructions = 20000;
+    config.measureInstructions = 50000;
+    EXPECT_EXIT(runSimulation(config), ::testing::ExitedWithCode(1),
+                "record a longer trace");
+    std::remove(path.c_str());
+}
+
+TEST(TraceIODeathTest, RejectsMismatchedProgram)
+{
+    const WorkloadPreset preset = tinyPreset();
+    TraceGenerator gen(programFor(preset), 1);
+    const std::string path = "/tmp/shotgun_test_mismatch.bin";
+    recordTraceInstructions(gen, preset, 1, path, 100000);
+
+    // Bind the trace to a workload with different program parameters.
+    SimConfig config = SimConfig::make(tinyPreset(8), SchemeType::FDIP);
+    config.workload.tracePath = path;
+    config.warmupInstructions = 1000;
+    config.measureInstructions = 1000;
+    EXPECT_EXIT(runSimulation(config), ::testing::ExitedWithCode(1),
+                "does not match this workload's program");
     std::remove(path.c_str());
 }
 
