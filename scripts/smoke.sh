@@ -1,8 +1,11 @@
 #!/usr/bin/env bash
 # Smoke test: configure, build, run the unit/integration test suite,
 # exercise the parallel experiment runner end-to-end with one quick
-# bench sweep that must emit JSON/CSV results, then record a trace and
-# verify replaying it (standalone and through a bench grid) works.
+# bench sweep that must emit JSON/CSV results, record a trace and
+# verify replaying it (standalone and through a bench grid) works,
+# then start the simulation service on a Unix socket, submit a grid
+# through it, and assert the results are byte-identical to the same
+# grid run in-process.
 #
 # Usage: scripts/smoke.sh [build-dir]
 set -euo pipefail
@@ -52,5 +55,56 @@ grep -q '"workload": "nutch"' "$TRACE_OUT.json"
 # (trace_tools exits non-zero on divergence).
 "$BUILD_DIR/trace_tools" nutch 100000 "$BUILD_DIR/smoke/verify.trace" \
     | grep -q "OK: file replay is bit-identical"
+
+echo "== tool CLI conventions (--help 0 / --version 0 / bad usage 2) =="
+for tool in shotgun-trace shotgun-serve shotgun-submit; do
+    "$BUILD_DIR/$tool" --help > /dev/null
+    "$BUILD_DIR/$tool" --version | grep -q "^$tool "
+    rc=0
+    "$BUILD_DIR/$tool" --definitely-not-a-flag > /dev/null 2>&1 || rc=$?
+    test "$rc" -eq 2 || {
+        echo "$tool: bad usage exited $rc, expected 2" >&2
+        exit 1
+    }
+done
+
+echo "== service: serve -> submit -> verify bitwise vs in-process =="
+SOCK="$BUILD_DIR/smoke/serve.sock"
+GRID=(--workload nutch --schemes fdip,shotgun
+      --warmup 100000 --instructions 200000 --no-progress)
+
+"$BUILD_DIR/shotgun-serve" --listen "unix:$SOCK" --quiet &
+SERVE_PID=$!
+trap 'kill $SERVE_PID 2>/dev/null || true' EXIT
+for _ in $(seq 50); do
+    [ -S "$SOCK" ] && break
+    sleep 0.1
+done
+"$BUILD_DIR/shotgun-submit" --server "unix:$SOCK" --ping
+
+# The same grid through the service, and sharded across two "workers"
+# pointed at the same server, and fully in-process (--local): all
+# three must produce byte-identical JSON/CSV.
+"$BUILD_DIR/shotgun-submit" --server "unix:$SOCK" "${GRID[@]}" \
+    --out "$BUILD_DIR/smoke/svc_remote" > /dev/null
+"$BUILD_DIR/shotgun-submit" --workers "unix:$SOCK,unix:$SOCK" \
+    "${GRID[@]}" --out "$BUILD_DIR/smoke/svc_sharded" > /dev/null
+"$BUILD_DIR/shotgun-submit" --local "${GRID[@]}" \
+    --out "$BUILD_DIR/smoke/svc_local" > /dev/null
+for ext in json csv; do
+    cmp "$BUILD_DIR/smoke/svc_remote.$ext" \
+        "$BUILD_DIR/smoke/svc_local.$ext"
+    cmp "$BUILD_DIR/smoke/svc_sharded.$ext" \
+        "$BUILD_DIR/smoke/svc_local.$ext"
+done
+
+# Three submits of one 3-point grid, but only 3 distinct configs
+# simulated: the repeats were served from the fingerprint cache.
+"$BUILD_DIR/shotgun-submit" --server "unix:$SOCK" --status \
+    | grep -q '"cache_entries":3'
+
+"$BUILD_DIR/shotgun-submit" --server "unix:$SOCK" --shutdown
+wait $SERVE_PID
+trap - EXIT
 
 echo "smoke OK"

@@ -1,0 +1,615 @@
+#include "common/json.hh"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+
+namespace shotgun
+{
+namespace json
+{
+
+std::string
+escape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+formatDouble(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+Value
+Value::boolean(bool b)
+{
+    Value v;
+    v.kind_ = Kind::Bool;
+    v.bool_ = b;
+    return v;
+}
+
+Value
+Value::number(std::uint64_t value)
+{
+    Value v;
+    v.kind_ = Kind::Number;
+    v.scalar_ = std::to_string(value);
+    return v;
+}
+
+Value
+Value::number(std::int64_t value)
+{
+    Value v;
+    v.kind_ = Kind::Number;
+    v.scalar_ = std::to_string(value);
+    return v;
+}
+
+Value
+Value::number(double value)
+{
+    Value v;
+    v.kind_ = Kind::Number;
+    v.scalar_ = formatDouble(value);
+    return v;
+}
+
+Value
+Value::numberFromToken(std::string token)
+{
+    Value v;
+    v.kind_ = Kind::Number;
+    v.scalar_ = std::move(token);
+    return v;
+}
+
+Value
+Value::string(std::string s)
+{
+    Value v;
+    v.kind_ = Kind::String;
+    v.scalar_ = std::move(s);
+    return v;
+}
+
+Value
+Value::array()
+{
+    Value v;
+    v.kind_ = Kind::Array;
+    return v;
+}
+
+Value
+Value::object()
+{
+    Value v;
+    v.kind_ = Kind::Object;
+    return v;
+}
+
+namespace
+{
+
+const char *
+kindName(Value::Kind kind)
+{
+    switch (kind) {
+      case Value::Kind::Null: return "null";
+      case Value::Kind::Bool: return "bool";
+      case Value::Kind::Number: return "number";
+      case Value::Kind::String: return "string";
+      case Value::Kind::Array: return "array";
+      case Value::Kind::Object: return "object";
+    }
+    return "?";
+}
+
+[[noreturn]] void
+wrongKind(const char *wanted, Value::Kind got)
+{
+    throw JsonError(std::string("expected ") + wanted + ", got " +
+                    kindName(got));
+}
+
+} // namespace
+
+bool
+Value::asBool() const
+{
+    if (kind_ != Kind::Bool)
+        wrongKind("bool", kind_);
+    return bool_;
+}
+
+const std::string &
+Value::asString() const
+{
+    if (kind_ != Kind::String)
+        wrongKind("string", kind_);
+    return scalar_;
+}
+
+const std::string &
+Value::numberToken() const
+{
+    if (kind_ != Kind::Number)
+        wrongKind("number", kind_);
+    return scalar_;
+}
+
+double
+Value::asDouble() const
+{
+    if (kind_ != Kind::Number)
+        wrongKind("number", kind_);
+    errno = 0;
+    char *end = nullptr;
+    const double v = std::strtod(scalar_.c_str(), &end);
+    if (end != scalar_.c_str() + scalar_.size())
+        throw JsonError("malformed number token '" + scalar_ + "'");
+    return v;
+}
+
+std::uint64_t
+Value::asU64() const
+{
+    if (kind_ != Kind::Number)
+        wrongKind("number", kind_);
+    for (char c : scalar_) {
+        if (c < '0' || c > '9')
+            throw JsonError("expected a non-negative integer, got '" +
+                            scalar_ + "'");
+    }
+    errno = 0;
+    char *end = nullptr;
+    const unsigned long long v =
+        std::strtoull(scalar_.c_str(), &end, 10);
+    if (errno == ERANGE || end != scalar_.c_str() + scalar_.size())
+        throw JsonError("integer out of range: '" + scalar_ + "'");
+    return v;
+}
+
+std::int64_t
+Value::asI64() const
+{
+    if (kind_ != Kind::Number)
+        wrongKind("number", kind_);
+    const char *p = scalar_.c_str();
+    if (*p == '-')
+        ++p;
+    for (; *p; ++p) {
+        if (*p < '0' || *p > '9')
+            throw JsonError("expected an integer, got '" + scalar_ +
+                            "'");
+    }
+    errno = 0;
+    char *end = nullptr;
+    const long long v = std::strtoll(scalar_.c_str(), &end, 10);
+    if (errno == ERANGE || end != scalar_.c_str() + scalar_.size())
+        throw JsonError("integer out of range: '" + scalar_ + "'");
+    return v;
+}
+
+void
+Value::push(Value v)
+{
+    if (kind_ != Kind::Array)
+        wrongKind("array", kind_);
+    items_.push_back(std::move(v));
+}
+
+const std::vector<Value> &
+Value::items() const
+{
+    if (kind_ != Kind::Array)
+        wrongKind("array", kind_);
+    return items_;
+}
+
+std::size_t
+Value::size() const
+{
+    if (kind_ == Kind::Array)
+        return items_.size();
+    if (kind_ == Kind::Object)
+        return members_.size();
+    wrongKind("array or object", kind_);
+}
+
+void
+Value::set(std::string key, Value v)
+{
+    if (kind_ != Kind::Object)
+        wrongKind("object", kind_);
+    members_.emplace_back(std::move(key), std::move(v));
+}
+
+const std::vector<Value::Member> &
+Value::members() const
+{
+    if (kind_ != Kind::Object)
+        wrongKind("object", kind_);
+    return members_;
+}
+
+const Value *
+Value::find(const std::string &key) const
+{
+    if (kind_ != Kind::Object)
+        wrongKind("object", kind_);
+    for (const auto &member : members_) {
+        if (member.first == key)
+            return &member.second;
+    }
+    return nullptr;
+}
+
+const Value &
+Value::at(const std::string &key) const
+{
+    const Value *v = find(key);
+    if (v == nullptr)
+        throw JsonError("missing key \"" + key + "\"");
+    return *v;
+}
+
+void
+Value::write(std::ostream &os) const
+{
+    switch (kind_) {
+      case Kind::Null:
+        os << "null";
+        break;
+      case Kind::Bool:
+        os << (bool_ ? "true" : "false");
+        break;
+      case Kind::Number:
+        os << scalar_;
+        break;
+      case Kind::String:
+        os << '"' << escape(scalar_) << '"';
+        break;
+      case Kind::Array:
+        os << '[';
+        for (std::size_t i = 0; i < items_.size(); ++i) {
+            if (i > 0)
+                os << ',';
+            items_[i].write(os);
+        }
+        os << ']';
+        break;
+      case Kind::Object:
+        os << '{';
+        for (std::size_t i = 0; i < members_.size(); ++i) {
+            if (i > 0)
+                os << ',';
+            os << '"' << escape(members_[i].first) << "\":";
+            members_[i].second.write(os);
+        }
+        os << '}';
+        break;
+    }
+}
+
+std::string
+Value::dump() const
+{
+    std::ostringstream oss;
+    write(oss);
+    return oss.str();
+}
+
+// -------------------------------------------------------------- parser
+
+namespace
+{
+
+class Parser
+{
+  public:
+    explicit Parser(const std::string &text) : text_(text) {}
+
+    Value parse()
+    {
+        skipWs();
+        Value v = parseValue(0);
+        skipWs();
+        if (pos_ != text_.size())
+            fail("trailing content after JSON value");
+        return v;
+    }
+
+  private:
+    static constexpr int kMaxDepth = 128;
+
+    [[noreturn]] void fail(const std::string &message) const
+    {
+        throw JsonError("JSON parse error at offset " +
+                        std::to_string(pos_) + ": " + message);
+    }
+
+    bool atEnd() const { return pos_ >= text_.size(); }
+
+    char peek() const
+    {
+        if (atEnd())
+            fail("unexpected end of input");
+        return text_[pos_];
+    }
+
+    char take()
+    {
+        const char c = peek();
+        ++pos_;
+        return c;
+    }
+
+    void skipWs()
+    {
+        while (!atEnd()) {
+            const char c = text_[pos_];
+            if (c == ' ' || c == '\t' || c == '\n' || c == '\r')
+                ++pos_;
+            else
+                break;
+        }
+    }
+
+    void expect(const char *literal)
+    {
+        const std::size_t n = std::strlen(literal);
+        if (text_.compare(pos_, n, literal) != 0)
+            fail(std::string("expected '") + literal + "'");
+        pos_ += n;
+    }
+
+    Value parseValue(int depth)
+    {
+        if (depth > kMaxDepth)
+            fail("nesting too deep");
+        switch (peek()) {
+          case 'n':
+            expect("null");
+            return Value::null();
+          case 't':
+            expect("true");
+            return Value::boolean(true);
+          case 'f':
+            expect("false");
+            return Value::boolean(false);
+          case '"':
+            return Value::string(parseString());
+          case '[':
+            return parseArray(depth);
+          case '{':
+            return parseObject(depth);
+          default:
+            return parseNumber();
+        }
+    }
+
+    Value parseArray(int depth)
+    {
+        take(); // '['
+        Value v = Value::array();
+        skipWs();
+        if (peek() == ']') {
+            take();
+            return v;
+        }
+        while (true) {
+            skipWs();
+            v.push(parseValue(depth + 1));
+            skipWs();
+            const char c = take();
+            if (c == ']')
+                return v;
+            if (c != ',')
+                fail("expected ',' or ']' in array");
+        }
+    }
+
+    Value parseObject(int depth)
+    {
+        take(); // '{'
+        Value v = Value::object();
+        skipWs();
+        if (peek() == '}') {
+            take();
+            return v;
+        }
+        while (true) {
+            skipWs();
+            if (peek() != '"')
+                fail("expected a string object key");
+            std::string key = parseString();
+            if (v.find(key) != nullptr)
+                fail("duplicate object key \"" + key + "\"");
+            skipWs();
+            if (take() != ':')
+                fail("expected ':' after object key");
+            skipWs();
+            v.set(std::move(key), parseValue(depth + 1));
+            skipWs();
+            const char c = take();
+            if (c == '}')
+                return v;
+            if (c != ',')
+                fail("expected ',' or '}' in object");
+        }
+    }
+
+    unsigned parseHex4()
+    {
+        unsigned value = 0;
+        for (int i = 0; i < 4; ++i) {
+            const char c = take();
+            value <<= 4;
+            if (c >= '0' && c <= '9')
+                value |= static_cast<unsigned>(c - '0');
+            else if (c >= 'a' && c <= 'f')
+                value |= static_cast<unsigned>(c - 'a' + 10);
+            else if (c >= 'A' && c <= 'F')
+                value |= static_cast<unsigned>(c - 'A' + 10);
+            else
+                fail("invalid \\u escape");
+        }
+        return value;
+    }
+
+    void appendUtf8(std::string &out, unsigned cp)
+    {
+        if (cp < 0x80) {
+            out += static_cast<char>(cp);
+        } else if (cp < 0x800) {
+            out += static_cast<char>(0xc0 | (cp >> 6));
+            out += static_cast<char>(0x80 | (cp & 0x3f));
+        } else if (cp < 0x10000) {
+            out += static_cast<char>(0xe0 | (cp >> 12));
+            out += static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
+            out += static_cast<char>(0x80 | (cp & 0x3f));
+        } else {
+            out += static_cast<char>(0xf0 | (cp >> 18));
+            out += static_cast<char>(0x80 | ((cp >> 12) & 0x3f));
+            out += static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
+            out += static_cast<char>(0x80 | (cp & 0x3f));
+        }
+    }
+
+    std::string parseString()
+    {
+        take(); // '"'
+        std::string out;
+        while (true) {
+            const char c = take();
+            if (c == '"')
+                return out;
+            if (static_cast<unsigned char>(c) < 0x20)
+                fail("unescaped control character in string");
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            const char esc = take();
+            switch (esc) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'n': out += '\n'; break;
+              case 'r': out += '\r'; break;
+              case 't': out += '\t'; break;
+              case 'u': {
+                unsigned cp = parseHex4();
+                if (cp >= 0xd800 && cp <= 0xdbff) {
+                    // Surrogate pair: the low half must follow.
+                    if (take() != '\\' || take() != 'u')
+                        fail("unpaired UTF-16 surrogate");
+                    const unsigned low = parseHex4();
+                    if (low < 0xdc00 || low > 0xdfff)
+                        fail("invalid UTF-16 surrogate pair");
+                    cp = 0x10000 + ((cp - 0xd800) << 10) +
+                         (low - 0xdc00);
+                } else if (cp >= 0xdc00 && cp <= 0xdfff) {
+                    fail("unpaired UTF-16 surrogate");
+                }
+                appendUtf8(out, cp);
+                break;
+              }
+              default:
+                fail("invalid escape sequence");
+            }
+        }
+    }
+
+    Value parseNumber()
+    {
+        const std::size_t start = pos_;
+        if (peek() == '-')
+            take();
+        if (atEnd() || !std::isdigit(static_cast<unsigned char>(peek())))
+            fail("malformed number");
+        // Leading zero may only be followed by '.', 'e' or the end.
+        if (take() == '0' && !atEnd() &&
+            std::isdigit(static_cast<unsigned char>(text_[pos_])))
+            fail("number with leading zero");
+        auto digits = [&]() {
+            std::size_t n = 0;
+            while (!atEnd() &&
+                   std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+                ++pos_;
+                ++n;
+            }
+            return n;
+        };
+        digits();
+        if (!atEnd() && text_[pos_] == '.') {
+            ++pos_;
+            if (digits() == 0)
+                fail("malformed number fraction");
+        }
+        if (!atEnd() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+            ++pos_;
+            if (!atEnd() && (text_[pos_] == '+' || text_[pos_] == '-'))
+                ++pos_;
+            if (digits() == 0)
+                fail("malformed number exponent");
+        }
+        // Keep the exact token so writing re-emits the same bytes.
+        return Value::numberFromToken(
+            text_.substr(start, pos_ - start));
+    }
+
+    const std::string &text_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+Value
+Value::parse(const std::string &text)
+{
+    return Parser(text).parse();
+}
+
+std::uint64_t
+fnv1a64(const std::string &bytes)
+{
+    std::uint64_t hash = 0xcbf29ce484222325ULL;
+    for (unsigned char c : bytes) {
+        hash ^= c;
+        hash *= 0x100000001b3ULL;
+    }
+    return hash;
+}
+
+} // namespace json
+} // namespace shotgun

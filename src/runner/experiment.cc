@@ -4,6 +4,8 @@
 #include <chrono>
 #include <future>
 
+#include "common/logging.hh"
+
 #include "runner/progress.hh"
 #include "runner/thread_pool.hh"
 
@@ -50,8 +52,19 @@ ExperimentSet::baselineIndex(const std::string &workload) const
     return it == baselines_.end() ? npos : it->second;
 }
 
+SimResult
+runExperiment(const Experiment &exp)
+{
+    return exp.viaBaselineCache
+               ? baselineFor(exp.config.workload,
+                             exp.config.warmupInstructions,
+                             exp.config.measureInstructions,
+                             exp.config.traceSeed)
+               : runSimulation(exp.config);
+}
+
 ExperimentRunner::ExperimentRunner(RunnerOptions options)
-    : options_(options)
+    : options_(std::move(options))
 {
 }
 
@@ -67,9 +80,8 @@ ExperimentRunner::effectiveJobs(std::size_t grid_size) const
 }
 
 std::vector<SimResult>
-ExperimentRunner::run(const ExperimentSet &set, ResultSink *sink) const
+ExperimentRunner::run(const std::vector<Experiment> &grid) const
 {
-    const auto &grid = set.experiments();
     if (grid.empty())
         return {};
 
@@ -78,16 +90,13 @@ ExperimentRunner::run(const ExperimentSet &set, ResultSink *sink) const
 
     std::vector<std::future<SimResult>> futures;
     futures.reserve(grid.size());
-    for (const Experiment &exp : grid) {
-        futures.push_back(pool.submit([&exp, &progress]() {
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+        const Experiment &exp = grid[i];
+        futures.push_back(pool.submit([this, i, &exp, &progress]() {
             const auto start = std::chrono::steady_clock::now();
-            SimResult result =
-                exp.viaBaselineCache
-                    ? baselineFor(exp.config.workload,
-                                  exp.config.warmupInstructions,
-                                  exp.config.measureInstructions,
-                                  exp.config.traceSeed)
-                    : runSimulation(exp.config);
+            SimResult result = options_.simulate
+                                   ? options_.simulate(i, exp)
+                                   : runExperiment(exp);
             const double seconds =
                 std::chrono::duration<double>(
                     std::chrono::steady_clock::now() - start)
@@ -102,26 +111,47 @@ ExperimentRunner::run(const ExperimentSet &set, ResultSink *sink) const
     // exception; the pool destructor still drains the rest first.
     std::vector<SimResult> results;
     results.reserve(grid.size());
-    for (auto &future : futures)
-        results.push_back(future.get());
-
-    if (sink) {
-        for (std::size_t i = 0; i < grid.size(); ++i) {
-            ResultRow row;
-            row.workload = grid[i].workload;
-            row.label = grid[i].label;
-            row.result = results[i];
-            const std::size_t base = set.baselineIndex(row.workload);
-            if (base != ExperimentSet::npos) {
-                row.hasBaseline = true;
-                row.speedup = speedup(results[i], results[base]);
-                row.stallCoverage =
-                    stallCoverage(results[i], results[base]);
-            }
-            sink->add(std::move(row));
-        }
+    for (std::size_t i = 0; i < futures.size(); ++i) {
+        results.push_back(futures[i].get());
+        if (options_.onResult)
+            options_.onResult(i, grid[i], results.back());
     }
     return results;
+}
+
+std::vector<SimResult>
+ExperimentRunner::run(const ExperimentSet &set, ResultSink *sink) const
+{
+    std::vector<SimResult> results = run(set.experiments());
+    if (sink)
+        appendResultRows(set, results, *sink);
+    return results;
+}
+
+void
+appendResultRows(const ExperimentSet &set,
+                 const std::vector<SimResult> &results, ResultSink &sink)
+{
+    const auto &grid = set.experiments();
+    // A short results vector would silently truncate the output
+    // files -- the exact failure the byte-identical contract between
+    // in-process and service runs exists to catch. Fail loudly.
+    fatal_if(results.size() != grid.size(),
+             "appendResultRows: %zu results for a %zu-point grid",
+             results.size(), grid.size());
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+        ResultRow row;
+        row.workload = grid[i].workload;
+        row.label = grid[i].label;
+        row.result = results[i];
+        const std::size_t base = set.baselineIndex(row.workload);
+        if (base != ExperimentSet::npos) {
+            row.hasBaseline = true;
+            row.speedup = speedup(results[i], results[base]);
+            row.stallCoverage = stallCoverage(results[i], results[base]);
+        }
+        sink.add(std::move(row));
+    }
 }
 
 } // namespace runner

@@ -12,6 +12,7 @@
 #define SHOTGUN_RUNNER_EXPERIMENT_HH
 
 #include <cstddef>
+#include <functional>
 #include <ostream>
 #include <string>
 #include <unordered_map>
@@ -81,7 +82,34 @@ struct RunnerOptions
 
     /** Progress/ETA stream; nullptr runs quietly. */
     std::ostream *progress = nullptr;
+
+    /**
+     * Optional executor override. When set, the runner calls this
+     * instead of runExperiment() for every grid point -- the
+     * simulation service hooks its fingerprint-keyed result cache and
+     * job cancellation in here. Must be thread-safe; called from
+     * worker threads with the experiment's grid index.
+     */
+    std::function<SimResult(std::size_t index, const Experiment &)>
+        simulate;
+
+    /**
+     * Optional per-result stream, called on the run() caller's thread
+     * in strict grid order as soon as each result (and all results
+     * before it) completed. The service uses it to stream `result`
+     * frames while later grid points are still simulating.
+     */
+    std::function<void(std::size_t index, const Experiment &,
+                       const SimResult &)>
+        onResult;
 };
+
+/**
+ * Execute one experiment the way the runner would: through
+ * baselineFor()'s process-wide memo when `viaBaselineCache` is set,
+ * directly through runSimulation() otherwise.
+ */
+SimResult runExperiment(const Experiment &exp);
 
 class ExperimentRunner
 {
@@ -101,12 +129,30 @@ class ExperimentRunner
     std::vector<SimResult> run(const ExperimentSet &set,
                                ResultSink *sink = nullptr) const;
 
+    /**
+     * Execute a bare grid (no baseline bookkeeping, no sink): the
+     * form a remote shard arrives in. Same ordering and determinism
+     * guarantees as the ExperimentSet overload.
+     */
+    std::vector<SimResult> run(const std::vector<Experiment> &grid) const;
+
     /** The worker count run() will use. */
     unsigned effectiveJobs(std::size_t grid_size) const;
 
   private:
     RunnerOptions options_;
 };
+
+/**
+ * Append one ResultRow per experiment to `sink`, in grid order, with
+ * speedup/stall-coverage against the workload's baseline entry when
+ * the grid has one. Shared by ExperimentRunner::run() and the
+ * service client (shotgun-submit), so a grid executed remotely
+ * serializes byte-identically to the same grid run in-process.
+ */
+void appendResultRows(const ExperimentSet &set,
+                      const std::vector<SimResult> &results,
+                      ResultSink &sink);
 
 } // namespace runner
 } // namespace shotgun

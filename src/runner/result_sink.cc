@@ -3,6 +3,7 @@
 #include <filesystem>
 #include <fstream>
 
+#include "common/json.hh"
 #include "common/logging.hh"
 #include "common/table.hh"
 
@@ -13,30 +14,6 @@ namespace runner
 
 namespace
 {
-
-std::string
-jsonEscape(const std::string &s)
-{
-    std::string out;
-    out.reserve(s.size());
-    for (char c : s) {
-        switch (c) {
-          case '"': out += "\\\""; break;
-          case '\\': out += "\\\\"; break;
-          case '\n': out += "\\n"; break;
-          case '\t': out += "\\t"; break;
-          default:
-            if (static_cast<unsigned char>(c) < 0x20) {
-                char buf[8];
-                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-                out += buf;
-            } else {
-                out += c;
-            }
-        }
-    }
-    return out;
-}
 
 /**
  * RFC 4180 CSV field: quote when the value contains a comma, quote or
@@ -61,25 +38,23 @@ csvField(const std::string &s)
 }
 
 /**
- * Round-trippable formatting keeps files cross-job stable. The
- * precision is restored afterwards: the stream is the caller's
- * (possibly std::cout) and must not come back reformatted.
+ * Round-trippable formatting (shared with the service codec, so a
+ * metric serialized by the result sink and by a service frame is the
+ * same byte sequence). Writing preformatted text also leaves the
+ * caller's stream flags untouched.
  */
 std::ostream &
 num(std::ostream &os, double v)
 {
-    const auto saved = os.precision(17);
-    os << v;
-    os.precision(saved);
-    return os;
+    return os << json::formatDouble(v);
 }
 
 void
 writeRowJson(std::ostream &os, const ResultRow &row)
 {
     const SimResult &r = row.result;
-    os << "    {\"workload\": \"" << jsonEscape(row.workload)
-       << "\", \"label\": \"" << jsonEscape(row.label) << "\",\n"
+    os << "    {\"workload\": \"" << json::escape(row.workload)
+       << "\", \"label\": \"" << json::escape(row.label) << "\",\n"
        << "     \"instructions\": " << r.instructions
        << ", \"cycles\": " << r.cycles << ", \"ipc\": ";
     num(os, r.ipc) << ",\n     \"btb_mpki\": ";
@@ -156,7 +131,7 @@ ResultSink::printTable(std::ostream &os) const
 void
 ResultSink::writeJson(std::ostream &os) const
 {
-    os << "{\n  \"experiment\": \"" << jsonEscape(experiment_)
+    os << "{\n  \"experiment\": \"" << json::escape(experiment_)
        << "\",\n  \"rows\": [\n";
     const auto snapshot = rows();
     for (std::size_t i = 0; i < snapshot.size(); ++i) {

@@ -1,0 +1,206 @@
+#include "service/client.hh"
+
+#include <atomic>
+#include <mutex>
+#include <thread>
+
+namespace shotgun
+{
+namespace service
+{
+
+using json::Value;
+
+ServiceClient::ServiceClient(const std::string &endpoint_spec)
+    : endpoint_(endpoint_spec),
+      channel_(connectTo(Endpoint::parse(endpoint_spec)))
+{
+}
+
+json::Value
+ServiceClient::request(const json::Value &frame)
+{
+    if (!channel_.sendLine(frame.dump()))
+        throw SocketError("send to " + endpoint_ + " failed");
+    std::string line;
+    if (!channel_.recvLine(line))
+        throw SocketError("server " + endpoint_ +
+                          " closed the connection");
+    Value reply = Value::parse(line);
+    if (frameType(reply) == "error")
+        throw ServiceError(endpoint_ + ": " +
+                           reply.at("message").asString());
+    return reply;
+}
+
+std::vector<SimResult>
+ServiceClient::submit(
+    const SubmitRequest &request_data,
+    const std::function<void(const ResultEvent &)> &on_result)
+{
+    const Value accepted = request(encodeSubmit(request_data));
+    if (frameType(accepted) != "accepted")
+        throw ServiceError(endpoint_ + ": expected `accepted`, got `" +
+                           frameType(accepted) + "`");
+    const std::uint64_t job = accepted.at("job").asU64();
+    const std::uint64_t total = accepted.at("total").asU64();
+    if (total != request_data.grid.size())
+        throw ServiceError(endpoint_ +
+                           ": server accepted a different grid size");
+
+    std::vector<SimResult> results(request_data.grid.size());
+    std::vector<char> seen(request_data.grid.size(), 0);
+    std::uint64_t received = 0;
+
+    std::string line;
+    while (channel_.recvLine(line)) {
+        const Value frame = Value::parse(line);
+        const std::string type = frameType(frame);
+        if (type == "result") {
+            ResultEvent event = decodeResultEvent(frame);
+            if (event.job != job)
+                continue; // Another interleaved job's stream.
+            if (event.index >= results.size() || seen[event.index])
+                throw ServiceError(endpoint_ +
+                                   ": bad result index " +
+                                   std::to_string(event.index));
+            results[event.index] = event.result;
+            seen[event.index] = 1;
+            ++received;
+            if (on_result)
+                on_result(event);
+        } else if (type == "done") {
+            const DoneEvent done = decodeDone(frame);
+            if (done.job != job)
+                continue;
+            if (done.status != "ok")
+                throw ServiceError(
+                    endpoint_ + ": job " + std::to_string(job) + " " +
+                    done.status +
+                    (done.message.empty() ? "" : ": " + done.message));
+            if (received != results.size())
+                throw ServiceError(endpoint_ + ": job " +
+                                   std::to_string(job) +
+                                   " done after " +
+                                   std::to_string(received) + "/" +
+                                   std::to_string(results.size()) +
+                                   " results");
+            return results;
+        } else if (type == "error") {
+            throw ServiceError(endpoint_ + ": " +
+                               frame.at("message").asString());
+        }
+        // Ignore unrelated frame types (forward compatibility).
+    }
+    throw SocketError("server " + endpoint_ +
+                      " disconnected mid-stream (" +
+                      std::to_string(received) + "/" +
+                      std::to_string(results.size()) + " results)");
+}
+
+json::Value
+ServiceClient::status()
+{
+    Value reply = request(makeFrame("status"));
+    if (frameType(reply) != "status")
+        throw ServiceError(endpoint_ + ": expected `status` reply");
+    return reply;
+}
+
+bool
+ServiceClient::ping()
+{
+    return frameType(request(makeFrame("ping"))) == "pong";
+}
+
+void
+ServiceClient::cancel(std::uint64_t job)
+{
+    Value frame = makeFrame("cancel");
+    frame.set("job", Value::number(job));
+    (void)request(frame);
+}
+
+void
+ServiceClient::shutdownServer()
+{
+    Value reply = request(makeFrame("shutdown"));
+    if (frameType(reply) != "bye")
+        throw ServiceError(endpoint_ + ": expected `bye` reply");
+}
+
+std::vector<SimResult>
+submitSharded(
+    const std::vector<std::string> &endpoints,
+    const SubmitRequest &request,
+    const std::function<void(std::size_t done, std::size_t total)>
+        &on_progress)
+{
+    if (endpoints.empty())
+        throw ServiceError("no worker endpoints given");
+
+    const std::size_t total = request.grid.size();
+    std::vector<SimResult> results(total);
+    std::atomic<std::size_t> done{0};
+
+    if (endpoints.size() == 1) {
+        ServiceClient client(endpoints[0]);
+        return client.submit(request,
+                             [&](const ResultEvent &event) {
+                                 (void)event;
+                                 if (on_progress)
+                                     on_progress(done.fetch_add(1) + 1,
+                                                 total);
+                             });
+    }
+
+    // Shard round-robin: experiment i -> worker i mod W. Each shard
+    // runs on its own thread; `origin` maps shard-local indices back
+    // to grid indices, which is all the stitching there is -- the
+    // final vector is index-aligned with the grid by construction.
+    const std::size_t workers = endpoints.size();
+    std::vector<std::exception_ptr> failures(workers);
+    std::mutex progress_mutex;
+    std::vector<std::thread> threads;
+
+    for (std::size_t w = 0; w < workers; ++w) {
+        threads.emplace_back([&, w]() {
+            try {
+                SubmitRequest shard;
+                shard.experiment = request.experiment;
+                shard.jobs = request.jobs;
+                std::vector<std::size_t> origin;
+                for (std::size_t i = w; i < total; i += workers) {
+                    shard.grid.push_back(request.grid[i]);
+                    origin.push_back(i);
+                }
+                if (shard.grid.empty())
+                    return;
+                ServiceClient client(endpoints[w]);
+                const auto shard_results = client.submit(
+                    shard, [&](const ResultEvent &event) {
+                        if (!on_progress)
+                            return;
+                        std::lock_guard<std::mutex> lock(
+                            progress_mutex);
+                        (void)event;
+                        on_progress(done.fetch_add(1) + 1, total);
+                    });
+                for (std::size_t k = 0; k < origin.size(); ++k)
+                    results[origin[k]] = shard_results[k];
+            } catch (...) {
+                failures[w] = std::current_exception();
+            }
+        });
+    }
+    for (auto &thread : threads)
+        thread.join();
+    for (const auto &failure : failures) {
+        if (failure)
+            std::rethrow_exception(failure);
+    }
+    return results;
+}
+
+} // namespace service
+} // namespace shotgun

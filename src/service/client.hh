@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Client side of the simulation service: submit an experiment grid to
+ * one server and stream its results, or shard a grid across several
+ * servers (`--workers` mode) with deterministic index-aligned
+ * stitching -- experiment i goes to worker i mod W, every result is
+ * placed back at index i, so the assembled vector is bitwise-identical
+ * to running the grid in one process, no matter how many workers or
+ * how their finish times interleave.
+ */
+
+#ifndef SHOTGUN_SERVICE_CLIENT_HH
+#define SHOTGUN_SERVICE_CLIENT_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "runner/experiment.hh"
+#include "service/protocol.hh"
+#include "service/socket.hh"
+
+namespace shotgun
+{
+namespace service
+{
+
+/** Server-reported failure (error frame / unexpected disconnect). */
+struct ServiceError : std::runtime_error
+{
+    explicit ServiceError(const std::string &what)
+        : std::runtime_error(what)
+    {
+    }
+};
+
+class ServiceClient
+{
+  public:
+    /** Connect; throws SocketError when the server is unreachable. */
+    explicit ServiceClient(const std::string &endpoint_spec);
+
+    const std::string &endpoint() const { return endpoint_; }
+
+    /**
+     * Submit a grid and block until its `done` frame. Returns the
+     * results index-aligned with `request.grid`; `on_result` (when
+     * set) observes each streamed point as it arrives, in grid
+     * order. Throws ServiceError when the server rejects the submit,
+     * reports a failed job, or disconnects mid-stream, and
+     * SocketError on transport failure.
+     */
+    std::vector<SimResult>
+    submit(const SubmitRequest &request,
+           const std::function<void(const ResultEvent &)> &on_result =
+               {});
+
+    /** The server's `status` frame (decoded JSON). */
+    json::Value status();
+
+    /** True when the server answered the ping. */
+    bool ping();
+
+    /** Ask a job to cancel (best-effort). */
+    void cancel(std::uint64_t job);
+
+    /** Send `shutdown`; returns once the server acknowledged. */
+    void shutdownServer();
+
+  private:
+    json::Value request(const json::Value &frame);
+
+    std::string endpoint_;
+    LineChannel channel_;
+};
+
+/**
+ * Run a grid across one or more servers. With one endpoint this is
+ * ServiceClient::submit; with several, experiment i is submitted to
+ * endpoint i mod W (round-robin keeps per-workload clusters spread)
+ * and the shards run concurrently, one thread per worker.
+ *
+ * `on_progress(done, total)` ticks once per completed point, from
+ * whichever shard delivered it (thread-safe internally).
+ *
+ * Every shard failure is collected; the first failure is rethrown
+ * after all shard threads joined.
+ */
+std::vector<SimResult> submitSharded(
+    const std::vector<std::string> &endpoints,
+    const SubmitRequest &request,
+    const std::function<void(std::size_t done, std::size_t total)>
+        &on_progress = {});
+
+} // namespace service
+} // namespace shotgun
+
+#endif // SHOTGUN_SERVICE_CLIENT_HH

@@ -1,0 +1,619 @@
+#include "service/codec.hh"
+
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <limits>
+#include <utility>
+
+#include "prefetch/factory.hh"
+#include "trace/presets.hh"
+#include "trace/trace_io.hh"
+
+namespace shotgun
+{
+namespace service
+{
+
+namespace
+{
+
+using json::Value;
+
+// ----------------------------------------------------- enum <-> name
+//
+// The *ByName() helpers in factory.cc / presets.cc call fatal() on an
+// unknown name, which is right for a command line and wrong for a
+// frame decoder; these lookups throw CodecError instead.
+
+const SchemeType kSchemeTypes[] = {
+    SchemeType::Baseline,   SchemeType::FDIP,  SchemeType::Boomerang,
+    SchemeType::Confluence, SchemeType::Shotgun, SchemeType::RDIP,
+    SchemeType::Ideal,
+};
+
+SchemeType
+schemeTypeFromName(const std::string &name)
+{
+    for (SchemeType type : kSchemeTypes) {
+        if (name == schemeTypeName(type))
+            return type;
+    }
+    throw CodecError("unknown scheme type \"" + name + "\"");
+}
+
+const FootprintMode kFootprintModes[] = {
+    FootprintMode::NoBitVector,  FootprintMode::BitVector8,
+    FootprintMode::BitVector32,  FootprintMode::EntireRegion,
+    FootprintMode::FiveBlocks,
+};
+
+FootprintMode
+footprintModeFromName(const std::string &name)
+{
+    for (FootprintMode mode : kFootprintModes) {
+        if (name == footprintModeName(mode))
+            return mode;
+    }
+    throw CodecError("unknown footprint mode \"" + name + "\"");
+}
+
+WorkloadId
+workloadIdFromName(const std::string &name)
+{
+    for (int i = 0; i < static_cast<int>(WorkloadId::NumWorkloads);
+         ++i) {
+        const auto id = static_cast<WorkloadId>(i);
+        if (name == workloadName(id))
+            return id;
+    }
+    throw CodecError("unknown workload id \"" + name + "\"");
+}
+
+// ------------------------------------------------------ strict reader
+
+/**
+ * Strict object access: every member must be consumed exactly once,
+ * and finish() rejects members nobody asked for. This is what turns
+ * "decode" into "validate": a frame with a typo'd or extra field is
+ * an error, not a silently-defaulted config.
+ */
+class ObjectReader
+{
+  public:
+    ObjectReader(const Value &v, const char *what) : what_(what)
+    {
+        if (!v.isObject())
+            throw CodecError(std::string(what) + ": expected an object");
+        object_ = &v;
+        consumed_.assign(v.members().size(), false);
+    }
+
+    const Value &get(const char *key)
+    {
+        const auto &members = object_->members();
+        for (std::size_t i = 0; i < members.size(); ++i) {
+            if (members[i].first == key) {
+                consumed_[i] = true;
+                return members[i].second;
+            }
+        }
+        throw CodecError(std::string(what_) + ": missing field \"" +
+                         key + "\"");
+    }
+
+    std::string str(const char *key) { return get(key).asString(); }
+    bool boolean(const char *key) { return get(key).asBool(); }
+    double number(const char *key) { return get(key).asDouble(); }
+    std::uint64_t u64(const char *key) { return get(key).asU64(); }
+
+    template <typename T>
+    T integer(const char *key)
+    {
+        const std::uint64_t v = u64(key);
+        if (v > std::numeric_limits<T>::max())
+            throw CodecError(std::string(what_) + ": field \"" + key +
+                             "\" out of range");
+        return static_cast<T>(v);
+    }
+
+    void finish()
+    {
+        const auto &members = object_->members();
+        for (std::size_t i = 0; i < members.size(); ++i) {
+            if (!consumed_[i])
+                throw CodecError(std::string(what_) +
+                                 ": unknown field \"" +
+                                 members[i].first + "\"");
+        }
+    }
+
+  private:
+    const char *what_;
+    const Value *object_ = nullptr;
+    std::vector<bool> consumed_;
+};
+
+} // namespace
+
+// -------------------------------------------------------------- encode
+
+json::Value
+encodeProgramParams(const ProgramParams &p)
+{
+    Value v = Value::object();
+    v.set("name", Value::string(p.name));
+    v.set("num_funcs", Value::number(std::uint64_t{p.numFuncs}));
+    v.set("num_os_funcs", Value::number(std::uint64_t{p.numOsFuncs}));
+    v.set("num_trap_handlers",
+          Value::number(std::uint64_t{p.numTrapHandlers}));
+    v.set("num_top_level", Value::number(std::uint64_t{p.numTopLevel}));
+    v.set("zipf_alpha", Value::number(p.zipfAlpha));
+    v.set("os_zipf_alpha", Value::number(p.osZipfAlpha));
+    v.set("top_zipf_alpha", Value::number(p.topZipfAlpha));
+    v.set("bb_grow_prob", Value::number(p.bbGrowProb));
+    v.set("min_bb_instrs", Value::number(std::uint64_t{p.minBBInstrs}));
+    v.set("max_bb_instrs", Value::number(std::uint64_t{p.maxBBInstrs}));
+    v.set("func_grow_prob", Value::number(p.funcGrowProb));
+    v.set("min_bbs_per_func",
+          Value::number(std::uint64_t{p.minBBsPerFunc}));
+    v.set("max_bbs_per_func",
+          Value::number(std::uint64_t{p.maxBBsPerFunc}));
+    v.set("large_func_frac", Value::number(p.largeFuncFrac));
+    v.set("large_func_bbs",
+          Value::number(std::uint64_t{p.largeFuncBBs}));
+    v.set("cond_frac", Value::number(p.condFrac));
+    v.set("call_frac", Value::number(p.callFrac));
+    v.set("jump_frac", Value::number(p.jumpFrac));
+    v.set("trap_frac", Value::number(p.trapFrac));
+    v.set("loop_frac", Value::number(p.loopFrac));
+    v.set("pattern_frac", Value::number(p.patternFrac));
+    v.set("strong_frac", Value::number(p.strongFrac));
+    v.set("medium_frac", Value::number(p.mediumFrac));
+    v.set("min_loop_trip", Value::number(std::uint64_t{p.minLoopTrip}));
+    v.set("max_loop_trip", Value::number(std::uint64_t{p.maxLoopTrip}));
+    v.set("strong_prob", Value::number(p.strongProb));
+    v.set("medium_prob", Value::number(p.mediumProb));
+    v.set("weak_prob", Value::number(p.weakProb));
+    v.set("taken_bias_frac", Value::number(p.takenBiasFrac));
+    v.set("sticky_frac", Value::number(p.stickyFrac));
+    v.set("max_cond_skip", Value::number(std::uint64_t{p.maxCondSkip}));
+    v.set("max_call_depth",
+          Value::number(std::uint64_t{p.maxCallDepth}));
+    v.set("max_os_call_depth",
+          Value::number(std::uint64_t{p.maxOsCallDepth}));
+    v.set("seed", Value::number(p.seed));
+    return v;
+}
+
+json::Value
+encodeWorkloadPreset(const WorkloadPreset &preset)
+{
+    Value v = Value::object();
+    v.set("id", Value::string(workloadName(preset.id)));
+    v.set("name", Value::string(preset.name));
+    v.set("trace_path", Value::string(preset.tracePath));
+    v.set("load_frac", Value::number(preset.loadFrac));
+    v.set("l1d_miss_rate", Value::number(preset.l1dMissRate));
+    v.set("llc_data_miss_frac",
+          Value::number(preset.llcDataMissFrac));
+    v.set("background_load", Value::number(preset.backgroundLoad));
+    v.set("program", encodeProgramParams(preset.program));
+    return v;
+}
+
+json::Value
+encodeCoreParams(const CoreParams &p)
+{
+    Value v = Value::object();
+    v.set("fetch_width", Value::number(std::uint64_t{p.fetchWidth}));
+    v.set("retire_width", Value::number(std::uint64_t{p.retireWidth}));
+    v.set("ftq_entries", Value::number(std::uint64_t{p.ftqEntries}));
+    v.set("backend_entries",
+          Value::number(std::uint64_t{p.backendEntries}));
+    v.set("bpu_bb_per_cycle",
+          Value::number(std::uint64_t{p.bpuBBPerCycle}));
+    v.set("misfetch_penalty",
+          Value::number(std::uint64_t{p.misfetchPenalty}));
+    v.set("mispredict_penalty",
+          Value::number(std::uint64_t{p.mispredictPenalty}));
+    v.set("predecode_cycles",
+          Value::number(std::uint64_t{p.predecodeCycles}));
+    v.set("issue_efficiency", Value::number(p.issueEfficiency));
+    v.set("ras_entries", Value::number(std::uint64_t{p.rasEntries}));
+    v.set("load_frac", Value::number(p.loadFrac));
+    v.set("l1d_miss_rate", Value::number(p.l1dMissRate));
+    v.set("llc_data_miss_frac", Value::number(p.llcDataMissFrac));
+    v.set("mem_level_parallelism",
+          Value::number(p.memLevelParallelism));
+    v.set("data_seed", Value::number(p.dataSeed));
+    return v;
+}
+
+json::Value
+encodeSchemeConfig(const SchemeConfig &config)
+{
+    Value shotgun_btb = Value::object();
+    shotgun_btb.set("ubtb_entries",
+                    Value::number(std::uint64_t{config.shotgun.ubtbEntries}));
+    shotgun_btb.set("ubtb_ways",
+                    Value::number(std::uint64_t{config.shotgun.ubtbWays}));
+    shotgun_btb.set("cbtb_entries",
+                    Value::number(std::uint64_t{config.shotgun.cbtbEntries}));
+    shotgun_btb.set("cbtb_ways",
+                    Value::number(std::uint64_t{config.shotgun.cbtbWays}));
+    shotgun_btb.set("rib_entries",
+                    Value::number(std::uint64_t{config.shotgun.ribEntries}));
+    shotgun_btb.set("rib_ways",
+                    Value::number(std::uint64_t{config.shotgun.ribWays}));
+    shotgun_btb.set("mode", Value::string(footprintModeName(
+                                config.shotgun.mode)));
+    shotgun_btb.set("dedicated_rib",
+                    Value::boolean(config.shotgun.dedicatedRIB));
+
+    Value confluence = Value::object();
+    confluence.set("btb_entries",
+                   Value::number(std::uint64_t{config.confluence.btbEntries}));
+    confluence.set(
+        "history_entries",
+        Value::number(std::uint64_t{config.confluence.historyEntries}));
+    confluence.set(
+        "index_entries",
+        Value::number(std::uint64_t{config.confluence.indexEntries}));
+    confluence.set("index_ways",
+                   Value::number(std::uint64_t{config.confluence.indexWays}));
+    confluence.set(
+        "lookahead_blocks",
+        Value::number(std::uint64_t{config.confluence.lookaheadBlocks}));
+    confluence.set(
+        "issue_per_cycle",
+        Value::number(std::uint64_t{config.confluence.issuePerCycle}));
+    confluence.set("divergence_tolerance",
+                   Value::number(std::uint64_t{
+                       config.confluence.divergenceTolerance}));
+    confluence.set(
+        "resync_window",
+        Value::number(std::uint64_t{config.confluence.resyncWindow}));
+
+    Value rdip = Value::object();
+    rdip.set("btb_entries",
+             Value::number(std::uint64_t{config.rdip.btbEntries}));
+    rdip.set("table_entries",
+             Value::number(std::uint64_t{config.rdip.tableEntries}));
+    rdip.set("table_ways",
+             Value::number(std::uint64_t{config.rdip.tableWays}));
+    rdip.set("blocks_per_entry",
+             Value::number(std::uint64_t{config.rdip.blocksPerEntry}));
+    rdip.set("signature_depth",
+             Value::number(std::uint64_t{config.rdip.signatureDepth}));
+    rdip.set("lookahead",
+             Value::number(std::uint64_t{config.rdip.lookahead}));
+
+    Value v = Value::object();
+    v.set("type", Value::string(schemeTypeName(config.type)));
+    v.set("conventional_entries",
+          Value::number(std::uint64_t{config.conventionalEntries}));
+    v.set("prefetch_buffer_entries",
+          Value::number(std::uint64_t{config.prefetchBufferEntries}));
+    v.set("shotgun", std::move(shotgun_btb));
+    v.set("confluence", std::move(confluence));
+    v.set("rdip", std::move(rdip));
+    return v;
+}
+
+json::Value
+encodeSimConfig(const SimConfig &config)
+{
+    Value v = Value::object();
+    v.set("workload", encodeWorkloadPreset(config.workload));
+    v.set("scheme", encodeSchemeConfig(config.scheme));
+    v.set("core", encodeCoreParams(config.core));
+    v.set("warmup_instructions",
+          Value::number(config.warmupInstructions));
+    v.set("measure_instructions",
+          Value::number(config.measureInstructions));
+    v.set("trace_seed", Value::number(config.traceSeed));
+    return v;
+}
+
+json::Value
+encodeSimResult(const SimResult &result)
+{
+    // Key names match ResultSink's JSON emission where the two
+    // overlap, so downstream tooling parses either stream uniformly.
+    Value stalls = Value::object();
+    stalls.set("icache", Value::number(result.stalls.icache));
+    stalls.set("btb_resolve", Value::number(result.stalls.btbResolve));
+    stalls.set("misfetch", Value::number(result.stalls.misfetch));
+    stalls.set("mispredict", Value::number(result.stalls.mispredict));
+    stalls.set("other", Value::number(result.stalls.other));
+
+    Value v = Value::object();
+    v.set("workload", Value::string(result.workload));
+    v.set("scheme", Value::string(result.scheme));
+    v.set("instructions", Value::number(result.instructions));
+    v.set("cycles", Value::number(std::uint64_t{result.cycles}));
+    v.set("ipc", Value::number(result.ipc));
+    v.set("btb_mpki", Value::number(result.btbMPKI));
+    v.set("l1i_mpki", Value::number(result.l1iMPKI));
+    v.set("mispredicts_per_ki",
+          Value::number(result.mispredictsPerKI));
+    v.set("stalls", std::move(stalls));
+    v.set("fe_stall_cycles", Value::number(result.frontEndStallCycles));
+    v.set("prefetch_accuracy", Value::number(result.prefetchAccuracy));
+    v.set("avg_l1d_fill_cycles",
+          Value::number(result.avgL1DFillCycles));
+    v.set("prefetches_issued",
+          Value::number(result.prefetchesIssued));
+    v.set("storage_bits", Value::number(result.schemeStorageBits));
+    return v;
+}
+
+// -------------------------------------------------------------- decode
+
+ProgramParams
+decodeProgramParams(const json::Value &v)
+{
+    ObjectReader r(v, "program");
+    ProgramParams p;
+    p.name = r.str("name");
+    p.numFuncs = r.integer<std::uint32_t>("num_funcs");
+    p.numOsFuncs = r.integer<std::uint32_t>("num_os_funcs");
+    p.numTrapHandlers = r.integer<std::uint32_t>("num_trap_handlers");
+    p.numTopLevel = r.integer<std::uint32_t>("num_top_level");
+    p.zipfAlpha = r.number("zipf_alpha");
+    p.osZipfAlpha = r.number("os_zipf_alpha");
+    p.topZipfAlpha = r.number("top_zipf_alpha");
+    p.bbGrowProb = r.number("bb_grow_prob");
+    p.minBBInstrs = r.integer<std::uint32_t>("min_bb_instrs");
+    p.maxBBInstrs = r.integer<std::uint32_t>("max_bb_instrs");
+    p.funcGrowProb = r.number("func_grow_prob");
+    p.minBBsPerFunc = r.integer<std::uint32_t>("min_bbs_per_func");
+    p.maxBBsPerFunc = r.integer<std::uint32_t>("max_bbs_per_func");
+    p.largeFuncFrac = r.number("large_func_frac");
+    p.largeFuncBBs = r.integer<std::uint32_t>("large_func_bbs");
+    p.condFrac = r.number("cond_frac");
+    p.callFrac = r.number("call_frac");
+    p.jumpFrac = r.number("jump_frac");
+    p.trapFrac = r.number("trap_frac");
+    p.loopFrac = r.number("loop_frac");
+    p.patternFrac = r.number("pattern_frac");
+    p.strongFrac = r.number("strong_frac");
+    p.mediumFrac = r.number("medium_frac");
+    p.minLoopTrip = r.integer<std::uint32_t>("min_loop_trip");
+    p.maxLoopTrip = r.integer<std::uint32_t>("max_loop_trip");
+    p.strongProb = r.number("strong_prob");
+    p.mediumProb = r.number("medium_prob");
+    p.weakProb = r.number("weak_prob");
+    p.takenBiasFrac = r.number("taken_bias_frac");
+    p.stickyFrac = r.number("sticky_frac");
+    p.maxCondSkip = r.integer<std::uint32_t>("max_cond_skip");
+    p.maxCallDepth = r.integer<std::uint32_t>("max_call_depth");
+    p.maxOsCallDepth = r.integer<std::uint32_t>("max_os_call_depth");
+    p.seed = r.u64("seed");
+    r.finish();
+    return p;
+}
+
+WorkloadPreset
+decodeWorkloadPreset(const json::Value &v)
+{
+    if (v.isString()) {
+        // Compact form: a preset name or trace:<path>[:name] spec,
+        // validated here because presetByName() is fatal on errors.
+        const std::string &spec = v.asString();
+        if (isTraceWorkloadSpec(spec)) {
+            // Resolve the path with the same precedence rules
+            // presetFromTraceSpec (presets.cc) will apply -- the
+            // whole remainder when such a file exists, otherwise the
+            // part before the last ':' -- then require that exact
+            // file to pass the non-fatal header probe. Probing a
+            // different candidate than presetByName() would open
+            // would let a bad file through to its fatal() paths.
+            const std::string rest = spec.substr(6);
+            if (rest.empty())
+                throw CodecError("workload spec \"" + spec +
+                                 "\": expected trace:<path>[:name]");
+            std::string path = rest;
+            std::error_code ec;
+            if (!std::filesystem::exists(path, ec)) {
+                const auto colon = rest.rfind(':');
+                if (colon != std::string::npos)
+                    path = rest.substr(0, colon);
+            }
+            std::string error;
+            if (!probeTraceFile(path, 0, error))
+                throw CodecError("workload spec \"" + spec + "\": " +
+                                 error);
+            return presetByName(spec);
+        }
+        std::string lower(spec);
+        for (char &c : lower)
+            c = static_cast<char>(std::tolower(
+                static_cast<unsigned char>(c)));
+        (void)workloadIdFromName(lower); // throws when unknown
+        return presetByName(lower);
+    }
+
+    ObjectReader r(v, "workload");
+    WorkloadPreset preset;
+    preset.id = workloadIdFromName(r.str("id"));
+    preset.name = r.str("name");
+    preset.tracePath = r.str("trace_path");
+    preset.loadFrac = r.number("load_frac");
+    preset.l1dMissRate = r.number("l1d_miss_rate");
+    preset.llcDataMissFrac = r.number("llc_data_miss_frac");
+    preset.backgroundLoad = r.number("background_load");
+    preset.program = decodeProgramParams(r.get("program"));
+    r.finish();
+    return preset;
+}
+
+CoreParams
+decodeCoreParams(const json::Value &v)
+{
+    ObjectReader r(v, "core");
+    CoreParams p;
+    p.fetchWidth = r.integer<unsigned>("fetch_width");
+    p.retireWidth = r.integer<unsigned>("retire_width");
+    p.ftqEntries = r.integer<unsigned>("ftq_entries");
+    p.backendEntries = r.integer<unsigned>("backend_entries");
+    p.bpuBBPerCycle = r.integer<unsigned>("bpu_bb_per_cycle");
+    p.misfetchPenalty = r.integer<unsigned>("misfetch_penalty");
+    p.mispredictPenalty = r.integer<unsigned>("mispredict_penalty");
+    p.predecodeCycles = r.integer<unsigned>("predecode_cycles");
+    p.issueEfficiency = r.number("issue_efficiency");
+    p.rasEntries = r.integer<unsigned>("ras_entries");
+    p.loadFrac = r.number("load_frac");
+    p.l1dMissRate = r.number("l1d_miss_rate");
+    p.llcDataMissFrac = r.number("llc_data_miss_frac");
+    p.memLevelParallelism = r.number("mem_level_parallelism");
+    p.dataSeed = r.u64("data_seed");
+    r.finish();
+    return p;
+}
+
+SchemeConfig
+decodeSchemeConfig(const json::Value &v)
+{
+    ObjectReader r(v, "scheme");
+    SchemeConfig config;
+    config.type = schemeTypeFromName(r.str("type"));
+    config.conventionalEntries =
+        r.integer<std::size_t>("conventional_entries");
+    config.prefetchBufferEntries =
+        r.integer<std::size_t>("prefetch_buffer_entries");
+
+    ObjectReader sg(r.get("shotgun"), "scheme.shotgun");
+    config.shotgun.ubtbEntries = sg.integer<std::size_t>("ubtb_entries");
+    config.shotgun.ubtbWays = sg.integer<std::size_t>("ubtb_ways");
+    config.shotgun.cbtbEntries = sg.integer<std::size_t>("cbtb_entries");
+    config.shotgun.cbtbWays = sg.integer<std::size_t>("cbtb_ways");
+    config.shotgun.ribEntries = sg.integer<std::size_t>("rib_entries");
+    config.shotgun.ribWays = sg.integer<std::size_t>("rib_ways");
+    config.shotgun.mode = footprintModeFromName(sg.str("mode"));
+    config.shotgun.dedicatedRIB = sg.boolean("dedicated_rib");
+    sg.finish();
+
+    ObjectReader cf(r.get("confluence"), "scheme.confluence");
+    config.confluence.btbEntries =
+        cf.integer<std::size_t>("btb_entries");
+    config.confluence.historyEntries =
+        cf.integer<std::size_t>("history_entries");
+    config.confluence.indexEntries =
+        cf.integer<std::size_t>("index_entries");
+    config.confluence.indexWays = cf.integer<std::size_t>("index_ways");
+    config.confluence.lookaheadBlocks =
+        cf.integer<unsigned>("lookahead_blocks");
+    config.confluence.issuePerCycle =
+        cf.integer<unsigned>("issue_per_cycle");
+    config.confluence.divergenceTolerance =
+        cf.integer<unsigned>("divergence_tolerance");
+    config.confluence.resyncWindow =
+        cf.integer<unsigned>("resync_window");
+    cf.finish();
+
+    ObjectReader rd(r.get("rdip"), "scheme.rdip");
+    config.rdip.btbEntries = rd.integer<std::size_t>("btb_entries");
+    config.rdip.tableEntries = rd.integer<std::size_t>("table_entries");
+    config.rdip.tableWays = rd.integer<std::size_t>("table_ways");
+    config.rdip.blocksPerEntry =
+        rd.integer<unsigned>("blocks_per_entry");
+    config.rdip.signatureDepth =
+        rd.integer<unsigned>("signature_depth");
+    config.rdip.lookahead = rd.integer<unsigned>("lookahead");
+    rd.finish();
+
+    r.finish();
+    return config;
+}
+
+SimConfig
+decodeSimConfig(const json::Value &v)
+{
+    ObjectReader r(v, "config");
+    SimConfig config;
+    config.workload = decodeWorkloadPreset(r.get("workload"));
+    config.scheme = decodeSchemeConfig(r.get("scheme"));
+    config.core = decodeCoreParams(r.get("core"));
+    config.warmupInstructions = r.u64("warmup_instructions");
+    config.measureInstructions = r.u64("measure_instructions");
+    config.traceSeed = r.u64("trace_seed");
+    r.finish();
+    return config;
+}
+
+SimResult
+decodeSimResult(const json::Value &v)
+{
+    ObjectReader r(v, "result");
+    SimResult result;
+    result.workload = r.str("workload");
+    result.scheme = r.str("scheme");
+    result.instructions = r.u64("instructions");
+    result.cycles = r.u64("cycles");
+    result.ipc = r.number("ipc");
+    result.btbMPKI = r.number("btb_mpki");
+    result.l1iMPKI = r.number("l1i_mpki");
+    result.mispredictsPerKI = r.number("mispredicts_per_ki");
+
+    ObjectReader st(r.get("stalls"), "result.stalls");
+    result.stalls.icache = st.u64("icache");
+    result.stalls.btbResolve = st.u64("btb_resolve");
+    result.stalls.misfetch = st.u64("misfetch");
+    result.stalls.mispredict = st.u64("mispredict");
+    result.stalls.other = st.u64("other");
+    st.finish();
+
+    result.frontEndStallCycles = r.u64("fe_stall_cycles");
+    result.prefetchAccuracy = r.number("prefetch_accuracy");
+    result.avgL1DFillCycles = r.number("avg_l1d_fill_cycles");
+    result.prefetchesIssued = r.u64("prefetches_issued");
+    result.schemeStorageBits = r.u64("storage_bits");
+    r.finish();
+    return result;
+}
+
+// ---------------------------------------------------- trace validation
+
+bool
+probeTraceFile(const std::string &path,
+               std::uint64_t needed_instructions, std::string &error,
+               TraceInfo *info)
+{
+    TraceInfo parsed;
+    if (!tryReadTraceInfo(path, parsed, error))
+        return false;
+    if (parsed.instructions < needed_instructions) {
+        error = "trace '" + path + "' holds " +
+                std::to_string(parsed.instructions) +
+                " instructions but the run needs " +
+                std::to_string(needed_instructions) +
+                "; record a longer trace";
+        return false;
+    }
+    if (info != nullptr)
+        *info = std::move(parsed);
+    return true;
+}
+
+// --------------------------------------------------------- fingerprint
+
+std::string
+fingerprintHex(std::uint64_t hash)
+{
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(hash));
+    return buf;
+}
+
+std::string
+configFingerprint(const SimConfig &config)
+{
+    return fingerprintHex(
+        json::fnv1a64(encodeSimConfig(config).dump()));
+}
+
+} // namespace service
+} // namespace shotgun

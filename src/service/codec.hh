@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Canonical text codec for SimConfig and SimResult: every field,
+ * always, in a fixed order, as compact single-line JSON. One
+ * serialized form serves three masters --
+ *
+ *  - the wire (service/protocol.hh frames embed these objects),
+ *  - the fingerprint (FNV-1a over the canonical bytes identifies a
+ *    configuration for result caching and deduplication), and
+ *  - the archive (a decoded config re-encodes to the same bytes, so
+ *    configs can be logged and replayed years later).
+ *
+ * Decoding is strict in both directions: a missing field, an unknown
+ * field, or a kind mismatch raises CodecError (derived from
+ * json::JsonError) -- frames are rejected, the process never dies.
+ *
+ * Workloads round-trip two ways: the canonical form embeds the full
+ * WorkloadPreset (program-model parameters, data-side knobs and the
+ * trace path), while decode also accepts a compact string -- a preset
+ * name ("oracle") or a `trace:<path>[:name]` spec -- which is
+ * resolved through presetByName(), letting hand-written submissions
+ * reference a workload the way every bench command line does.
+ */
+
+#ifndef SHOTGUN_SERVICE_CODEC_HH
+#define SHOTGUN_SERVICE_CODEC_HH
+
+#include <string>
+
+#include "common/json.hh"
+#include "sim/simulator.hh"
+#include "trace/trace_io.hh"
+
+namespace shotgun
+{
+namespace service
+{
+
+/** Strict decode failure: the message names field and problem. */
+struct CodecError : json::JsonError
+{
+    explicit CodecError(const std::string &what) : json::JsonError(what)
+    {
+    }
+};
+
+// ------------------------------------------------------------- encode
+
+json::Value encodeProgramParams(const ProgramParams &params);
+json::Value encodeWorkloadPreset(const WorkloadPreset &preset);
+json::Value encodeCoreParams(const CoreParams &params);
+json::Value encodeSchemeConfig(const SchemeConfig &config);
+json::Value encodeSimConfig(const SimConfig &config);
+json::Value encodeSimResult(const SimResult &result);
+
+// ------------------------------------------------------------- decode
+
+ProgramParams decodeProgramParams(const json::Value &v);
+
+/**
+ * Accepts the canonical object form or a compact string (preset name
+ * or `trace:<path>[:name]` spec). A string trace spec requires the
+ * trace file to be readable here -- its header is the preset.
+ */
+WorkloadPreset decodeWorkloadPreset(const json::Value &v);
+
+CoreParams decodeCoreParams(const json::Value &v);
+SchemeConfig decodeSchemeConfig(const json::Value &v);
+SimConfig decodeSimConfig(const json::Value &v);
+SimResult decodeSimResult(const json::Value &v);
+
+// ------------------------------------------------- trace validation
+
+/**
+ * Non-fatal trace-file sanity probe for the service boundary (the
+ * trace reader proper is fatal() on damage -- right for a CLI,
+ * lethal for a daemon). Wraps trace_io's tryReadTraceInfo() -- valid
+ * v2 header, payload backs the claimed record count -- and
+ * additionally requires at least `needed_instructions`. Returns
+ * false with a message in `error`; does not throw. `info` (optional)
+ * receives the parsed header so callers can cross-check the embedded
+ * preset against a submitted config. Damage to record *content* is
+ * still only caught by the reader mid-run.
+ */
+bool probeTraceFile(const std::string &path,
+                    std::uint64_t needed_instructions,
+                    std::string &error, TraceInfo *info = nullptr);
+
+// -------------------------------------------------------- fingerprint
+
+/**
+ * Stable identity of a simulation: 16 lowercase hex digits of the
+ * FNV-1a 64 hash over the canonical encoding. Two configs share a
+ * fingerprint iff they encode to the same bytes, so the fingerprint
+ * is the key of the service's result cache and the client's dedup.
+ *
+ * Note a trace-backed workload is fingerprinted by its trace *path*
+ * plus the header-derived preset, not the file content; re-recording
+ * a different workload over the same path on a live server would
+ * alias cache entries. Don't do that.
+ */
+std::string configFingerprint(const SimConfig &config);
+
+/** The 16-hex-digit rendering of an FNV-1a hash (exposed for tests). */
+std::string fingerprintHex(std::uint64_t hash);
+
+} // namespace service
+} // namespace shotgun
+
+#endif // SHOTGUN_SERVICE_CODEC_HH

@@ -1,0 +1,169 @@
+#include "service/protocol.hh"
+
+namespace shotgun
+{
+namespace service
+{
+
+using json::Value;
+
+json::Value
+encodeSubmit(const SubmitRequest &request)
+{
+    Value grid = Value::array();
+    for (const runner::Experiment &exp : request.grid) {
+        Value e = Value::object();
+        e.set("workload", Value::string(exp.workload));
+        e.set("label", Value::string(exp.label));
+        e.set("via_baseline_cache",
+              Value::boolean(exp.viaBaselineCache));
+        e.set("config", encodeSimConfig(exp.config));
+        grid.push(std::move(e));
+    }
+    Value v = Value::object();
+    v.set("type", Value::string("submit"));
+    v.set("protocol", Value::number(kProtocolVersion));
+    v.set("experiment", Value::string(request.experiment));
+    v.set("jobs", Value::number(request.jobs));
+    v.set("grid", std::move(grid));
+    return v;
+}
+
+SubmitRequest
+decodeSubmit(const json::Value &frame)
+{
+    SubmitRequest request;
+    const Value &protocol = frame.at("protocol");
+    if (protocol.asU64() != kProtocolVersion)
+        throw CodecError("unsupported protocol version " +
+                         protocol.numberToken() + " (this build: " +
+                         std::to_string(kProtocolVersion) + ")");
+    request.experiment = frame.at("experiment").asString();
+    request.jobs = frame.at("jobs").asU64();
+    const Value &grid = frame.at("grid");
+    if (!grid.isArray())
+        throw CodecError("submit: \"grid\" must be an array");
+    if (grid.items().empty())
+        throw CodecError("submit: empty grid");
+    for (const Value &e : grid.items()) {
+        runner::Experiment exp;
+        exp.workload = e.at("workload").asString();
+        exp.label = e.at("label").asString();
+        exp.viaBaselineCache = e.at("via_baseline_cache").asBool();
+        exp.config = decodeSimConfig(e.at("config"));
+        request.grid.push_back(std::move(exp));
+    }
+    return request;
+}
+
+json::Value
+encodeResultEvent(const ResultEvent &event)
+{
+    Value v = Value::object();
+    v.set("type", Value::string("result"));
+    v.set("job", Value::number(event.job));
+    v.set("index", Value::number(event.index));
+    v.set("cached", Value::boolean(event.cached));
+    v.set("workload", Value::string(event.workload));
+    v.set("label", Value::string(event.label));
+    v.set("fingerprint", Value::string(event.fingerprint));
+    v.set("result", encodeSimResult(event.result));
+    return v;
+}
+
+ResultEvent
+decodeResultEvent(const json::Value &frame)
+{
+    ResultEvent event;
+    event.job = frame.at("job").asU64();
+    event.index = frame.at("index").asU64();
+    event.cached = frame.at("cached").asBool();
+    event.workload = frame.at("workload").asString();
+    event.label = frame.at("label").asString();
+    event.fingerprint = frame.at("fingerprint").asString();
+    event.result = decodeSimResult(frame.at("result"));
+    return event;
+}
+
+json::Value
+encodeDone(const DoneEvent &event)
+{
+    Value v = Value::object();
+    v.set("type", Value::string("done"));
+    v.set("job", Value::number(event.job));
+    v.set("status", Value::string(event.status));
+    v.set("completed", Value::number(event.completed));
+    v.set("cached", Value::number(event.cached));
+    if (!event.message.empty())
+        v.set("message", Value::string(event.message));
+    return v;
+}
+
+DoneEvent
+decodeDone(const json::Value &frame)
+{
+    DoneEvent event;
+    event.job = frame.at("job").asU64();
+    event.status = frame.at("status").asString();
+    event.completed = frame.at("completed").asU64();
+    event.cached = frame.at("cached").asU64();
+    if (const Value *message = frame.find("message"))
+        event.message = message->asString();
+    return event;
+}
+
+json::Value
+encodeJobStatus(const JobStatus &status)
+{
+    Value v = Value::object();
+    v.set("id", Value::number(status.id));
+    v.set("experiment", Value::string(status.experiment));
+    v.set("state", Value::string(status.state));
+    v.set("total", Value::number(status.total));
+    v.set("completed", Value::number(status.completed));
+    v.set("cached", Value::number(status.cached));
+    return v;
+}
+
+JobStatus
+decodeJobStatus(const json::Value &v)
+{
+    JobStatus status;
+    status.id = v.at("id").asU64();
+    status.experiment = v.at("experiment").asString();
+    status.state = v.at("state").asString();
+    status.total = v.at("total").asU64();
+    status.completed = v.at("completed").asU64();
+    status.cached = v.at("cached").asU64();
+    return status;
+}
+
+json::Value
+makeFrame(const std::string &type)
+{
+    Value v = Value::object();
+    v.set("type", Value::string(type));
+    return v;
+}
+
+json::Value
+makeError(const std::string &message)
+{
+    Value v = makeFrame("error");
+    v.set("message", Value::string(message));
+    return v;
+}
+
+std::string
+frameType(const json::Value &frame)
+{
+    if (!frame.isObject())
+        throw CodecError("frame is not a JSON object");
+    const Value *type = frame.find("type");
+    if (type == nullptr || !type->isString())
+        throw CodecError("frame has no string \"type\" member");
+    return type->asString();
+}
+
+} // namespace service
+} // namespace shotgun

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * The shotgun-serve wire protocol: newline-delimited JSON frames over
+ * a stream socket (TCP or Unix). Every frame is one line, one JSON
+ * object, with a "type" member. See src/service/README.md for the
+ * full grammar and an example session.
+ *
+ * Client -> server:
+ *   {"type":"submit","protocol":1,"experiment":...,"jobs":N,
+ *    "grid":[{"workload":...,"label":...,"via_baseline_cache":b,
+ *             "config":{...}},...]}
+ *   {"type":"status"}          {"type":"cancel","job":N}
+ *   {"type":"ping"}            {"type":"shutdown"}
+ *
+ * Server -> client:
+ *   {"type":"accepted","job":N,"total":N,"fingerprints":[...]}
+ *   {"type":"result","job":N,"index":N,"cached":b,
+ *    "workload":...,"label":...,"fingerprint":...,"result":{...}}
+ *   {"type":"done","job":N,"status":"ok|cancelled|error",
+ *    "completed":N,"cached":N[,"message":...]}
+ *   {"type":"status","server":{...},"jobs":[...]}
+ *   {"type":"pong"}  {"type":"bye"}  {"type":"error","message":...}
+ *
+ * This header provides typed encode/decode for the structured frames;
+ * trivial frames (ping/pong/bye/...) are built inline where used.
+ * Decoding throws CodecError/JsonError on malformed frames.
+ */
+
+#ifndef SHOTGUN_SERVICE_PROTOCOL_HH
+#define SHOTGUN_SERVICE_PROTOCOL_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/json.hh"
+#include "runner/experiment.hh"
+#include "service/codec.hh"
+
+namespace shotgun
+{
+namespace service
+{
+
+/** Bumped on any incompatible frame-layout change. */
+constexpr std::uint64_t kProtocolVersion = 1;
+
+/** A grid submission: the wire form of a runner::ExperimentSet. */
+struct SubmitRequest
+{
+    std::string experiment; ///< Sweep name (result-sink header).
+
+    /** Worker threads for this job; 0 = server default; the server
+     * additionally clamps to its --jobs cap. */
+    std::uint64_t jobs = 0;
+
+    std::vector<runner::Experiment> grid;
+};
+
+json::Value encodeSubmit(const SubmitRequest &request);
+SubmitRequest decodeSubmit(const json::Value &frame);
+
+/** One streamed result, index-aligned with the submitted grid. */
+struct ResultEvent
+{
+    std::uint64_t job = 0;
+    std::uint64_t index = 0;
+    bool cached = false; ///< Served from the fingerprint cache.
+    std::string workload;
+    std::string label;
+    std::string fingerprint;
+    SimResult result;
+};
+
+json::Value encodeResultEvent(const ResultEvent &event);
+ResultEvent decodeResultEvent(const json::Value &frame);
+
+/** Terminal job states reported in `done` frames. */
+struct DoneEvent
+{
+    std::uint64_t job = 0;
+    std::string status; ///< "ok", "cancelled" or "error".
+    std::uint64_t completed = 0;
+    std::uint64_t cached = 0;
+    std::string message; ///< Failure detail for "error".
+};
+
+json::Value encodeDone(const DoneEvent &event);
+DoneEvent decodeDone(const json::Value &frame);
+
+/** One job's row in a `status` frame. */
+struct JobStatus
+{
+    std::uint64_t id = 0;
+    std::string experiment;
+    std::string state; ///< queued/running/ok/cancelled/error.
+    std::uint64_t total = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t cached = 0;
+};
+
+json::Value encodeJobStatus(const JobStatus &status);
+JobStatus decodeJobStatus(const json::Value &v);
+
+/** Convenience: {"type":t} or {"type":"error","message":m}. */
+json::Value makeFrame(const std::string &type);
+json::Value makeError(const std::string &message);
+
+/**
+ * Frame "type" member, or throws CodecError when absent/non-object.
+ */
+std::string frameType(const json::Value &frame);
+
+} // namespace service
+} // namespace shotgun
+
+#endif // SHOTGUN_SERVICE_PROTOCOL_HH

@@ -1,0 +1,537 @@
+#include "service/server.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <exception>
+#include <utility>
+
+#include "common/cli.hh"
+#include "runner/thread_pool.hh"
+
+namespace shotgun
+{
+namespace service
+{
+
+using json::Value;
+
+/**
+ * One client connection. Result frames are written from the job
+ * dispatcher while command replies are written from the connection's
+ * reader thread, hence the write mutex.
+ */
+struct SimServer::Connection
+{
+    explicit Connection(Socket sock) : channel(std::move(sock)) {}
+
+    LineChannel channel;
+    std::mutex writeMutex;
+
+    /** False when the peer is gone; callers just stop streaming. */
+    bool sendFrame(const Value &frame)
+    {
+        std::lock_guard<std::mutex> lock(writeMutex);
+        return channel.sendLine(frame.dump());
+    }
+};
+
+struct SimServer::Job
+{
+    std::uint64_t id = 0;
+    SubmitRequest request;
+    std::vector<std::string> fingerprints; ///< Index-aligned.
+
+    enum class State
+    {
+        Queued,
+        Running,
+        Ok,
+        Cancelled,
+        Error,
+    };
+    std::atomic<State> state{State::Queued};
+    std::atomic<bool> cancelled{false};
+    std::atomic<std::uint64_t> completed{0};
+    std::atomic<std::uint64_t> cachedCount{0};
+    std::string message; ///< Failure detail, set before state.
+
+    /** Submitting connection; results stream here while it lives. */
+    std::weak_ptr<Connection> owner;
+
+    const char *stateName() const
+    {
+        switch (state.load()) {
+          case State::Queued: return "queued";
+          case State::Running: return "running";
+          case State::Ok: return "ok";
+          case State::Cancelled: return "cancelled";
+          case State::Error: return "error";
+        }
+        return "?";
+    }
+};
+
+namespace
+{
+
+/** Internal cancellation signal thrown by the simulate hook. */
+struct JobCancelled
+{
+};
+
+} // namespace
+
+SimServer::SimServer(const std::string &endpoint_spec,
+                     ServerOptions options)
+    : options_(options), listener_(Endpoint::parse(endpoint_spec))
+{
+}
+
+SimServer::~SimServer()
+{
+    requestShutdown();
+}
+
+std::string
+SimServer::endpoint() const
+{
+    return listener_.boundEndpoint().str();
+}
+
+std::size_t
+SimServer::cacheSize() const
+{
+    return cache_.size();
+}
+
+void
+SimServer::log(const std::string &line)
+{
+    if (options_.log != nullptr)
+        *options_.log << "shotgun-serve: " << line << std::endl;
+}
+
+void
+SimServer::serve()
+{
+    log("listening on " + endpoint() + " (version " +
+        cli::kVersion + ")");
+    std::thread dispatcher([this]() { dispatchLoop(); });
+
+    // Reader threads flag themselves done so a long-running daemon
+    // reclaims them as it accepts, not only at shutdown.
+    struct Reader
+    {
+        std::thread thread;
+        std::shared_ptr<std::atomic<bool>> done;
+    };
+    std::vector<Reader> readers;
+    auto reap = [&readers](bool all) {
+        for (auto it = readers.begin(); it != readers.end();) {
+            if (all || it->done->load()) {
+                it->thread.join();
+                it = readers.erase(it);
+            } else {
+                ++it;
+            }
+        }
+    };
+
+    while (!stop_.load()) {
+        Socket sock = listener_.accept();
+        if (!sock.valid()) {
+            if (stop_.load())
+                break;
+            // Persistent accept failure (EMFILE, ...): retry slowly
+            // instead of spinning a core.
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(50));
+            continue;
+        }
+        reap(false);
+        auto conn = std::make_shared<Connection>(std::move(sock));
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            // Drop expired entries so the registry tracks live
+            // connections, not the connection count ever accepted.
+            connections_.erase(
+                std::remove_if(connections_.begin(),
+                               connections_.end(),
+                               [](const std::weak_ptr<Connection> &w) {
+                                   return w.expired();
+                               }),
+                connections_.end());
+            connections_.push_back(conn);
+        }
+        // A shutdown that snapshotted connections_ before this
+        // registration could not shut this socket down; re-check so
+        // the connection's reader cannot outlive the accept loop.
+        if (stop_.load())
+            conn->channel.socket().shutdownBoth();
+        auto done = std::make_shared<std::atomic<bool>>(false);
+        readers.push_back(
+            {std::thread([this, conn, done]() {
+                 handleConnection(conn);
+                 done->store(true);
+             }),
+             done});
+    }
+
+    // Shutdown: the dispatcher drains (cancelling) and exits; readers
+    // see their sockets shut down and exit.
+    queueCv_.notify_all();
+    dispatcher.join();
+    reap(true);
+    log("shut down");
+}
+
+void
+SimServer::requestShutdown()
+{
+    const bool was_stopped = stop_.exchange(true);
+    // shutdown(2), not close(2): serve() may be blocked in accept()
+    // on this fd right now; the fd itself is reclaimed when the
+    // listener is destroyed with the server, after serve() returned.
+    listener_.shutdownListener();
+    std::vector<std::shared_ptr<Connection>> live;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (auto &weak : connections_) {
+            if (auto conn = weak.lock())
+                live.push_back(std::move(conn));
+        }
+        for (auto &entry : jobs_)
+            entry.second->cancelled.store(true);
+    }
+    for (auto &conn : live)
+        conn->channel.socket().shutdownBoth();
+    queueCv_.notify_all();
+    if (!was_stopped)
+        log("shutdown requested");
+}
+
+void
+SimServer::handleSubmit(const std::shared_ptr<Connection> &conn,
+                        const json::Value &frame)
+{
+    SubmitRequest request = decodeSubmit(frame);
+
+    // Validate up front what would otherwise fatal() mid-simulation
+    // and take down the daemon: a trace-backed workload needs a
+    // readable, untruncated v2 trace here, long enough for the
+    // requested run, recorded from the same program the submitted
+    // config describes (the client read its header from the client's
+    // copy of the file -- in a multi-machine deployment this server's
+    // copy can differ).
+    // One probe (open + header parse + size check) per distinct
+    // path; per-experiment checks below reuse the parsed header.
+    std::map<std::string,
+             std::pair<std::uint64_t, std::string>>
+        probed; // path -> (instructions, canonical program params)
+    for (const runner::Experiment &exp : request.grid) {
+        const std::string &path = exp.config.workload.tracePath;
+        if (path.empty())
+            continue;
+        auto it = probed.find(path);
+        if (it == probed.end()) {
+            std::string error;
+            TraceInfo info;
+            if (!probeTraceFile(path, 0, error, &info))
+                throw CodecError("experiment \"" + exp.workload +
+                                 "/" + exp.label + "\": " + error);
+            it = probed
+                     .emplace(path,
+                              std::make_pair(
+                                  info.instructions,
+                                  encodeProgramParams(
+                                      info.preset.program)
+                                      .dump()))
+                     .first;
+        }
+        const std::uint64_t needed = exp.config.warmupInstructions +
+                                     exp.config.measureInstructions;
+        if (it->second.first < needed)
+            throw CodecError(
+                "experiment \"" + exp.workload + "/" + exp.label +
+                "\": trace '" + path + "' holds " +
+                std::to_string(it->second.first) +
+                " instructions but the run needs " +
+                std::to_string(needed) + "; record a longer trace");
+        if (it->second.second !=
+            encodeProgramParams(exp.config.workload.program).dump())
+            throw CodecError(
+                "experiment \"" + exp.workload + "/" + exp.label +
+                "\": trace '" + path +
+                "' on this server was recorded from different "
+                "program parameters than the submitted workload "
+                "(stale or re-recorded copy?)");
+    }
+
+    auto job = std::make_shared<Job>();
+    job->request = std::move(request);
+    job->owner = conn;
+    job->fingerprints.reserve(job->request.grid.size());
+    for (const runner::Experiment &exp : job->request.grid)
+        job->fingerprints.push_back(configFingerprint(exp.config));
+
+    Value fingerprints = Value::array();
+    for (const std::string &fp : job->fingerprints)
+        fingerprints.push(Value::string(fp));
+
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        job->id = nextJobId_++;
+        jobs_.emplace(job->id, job);
+    }
+
+    // `accepted` must be on the wire before the job can produce
+    // result frames: enqueue only after sending, or a cache-hit job
+    // could stream results past the dispatcher first and the client
+    // would read a `result` frame as its submit reply.
+    Value accepted = makeFrame("accepted");
+    accepted.set("job", Value::number(job->id));
+    accepted.set("total",
+                 Value::number(std::uint64_t{job->request.grid.size()}));
+    accepted.set("fingerprints", std::move(fingerprints));
+    conn->sendFrame(accepted);
+    log("job " + std::to_string(job->id) + " accepted: " +
+        job->request.experiment + ", " +
+        std::to_string(job->request.grid.size()) + " points");
+
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        queue_.push_back(job);
+    }
+    queueCv_.notify_one();
+}
+
+json::Value
+SimServer::statusFrame()
+{
+    Value jobs = Value::array();
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (const auto &entry : jobs_) {
+            const Job &job = *entry.second;
+            JobStatus status;
+            status.id = job.id;
+            status.experiment = job.request.experiment;
+            status.state = job.stateName();
+            status.total = job.request.grid.size();
+            status.completed = job.completed.load();
+            status.cached = job.cachedCount.load();
+            jobs.push(encodeJobStatus(status));
+        }
+    }
+    Value server = Value::object();
+    server.set("version", Value::string(cli::kVersion));
+    server.set("protocol", Value::number(kProtocolVersion));
+    server.set("endpoint", Value::string(endpoint()));
+    server.set("cache_entries",
+               Value::number(std::uint64_t{cache_.size()}));
+    server.set("max_jobs",
+               Value::number(std::uint64_t{
+                   options_.jobs != 0
+                       ? options_.jobs
+                       : runner::ThreadPool::hardwareJobs()}));
+
+    Value v = makeFrame("status");
+    v.set("server", std::move(server));
+    v.set("jobs", std::move(jobs));
+    return v;
+}
+
+void
+SimServer::handleConnection(std::shared_ptr<Connection> conn)
+{
+    std::string line;
+    while (conn->channel.recvLine(line)) {
+        Value reply;
+        try {
+            const Value frame = Value::parse(line);
+            const std::string type = frameType(frame);
+            if (type == "submit") {
+                handleSubmit(conn, frame);
+                continue; // handleSubmit sent `accepted` itself.
+            } else if (type == "status") {
+                reply = statusFrame();
+            } else if (type == "ping") {
+                reply = makeFrame("pong");
+            } else if (type == "cancel") {
+                const std::uint64_t id = frame.at("job").asU64();
+                std::shared_ptr<Job> job;
+                {
+                    std::lock_guard<std::mutex> lock(mutex_);
+                    auto it = jobs_.find(id);
+                    if (it != jobs_.end())
+                        job = it->second;
+                }
+                if (job == nullptr) {
+                    reply = makeError("unknown job " +
+                                      std::to_string(id));
+                } else {
+                    job->cancelled.store(true);
+                    reply = makeFrame("cancelling");
+                    reply.set("job", Value::number(id));
+                }
+            } else if (type == "shutdown") {
+                conn->sendFrame(makeFrame("bye"));
+                requestShutdown();
+                break;
+            } else {
+                reply = makeError("unknown frame type \"" + type +
+                                  "\"");
+            }
+        } catch (const json::JsonError &e) {
+            // Malformed frame: reject it, keep the connection.
+            reply = makeError(e.what());
+        } catch (const std::exception &e) {
+            // Anything else a frame provoked (filesystem errors,
+            // allocation failure on a huge grid, ...) is that
+            // frame's problem, never the daemon's.
+            reply = makeError(std::string("internal error: ") +
+                              e.what());
+        }
+        if (!conn->sendFrame(reply))
+            break;
+    }
+}
+
+void
+SimServer::dispatchLoop()
+{
+    while (true) {
+        std::shared_ptr<Job> job;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            queueCv_.wait(lock, [this]() {
+                return stop_.load() || !queue_.empty();
+            });
+            if (queue_.empty()) {
+                if (stop_.load())
+                    return;
+                continue;
+            }
+            job = queue_.front();
+            queue_.pop_front();
+        }
+        runJob(job);
+        pruneJobs();
+        // Drain-and-cancel continues after stop: every queued job
+        // still gets its `done` frame (as cancelled) before exit.
+    }
+}
+
+void
+SimServer::pruneJobs()
+{
+    // Keep a bounded tail of terminal jobs for `status`; a daemon
+    // serving thousands of submits must not hold every grid forever.
+    constexpr std::size_t kRetainedJobs = 64;
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto it = jobs_.begin();
+         it != jobs_.end() && jobs_.size() > kRetainedJobs;) {
+        const Job::State state = it->second->state.load();
+        if (state == Job::State::Queued || state == Job::State::Running)
+            ++it;
+        else
+            it = jobs_.erase(it);
+    }
+}
+
+void
+SimServer::runJob(const std::shared_ptr<Job> &job)
+{
+    auto owner = job->owner.lock();
+    DoneEvent done;
+    done.job = job->id;
+
+    if (job->cancelled.load()) {
+        job->state.store(Job::State::Cancelled);
+        done.status = "cancelled";
+        if (owner)
+            owner->sendFrame(encodeDone(done));
+        return;
+    }
+
+    job->state.store(Job::State::Running);
+    log("job " + std::to_string(job->id) + " running");
+
+    runner::RunnerOptions ropts;
+    const unsigned cap = options_.jobs != 0
+                             ? options_.jobs
+                             : runner::ThreadPool::hardwareJobs();
+    const unsigned requested =
+        job->request.jobs == 0
+            ? cap
+            : static_cast<unsigned>(std::min<std::uint64_t>(
+                  job->request.jobs, cap));
+    ropts.jobs = requested;
+
+    // Written by worker threads at distinct indices, read by the
+    // collector thread after that index's future resolved.
+    auto cached_flags =
+        std::make_shared<std::vector<char>>(job->request.grid.size(), 0);
+
+    ropts.simulate = [this, job, cached_flags](
+                         std::size_t index,
+                         const runner::Experiment &exp) {
+        if (job->cancelled.load())
+            throw JobCancelled{};
+        bool computed = false;
+        auto value = cache_.get(job->fingerprints[index],
+                                [&exp, &computed]() {
+                                    computed = true;
+                                    return runner::runExperiment(exp);
+                                });
+        if (!computed) {
+            job->cachedCount.fetch_add(1);
+            (*cached_flags)[index] = 1;
+        }
+        return *value;
+    };
+
+    ropts.onResult = [job, owner, cached_flags](
+                         std::size_t index,
+                         const runner::Experiment &exp,
+                         const SimResult &result) {
+        job->completed.fetch_add(1);
+        if (owner == nullptr)
+            return;
+        ResultEvent event;
+        event.job = job->id;
+        event.index = index;
+        event.cached = (*cached_flags)[index] != 0;
+        event.workload = exp.workload;
+        event.label = exp.label;
+        event.fingerprint = job->fingerprints[index];
+        event.result = result;
+        owner->sendFrame(encodeResultEvent(event));
+    };
+
+    try {
+        runner::ExperimentRunner(ropts).run(job->request.grid);
+        job->state.store(Job::State::Ok);
+        done.status = "ok";
+    } catch (const JobCancelled &) {
+        job->state.store(Job::State::Cancelled);
+        done.status = "cancelled";
+    } catch (const std::exception &e) {
+        job->message = e.what();
+        job->state.store(Job::State::Error);
+        done.status = "error";
+        done.message = job->message;
+    }
+
+    done.completed = job->completed.load();
+    done.cached = job->cachedCount.load();
+    if (owner)
+        owner->sendFrame(encodeDone(done));
+    log("job " + std::to_string(job->id) + " " + done.status + " (" +
+        std::to_string(done.completed) + "/" +
+        std::to_string(job->request.grid.size()) + " points, " +
+        std::to_string(done.cached) + " cached)");
+}
+
+} // namespace service
+} // namespace shotgun

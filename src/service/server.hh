@@ -1,0 +1,124 @@
+/**
+ * @file
+ * The batch/async simulation service daemon core: accepts frame
+ * protocol connections (see protocol.hh), queues submitted grids as
+ * jobs, executes them FIFO through the shared ExperimentRunner with
+ * per-job worker budgeting, streams `result` frames in grid order as
+ * points complete, and serves repeated configurations from a
+ * fingerprint-keyed result cache (common/memo.hh) -- a sweep
+ * resubmitted after a client crash, or sharing points with an earlier
+ * sweep, only simulates the configurations it has not seen.
+ *
+ * The class is the in-process core of the `shotgun-serve` tool, kept
+ * in the library so tests can run a real server on a Unix socket in
+ * the test process and assert byte-identical results end to end.
+ *
+ * Determinism: the server executes each submitted grid with the same
+ * ExperimentRunner machinery the benches use, so any shard of a grid
+ * returns exactly the results an in-process run of that shard yields,
+ * regardless of job count, caching, or which worker serves it.
+ */
+
+#ifndef SHOTGUN_SERVICE_SERVER_HH
+#define SHOTGUN_SERVICE_SERVER_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/memo.hh"
+#include "service/protocol.hh"
+#include "service/socket.hh"
+
+namespace shotgun
+{
+namespace service
+{
+
+struct ServerOptions
+{
+    /**
+     * Cap on any single job's worker threads; 0 means one per
+     * hardware thread. A submit's own `jobs` request is clamped to
+     * this.
+     */
+    unsigned jobs = 0;
+
+    /** Log stream for connection/job lines; nullptr is quiet. */
+    std::ostream *log = nullptr;
+};
+
+class SimServer
+{
+  public:
+    /**
+     * Bind and listen immediately (so the resolved endpoint -- e.g.
+     * a kernel-assigned TCP port -- is readable before serve()).
+     * Throws SocketError when the endpoint cannot be bound.
+     */
+    SimServer(const std::string &endpoint_spec,
+              ServerOptions options = {});
+    ~SimServer();
+
+    SimServer(const SimServer &) = delete;
+    SimServer &operator=(const SimServer &) = delete;
+
+    /** Resolved listen address, e.g. "127.0.0.1:34127". */
+    std::string endpoint() const;
+
+    /**
+     * Accept and serve connections until a `shutdown` frame arrives
+     * or requestShutdown() is called. Joins every worker before
+     * returning, so the caller may destroy the server afterwards.
+     */
+    void serve();
+
+    /**
+     * Initiate shutdown from any thread: stop accepting, cancel
+     * queued and running jobs, unblock connection readers.
+     */
+    void requestShutdown();
+
+    /** Distinct configurations simulated so far (cache entries). */
+    std::size_t cacheSize() const;
+
+  private:
+    struct Connection;
+    struct Job;
+
+    void handleConnection(std::shared_ptr<Connection> conn);
+    void handleSubmit(const std::shared_ptr<Connection> &conn,
+                      const json::Value &frame);
+    json::Value statusFrame();
+    void dispatchLoop();
+    void runJob(const std::shared_ptr<Job> &job);
+    void pruneJobs();
+    void log(const std::string &line);
+
+    ServerOptions options_;
+    Listener listener_;
+
+    std::atomic<bool> stop_{false};
+
+    mutable std::mutex mutex_; ///< jobs_, queue_, connections_.
+    std::condition_variable queueCv_;
+    std::deque<std::shared_ptr<Job>> queue_;
+    std::map<std::uint64_t, std::shared_ptr<Job>> jobs_;
+    std::vector<std::weak_ptr<Connection>> connections_;
+    std::uint64_t nextJobId_ = 1;
+
+    MemoCache<std::string, SimResult> cache_;
+};
+
+} // namespace service
+} // namespace shotgun
+
+#endif // SHOTGUN_SERVICE_SERVER_HH

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Tiny portable stream-socket wrapper for the simulation service:
+ * endpoints ("unix:<path>" or "<host>:<port>"), RAII sockets, a
+ * listener, and a line channel for the newline-delimited JSON frame
+ * protocol. POSIX only (the project targets Linux; the socket calls
+ * used -- socket/bind/listen/accept/connect/send/recv -- are the
+ * portable core that a WinSock port would wrap 1:1).
+ *
+ * Errors throw SocketError rather than calling fatal(): the server
+ * must survive a peer resetting a connection, and the tools translate
+ * the exception into a clean fatal() at top level.
+ */
+
+#ifndef SHOTGUN_SERVICE_SOCKET_HH
+#define SHOTGUN_SERVICE_SOCKET_HH
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace shotgun
+{
+namespace service
+{
+
+struct SocketError : std::runtime_error
+{
+    explicit SocketError(const std::string &what)
+        : std::runtime_error(what)
+    {
+    }
+};
+
+/**
+ * A service address. Two forms:
+ *  - "unix:<path>"  -- a Unix-domain stream socket;
+ *  - "<host>:<port>" -- TCP (host resolved via getaddrinfo; port 0
+ *    asks the kernel for a free port, see Listener::boundEndpoint()).
+ */
+struct Endpoint
+{
+    enum class Kind
+    {
+        Tcp,
+        Unix,
+    };
+
+    Kind kind = Kind::Tcp;
+    std::string host; ///< TCP only.
+    std::uint16_t port = 0;
+    std::string path; ///< Unix only.
+
+    /** Parse a spec; throws SocketError on a malformed one. */
+    static Endpoint parse(const std::string &spec);
+
+    /** Canonical spec string ("unix:/run/x.sock", "127.0.0.1:7401"). */
+    std::string str() const;
+};
+
+/** Move-only RAII socket. A default-constructed socket is invalid. */
+class Socket
+{
+  public:
+    Socket() = default;
+    explicit Socket(int fd) : fd_(fd) {}
+    ~Socket() { close(); }
+
+    Socket(Socket &&other) noexcept : fd_(other.fd_)
+    {
+        other.fd_ = -1;
+    }
+    Socket &operator=(Socket &&other) noexcept;
+    Socket(const Socket &) = delete;
+    Socket &operator=(const Socket &) = delete;
+
+    bool valid() const { return fd_ >= 0; }
+    int fd() const { return fd_; }
+
+    /** Send the whole buffer; false on error (SIGPIPE suppressed). */
+    bool sendAll(const char *data, std::size_t size);
+
+    /** One recv(); 0 on orderly EOF, -1 on error. */
+    long recvSome(char *data, std::size_t size);
+
+    /** shutdown(2) both directions -- unblocks a reader elsewhere. */
+    void shutdownBoth();
+
+    void close();
+
+  private:
+    int fd_ = -1;
+};
+
+/** Bound + listening server socket. */
+class Listener
+{
+  public:
+    /**
+     * Bind and listen; throws SocketError (EADDRINUSE, bad path...).
+     * A pre-existing Unix socket file is unlinked first: it is either
+     * a stale leftover (bind would fail pointlessly) or a live server
+     * the operator asked us to replace.
+     */
+    explicit Listener(const Endpoint &endpoint, int backlog = 16);
+    ~Listener();
+
+    Listener(const Listener &) = delete;
+    Listener &operator=(const Listener &) = delete;
+
+    /**
+     * Accept one connection; an invalid Socket after close() was
+     * called (the shutdown path) or on a transient accept failure.
+     */
+    Socket accept();
+
+    /** The actual bound address (resolves TCP port 0). */
+    const Endpoint &boundEndpoint() const { return bound_; }
+
+    /**
+     * Unblock a concurrent accept() (it returns an invalid Socket)
+     * without closing the file descriptor. This is the only member
+     * safe to call from another thread while accept() runs: close()
+     * would free the fd under accept's feet (data race + the fd
+     * number could be recycled by a concurrent open).
+     */
+    void shutdownListener();
+
+    /**
+     * Close the listening socket and remove a Unix socket file. Not
+     * thread-safe against a concurrent accept() -- call after the
+     * accept loop exited (the destructor's job in normal use).
+     */
+    void close();
+
+  private:
+    Socket sock_;
+    Endpoint bound_;
+    std::string unlinkPath_; ///< Unix socket file to remove.
+};
+
+/** Connect to an endpoint; throws SocketError on failure. */
+Socket connectTo(const Endpoint &endpoint);
+
+/**
+ * Line-oriented channel over a socket: the transport of the
+ * newline-delimited JSON frame protocol. recvLine() strips the
+ * trailing '\n' and rejects lines over 64 MiB (a malformed or
+ * malicious peer must not OOM the server).
+ */
+class LineChannel
+{
+  public:
+    LineChannel() = default;
+    explicit LineChannel(Socket sock) : sock_(std::move(sock)) {}
+
+    bool valid() const { return sock_.valid(); }
+    Socket &socket() { return sock_; }
+
+    /** False on EOF/error. */
+    bool recvLine(std::string &line);
+
+    /** Appends '\n'; false on send failure. */
+    bool sendLine(const std::string &line);
+
+  private:
+    static constexpr std::size_t kMaxLine = 64u << 20;
+
+    Socket sock_;
+    std::string buffer_;
+};
+
+} // namespace service
+} // namespace shotgun
+
+#endif // SHOTGUN_SERVICE_SOCKET_HH

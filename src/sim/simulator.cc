@@ -242,4 +242,28 @@ baselineFor(const WorkloadPreset &preset, std::uint64_t warmup,
     });
 }
 
+bool
+operator==(const Core::StallBreakdown &a, const Core::StallBreakdown &b)
+{
+    return a.icache == b.icache && a.btbResolve == b.btbResolve &&
+           a.misfetch == b.misfetch && a.mispredict == b.mispredict &&
+           a.other == b.other;
+}
+
+bool
+operator==(const SimResult &a, const SimResult &b)
+{
+    return a.workload == b.workload && a.scheme == b.scheme &&
+           a.instructions == b.instructions && a.cycles == b.cycles &&
+           a.ipc == b.ipc && a.btbMPKI == b.btbMPKI &&
+           a.l1iMPKI == b.l1iMPKI &&
+           a.mispredictsPerKI == b.mispredictsPerKI &&
+           a.stalls == b.stalls &&
+           a.frontEndStallCycles == b.frontEndStallCycles &&
+           a.prefetchAccuracy == b.prefetchAccuracy &&
+           a.avgL1DFillCycles == b.avgL1DFillCycles &&
+           a.prefetchesIssued == b.prefetchesIssued &&
+           a.schemeStorageBits == b.schemeStorageBits;
+}
+
 } // namespace shotgun

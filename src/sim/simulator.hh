@@ -69,6 +69,22 @@ struct SimResult
     std::uint64_t schemeStorageBits = 0;
 };
 
+/**
+ * Exact (bitwise) equality -- the determinism contract every layer
+ * above the simulator asserts: parallel == serial, replay == live,
+ * and a grid sharded across service workers == the in-process run.
+ * Doubles are compared with ==, deliberately: results must match to
+ * the last bit, not approximately.
+ */
+bool operator==(const Core::StallBreakdown &a,
+                const Core::StallBreakdown &b);
+bool operator==(const SimResult &a, const SimResult &b);
+inline bool
+operator!=(const SimResult &a, const SimResult &b)
+{
+    return !(a == b);
+}
+
 /** Speedup of `result` over `baseline` (same workload). */
 double speedup(const SimResult &result, const SimResult &baseline);
 

@@ -220,9 +220,17 @@ presetByName(const std::string &name)
         if (lower == workloadName(id))
             return makePreset(id);
     }
-    fatal("unknown workload '%s' (expected one of nutch, streaming, "
-          "apache, zeus, oracle, db2, or a trace:<path>[:name] spec)",
-          name.c_str());
+    // Enumerate the presets in the error instead of hardcoding them:
+    // when a workload is added, the message stays correct.
+    std::string known;
+    for (int i = 0; i < static_cast<int>(WorkloadId::NumWorkloads); ++i) {
+        if (!known.empty())
+            known += ", ";
+        known += workloadName(static_cast<WorkloadId>(i));
+    }
+    fatal("unknown workload '%s': expected one of %s, or a recorded "
+          "trace via trace:<path>[:name]",
+          name.c_str(), known.c_str());
 }
 
 } // namespace shotgun

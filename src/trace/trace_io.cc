@@ -81,7 +81,21 @@ struct WriteArchive
     }
 };
 
-/** Reading side; any short read is fatal with the file name. */
+/**
+ * Header-parse failure carried as data so the caller chooses the
+ * severity: readTraceInfo()/TraceFileSource stay fatal() (right for
+ * the CLIs), tryReadTraceInfo() reports it (required by the
+ * simulation service, where a bad file must never kill the daemon).
+ */
+struct HeaderError
+{
+    std::string message;
+};
+
+/** On-disk size of one trace record (see TraceFileSource::next). */
+constexpr std::uint64_t kTraceRecordBytes = 19;
+
+/** Reading side; any short read throws with the file name. */
 struct ReadArchive
 {
     std::ifstream &in;
@@ -91,8 +105,9 @@ struct ReadArchive
     get(unsigned bytes)
     {
         std::uint64_t value = 0;
-        fatal_if(!getLE(in, value, bytes), "'%s': truncated trace header",
-                 path.c_str());
+        if (!getLE(in, value, bytes))
+            throw HeaderError{"'" + path +
+                              "': truncated trace header"};
         return value;
     }
 
@@ -112,8 +127,9 @@ struct ReadArchive
         const auto len = static_cast<std::size_t>(get(2));
         s.resize(len);
         in.read(s.data(), static_cast<std::streamsize>(len));
-        fatal_if(static_cast<std::size_t>(in.gcount()) != len,
-                 "'%s': truncated trace header", path.c_str());
+        if (static_cast<std::size_t>(in.gcount()) != len)
+            throw HeaderError{"'" + path +
+                              "': truncated trace header"};
     }
 
     std::uint8_t
@@ -179,34 +195,45 @@ archivePreset(Ar &ar, WorkloadPreset &p)
     ar.u64(g.seed);
 }
 
-/** Validate magic/version and parse the full header of an open file. */
+/**
+ * Validate magic/version and parse the full header of an open file;
+ * throws HeaderError on a bad file.
+ */
 TraceInfo
-parseHeader(std::ifstream &in, const std::string &path)
+parseHeaderOrThrow(std::ifstream &in, const std::string &path)
 {
+    const std::string version_text = std::to_string(kTraceVersion);
     std::uint64_t value = 0;
-    fatal_if(!getLE(in, value, 4), "'%s': truncated trace header",
-             path.c_str());
+    if (!getLE(in, value, 4))
+        throw HeaderError{"'" + path + "': truncated trace header"};
     const auto magic = static_cast<std::uint32_t>(value);
-    fatal_if(magic == byteSwap32(kTraceMagic),
-             "'%s' has byte-swapped magic bytes: this is a "
-             "foreign-endian (version-1 era) trace; re-record it -- "
-             "version %u files are explicitly little-endian",
-             path.c_str(), kTraceVersion);
-    fatal_if(magic != kTraceMagic, "'%s' is not a shotgun trace file",
-             path.c_str());
+    if (magic == byteSwap32(kTraceMagic))
+        throw HeaderError{
+            "'" + path +
+            "' has byte-swapped magic bytes: this is a "
+            "foreign-endian (version-1 era) trace; re-record it -- "
+            "version " +
+            version_text + " files are explicitly little-endian"};
+    if (magic != kTraceMagic)
+        throw HeaderError{"'" + path +
+                          "' is not a shotgun trace file"};
 
-    fatal_if(!getLE(in, value, 4), "'%s': truncated trace header",
-             path.c_str());
+    if (!getLE(in, value, 4))
+        throw HeaderError{"'" + path + "': truncated trace header"};
     const auto version = static_cast<std::uint32_t>(value);
-    fatal_if(version == 1,
-             "'%s' is a version-1 trace (raw host-endian, no workload "
-             "header); that format is no longer supported -- re-record "
-             "it with shotgun-trace to get version %u",
-             path.c_str(), kTraceVersion);
-    fatal_if(version != kTraceVersion,
-             "'%s' has unsupported trace version %u (this build reads "
-             "version %u)",
-             path.c_str(), version, kTraceVersion);
+    if (version == 1)
+        throw HeaderError{
+            "'" + path +
+            "' is a version-1 trace (raw host-endian, no workload "
+            "header); that format is no longer supported -- "
+            "re-record it with shotgun-trace to get version " +
+            version_text};
+    if (version != kTraceVersion)
+        throw HeaderError{"'" + path + "' has unsupported trace "
+                                       "version " +
+                          std::to_string(version) +
+                          " (this build reads version " +
+                          version_text + ")"};
 
     TraceInfo info;
     ReadArchive ar{in, path};
@@ -214,11 +241,22 @@ parseHeader(std::ifstream &in, const std::string &path)
     ar.u64(info.instructions);
     ar.u64(info.traceSeed);
     archivePreset(ar, info.preset);
-    fatal_if(info.preset.id >= WorkloadId::NumWorkloads,
-             "'%s': corrupt trace header (bad workload id)",
-             path.c_str());
+    if (info.preset.id >= WorkloadId::NumWorkloads)
+        throw HeaderError{"'" + path +
+                          "': corrupt trace header (bad workload id)"};
     info.preset.tracePath = path;
     return info;
+}
+
+/** The fatal() face of parseHeaderOrThrow for the CLI read paths. */
+TraceInfo
+parseHeader(std::ifstream &in, const std::string &path)
+{
+    try {
+        return parseHeaderOrThrow(in, path);
+    } catch (const HeaderError &e) {
+        fatal("%s", e.message.c_str());
+    }
 }
 
 } // namespace
@@ -295,7 +333,7 @@ TraceFileSource::next(BBRecord &out)
 {
     if (read_ >= total_)
         return false;
-    unsigned char buf[19];
+    unsigned char buf[kTraceRecordBytes];
     in_.read(reinterpret_cast<char *>(buf), sizeof(buf));
     fatal_if(static_cast<std::size_t>(in_.gcount()) != sizeof(buf),
              "'%s': truncated trace file after %llu of %llu records",
@@ -326,6 +364,40 @@ readTraceInfo(const std::string &path)
     std::ifstream in(path, std::ios::binary);
     fatal_if(!in.is_open(), "cannot open trace file '%s'", path.c_str());
     return parseHeader(in, path);
+}
+
+bool
+tryReadTraceInfo(const std::string &path, TraceInfo &out,
+                 std::string &error)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in.is_open()) {
+        error = "cannot open trace file '" + path + "'";
+        return false;
+    }
+    try {
+        out = parseHeaderOrThrow(in, path);
+    } catch (const HeaderError &e) {
+        error = e.message;
+        return false;
+    }
+    // The header's record count must be backed by actual payload
+    // bytes, or replay would die on a truncated file mid-run.
+    const std::streamoff payload_start = in.tellg();
+    in.seekg(0, std::ios::end);
+    const std::streamoff file_end = in.tellg();
+    if (payload_start < 0 || file_end < payload_start) {
+        error = "'" + path + "': cannot determine trace file size";
+        return false;
+    }
+    const std::uint64_t payload =
+        static_cast<std::uint64_t>(file_end - payload_start);
+    if (payload / kTraceRecordBytes < out.records) {
+        error = "'" + path + "': truncated trace file (header claims " +
+                std::to_string(out.records) + " records)";
+        return false;
+    }
+    return true;
 }
 
 std::uint64_t

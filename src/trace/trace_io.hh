@@ -123,6 +123,17 @@ struct TraceInfo
 TraceInfo readTraceInfo(const std::string &path);
 
 /**
+ * Non-fatal variant for long-running services (shotgun-serve
+ * validates submissions with it): same checks as readTraceInfo()
+ * plus a payload-size check -- the file must actually hold the
+ * `records` the header claims -- reported through `error` instead of
+ * killing the process. Lives here so the header layout has exactly
+ * one owner.
+ */
+bool tryReadTraceInfo(const std::string &path, TraceInfo &out,
+                      std::string &error);
+
+/**
  * Record up to `count` basic blocks from `source` into `path`.
  * @return number of records written.
  */

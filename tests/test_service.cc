@@ -1,0 +1,336 @@
+/**
+ * @file
+ * End-to-end tests for the simulation service: a real SimServer on a
+ * Unix socket in this process, driven through ServiceClient. The
+ * load-bearing assertions are the distributed-determinism ones: a
+ * grid submitted to one server, or sharded across two, returns
+ * results bitwise-identical to the same grid run in-process, and the
+ * serialized JSON/CSV artifacts match byte for byte.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "runner/experiment.hh"
+#include "runner/result_sink.hh"
+#include "service/client.hh"
+#include "service/server.hh"
+#include "trace/generator.hh"
+#include "trace/program.hh"
+#include "trace/trace_io.hh"
+
+namespace shotgun
+{
+namespace service
+{
+namespace
+{
+
+/** Small but non-trivial synthetic workload: fast to simulate. */
+WorkloadPreset
+tinyPreset(const std::string &name, std::uint64_t seed)
+{
+    WorkloadPreset preset;
+    preset.name = name;
+    preset.program.name = name;
+    preset.program.numFuncs = 150;
+    preset.program.numOsFuncs = 30;
+    preset.program.numTrapHandlers = 4;
+    preset.program.numTopLevel = 8;
+    preset.program.seed = seed;
+    return preset;
+}
+
+runner::ExperimentSet
+quickGrid(int workloads = 2)
+{
+    const std::uint64_t warmup = 20000, measure = 50000;
+    runner::ExperimentSet set;
+    for (int w = 0; w < workloads; ++w) {
+        const WorkloadPreset preset =
+            tinyPreset("svc-w" + std::to_string(w),
+                       0x5e40 + static_cast<std::uint64_t>(w));
+        set.addBaseline(preset, warmup, measure);
+        for (SchemeType type :
+             {SchemeType::Boomerang, SchemeType::Shotgun}) {
+            SimConfig config = SimConfig::make(preset, type);
+            config.warmupInstructions = warmup;
+            config.measureInstructions = measure;
+            set.add(preset, schemeTypeName(type), config);
+        }
+    }
+    return set;
+}
+
+SubmitRequest
+requestFor(const runner::ExperimentSet &set, const std::string &name)
+{
+    SubmitRequest request;
+    request.experiment = name;
+    request.jobs = 2;
+    request.grid = set.experiments();
+    return request;
+}
+
+/** A serve()ing SimServer on a fresh Unix socket, RAII-stopped. */
+class TestServer
+{
+  public:
+    explicit TestServer(const std::string &tag)
+        : server_("unix:/tmp/shotgun_svc_test_" + tag + ".sock", {}),
+          thread_([this]() { server_.serve(); })
+    {
+    }
+
+    ~TestServer()
+    {
+        server_.requestShutdown();
+        thread_.join();
+    }
+
+    std::string endpoint() const { return server_.endpoint(); }
+    SimServer &server() { return server_; }
+
+  private:
+    SimServer server_;
+    std::thread thread_;
+};
+
+TEST(ServiceTest, SubmitMatchesInProcessBitwise)
+{
+    const runner::ExperimentSet set = quickGrid();
+    const auto local = runner::ExperimentRunner().run(set);
+
+    TestServer server("submit");
+    ServiceClient client(server.endpoint());
+    EXPECT_TRUE(client.ping());
+
+    std::vector<ResultEvent> events;
+    const auto remote = client.submit(
+        requestFor(set, "unit"),
+        [&](const ResultEvent &event) { events.push_back(event); });
+
+    ASSERT_EQ(remote.size(), set.size());
+    for (std::size_t i = 0; i < set.size(); ++i)
+        EXPECT_TRUE(remote[i] == local[i]) << "index " << i;
+
+    // Streamed events arrive in grid order with matching labels.
+    ASSERT_EQ(events.size(), set.size());
+    for (std::size_t i = 0; i < events.size(); ++i) {
+        EXPECT_EQ(events[i].index, i);
+        EXPECT_EQ(events[i].label, set.experiments()[i].label);
+        EXPECT_FALSE(events[i].cached);
+    }
+
+    // The serialized artifacts are byte-identical too.
+    runner::ResultSink local_sink("unit");
+    runner::appendResultRows(set, local, local_sink);
+    runner::ResultSink remote_sink("unit");
+    runner::appendResultRows(set, remote, remote_sink);
+    std::ostringstream local_json, remote_json, local_csv, remote_csv;
+    local_sink.writeJson(local_json);
+    remote_sink.writeJson(remote_json);
+    local_sink.writeCsv(local_csv);
+    remote_sink.writeCsv(remote_csv);
+    EXPECT_EQ(local_json.str(), remote_json.str());
+    EXPECT_EQ(local_csv.str(), remote_csv.str());
+}
+
+TEST(ServiceTest, ResubmitIsServedFromTheCache)
+{
+    const runner::ExperimentSet set = quickGrid(1);
+
+    TestServer server("cache");
+    ServiceClient client(server.endpoint());
+
+    const auto first = client.submit(requestFor(set, "cache"));
+    EXPECT_EQ(server.server().cacheSize(), set.size());
+
+    std::size_t cached = 0;
+    const auto second = client.submit(
+        requestFor(set, "cache"),
+        [&](const ResultEvent &event) { cached += event.cached; });
+    EXPECT_EQ(cached, set.size());
+    EXPECT_EQ(server.server().cacheSize(), set.size());
+    for (std::size_t i = 0; i < set.size(); ++i)
+        EXPECT_TRUE(first[i] == second[i]);
+}
+
+TEST(ServiceTest, ShardedSubmitMatchesInProcessBitwise)
+{
+    const runner::ExperimentSet set = quickGrid(3);
+    const auto local = runner::ExperimentRunner().run(set);
+
+    TestServer a("shard-a"), b("shard-b");
+    std::size_t last_done = 0;
+    const auto remote = submitSharded(
+        {a.endpoint(), b.endpoint()}, requestFor(set, "sharded"),
+        [&](std::size_t done, std::size_t total) {
+            last_done = done;
+            EXPECT_EQ(total, set.size());
+        });
+
+    EXPECT_EQ(last_done, set.size());
+    ASSERT_EQ(remote.size(), set.size());
+    for (std::size_t i = 0; i < set.size(); ++i)
+        EXPECT_TRUE(remote[i] == local[i]) << "index " << i;
+
+    // Both servers did real work (round-robin sharding).
+    EXPECT_GT(a.server().cacheSize(), 0u);
+    EXPECT_GT(b.server().cacheSize(), 0u);
+    EXPECT_EQ(a.server().cacheSize() + b.server().cacheSize(),
+              set.size());
+}
+
+TEST(ServiceTest, StatusReportsJobsAndCache)
+{
+    const runner::ExperimentSet set = quickGrid(1);
+
+    TestServer server("status");
+    ServiceClient client(server.endpoint());
+    client.submit(requestFor(set, "status-job"));
+
+    const json::Value status = client.status();
+    EXPECT_EQ(status.at("server").at("protocol").asU64(),
+              kProtocolVersion);
+    EXPECT_EQ(status.at("server").at("cache_entries").asU64(),
+              set.size());
+    ASSERT_EQ(status.at("jobs").size(), 1u);
+    const JobStatus job = decodeJobStatus(status.at("jobs").items()[0]);
+    EXPECT_EQ(job.experiment, "status-job");
+    EXPECT_EQ(job.state, "ok");
+    EXPECT_EQ(job.total, set.size());
+    EXPECT_EQ(job.completed, set.size());
+}
+
+TEST(ServiceTest, MalformedFramesAreRejectedNotFatal)
+{
+    TestServer server("malformed");
+    LineChannel channel(
+        connectTo(Endpoint::parse(server.endpoint())));
+
+    // Garbage, valid-JSON-wrong-shape, unknown type: all answered
+    // with an error frame on a connection that stays usable.
+    for (const char *line :
+         {"this is not json", "[1,2,3]", "{\"no_type\":1}",
+          "{\"type\":\"warp\"}",
+          "{\"type\":\"submit\",\"protocol\":1}"}) {
+        ASSERT_TRUE(channel.sendLine(line));
+        std::string reply;
+        ASSERT_TRUE(channel.recvLine(reply));
+        EXPECT_EQ(frameType(json::Value::parse(reply)), "error")
+            << line;
+    }
+
+    ASSERT_TRUE(channel.sendLine("{\"type\":\"ping\"}"));
+    std::string reply;
+    ASSERT_TRUE(channel.recvLine(reply));
+    EXPECT_EQ(frameType(json::Value::parse(reply)), "pong");
+}
+
+TEST(ServiceTest, SubmitWithBadTraceFileIsRejected)
+{
+    const WorkloadPreset preset = tinyPreset("svc-trace", 1);
+
+    SubmitRequest request;
+    request.experiment = "bad-trace";
+    runner::Experiment exp;
+    exp.workload = "svc-trace";
+    exp.label = "shotgun";
+    exp.config = SimConfig::make(preset, SchemeType::Shotgun);
+    exp.config.workload.tracePath =
+        "/tmp/shotgun_svc_no_such_file.trace";
+    request.grid.push_back(exp);
+
+    TestServer server("badtrace");
+    ServiceClient client(server.endpoint());
+
+    // Missing file.
+    EXPECT_THROW(client.submit(request), ServiceError);
+    EXPECT_TRUE(client.ping());
+
+    // Existing file that is not a trace: would fatal() the worker
+    // mid-job without the submit-time probe.
+    const std::string garbage = "/tmp/shotgun_svc_garbage.trace";
+    {
+        std::ofstream out(garbage, std::ios::binary);
+        out << "definitely not a shotgun trace, but quite long";
+    }
+    request.grid[0].config.workload.tracePath = garbage;
+    EXPECT_THROW(client.submit(request), ServiceError);
+    EXPECT_TRUE(client.ping());
+    std::remove(garbage.c_str());
+
+    // A real trace whose program differs from the submitted config
+    // (the distributed stale-copy case): rejected at submit time,
+    // because mid-job it would fatal() the whole daemon.
+    const std::string trace = "/tmp/shotgun_svc_stale.trace";
+    {
+        Program prog(preset.program);
+        TraceGenerator gen(prog, 1);
+        recordTrace(gen, preset, 1, trace, 5000);
+    }
+    request.grid[0].config.workload.tracePath = trace;
+    request.grid[0].config.workload.program.numFuncs += 1;
+    request.grid[0].config.warmupInstructions = 10;
+    request.grid[0].config.measureInstructions = 10;
+    try {
+        client.submit(request);
+        FAIL() << "stale trace accepted";
+    } catch (const ServiceError &e) {
+        EXPECT_NE(std::string(e.what())
+                      .find("different program parameters"),
+                  std::string::npos);
+    }
+    EXPECT_TRUE(client.ping());
+    std::remove(trace.c_str());
+}
+
+TEST(ServiceTest, CancelUnknownJobIsAnError)
+{
+    TestServer server("cancel");
+    ServiceClient client(server.endpoint());
+    EXPECT_THROW(client.cancel(12345), ServiceError);
+}
+
+TEST(ServiceTest, ShutdownFrameStopsServe)
+{
+    auto server = std::make_unique<SimServer>(
+        "unix:/tmp/shotgun_svc_test_shutdown.sock", ServerOptions{});
+    std::thread thread([&]() { server->serve(); });
+
+    ServiceClient client(server->endpoint());
+    client.shutdownServer();
+    thread.join(); // Returns only if shutdown actually stopped serve.
+    server.reset();
+    SUCCEED();
+}
+
+TEST(ServiceEndpointTest, ParseAndFormat)
+{
+    const Endpoint unix_ep = Endpoint::parse("unix:/tmp/x.sock");
+    EXPECT_EQ(unix_ep.kind, Endpoint::Kind::Unix);
+    EXPECT_EQ(unix_ep.path, "/tmp/x.sock");
+    EXPECT_EQ(unix_ep.str(), "unix:/tmp/x.sock");
+
+    const Endpoint tcp = Endpoint::parse("localhost:7401");
+    EXPECT_EQ(tcp.kind, Endpoint::Kind::Tcp);
+    EXPECT_EQ(tcp.host, "localhost");
+    EXPECT_EQ(tcp.port, 7401);
+
+    EXPECT_THROW(Endpoint::parse("unix:"), SocketError);
+    EXPECT_THROW(Endpoint::parse("no-port"), SocketError);
+    EXPECT_THROW(Endpoint::parse("host:"), SocketError);
+    EXPECT_THROW(Endpoint::parse("host:99999"), SocketError);
+    EXPECT_THROW(Endpoint::parse("host:12ab"), SocketError);
+}
+
+} // namespace
+} // namespace service
+} // namespace shotgun

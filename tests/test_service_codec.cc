@@ -1,0 +1,393 @@
+/**
+ * @file
+ * Tests for the canonical SimConfig/SimResult codec (service/codec.hh)
+ * and the frame encoders (service/protocol.hh): round-trip equality
+ * (including trace-backed workloads and non-default CoreParams),
+ * fingerprint stability, and strict malformed-frame rejection.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "service/codec.hh"
+#include "service/protocol.hh"
+#include "sim/simulator.hh"
+#include "trace/generator.hh"
+#include "trace/program.hh"
+#include "trace/trace_io.hh"
+
+namespace shotgun
+{
+namespace service
+{
+namespace
+{
+
+using json::Value;
+
+/**
+ * Round-trip identity at the byte level: decode(encode(x)) encodes to
+ * the same canonical bytes. Struct-level equality falls out because
+ * the encoding covers every field (which the strict decoder enforces:
+ * a field added to the struct but not the codec makes decode's
+ * finish() pass but the round-trip test here catch the miss only if
+ * serialized -- hence both directions are asserted on real presets).
+ */
+std::string
+canonical(const SimConfig &config)
+{
+    return encodeSimConfig(config).dump();
+}
+
+TEST(ServiceCodecTest, SimConfigRoundTripsForAllPresets)
+{
+    for (const WorkloadPreset &preset : allPresets()) {
+        for (SchemeType type :
+             {SchemeType::Baseline, SchemeType::Shotgun,
+              SchemeType::Confluence, SchemeType::RDIP}) {
+            const SimConfig config = SimConfig::make(preset, type);
+            const std::string bytes = canonical(config);
+            const SimConfig decoded =
+                decodeSimConfig(Value::parse(bytes));
+            EXPECT_EQ(canonical(decoded), bytes)
+                << preset.name << "/" << schemeTypeName(type);
+            EXPECT_EQ(decoded.workload.name, preset.name);
+            EXPECT_EQ(decoded.scheme.type, type);
+        }
+    }
+}
+
+TEST(ServiceCodecTest, NonDefaultFieldsSurvive)
+{
+    SimConfig config =
+        SimConfig::make(makePreset(WorkloadId::Oracle),
+                        SchemeType::Shotgun);
+    config.warmupInstructions = 123;
+    config.measureInstructions = 456;
+    config.traceSeed = 0xfeedface;
+    config.core.fetchWidth = 8;
+    config.core.issueEfficiency = 0.75;
+    config.core.dataSeed = 0x123456789abcdef0ull;
+    config.scheme.shotgun.ubtbEntries = 4096;
+    config.scheme.shotgun.mode = FootprintMode::EntireRegion;
+    config.scheme.shotgun.dedicatedRIB = false;
+    config.scheme.confluence.lookaheadBlocks = 99;
+    config.scheme.rdip.signatureDepth = 7;
+    config.workload.program.zipfAlpha = 1.23456789012345;
+
+    const SimConfig decoded =
+        decodeSimConfig(Value::parse(canonical(config)));
+    EXPECT_EQ(canonical(decoded), canonical(config));
+    EXPECT_EQ(decoded.core.fetchWidth, 8u);
+    EXPECT_EQ(decoded.core.dataSeed, 0x123456789abcdef0ull);
+    EXPECT_EQ(decoded.scheme.shotgun.mode,
+              FootprintMode::EntireRegion);
+    EXPECT_FALSE(decoded.scheme.shotgun.dedicatedRIB);
+    EXPECT_EQ(decoded.workload.program.zipfAlpha, 1.23456789012345);
+}
+
+TEST(ServiceCodecTest, TraceBackedWorkloadRoundTrips)
+{
+    // Record a tiny trace, make it a first-class workload via the
+    // trace: spec, and push it through the codec both ways.
+    WorkloadPreset preset;
+    preset.name = "codec-tiny";
+    preset.program.name = "codec-tiny";
+    preset.program.numFuncs = 120;
+    preset.program.numOsFuncs = 30;
+    preset.program.numTrapHandlers = 4;
+    preset.program.numTopLevel = 8;
+    preset.program.seed = 0xc0dec;
+
+    const std::string path = "/tmp/shotgun_codec_test.trace";
+    Program prog(preset.program);
+    TraceGenerator gen(prog, 5);
+    recordTrace(gen, preset, 5, path, 2000);
+
+    const WorkloadPreset traced =
+        presetByName("trace:" + path + ":codec-tiny");
+    EXPECT_EQ(traced.tracePath, path);
+
+    const SimConfig config =
+        SimConfig::make(traced, SchemeType::Shotgun);
+    const std::string bytes = canonical(config);
+    const SimConfig decoded = decodeSimConfig(Value::parse(bytes));
+    EXPECT_EQ(canonical(decoded), bytes);
+    EXPECT_EQ(decoded.workload.tracePath, path);
+    EXPECT_EQ(decoded.workload.program.seed, 0xc0decu);
+
+    // Compact string form: resolved through presetByName(), i.e.
+    // from the trace file's self-describing header.
+    const WorkloadPreset compact =
+        decodeWorkloadPreset(Value::string("trace:" + path));
+    EXPECT_EQ(compact.tracePath, path);
+    EXPECT_EQ(compact.program.numFuncs, 120u);
+
+    std::remove(path.c_str());
+
+    // With the file gone the compact form must be rejected (decode
+    // must never fatal() out of the server).
+    EXPECT_THROW(
+        decodeWorkloadPreset(Value::string("trace:" + path)),
+        CodecError);
+}
+
+TEST(ServiceCodecTest, ProbeTraceFileValidatesWithoutFatal)
+{
+    std::string error;
+
+    // Missing file.
+    EXPECT_FALSE(probeTraceFile("/tmp/shotgun_probe_missing.trace", 0,
+                                error));
+    EXPECT_NE(error.find("cannot open"), std::string::npos);
+
+    // Garbage file.
+    const std::string garbage = "/tmp/shotgun_probe_garbage.trace";
+    {
+        std::ofstream out(garbage, std::ios::binary);
+        out << "0123456789abcdef0123456789abcdef";
+    }
+    EXPECT_FALSE(probeTraceFile(garbage, 0, error));
+    EXPECT_NE(error.find("not a shotgun trace"), std::string::npos);
+    std::remove(garbage.c_str());
+
+    // Real trace: passes, and the instruction budget is enforced.
+    WorkloadPreset preset;
+    preset.name = "probe-tiny";
+    preset.program.name = "probe-tiny";
+    preset.program.numFuncs = 120;
+    preset.program.numOsFuncs = 30;
+    preset.program.numTrapHandlers = 4;
+    preset.program.numTopLevel = 8;
+
+    const std::string path = "/tmp/shotgun_probe_test.trace";
+    Program prog(preset.program);
+    TraceGenerator gen(prog, 1);
+    recordTrace(gen, preset, 1, path, 1000);
+    const std::uint64_t instrs = readTraceInfo(path).instructions;
+
+    EXPECT_TRUE(probeTraceFile(path, instrs, error));
+    EXPECT_FALSE(probeTraceFile(path, instrs + 1, error));
+    EXPECT_NE(error.find("record a longer trace"), std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST(ServiceCodecTest, CompactWorkloadStrings)
+{
+    const WorkloadPreset oracle =
+        decodeWorkloadPreset(Value::string("oracle"));
+    EXPECT_EQ(oracle.name, "oracle");
+    EXPECT_EQ(canonical(SimConfig::make(oracle, SchemeType::Baseline)),
+              canonical(SimConfig::make(makePreset(WorkloadId::Oracle),
+                                        SchemeType::Baseline)));
+    EXPECT_THROW(decodeWorkloadPreset(Value::string("no-such")),
+                 CodecError);
+}
+
+TEST(ServiceCodecTest, SimResultRoundTrips)
+{
+    SimResult result;
+    result.workload = "oracle";
+    result.scheme = "shotgun";
+    result.instructions = 5000000;
+    result.cycles = 7123456;
+    result.ipc = 0.7018239847;
+    result.btbMPKI = 45.125;
+    result.l1iMPKI = 30.5;
+    result.mispredictsPerKI = 7.25;
+    result.stalls.icache = 100;
+    result.stalls.btbResolve = 200;
+    result.stalls.misfetch = 300;
+    result.stalls.mispredict = 400;
+    result.stalls.other = 500;
+    result.frontEndStallCycles = 600;
+    result.prefetchAccuracy = 0.875;
+    result.avgL1DFillCycles = 21.5;
+    result.prefetchesIssued = 12345;
+    result.schemeStorageBits = 1ull << 40;
+
+    const Value encoded = encodeSimResult(result);
+    const SimResult decoded =
+        decodeSimResult(Value::parse(encoded.dump()));
+    EXPECT_TRUE(decoded == result);
+}
+
+TEST(ServiceCodecTest, FingerprintIsStableAndDiscriminates)
+{
+    const SimConfig config = SimConfig::make(
+        makePreset(WorkloadId::Nutch), SchemeType::Shotgun);
+
+    // Stable across processes and releases: a change to the
+    // canonical encoding (field order, number formatting, a new
+    // field) invalidates every cached fingerprint and must be a
+    // conscious decision -- this golden value is the tripwire.
+    EXPECT_EQ(configFingerprint(config), "d5c694b56104af14");
+
+    // Identical for an encode/decode round trip.
+    const SimConfig decoded =
+        decodeSimConfig(Value::parse(encodeSimConfig(config).dump()));
+    EXPECT_EQ(configFingerprint(decoded), configFingerprint(config));
+
+    // Any field nudge moves it.
+    SimConfig nudged = config;
+    nudged.traceSeed += 1;
+    EXPECT_NE(configFingerprint(nudged), configFingerprint(config));
+    nudged = config;
+    nudged.core.ftqEntries += 1;
+    EXPECT_NE(configFingerprint(nudged), configFingerprint(config));
+    nudged = config;
+    nudged.scheme.shotgun.ribWays += 1;
+    EXPECT_NE(configFingerprint(nudged), configFingerprint(config));
+
+    EXPECT_EQ(fingerprintHex(0x0123456789abcdefull),
+              "0123456789abcdef");
+}
+
+TEST(ServiceCodecTest, RejectsMalformedConfigs)
+{
+    const SimConfig config = SimConfig::make(
+        makePreset(WorkloadId::Nutch), SchemeType::Shotgun);
+    const std::string bytes = encodeSimConfig(config).dump();
+
+    // Not an object.
+    EXPECT_THROW(decodeSimConfig(Value::parse("[1,2]")), CodecError);
+    EXPECT_THROW(decodeSimConfig(Value::parse("42")), CodecError);
+
+    // Missing field.
+    {
+        Value v = Value::parse(bytes);
+        Value stripped = Value::object();
+        for (const auto &member : v.members()) {
+            if (member.first != "trace_seed")
+                stripped.set(member.first, member.second);
+        }
+        EXPECT_THROW(decodeSimConfig(stripped), CodecError);
+    }
+
+    // Unknown extra field.
+    {
+        Value v = Value::parse(bytes);
+        v.set("surprise", Value::number(std::uint64_t{1}));
+        EXPECT_THROW(decodeSimConfig(v), CodecError);
+    }
+
+    // Kind mismatch deep inside (core.ftq_entries as a string).
+    {
+        const Value v = Value::parse(bytes);
+        Value core = Value::object();
+        for (const auto &member : v.at("core").members()) {
+            core.set(member.first,
+                     member.first == "ftq_entries"
+                         ? Value::string("x")
+                         : member.second);
+        }
+        Value mutated = Value::object();
+        for (const auto &member : v.members()) {
+            mutated.set(member.first,
+                        member.first == "core" ? core : member.second);
+        }
+        EXPECT_THROW(decodeSimConfig(mutated), json::JsonError);
+    }
+
+    // Unknown enum names.
+    {
+        std::string mutated = bytes;
+        const auto pos = mutated.find("\"type\":\"shotgun\"");
+        ASSERT_NE(pos, std::string::npos);
+        mutated.replace(pos, 16, "\"type\":\"warpgun\"");
+        EXPECT_THROW(decodeSimConfig(Value::parse(mutated)),
+                     CodecError);
+    }
+}
+
+// ---------------------------------------------------------- protocol
+
+TEST(ServiceProtocolTest, SubmitFrameRoundTrips)
+{
+    SubmitRequest request;
+    request.experiment = "unit";
+    request.jobs = 3;
+    for (SchemeType type : {SchemeType::Baseline, SchemeType::Shotgun}) {
+        runner::Experiment exp;
+        exp.workload = "nutch";
+        exp.label = schemeTypeName(type);
+        exp.viaBaselineCache = type == SchemeType::Baseline;
+        exp.config =
+            SimConfig::make(makePreset(WorkloadId::Nutch), type);
+        request.grid.push_back(exp);
+    }
+
+    const Value frame = encodeSubmit(request);
+    EXPECT_EQ(frameType(frame), "submit");
+    const SubmitRequest decoded =
+        decodeSubmit(Value::parse(frame.dump()));
+    EXPECT_EQ(decoded.experiment, "unit");
+    EXPECT_EQ(decoded.jobs, 3u);
+    ASSERT_EQ(decoded.grid.size(), 2u);
+    EXPECT_EQ(decoded.grid[0].label, "baseline");
+    EXPECT_TRUE(decoded.grid[0].viaBaselineCache);
+    EXPECT_EQ(configFingerprint(decoded.grid[1].config),
+              configFingerprint(request.grid[1].config));
+}
+
+TEST(ServiceProtocolTest, SubmitRejectsBadFrames)
+{
+    // Wrong protocol version.
+    Value bad = Value::parse(
+        "{\"type\":\"submit\",\"protocol\":999,\"experiment\":\"x\","
+        "\"jobs\":0,\"grid\":[]}");
+    EXPECT_THROW(decodeSubmit(bad), CodecError);
+
+    // Empty grid.
+    Value empty = Value::parse(
+        "{\"type\":\"submit\",\"protocol\":1,\"experiment\":\"x\","
+        "\"jobs\":0,\"grid\":[]}");
+    EXPECT_THROW(decodeSubmit(empty), CodecError);
+
+    // Frame type helpers.
+    EXPECT_THROW(frameType(Value::parse("[]")), CodecError);
+    EXPECT_THROW(frameType(Value::parse("{\"type\":3}")), CodecError);
+    EXPECT_EQ(frameType(makeError("boom")), "error");
+    EXPECT_EQ(makeError("boom").at("message").asString(), "boom");
+}
+
+TEST(ServiceProtocolTest, ResultAndDoneFramesRoundTrip)
+{
+    ResultEvent event;
+    event.job = 9;
+    event.index = 4;
+    event.cached = true;
+    event.workload = "nutch";
+    event.label = "shotgun";
+    event.fingerprint = "00ff00ff00ff00ff";
+    event.result.workload = "nutch";
+    event.result.scheme = "shotgun";
+    event.result.ipc = 1.5;
+
+    const ResultEvent rt =
+        decodeResultEvent(Value::parse(encodeResultEvent(event).dump()));
+    EXPECT_EQ(rt.job, 9u);
+    EXPECT_EQ(rt.index, 4u);
+    EXPECT_TRUE(rt.cached);
+    EXPECT_EQ(rt.fingerprint, "00ff00ff00ff00ff");
+    EXPECT_TRUE(rt.result == event.result);
+
+    DoneEvent done;
+    done.job = 9;
+    done.status = "error";
+    done.completed = 4;
+    done.cached = 2;
+    done.message = "boom";
+    const DoneEvent drt =
+        decodeDone(Value::parse(encodeDone(done).dump()));
+    EXPECT_EQ(drt.status, "error");
+    EXPECT_EQ(drt.message, "boom");
+    EXPECT_EQ(drt.completed, 4u);
+}
+
+} // namespace
+} // namespace service
+} // namespace shotgun

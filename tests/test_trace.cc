@@ -547,6 +547,16 @@ appendLE32(std::vector<unsigned char> &bytes, std::uint32_t v)
         bytes.push_back(static_cast<unsigned char>(v >> (8 * i)));
 }
 
+TEST(PresetsDeathTest, UnknownWorkloadListsEveryAlternative)
+{
+    // The error is the documentation at point of failure: it must
+    // enumerate the built-in presets and the trace:<path> syntax.
+    EXPECT_EXIT((void)presetByName("bogus-workload"),
+                ::testing::ExitedWithCode(1),
+                "unknown workload 'bogus-workload'.*nutch, streaming, "
+                "apache, zeus, oracle, db2.*trace:<path>");
+}
+
 TEST(TraceIODeathTest, RejectsBadMagic)
 {
     const auto path = writeRawFile(

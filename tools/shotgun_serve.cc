@@ -1,0 +1,114 @@
+/**
+ * @file
+ * shotgun-serve: the batch/async simulation service daemon. Wraps
+ * the in-library SimServer (src/service/server.hh): listens on a TCP
+ * or Unix-socket endpoint, queues submitted experiment grids,
+ * executes them through the shared ExperimentRunner with a
+ * fingerprint-keyed result cache, and streams results back as
+ * newline-delimited JSON frames (protocol spec:
+ * src/service/README.md).
+ *
+ *   shotgun-serve --listen unix:/run/shotgun.sock
+ *   shotgun-serve --listen 0.0.0.0:7401 --jobs 8 --quiet
+ *
+ * The daemon prints `listening on <endpoint>` on stdout once ready
+ * (scripts wait for that line), then serves until a client sends a
+ * `shutdown` frame (e.g. `shotgun-submit --server ... --shutdown`).
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "common/cli.hh"
+#include "common/logging.hh"
+#include "common/parse.hh"
+#include "service/server.hh"
+
+using namespace shotgun;
+
+namespace
+{
+
+const char *kUsage =
+    "usage: shotgun-serve --listen ENDPOINT [--jobs N] [--quiet]\n"
+    "\n"
+    "Long-running simulation service: accepts experiment grids over\n"
+    "the newline-delimited JSON frame protocol (see\n"
+    "src/service/README.md), runs them through the shared experiment\n"
+    "runner with a fingerprint-keyed result cache, and streams\n"
+    "results back in grid order.\n"
+    "\n"
+    "  --listen ENDPOINT   unix:<path> or <host>:<port> (TCP port 0\n"
+    "                      asks the kernel for a free port; the\n"
+    "                      resolved endpoint is printed on stdout)\n"
+    "  --jobs N            cap per-job worker threads (default: one\n"
+    "                      per hardware thread)\n"
+    "  --quiet             no connection/job log lines on stderr\n"
+    "\n"
+    "Stop it with: shotgun-submit --server ENDPOINT --shutdown\n";
+
+[[noreturn]] void
+usageError(const std::string &message)
+{
+    std::fprintf(stderr, "shotgun-serve: %s\n%s", message.c_str(),
+                 kUsage);
+    std::exit(cli::kUsageExitCode);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    int exit_code = 0;
+    if (cli::handleStandardFlags(argc, argv, "shotgun-serve", kUsage,
+                                 exit_code))
+        return exit_code;
+
+    std::string listen;
+    service::ServerOptions options;
+    options.log = &std::cerr;
+
+    for (int i = 1; i < argc; ++i) {
+        auto next = [&](const char *flag) -> const char * {
+            if (i + 1 >= argc)
+                usageError(std::string(flag) + ": missing value");
+            return argv[++i];
+        };
+        if (std::strcmp(argv[i], "--listen") == 0) {
+            listen = next("--listen");
+        } else if (std::strcmp(argv[i], "--jobs") == 0) {
+            std::uint64_t jobs = 0;
+            const char *text = next("--jobs");
+            if (!parseU64(text, jobs) || jobs == 0 || jobs > 1024)
+                usageError(std::string("--jobs: expected a worker "
+                                       "count in [1, 1024], got '") +
+                           text + "'");
+            options.jobs = static_cast<unsigned>(jobs);
+        } else if (std::strcmp(argv[i], "--quiet") == 0) {
+            options.log = nullptr;
+        } else {
+            usageError(std::string("unknown option '") + argv[i] +
+                       "'");
+        }
+    }
+    if (listen.empty())
+        usageError("--listen ENDPOINT is required");
+
+    try {
+        service::SimServer server(listen, options);
+        // Ready marker for scripts; resolved so `--listen host:0`
+        // callers learn the actual port.
+        std::printf("listening on %s\n", server.endpoint().c_str());
+        std::fflush(stdout);
+        server.serve();
+    } catch (const std::exception &e) {
+        // SocketError (bad endpoint, bind failure) or anything else
+        // escaping serve() (e.g. std::system_error from thread
+        // exhaustion): exit 1 with a message, never std::terminate.
+        fatal("%s", e.what());
+    }
+    return 0;
+}

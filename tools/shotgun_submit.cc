@@ -1,0 +1,327 @@
+/**
+ * @file
+ * shotgun-submit: client of the shotgun-serve simulation service.
+ * Builds an experiment grid from the same declarative pieces the
+ * benches use (workload presets / trace:<path>[:name] specs, scheme
+ * names, run lengths), submits it to one server -- or shards it
+ * across several with `--workers` -- streams progress, and writes
+ * the same console table and JSON/CSV files an in-process run
+ * produces. With `--local` the identical grid runs in-process, which
+ * is how the smoke script asserts the service path is byte-identical
+ * to the runner.
+ *
+ *   shotgun-submit --server unix:/run/shotgun.sock --workload nutch
+ *   shotgun-submit --workers hostA:7401,hostB:7401 --workload all \
+ *       --schemes baseline,fdip,boomerang,confluence,shotgun \
+ *       --out results/speedup
+ *   shotgun-submit --server hostA:7401 --status
+ *   shotgun-submit --server hostA:7401 --shutdown
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/cli.hh"
+#include "common/logging.hh"
+#include "common/parse.hh"
+#include "runner/experiment.hh"
+#include "runner/result_sink.hh"
+#include "service/client.hh"
+
+using namespace shotgun;
+
+namespace
+{
+
+const char *kUsage =
+    "usage:\n"
+    "  shotgun-submit --server ENDPOINT | --workers EP1,EP2,...\n"
+    "                 [grid options] [output options]\n"
+    "  shotgun-submit --server ENDPOINT --status|--ping|--shutdown\n"
+    "  shotgun-submit --server ENDPOINT --cancel JOB\n"
+    "  shotgun-submit --local [grid options] [output options]\n"
+    "\n"
+    "Grid options (mirror the bench command lines):\n"
+    "  --experiment NAME    sweep name for tables/files (default\n"
+    "                       'service_submit')\n"
+    "  --workload LIST      comma-separated preset names, 'all', or\n"
+    "                       trace:<path>[:name] specs; repeatable\n"
+    "                       (default: all six presets)\n"
+    "  --schemes LIST       schemes beside the always-included\n"
+    "                       baseline (default: shotgun)\n"
+    "  --instructions N     measured instructions (default 5000000)\n"
+    "  --warmup N           warm-up instructions (default 2000000)\n"
+    "  --quick              1M measured / 0.5M warm-up\n"
+    "  --seed N             generator seed (default 1)\n"
+    "  --jobs N             per-job worker threads on the server\n"
+    "                       (or in-process with --local); 0 = server\n"
+    "                       default\n"
+    "\n"
+    "Sharding: --workers submits experiment i to worker i mod W and\n"
+    "stitches results back by index, so the output is byte-identical\n"
+    "to a single-server or --local run of the same grid.\n"
+    "\n"
+    "Output options:\n"
+    "  --out BASE           write BASE.json and BASE.csv\n"
+    "  --no-progress        no per-point progress lines on stderr\n";
+
+[[noreturn]] void
+usageError(const std::string &message)
+{
+    std::fprintf(stderr, "shotgun-submit: %s\n%s", message.c_str(),
+                 kUsage);
+    std::exit(cli::kUsageExitCode);
+}
+
+std::vector<std::string>
+splitCommas(const std::string &text)
+{
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    while (start <= text.size()) {
+        const auto comma = text.find(',', start);
+        const auto end =
+            comma == std::string::npos ? text.size() : comma;
+        if (end > start)
+            out.push_back(text.substr(start, end - start));
+        if (comma == std::string::npos)
+            break;
+        start = comma + 1;
+    }
+    return out;
+}
+
+struct Options
+{
+    std::vector<std::string> endpoints;
+    bool local = false;
+
+    enum class Action
+    {
+        Submit,
+        Status,
+        Ping,
+        Shutdown,
+        Cancel,
+    };
+    Action action = Action::Submit;
+    std::uint64_t cancelJob = 0;
+
+    std::string experiment = "service_submit";
+    std::vector<std::string> workloads;
+    std::vector<std::string> schemes{"shotgun"};
+    std::uint64_t measure = 5000000;
+    std::uint64_t warmup = 2000000;
+    std::uint64_t seed = 1;
+    std::uint64_t jobs = 0;
+
+    std::string outBase;
+    bool showProgress = true;
+};
+
+Options
+parseOptions(int argc, char **argv)
+{
+    Options opts;
+    for (int i = 1; i < argc; ++i) {
+        auto next = [&](const char *flag) -> const char * {
+            if (i + 1 >= argc)
+                usageError(std::string(flag) + ": missing value");
+            return argv[++i];
+        };
+        auto nextU64 = [&](const char *flag) {
+            std::uint64_t value = 0;
+            const char *text = next(flag);
+            if (!parseU64(text, value))
+                usageError(std::string(flag) +
+                           ": expected a decimal count, got '" + text +
+                           "'");
+            return value;
+        };
+        const char *arg = argv[i];
+        if (std::strcmp(arg, "--server") == 0) {
+            opts.endpoints = {next("--server")};
+        } else if (std::strcmp(arg, "--workers") == 0) {
+            opts.endpoints = splitCommas(next("--workers"));
+            if (opts.endpoints.empty())
+                usageError("--workers: expected EP1,EP2,...");
+        } else if (std::strcmp(arg, "--local") == 0) {
+            opts.local = true;
+        } else if (std::strcmp(arg, "--status") == 0) {
+            opts.action = Options::Action::Status;
+        } else if (std::strcmp(arg, "--ping") == 0) {
+            opts.action = Options::Action::Ping;
+        } else if (std::strcmp(arg, "--shutdown") == 0) {
+            opts.action = Options::Action::Shutdown;
+        } else if (std::strcmp(arg, "--cancel") == 0) {
+            opts.action = Options::Action::Cancel;
+            opts.cancelJob = nextU64("--cancel");
+        } else if (std::strcmp(arg, "--experiment") == 0) {
+            opts.experiment = next("--experiment");
+        } else if (std::strcmp(arg, "--workload") == 0) {
+            // "all" expands in place so repeated --workload flags
+            // compose instead of silently replacing one another.
+            for (auto &name : splitCommas(next("--workload"))) {
+                if (name == "all") {
+                    for (const auto &preset : allPresets())
+                        opts.workloads.push_back(preset.name);
+                } else {
+                    opts.workloads.push_back(name);
+                }
+            }
+        } else if (std::strcmp(arg, "--schemes") == 0) {
+            opts.schemes = splitCommas(next("--schemes"));
+            if (opts.schemes.empty())
+                usageError("--schemes: expected a scheme list");
+        } else if (std::strcmp(arg, "--instructions") == 0) {
+            opts.measure = nextU64("--instructions");
+        } else if (std::strcmp(arg, "--warmup") == 0) {
+            opts.warmup = nextU64("--warmup");
+        } else if (std::strcmp(arg, "--quick") == 0) {
+            opts.measure = 1000000;
+            opts.warmup = 500000;
+        } else if (std::strcmp(arg, "--seed") == 0) {
+            opts.seed = nextU64("--seed");
+        } else if (std::strcmp(arg, "--jobs") == 0) {
+            opts.jobs = nextU64("--jobs");
+        } else if (std::strcmp(arg, "--out") == 0) {
+            opts.outBase = next("--out");
+        } else if (std::strcmp(arg, "--no-progress") == 0) {
+            opts.showProgress = false;
+        } else {
+            usageError(std::string("unknown option '") + arg + "'");
+        }
+    }
+
+    if (opts.local && !opts.endpoints.empty())
+        usageError("--local excludes --server/--workers");
+    if (!opts.local && opts.endpoints.empty())
+        usageError("one of --server, --workers or --local is required");
+    if (opts.action != Options::Action::Submit &&
+        (opts.local || opts.endpoints.size() != 1))
+        usageError("--status/--ping/--shutdown/--cancel need exactly "
+                   "one --server");
+    return opts;
+}
+
+/** The grid: per workload, the baseline plus every named scheme. */
+runner::ExperimentSet
+buildGrid(const Options &opts)
+{
+    std::vector<WorkloadPreset> presets;
+    if (opts.workloads.empty()) {
+        presets = allPresets();
+    } else {
+        for (const auto &name : opts.workloads)
+            presets.push_back(presetByName(name));
+    }
+
+    runner::ExperimentSet set;
+    for (const WorkloadPreset &preset : presets) {
+        set.addBaseline(preset, opts.warmup, opts.measure, opts.seed);
+        for (const std::string &scheme : opts.schemes) {
+            const SchemeType type = schemeTypeByName(scheme);
+            if (type == SchemeType::Baseline)
+                continue; // Always present via addBaseline.
+            SimConfig config = SimConfig::make(preset, type);
+            config.warmupInstructions = opts.warmup;
+            config.measureInstructions = opts.measure;
+            config.traceSeed = opts.seed;
+            set.add(preset, schemeTypeName(type), std::move(config));
+        }
+    }
+    return set;
+}
+
+int
+runSubmit(const Options &opts)
+{
+    const runner::ExperimentSet set = buildGrid(opts);
+
+    service::SubmitRequest request;
+    request.experiment = opts.experiment;
+    request.jobs = opts.jobs;
+    request.grid = set.experiments();
+
+    std::vector<SimResult> results;
+    if (opts.local) {
+        runner::RunnerOptions ropts;
+        ropts.jobs = static_cast<unsigned>(opts.jobs);
+        ropts.progress = opts.showProgress ? &std::cerr : nullptr;
+        results = runner::ExperimentRunner(ropts).run(set);
+    } else {
+        auto progress = [&](std::size_t done, std::size_t total) {
+            if (opts.showProgress)
+                std::fprintf(stderr, "[%zu/%zu] points complete\n",
+                             done, total);
+        };
+        results =
+            service::submitSharded(opts.endpoints, request, progress);
+    }
+
+    // Rows, table and files go through the exact machinery
+    // ExperimentRunner::run(set, sink) uses, so remote === local
+    // results imply byte-identical output artifacts.
+    runner::ResultSink sink(opts.experiment);
+    runner::appendResultRows(set, results, sink);
+    sink.printTable(std::cout);
+    if (!opts.outBase.empty()) {
+        if (!sink.writeFiles(opts.outBase))
+            return 1;
+        std::fprintf(stderr, "results: %s.json %s.csv\n",
+                     opts.outBase.c_str(), opts.outBase.c_str());
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    int exit_code = 0;
+    if (cli::handleStandardFlags(argc, argv, "shotgun-submit", kUsage,
+                                 exit_code))
+        return exit_code;
+
+    const Options opts = parseOptions(argc, argv);
+    try {
+        switch (opts.action) {
+          case Options::Action::Submit:
+            return runSubmit(opts);
+          case Options::Action::Status: {
+            service::ServiceClient client(opts.endpoints[0]);
+            std::cout << client.status().dump() << "\n";
+            return 0;
+          }
+          case Options::Action::Ping: {
+            service::ServiceClient client(opts.endpoints[0]);
+            if (!client.ping())
+                fatal("no pong from %s", opts.endpoints[0].c_str());
+            std::printf("pong from %s\n", opts.endpoints[0].c_str());
+            return 0;
+          }
+          case Options::Action::Shutdown: {
+            service::ServiceClient client(opts.endpoints[0]);
+            client.shutdownServer();
+            std::printf("server %s shutting down\n",
+                        opts.endpoints[0].c_str());
+            return 0;
+          }
+          case Options::Action::Cancel: {
+            service::ServiceClient client(opts.endpoints[0]);
+            client.cancel(opts.cancelJob);
+            std::printf("job %llu cancelling\n",
+                        static_cast<unsigned long long>(
+                            opts.cancelJob));
+            return 0;
+          }
+        }
+    } catch (const std::exception &e) {
+        fatal("%s", e.what());
+    }
+    return 0;
+}

@@ -25,6 +25,7 @@
 #include <iostream>
 #include <string>
 
+#include "common/cli.hh"
 #include "common/parse.hh"
 #include "common/table.hh"
 #include "sim/simulator.hh"
@@ -229,6 +230,10 @@ cmdReplay(int argc, char **argv)
 int
 main(int argc, char **argv)
 {
+    int exit_code = 0;
+    if (cli::handleStandardFlags(argc, argv, "shotgun-trace", kUsage,
+                                 exit_code))
+        return exit_code;
     if (argc < 2)
         usageError("expected a subcommand");
     const std::string command = argv[1];
