@@ -69,17 +69,35 @@ for tool in shotgun-trace shotgun-serve shotgun-submit; do
 done
 
 echo "== service: serve -> submit -> verify bitwise vs in-process =="
+# Every spawned daemon registers its PID here; the EXIT trap kills
+# whatever is still alive, so a failing mid-script step (set -e)
+# can never leak a shotgun-serve orphan onto the CI machine.
+DAEMON_PIDS=()
+cleanup_daemons() {
+    for pid in "${DAEMON_PIDS[@]}"; do
+        kill "$pid" 2>/dev/null || true
+    done
+}
+trap cleanup_daemons EXIT
+
+start_serve() { # start_serve SOCKET [extra flags...]
+    local sock="$1"
+    shift
+    "$BUILD_DIR/shotgun-serve" --listen "unix:$sock" --quiet "$@" &
+    DAEMON_PIDS+=($!)
+    for _ in $(seq 50); do
+        [ -S "$sock" ] && return 0
+        sleep 0.1
+    done
+    echo "daemon on $sock did not come up" >&2
+    return 1
+}
+
 SOCK="$BUILD_DIR/smoke/serve.sock"
 GRID=(--workload nutch --schemes fdip,shotgun
       --warmup 100000 --instructions 200000 --no-progress)
 
-"$BUILD_DIR/shotgun-serve" --listen "unix:$SOCK" --quiet &
-SERVE_PID=$!
-trap 'kill $SERVE_PID 2>/dev/null || true' EXIT
-for _ in $(seq 50); do
-    [ -S "$SOCK" ] && break
-    sleep 0.1
-done
+start_serve "$SOCK"
 "$BUILD_DIR/shotgun-submit" --server "unix:$SOCK" --ping
 
 # The same grid through the service, and sharded across two "workers"
@@ -99,12 +117,46 @@ for ext in json csv; do
 done
 
 # Three submits of one 3-point grid, but only 3 distinct configs
-# simulated: the repeats were served from the fingerprint cache.
-"$BUILD_DIR/shotgun-submit" --server "unix:$SOCK" --status \
-    | grep -q '"cache_entries":3'
+# simulated: the repeats were served from the fingerprint cache,
+# whose stats are surfaced in the status frame.
+STATUS=$("$BUILD_DIR/shotgun-submit" --server "unix:$SOCK" --status)
+echo "$STATUS" | grep -q '"cache_entries":3'
+echo "$STATUS" | grep -q '"cache":{"entries":3'
+echo "$STATUS" | grep -q '"evictions":0'
 
 "$BUILD_DIR/shotgun-submit" --server "unix:$SOCK" --shutdown
-wait $SERVE_PID
-trap - EXIT
+wait "${DAEMON_PIDS[0]}"
+
+echo "== service: dead worker mid-fleet is survived byte-identically =="
+# Three --workers endpoints, one pointing at nothing: the dead
+# worker's shard must be redistributed across the two live daemons
+# and the stitched output must still match --local byte for byte.
+SOCK_A="$BUILD_DIR/smoke/serve_a.sock"
+SOCK_B="$BUILD_DIR/smoke/serve_b.sock"
+start_serve "$SOCK_A"
+start_serve "$SOCK_B"
+"$BUILD_DIR/shotgun-submit" \
+    --workers "unix:$SOCK_A,unix:$BUILD_DIR/smoke/no-such.sock,unix:$SOCK_B" \
+    "${GRID[@]}" --out "$BUILD_DIR/smoke/svc_survived" \
+    2> "$BUILD_DIR/smoke/svc_survived.err" > /dev/null
+grep -q "redistributed to survivors" "$BUILD_DIR/smoke/svc_survived.err"
+for ext in json csv; do
+    cmp "$BUILD_DIR/smoke/svc_survived.$ext" \
+        "$BUILD_DIR/smoke/svc_local.$ext"
+done
+
+# A bounded cache on a live daemon evicts instead of growing: after
+# a grid bigger than the budget, the status frame reports evictions.
+SOCK_C="$BUILD_DIR/smoke/serve_c.sock"
+start_serve "$SOCK_C" --cache-bytes 600
+"$BUILD_DIR/shotgun-submit" --server "unix:$SOCK_C" "${GRID[@]}" \
+    > /dev/null
+"$BUILD_DIR/shotgun-submit" --server "unix:$SOCK_C" --status \
+    | grep -q '"evictions":[1-9]'
+
+"$BUILD_DIR/shotgun-submit" --server "unix:$SOCK_A" --shutdown
+"$BUILD_DIR/shotgun-submit" --server "unix:$SOCK_B" --shutdown
+"$BUILD_DIR/shotgun-submit" --server "unix:$SOCK_C" --shutdown
+wait "${DAEMON_PIDS[@]:1}" 2>/dev/null || true
 
 echo "smoke OK"

@@ -11,7 +11,10 @@
 #ifndef SHOTGUN_COMMON_MEMO_HH
 #define SHOTGUN_COMMON_MEMO_HH
 
+#include <cstddef>
+#include <functional>
 #include <future>
+#include <list>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -73,6 +76,166 @@ class MemoCache
     mutable std::mutex mutex_;
     std::map<Key, std::shared_future<std::shared_ptr<const Value>>>
         entries_;
+};
+
+/** Point-in-time counters of an LruMemoCache. */
+struct MemoCacheStats
+{
+    std::size_t entries = 0;     ///< Cached (completed) values.
+    std::size_t bytes = 0;       ///< Accounted size of those values.
+    std::size_t budgetBytes = 0; ///< Eviction threshold; 0 unbounded.
+    std::size_t hits = 0;   ///< get() served without computing.
+    std::size_t misses = 0; ///< get() that ran compute.
+    std::size_t evictions = 0; ///< Entries dropped for the budget.
+};
+
+/**
+ * MemoCache with a byte budget and least-recently-used eviction.
+ * Same once-per-key contract while an entry lives: the first caller
+ * computes outside the lock, concurrent duplicates wait on the same
+ * future, a throwing compute removes the entry and rethrows.
+ *
+ * Differences from MemoCache:
+ *  - Each completed entry is charged `bytesOf(key, value)` bytes
+ *    (the constructor's sizing callback; a crude default otherwise).
+ *    When the total exceeds the budget, least-recently-used
+ *    *completed* entries are evicted until it fits again; in-flight
+ *    computations are never evicted, and values already handed out
+ *    stay alive through their shared_ptr. An evicted key simply
+ *    recomputes on its next get() -- for pure functions the result
+ *    is identical, so eviction can cost time but never staleness.
+ *  - stats() exposes hit/miss/eviction counters for monitoring.
+ *
+ * A budget of 0 disables eviction (unbounded, like MemoCache).
+ */
+template <typename Key, typename Value>
+class LruMemoCache
+{
+  public:
+    using BytesFn =
+        std::function<std::size_t(const Key &, const Value &)>;
+
+    explicit LruMemoCache(std::size_t budget_bytes = 0,
+                          BytesFn bytes_of = {})
+        : budget_(budget_bytes), bytesOf_(std::move(bytes_of))
+    {
+    }
+
+    /**
+     * Return the value for `key`, computing it (signature `Value()`)
+     * only when absent. The returned shared_ptr keeps the value
+     * alive independent of any later eviction.
+     */
+    template <typename Fn>
+    std::shared_ptr<const Value> get(const Key &key, Fn &&compute)
+    {
+        std::shared_future<std::shared_ptr<const Value>> future;
+        bool mine = false;
+        std::promise<std::shared_ptr<const Value>> promise;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            auto it = entries_.find(key);
+            if (it == entries_.end()) {
+                future = promise.get_future().share();
+                Entry entry;
+                entry.future = future;
+                entries_.emplace(key, std::move(entry));
+                ++misses_;
+                mine = true;
+            } else {
+                if (it->second.ready)
+                    lru_.splice(lru_.begin(), lru_,
+                                it->second.lruIt);
+                ++hits_;
+                future = it->second.future;
+            }
+        }
+
+        if (mine) {
+            std::shared_ptr<const Value> value;
+            try {
+                value = std::make_shared<const Value>(
+                    std::forward<Fn>(compute)());
+            } catch (...) {
+                {
+                    std::lock_guard<std::mutex> lock(mutex_);
+                    entries_.erase(key);
+                }
+                promise.set_exception(std::current_exception());
+                throw;
+            }
+            {
+                std::lock_guard<std::mutex> lock(mutex_);
+                auto it = entries_.find(key);
+                // Only this thread completes the entry, so it is
+                // still present (eviction skips in-flight entries).
+                it->second.bytes =
+                    bytesOf_ ? bytesOf_(key, *value)
+                             : sizeof(Value) + sizeof(Key);
+                it->second.ready = true;
+                lru_.push_front(key);
+                it->second.lruIt = lru_.begin();
+                bytes_ += it->second.bytes;
+                evictLocked();
+            }
+            promise.set_value(std::move(value));
+        }
+        return future.get();
+    }
+
+    /** Completed + in-flight entries (MemoCache-compatible). */
+    std::size_t size() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return entries_.size();
+    }
+
+    MemoCacheStats stats() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        MemoCacheStats stats;
+        stats.entries = entries_.size();
+        stats.bytes = bytes_;
+        stats.budgetBytes = budget_;
+        stats.hits = hits_;
+        stats.misses = misses_;
+        stats.evictions = evictions_;
+        return stats;
+    }
+
+  private:
+    struct Entry
+    {
+        std::shared_future<std::shared_ptr<const Value>> future;
+        typename std::list<Key>::iterator lruIt;
+        bool ready = false; ///< Accounted and evictable.
+        std::size_t bytes = 0;
+    };
+
+    /** Drop LRU completed entries until the budget fits. */
+    void evictLocked()
+    {
+        if (budget_ == 0)
+            return;
+        while (bytes_ > budget_ && !lru_.empty()) {
+            const Key victim = lru_.back();
+            lru_.pop_back();
+            auto it = entries_.find(victim);
+            bytes_ -= it->second.bytes;
+            entries_.erase(it);
+            ++evictions_;
+        }
+    }
+
+    mutable std::mutex mutex_;
+    std::map<Key, Entry> entries_;
+    std::list<Key> lru_; ///< Front = most recently used.
+    std::size_t budget_ = 0;
+    std::size_t bytes_ = 0;
+    std::size_t hits_ = 0;
+    std::size_t misses_ = 0;
+    std::size_t evictions_ = 0;
+    BytesFn bytesOf_;
 };
 
 } // namespace shotgun

@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <chrono>
-#include <future>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
 
 #include "common/logging.hh"
 
+#include "runner/grid_scheduler.hh"
 #include "runner/progress.hh"
 #include "runner/thread_pool.hh"
 
@@ -86,36 +89,82 @@ ExperimentRunner::run(const std::vector<Experiment> &grid) const
         return {};
 
     ProgressReporter progress(grid.size(), options_.progress);
-    ThreadPool pool(effectiveJobs(grid.size()));
 
-    std::vector<std::future<SimResult>> futures;
-    futures.reserve(grid.size());
-    for (std::size_t i = 0; i < grid.size(); ++i) {
-        const Experiment &exp = grid[i];
-        futures.push_back(pool.submit([this, i, &exp, &progress]() {
-            const auto start = std::chrono::steady_clock::now();
-            SimResult result = options_.simulate
-                                   ? options_.simulate(i, exp)
-                                   : runExperiment(exp);
-            const double seconds =
-                std::chrono::duration<double>(
-                    std::chrono::steady_clock::now() - start)
-                    .count();
-            progress.completed(exp.workload + "/" + exp.label, seconds);
-            return result;
-        }));
-    }
+    // One single-job GridScheduler run: the same cooperative
+    // dispatch machinery the simulation service multiplexes many
+    // jobs over, so every bench and test exercises the scheduler's
+    // ordering guarantees. Workers push the ordered results into a
+    // hand-off queue; this thread drains it so onResult keeps its
+    // caller's-thread contract while later points still simulate.
+    //
+    // The hand-off state is declared before the scheduler on
+    // purpose: if this function unwinds (an onResult callback
+    // throws), the scheduler must be destroyed -- joining workers
+    // that still touch these locals through the hooks -- first.
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::deque<std::pair<std::size_t, SimResult>> ready;
+    bool done = false;
+    GridScheduler::Outcome outcome;
 
-    // Collect in grid order so results (and any sink/file output) are
-    // independent of scheduling. get() rethrows a simulation's
-    // exception; the pool destructor still drains the rest first.
+    GridScheduler::Options sched_opts;
+    sched_opts.workers = effectiveJobs(grid.size());
+    GridScheduler scheduler(sched_opts);
+
+    GridScheduler::JobHooks hooks;
+    hooks.simulate = [this, &progress](std::size_t index,
+                                       const Experiment &exp) {
+        const auto start = std::chrono::steady_clock::now();
+        SimResult result = options_.simulate
+                               ? options_.simulate(index, exp)
+                               : runExperiment(exp);
+        const double seconds =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - start)
+                .count();
+        progress.completed(exp.workload + "/" + exp.label, seconds);
+        return result;
+    };
+    hooks.onResult = [&](std::size_t index, const Experiment &,
+                         const SimResult &result) {
+        std::lock_guard<std::mutex> lock(mutex);
+        ready.emplace_back(index, result);
+        cv.notify_one();
+    };
+    hooks.onDone = [&](const GridScheduler::Outcome &o) {
+        std::lock_guard<std::mutex> lock(mutex);
+        outcome = o;
+        done = true;
+        cv.notify_one();
+    };
+    scheduler.submit(grid, 0, std::move(hooks));
+
     std::vector<SimResult> results;
     results.reserve(grid.size());
-    for (std::size_t i = 0; i < futures.size(); ++i) {
-        results.push_back(futures[i].get());
-        if (options_.onResult)
-            options_.onResult(i, grid[i], results.back());
+    {
+        std::unique_lock<std::mutex> lock(mutex);
+        for (;;) {
+            cv.wait(lock,
+                    [&]() { return done || !ready.empty(); });
+            while (!ready.empty()) {
+                auto item = std::move(ready.front());
+                ready.pop_front();
+                lock.unlock();
+                results.push_back(std::move(item.second));
+                if (options_.onResult)
+                    options_.onResult(item.first, grid[item.first],
+                                      results.back());
+                lock.lock();
+            }
+            if (done)
+                break;
+        }
     }
+
+    // The first simulate exception stops dispatch of the remaining
+    // points and is rethrown here once in-flight work finished.
+    if (outcome.status == GridScheduler::Outcome::Status::Error)
+        std::rethrow_exception(outcome.error);
     return results;
 }
 

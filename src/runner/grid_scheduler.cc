@@ -1,0 +1,359 @@
+#include "runner/grid_scheduler.hh"
+
+#include <algorithm>
+#include <utility>
+
+#include "runner/thread_pool.hh"
+
+namespace shotgun
+{
+namespace runner
+{
+
+/**
+ * All fields are guarded by the scheduler mutex. Ordered emission
+ * uses the `emitting` flag as a hand-off token: the worker that
+ * finds it clear becomes the job's sole emitter and streams the
+ * ready prefix (dropping the mutex around each onResult batch); a
+ * worker that finds it set just parks its result -- the active
+ * emitter re-carves under the mutex before clearing the flag, so a
+ * parked prefix entry is never orphaned. One job's onResult calls
+ * therefore never interleave or reorder, and a slow consumer blocks
+ * only the one emitting worker, never the pool.
+ */
+struct GridScheduler::JobState
+{
+    std::uint64_t id = 0;
+    std::vector<Experiment> grid;
+    unsigned budget = 0;
+    JobHooks hooks;
+
+    std::size_t nextDispatch = 0; ///< First undispatched index.
+    unsigned active = 0;          ///< Points in flight right now.
+    std::vector<char> ready;      ///< Computed flags, per index.
+    std::vector<SimResult> results;
+    std::size_t nextEmit = 0; ///< First unemitted index.
+    bool emitting = false;    ///< A worker is streaming the prefix.
+    bool started = false;
+    bool cancelled = false;
+    bool failed = false;
+    std::exception_ptr error; ///< Lowest-index hook exception.
+    std::size_t errorIndex = 0; ///< Its grid index (tie-breaker).
+    bool finalized = false;
+
+    /**
+     * Record a hook failure, keeping the lowest-index exception:
+     * several in-flight points can fail together, and the reported
+     * error must not depend on which worker reached the mutex
+     * first. (Points after the first failure are never dispatched,
+     * so the surviving choice is as deterministic as early-stop
+     * allows.) Call with the scheduler mutex held.
+     */
+    void recordFailure(std::size_t index, std::exception_ptr e)
+    {
+        if (!failed || index < errorIndex) {
+            failed = true;
+            error = std::move(e);
+            errorIndex = index;
+        }
+    }
+
+    bool dispatchable() const
+    {
+        return !cancelled && !failed && nextDispatch < grid.size() &&
+               active < budget;
+    }
+
+    /** No further dispatch or in-flight work can touch this job. */
+    bool terminal() const
+    {
+        if (finalized || active != 0)
+            return false;
+        return nextEmit == grid.size() || cancelled || failed;
+    }
+};
+
+GridScheduler::GridScheduler(Options options) : options_(options)
+{
+    const unsigned count = std::max(
+        1u, options_.workers == 0 ? ThreadPool::hardwareJobs()
+                                  : options_.workers);
+    threads_.reserve(count);
+    for (unsigned i = 0; i < count; ++i)
+        threads_.emplace_back([this]() { workerLoop(); });
+}
+
+GridScheduler::~GridScheduler()
+{
+    std::vector<std::shared_ptr<JobState>> finished;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+        for (auto &job : jobs_)
+            job->cancelled = true;
+        finished = reapLocked();
+    }
+    workCv_.notify_all();
+    deliverOutcomes(std::move(finished));
+    // In-flight points finish on their workers, which reap and
+    // deliver the remaining outcomes before exiting.
+    for (auto &thread : threads_)
+        thread.join();
+}
+
+std::uint64_t
+GridScheduler::submit(std::vector<Experiment> grid, unsigned budget,
+                      JobHooks hooks)
+{
+    auto job = std::make_shared<JobState>();
+    job->grid = std::move(grid);
+    job->hooks = std::move(hooks);
+    job->ready.assign(job->grid.size(), 0);
+    job->results.resize(job->grid.size());
+
+    std::vector<std::shared_ptr<JobState>> finished;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        job->id = nextId_++;
+        const unsigned pool =
+            static_cast<unsigned>(threads_.size());
+        job->budget = budget == 0 ? pool : std::min(budget, pool);
+        // A job admitted into a stopping scheduler (or with nothing
+        // to do) is finalized through the normal path so onDone
+        // still fires exactly once.
+        if (stopping_)
+            job->cancelled = true;
+        jobs_.push_back(job);
+        if (job->terminal())
+            finished = reapLocked();
+    }
+    workCv_.notify_all();
+    deliverOutcomes(std::move(finished));
+    return job->id;
+}
+
+void
+GridScheduler::cancel(std::uint64_t job_id)
+{
+    std::vector<std::shared_ptr<JobState>> finished;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (auto &job : jobs_) {
+            if (job->id == job_id) {
+                job->cancelled = true;
+                break;
+            }
+        }
+        finished = reapLocked();
+    }
+    // A queued job with nothing in flight finalizes right here, on
+    // the cancelling thread -- no worker will ever touch it again.
+    deliverOutcomes(std::move(finished));
+}
+
+void
+GridScheduler::cancelAll()
+{
+    std::vector<std::shared_ptr<JobState>> finished;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (auto &job : jobs_)
+            job->cancelled = true;
+        finished = reapLocked();
+    }
+    deliverOutcomes(std::move(finished));
+}
+
+void
+GridScheduler::waitIdle()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    idleCv_.wait(lock, [this]() {
+        return jobs_.empty() && finalizing_ == 0;
+    });
+}
+
+bool
+GridScheduler::anyDispatchableLocked() const
+{
+    for (const auto &job : jobs_) {
+        if (job->dispatchable())
+            return true;
+    }
+    return false;
+}
+
+std::shared_ptr<GridScheduler::JobState>
+GridScheduler::pickJobLocked()
+{
+    // Round-robin by job id: the first dispatchable job after the
+    // one served last, wrapping -- two admitted grids alternate
+    // points instead of the older one hogging every free worker.
+    std::shared_ptr<JobState> wrap;
+    for (auto &job : jobs_) {
+        if (!job->dispatchable())
+            continue;
+        if (job->id > lastServedId_) {
+            lastServedId_ = job->id;
+            return job;
+        }
+        if (wrap == nullptr)
+            wrap = job;
+    }
+    if (wrap != nullptr)
+        lastServedId_ = wrap->id;
+    return wrap;
+}
+
+std::vector<std::shared_ptr<GridScheduler::JobState>>
+GridScheduler::reapLocked()
+{
+    std::vector<std::shared_ptr<JobState>> finished;
+    for (auto it = jobs_.begin(); it != jobs_.end();) {
+        if ((*it)->terminal()) {
+            (*it)->finalized = true;
+            ++finalizing_;
+            finished.push_back(*it);
+            it = jobs_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+    return finished;
+}
+
+void
+GridScheduler::deliverOutcomes(
+    std::vector<std::shared_ptr<JobState>> finished)
+{
+    for (auto &job : finished) {
+        Outcome outcome;
+        outcome.completed = job->nextEmit;
+        if (job->failed) {
+            outcome.status = Outcome::Status::Error;
+            outcome.error = job->error;
+        } else if (job->nextEmit == job->grid.size()) {
+            // Everything was emitted: a cancel that raced job
+            // completion reports Ok, truthfully.
+            outcome.status = Outcome::Status::Ok;
+        } else {
+            outcome.status = Outcome::Status::Cancelled;
+        }
+        if (job->hooks.onDone) {
+            try {
+                job->hooks.onDone(outcome);
+            } catch (...) {
+                // Outcome delivery must never kill a worker thread
+                // (or the destructor); a throwing onDone loses only
+                // its own notification.
+            }
+        }
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            --finalizing_;
+        }
+        idleCv_.notify_all();
+    }
+}
+
+void
+GridScheduler::workerLoop()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+        workCv_.wait(lock, [this]() {
+            return stopping_ || anyDispatchableLocked();
+        });
+        if (!anyDispatchableLocked()) {
+            if (stopping_)
+                return;
+            continue;
+        }
+
+        auto job = pickJobLocked();
+        const std::size_t index = job->nextDispatch++;
+        ++job->active;
+        const bool first = !job->started;
+        job->started = true;
+        lock.unlock();
+
+        // Hook exceptions (onStart/simulate/onResult) fail the job,
+        // never the worker thread: an exception escaping here would
+        // std::terminate the process and take every job with it.
+        SimResult result;
+        std::exception_ptr error;
+        if (first && job->hooks.onStart) {
+            try {
+                job->hooks.onStart();
+            } catch (...) {
+                error = std::current_exception();
+            }
+        }
+        if (error == nullptr) {
+            try {
+                result = job->hooks.simulate(index, job->grid[index]);
+            } catch (...) {
+                error = std::current_exception();
+            }
+        }
+
+        std::vector<std::shared_ptr<JobState>> finished;
+        lock.lock();
+        if (error != nullptr) {
+            job->recordFailure(index, error);
+        } else {
+            job->results[index] = std::move(result);
+            job->ready[index] = 1;
+            // Become the job's emitter unless a peer already is (it
+            // re-carves before clearing the flag, so this parked
+            // result cannot be orphaned). The mutex is dropped
+            // around each onResult batch: a slow consumer stalls
+            // only this worker's current task, and every other
+            // worker keeps parking results and serving other jobs.
+            if (!job->emitting) {
+                job->emitting = true;
+                for (;;) {
+                    const std::size_t from = job->nextEmit;
+                    std::size_t to = from;
+                    while (to < job->grid.size() && job->ready[to])
+                        ++to;
+                    if (to == from) {
+                        job->emitting = false;
+                        break;
+                    }
+                    job->nextEmit = to;
+                    lock.unlock();
+                    std::exception_ptr emit_error;
+                    if (job->hooks.onResult) {
+                        try {
+                            for (std::size_t i = from; i < to; ++i)
+                                job->hooks.onResult(i, job->grid[i],
+                                                    job->results[i]);
+                        } catch (...) {
+                            emit_error = std::current_exception();
+                        }
+                    }
+                    lock.lock();
+                    if (emit_error != nullptr) {
+                        job->recordFailure(from, emit_error);
+                        job->emitting = false;
+                        break;
+                    }
+                }
+            }
+        }
+        --job->active;
+        finished = reapLocked();
+        if (!finished.empty() || job->dispatchable()) {
+            lock.unlock();
+            deliverOutcomes(std::move(finished));
+            // This worker freed budget (or finished a job): idle
+            // workers must re-evaluate what is dispatchable.
+            workCv_.notify_all();
+            lock.lock();
+        }
+    }
+}
+
+} // namespace runner
+} // namespace shotgun

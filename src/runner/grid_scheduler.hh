@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Work-conserving multi-grid scheduler: one fixed pool of worker
+ * threads executing any number of concurrently admitted experiment
+ * grids ("jobs"). Dispatch is round-robin across jobs, one grid
+ * point at a time, so every admitted job makes progress while a
+ * long sweep runs -- no job owns the pool. Each job declares a
+ * worker budget capping how many pool threads may simulate its
+ * points at once; budgets above the pool size (or 0) mean "whole
+ * pool", and unused budget is always available to other jobs.
+ *
+ * Determinism: simulations are pure functions of their config, and
+ * each job's results are emitted strictly in grid order (index 0,
+ * 1, 2, ...) no matter which worker finished which point when. A
+ * job therefore observes exactly the results a serial in-process
+ * run of its grid yields, independent of what else the pool is
+ * chewing on -- the property the simulation service's byte-identical
+ * contract rests on.
+ *
+ * Cancellation and failure stop *dispatch* of the job's remaining
+ * points; in-flight points finish (a simulation cannot be torn down
+ * midway), then the job's terminal outcome is reported once via
+ * onDone. Other jobs are unaffected.
+ */
+
+#ifndef SHOTGUN_RUNNER_GRID_SCHEDULER_HH
+#define SHOTGUN_RUNNER_GRID_SCHEDULER_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "runner/experiment.hh"
+
+namespace shotgun
+{
+namespace runner
+{
+
+class GridScheduler
+{
+  public:
+    struct Options
+    {
+        // Explicit constructor instead of member initializers: a
+        // default argument of `Options()` below would otherwise trip
+        // GCC's enclosing-class NSDMI restriction.
+        Options(unsigned workers_ = 0) : workers(workers_) {}
+
+        /** Pool worker threads; 0 means one per hardware thread. */
+        unsigned workers;
+    };
+
+    /** A job's terminal report, delivered exactly once via onDone. */
+    struct Outcome
+    {
+        enum class Status
+        {
+            Ok,        ///< Every point emitted.
+            Cancelled, ///< Dispatch stopped by cancel()/cancelAll().
+            Error,     ///< A simulate call threw; `error` holds it.
+        };
+
+        Status status = Status::Ok;
+
+        /** Points emitted through onResult (the ordered prefix). */
+        std::size_t completed = 0;
+
+        /** First simulate exception (Status::Error only). */
+        std::exception_ptr error;
+    };
+
+    /**
+     * Per-job callbacks. `simulate` is required and runs on pool
+     * worker threads (thread-safe w.r.t. other jobs and other points
+     * of the same job, up to the job's budget). The others are
+     * optional: `onStart` fires once when the job's first point is
+     * dispatched; `onResult` fires in strict grid order from worker
+     * threads (never two emissions of one job concurrently);
+     * `onDone` fires exactly once after the last in-flight point of
+     * a finished/cancelled/failed job completed.
+     *
+     * An exception thrown by onStart, simulate or onResult fails
+     * the job (Outcome::Status::Error carries it) and never escapes
+     * a worker thread; an exception from onDone is swallowed.
+     */
+    struct JobHooks
+    {
+        std::function<SimResult(std::size_t index, const Experiment &)>
+            simulate;
+        std::function<void()> onStart;
+        std::function<void(std::size_t index, const Experiment &,
+                           const SimResult &)>
+            onResult;
+        std::function<void(const Outcome &)> onDone;
+    };
+
+    explicit GridScheduler(Options options = Options());
+
+    /** Cancels every job, then joins the pool (onDone still fires). */
+    ~GridScheduler();
+
+    GridScheduler(const GridScheduler &) = delete;
+    GridScheduler &operator=(const GridScheduler &) = delete;
+
+    /** Pool size. */
+    unsigned workers() const
+    {
+        return static_cast<unsigned>(threads_.size());
+    }
+
+    /**
+     * Admit a job and return its id immediately; execution starts as
+     * soon as a pool thread is free. `budget` caps the job's
+     * concurrent points (0 or anything >= the pool size means the
+     * whole pool). An empty grid completes immediately with Ok.
+     */
+    std::uint64_t submit(std::vector<Experiment> grid, unsigned budget,
+                         JobHooks hooks);
+
+    /**
+     * Stop dispatching a job's remaining points. In-flight points
+     * finish; onDone then reports Cancelled -- or Ok, truthfully, if
+     * every point had already been emitted. Unknown/finished ids are
+     * ignored.
+     */
+    void cancel(std::uint64_t job);
+
+    /** cancel() every admitted job. */
+    void cancelAll();
+
+    /** Block until no job is admitted or finalizing. */
+    void waitIdle();
+
+  private:
+    struct JobState;
+
+    void workerLoop();
+    bool anyDispatchableLocked() const;
+    std::shared_ptr<JobState> pickJobLocked();
+    std::vector<std::shared_ptr<JobState>> reapLocked();
+    void deliverOutcomes(
+        std::vector<std::shared_ptr<JobState>> finished);
+
+    Options options_;
+
+    mutable std::mutex mutex_; ///< jobs_, cursor, per-job counters.
+    std::condition_variable workCv_;
+    std::condition_variable idleCv_;
+    std::vector<std::shared_ptr<JobState>> jobs_; ///< Admitted, by id.
+    std::uint64_t nextId_ = 1;
+    std::uint64_t lastServedId_ = 0; ///< Round-robin cursor.
+    std::size_t finalizing_ = 0;     ///< Outcomes being delivered.
+    bool stopping_ = false;
+
+    std::vector<std::thread> threads_;
+};
+
+} // namespace runner
+} // namespace shotgun
+
+#endif // SHOTGUN_RUNNER_GRID_SCHEDULER_HH

@@ -1,6 +1,6 @@
 #include "service/client.hh"
 
-#include <atomic>
+#include <algorithm>
 #include <mutex>
 #include <thread>
 
@@ -11,10 +11,30 @@ namespace service
 
 using json::Value;
 
-ServiceClient::ServiceClient(const std::string &endpoint_spec)
+ServiceClient::ServiceClient(const std::string &endpoint_spec,
+                             unsigned timeout_seconds)
     : endpoint_(endpoint_spec),
+      timeoutSeconds_(timeout_seconds),
       channel_(connectTo(Endpoint::parse(endpoint_spec)))
 {
+    if (timeoutSeconds_ != 0)
+        channel_.socket().setRecvTimeout(timeoutSeconds_ * 1000u);
+}
+
+std::string
+ServiceClient::recvLineOrThrow()
+{
+    std::string line;
+    if (channel_.recvLine(line))
+        return line;
+    if (channel_.timedOut())
+        throw SocketError(
+            "server " + endpoint_ + " sent nothing for " +
+            std::to_string(timeoutSeconds_) +
+            "s (stalled or wedged?); raise --timeout for very long "
+            "grid points");
+    throw SocketError("server " + endpoint_ +
+                      " closed the connection");
 }
 
 json::Value
@@ -22,11 +42,7 @@ ServiceClient::request(const json::Value &frame)
 {
     if (!channel_.sendLine(frame.dump()))
         throw SocketError("send to " + endpoint_ + " failed");
-    std::string line;
-    if (!channel_.recvLine(line))
-        throw SocketError("server " + endpoint_ +
-                          " closed the connection");
-    Value reply = Value::parse(line);
+    Value reply = Value::parse(recvLineOrThrow());
     if (frameType(reply) == "error")
         throw ServiceError(endpoint_ + ": " +
                            reply.at("message").asString());
@@ -52,9 +68,8 @@ ServiceClient::submit(
     std::vector<char> seen(request_data.grid.size(), 0);
     std::uint64_t received = 0;
 
-    std::string line;
-    while (channel_.recvLine(line)) {
-        const Value frame = Value::parse(line);
+    while (true) {
+        const Value frame = Value::parse(recvLineOrThrow());
         const std::string type = frameType(frame);
         if (type == "result") {
             ResultEvent event = decodeResultEvent(frame);
@@ -73,11 +88,18 @@ ServiceClient::submit(
             const DoneEvent done = decodeDone(frame);
             if (done.job != job)
                 continue;
-            if (done.status != "ok")
-                throw ServiceError(
+            if (done.status != "ok") {
+                const std::string what =
                     endpoint_ + ": job " + std::to_string(job) + " " +
                     done.status +
-                    (done.message.empty() ? "" : ": " + done.message));
+                    (done.message.empty() ? "" : ": " + done.message);
+                // "error" is the job's own deterministic failure;
+                // "cancelled" (e.g. the server shutting down under
+                // it) is the worker's.
+                if (done.status == "error")
+                    throw JobFailedError(what);
+                throw ServiceError(what);
+            }
             if (received != results.size())
                 throw ServiceError(endpoint_ + ": job " +
                                    std::to_string(job) +
@@ -92,10 +114,6 @@ ServiceClient::submit(
         }
         // Ignore unrelated frame types (forward compatibility).
     }
-    throw SocketError("server " + endpoint_ +
-                      " disconnected mid-stream (" +
-                      std::to_string(received) + "/" +
-                      std::to_string(results.size()) + " results)");
 }
 
 json::Value
@@ -129,6 +147,194 @@ ServiceClient::shutdownServer()
         throw ServiceError(endpoint_ + ": expected `bye` reply");
 }
 
+namespace
+{
+
+/** Shared ledger of a sharded run; the mutex guards everything. */
+struct ShardedState
+{
+    std::mutex mutex;
+    std::vector<SimResult> results;
+    std::vector<char> done;
+    std::size_t delivered = 0;
+};
+
+std::string
+describeFailure(std::exception_ptr error)
+{
+    try {
+        std::rethrow_exception(error);
+    } catch (const std::exception &e) {
+        return e.what();
+    } catch (...) {
+        return "unknown error";
+    }
+}
+
+} // namespace
+
+std::vector<SimResult>
+submitSharded(const std::vector<std::string> &endpoints,
+              const SubmitRequest &request,
+              const ShardedOptions &options)
+{
+    if (endpoints.empty())
+        throw ServiceError("no worker endpoints given");
+
+    const std::size_t total = request.grid.size();
+    const std::size_t workers = endpoints.size();
+
+    std::vector<ShardOutcome> outcomes(workers);
+    for (std::size_t w = 0; w < workers; ++w)
+        outcomes[w].endpoint = endpoints[w];
+    std::vector<char> alive(workers, 1);
+
+    // Initial round-robin assignment: experiment i -> worker i mod W.
+    std::vector<std::vector<std::size_t>> assigned(workers);
+    for (std::size_t i = 0; i < total; ++i)
+        assigned[i % workers].push_back(i);
+    for (std::size_t w = 0; w < workers; ++w)
+        outcomes[w].assigned = assigned[w].size();
+
+    ShardedState state;
+    state.results.resize(total);
+    state.done.assign(total, 0);
+
+    std::exception_ptr first_failure;
+
+    // Each round submits every live worker's pending points on its
+    // own thread. Workers that fail are marked dead and their
+    // undelivered points redistributed across the survivors; the
+    // loop ends when everything was delivered or everyone is dead.
+    while (true) {
+        std::vector<std::size_t> active;
+        for (std::size_t w = 0; w < workers; ++w) {
+            if (!alive[w])
+                continue;
+            auto &mine = assigned[w];
+            mine.erase(std::remove_if(mine.begin(), mine.end(),
+                                      [&state](std::size_t i) {
+                                          return state.done[i] != 0;
+                                      }),
+                       mine.end());
+            if (!mine.empty())
+                active.push_back(w);
+        }
+        if (active.empty())
+            break;
+
+        std::vector<std::exception_ptr> failures(workers);
+        std::vector<std::thread> threads;
+        threads.reserve(active.size());
+        for (const std::size_t w : active) {
+            threads.emplace_back([&, w]() {
+                try {
+                    SubmitRequest shard;
+                    shard.experiment = request.experiment;
+                    shard.jobs = request.jobs;
+                    const std::vector<std::size_t> &origin =
+                        assigned[w];
+                    shard.grid.reserve(origin.size());
+                    for (const std::size_t i : origin)
+                        shard.grid.push_back(request.grid[i]);
+                    ServiceClient client(endpoints[w],
+                                         options.timeoutSeconds);
+                    client.submit(
+                        shard, [&](const ResultEvent &event) {
+                            // Harvest every streamed point as it
+                            // arrives: if this worker dies later,
+                            // its delivered results are kept and
+                            // only the remainder is redistributed.
+                            const std::size_t grid_index =
+                                origin[event.index];
+                            std::lock_guard<std::mutex> lock(
+                                state.mutex);
+                            state.results[grid_index] =
+                                event.result;
+                            state.done[grid_index] = 1;
+                            ++outcomes[w].delivered;
+                            // Under the ledger lock: onProgress
+                            // calls are serialized and their
+                            // `done` counts monotone, whichever
+                            // shard delivered the point.
+                            if (options.onProgress)
+                                options.onProgress(++state.delivered,
+                                                   total);
+                        });
+                } catch (...) {
+                    failures[w] = std::current_exception();
+                }
+            });
+        }
+        for (auto &thread : threads)
+            thread.join();
+
+        // A deterministic job failure (a grid point whose simulation
+        // throws) would fail identically on every worker:
+        // redistributing it would serially "kill" the whole healthy
+        // fleet before reporting the same error. Fail fast instead.
+        for (const std::size_t w : active) {
+            if (failures[w] == nullptr)
+                continue;
+            try {
+                std::rethrow_exception(failures[w]);
+            } catch (const JobFailedError &) {
+                throw;
+            } catch (...) {
+                // Transport/worker death: handled below.
+            }
+        }
+
+        // Bury the dead and redistribute their undelivered points.
+        std::vector<std::size_t> orphans;
+        for (const std::size_t w : active) {
+            if (failures[w] == nullptr)
+                continue;
+            alive[w] = 0;
+            if (first_failure == nullptr)
+                first_failure = failures[w];
+            outcomes[w].error = describeFailure(failures[w]);
+            for (const std::size_t i : assigned[w]) {
+                if (state.done[i] == 0) {
+                    orphans.push_back(i);
+                    ++outcomes[w].retried;
+                }
+            }
+            assigned[w].clear();
+        }
+        if (orphans.empty())
+            break;
+
+        std::vector<std::size_t> survivors;
+        for (std::size_t w = 0; w < workers; ++w) {
+            if (alive[w])
+                survivors.push_back(w);
+        }
+        if (survivors.empty())
+            std::rethrow_exception(first_failure);
+        for (std::size_t k = 0; k < orphans.size(); ++k) {
+            const std::size_t w = survivors[k % survivors.size()];
+            assigned[w].push_back(orphans[k]);
+            ++outcomes[w].assigned;
+        }
+    }
+
+    for (std::size_t i = 0; i < total; ++i) {
+        if (state.done[i] == 0) {
+            // Unreachable in practice: every exit above either
+            // delivered everything or rethrew. Guard anyway so a
+            // logic error can never stitch a half-empty vector.
+            if (first_failure != nullptr)
+                std::rethrow_exception(first_failure);
+            throw ServiceError("sharded submit lost grid point " +
+                               std::to_string(i));
+        }
+    }
+    if (options.outcomes != nullptr)
+        *options.outcomes = std::move(outcomes);
+    return std::move(state.results);
+}
+
 std::vector<SimResult>
 submitSharded(
     const std::vector<std::string> &endpoints,
@@ -136,70 +342,9 @@ submitSharded(
     const std::function<void(std::size_t done, std::size_t total)>
         &on_progress)
 {
-    if (endpoints.empty())
-        throw ServiceError("no worker endpoints given");
-
-    const std::size_t total = request.grid.size();
-    std::vector<SimResult> results(total);
-    std::atomic<std::size_t> done{0};
-
-    if (endpoints.size() == 1) {
-        ServiceClient client(endpoints[0]);
-        return client.submit(request,
-                             [&](const ResultEvent &event) {
-                                 (void)event;
-                                 if (on_progress)
-                                     on_progress(done.fetch_add(1) + 1,
-                                                 total);
-                             });
-    }
-
-    // Shard round-robin: experiment i -> worker i mod W. Each shard
-    // runs on its own thread; `origin` maps shard-local indices back
-    // to grid indices, which is all the stitching there is -- the
-    // final vector is index-aligned with the grid by construction.
-    const std::size_t workers = endpoints.size();
-    std::vector<std::exception_ptr> failures(workers);
-    std::mutex progress_mutex;
-    std::vector<std::thread> threads;
-
-    for (std::size_t w = 0; w < workers; ++w) {
-        threads.emplace_back([&, w]() {
-            try {
-                SubmitRequest shard;
-                shard.experiment = request.experiment;
-                shard.jobs = request.jobs;
-                std::vector<std::size_t> origin;
-                for (std::size_t i = w; i < total; i += workers) {
-                    shard.grid.push_back(request.grid[i]);
-                    origin.push_back(i);
-                }
-                if (shard.grid.empty())
-                    return;
-                ServiceClient client(endpoints[w]);
-                const auto shard_results = client.submit(
-                    shard, [&](const ResultEvent &event) {
-                        if (!on_progress)
-                            return;
-                        std::lock_guard<std::mutex> lock(
-                            progress_mutex);
-                        (void)event;
-                        on_progress(done.fetch_add(1) + 1, total);
-                    });
-                for (std::size_t k = 0; k < origin.size(); ++k)
-                    results[origin[k]] = shard_results[k];
-            } catch (...) {
-                failures[w] = std::current_exception();
-            }
-        });
-    }
-    for (auto &thread : threads)
-        thread.join();
-    for (const auto &failure : failures) {
-        if (failure)
-            std::rethrow_exception(failure);
-    }
-    return results;
+    ShardedOptions options;
+    options.onProgress = on_progress;
+    return submitSharded(endpoints, request, options);
 }
 
 } // namespace service

@@ -7,6 +7,14 @@
  * placed back at index i, so the assembled vector is bitwise-identical
  * to running the grid in one process, no matter how many workers or
  * how their finish times interleave.
+ *
+ * Fault tolerance: every receive is bounded by a socket deadline (a
+ * wedged server fails the call with a clear timeout error instead of
+ * hanging the client forever), and submitSharded() survives worker
+ * death -- a failed worker's undelivered points are redistributed
+ * round-robin across the surviving workers (results it already
+ * streamed are kept), with per-worker retry accounting. Only when
+ * every worker is dead does the first failure propagate.
  */
 
 #ifndef SHOTGUN_SERVICE_CLIENT_HH
@@ -34,11 +42,39 @@ struct ServiceError : std::runtime_error
     }
 };
 
+/**
+ * The job itself failed (`done` status "error"): a simulation threw
+ * on the server. Deterministic -- the same grid point fails on any
+ * worker -- so submitSharded() rethrows it immediately instead of
+ * redistributing the shard and failing every healthy worker in turn.
+ */
+struct JobFailedError : ServiceError
+{
+    explicit JobFailedError(const std::string &what)
+        : ServiceError(what)
+    {
+    }
+};
+
+/**
+ * Default receive deadline: generous because a single grid point is
+ * legitimately minutes of simulation with no frame traffic, but
+ * finite so a wedged daemon cannot hang a client forever.
+ */
+constexpr unsigned kDefaultTimeoutSeconds = 600;
+
 class ServiceClient
 {
   public:
-    /** Connect; throws SocketError when the server is unreachable. */
-    explicit ServiceClient(const std::string &endpoint_spec);
+    /**
+     * Connect; throws SocketError when the server is unreachable.
+     * `timeout_seconds` bounds every receive: when the server sends
+     * nothing for that long the pending call throws SocketError
+     * with a timeout message (0 disables the deadline).
+     */
+    explicit ServiceClient(
+        const std::string &endpoint_spec,
+        unsigned timeout_seconds = kDefaultTimeoutSeconds);
 
     const std::string &endpoint() const { return endpoint_; }
 
@@ -48,7 +84,7 @@ class ServiceClient
      * set) observes each streamed point as it arrives, in grid
      * order. Throws ServiceError when the server rejects the submit,
      * reports a failed job, or disconnects mid-stream, and
-     * SocketError on transport failure.
+     * SocketError on transport failure or receive timeout.
      */
     std::vector<SimResult>
     submit(const SubmitRequest &request,
@@ -69,23 +105,57 @@ class ServiceClient
 
   private:
     json::Value request(const json::Value &frame);
+    std::string recvLineOrThrow();
 
     std::string endpoint_;
+    unsigned timeoutSeconds_ = 0;
     LineChannel channel_;
 };
 
+/** One worker's ledger from a submitSharded() run. */
+struct ShardOutcome
+{
+    std::string endpoint;
+    std::size_t assigned = 0;  ///< Points routed here (incl. retries).
+    std::size_t delivered = 0; ///< Results this worker streamed.
+    std::size_t retried = 0; ///< Points moved to survivors after death.
+    std::string error; ///< First failure message; empty = healthy.
+};
+
+struct ShardedOptions
+{
+    /** Ticks once per first-time delivered point; calls are
+     * serialized and `done` is monotone, whichever shard thread
+     * delivered the point. */
+    std::function<void(std::size_t done, std::size_t total)>
+        onProgress;
+
+    /** Per-connection receive deadline (0 disables). */
+    unsigned timeoutSeconds = kDefaultTimeoutSeconds;
+
+    /** When set, receives one ledger per endpoint (input order). */
+    std::vector<ShardOutcome> *outcomes = nullptr;
+};
+
 /**
- * Run a grid across one or more servers. With one endpoint this is
- * ServiceClient::submit; with several, experiment i is submitted to
- * endpoint i mod W (round-robin keeps per-workload clusters spread)
- * and the shards run concurrently, one thread per worker.
+ * Run a grid across one or more servers. With several endpoints,
+ * experiment i is initially submitted to endpoint i mod W
+ * (round-robin keeps per-workload clusters spread) and the shards
+ * run concurrently, one thread per worker.
  *
- * `on_progress(done, total)` ticks once per completed point, from
- * whichever shard delivered it (thread-safe internally).
- *
- * Every shard failure is collected; the first failure is rethrown
- * after all shard threads joined.
+ * A worker that fails (connect failure, death mid-grid, timeout) is
+ * marked dead and its undelivered points are redistributed
+ * round-robin across the surviving workers -- results it streamed
+ * before dying are kept, never recomputed. The grid completes, with
+ * stitching still index-aligned and byte-identical to an in-process
+ * run, as long as one worker survives; the first failure is rethrown
+ * only when every worker is dead.
  */
+std::vector<SimResult> submitSharded(
+    const std::vector<std::string> &endpoints,
+    const SubmitRequest &request, const ShardedOptions &options);
+
+/** Convenience overload: progress callback only. */
 std::vector<SimResult> submitSharded(
     const std::vector<std::string> &endpoints,
     const SubmitRequest &request,

@@ -122,6 +122,7 @@ encodeJobStatus(const JobStatus &status)
     v.set("total", Value::number(status.total));
     v.set("completed", Value::number(status.completed));
     v.set("cached", Value::number(status.cached));
+    v.set("budget", Value::number(status.budget));
     return v;
 }
 
@@ -135,6 +136,8 @@ decodeJobStatus(const json::Value &v)
     status.total = v.at("total").asU64();
     status.completed = v.at("completed").asU64();
     status.cached = v.at("cached").asU64();
+    if (const Value *budget = v.find("budget"))
+        status.budget = budget->asU64();
     return status;
 }
 

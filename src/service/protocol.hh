@@ -97,6 +97,9 @@ struct JobStatus
     std::uint64_t total = 0;
     std::uint64_t completed = 0;
     std::uint64_t cached = 0;
+
+    /** Scheduler worker budget; absent in pre-0.5 frames. */
+    std::uint64_t budget = 0;
 };
 
 json::Value encodeJobStatus(const JobStatus &status);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <exception>
+#include <thread>
 #include <utility>
 
 #include "common/cli.hh"
@@ -15,10 +16,35 @@ namespace service
 
 using json::Value;
 
+namespace
+{
+
 /**
- * One client connection. Result frames are written from the job
- * dispatcher while command replies are written from the connection's
- * reader thread, hence the write mutex.
+ * Accounted size of one cached result: the map key plus the struct
+ * plus its heap strings. Crude (allocator overhead is ignored) but
+ * monotone in the real footprint, which is all a byte budget needs.
+ */
+std::size_t
+resultCacheBytes(const std::string &fingerprint,
+                 const SimResult &result)
+{
+    return fingerprint.size() + sizeof(SimResult) +
+           result.workload.size() + result.scheme.size();
+}
+
+unsigned
+poolWorkers(unsigned jobs_option)
+{
+    return jobs_option != 0 ? jobs_option
+                            : runner::ThreadPool::hardwareJobs();
+}
+
+} // namespace
+
+/**
+ * One client connection. Result frames are written from scheduler
+ * worker threads while command replies are written from the
+ * connection's reader thread, hence the write mutex.
  */
 struct SimServer::Connection
 {
@@ -38,8 +64,18 @@ struct SimServer::Connection
 struct SimServer::Job
 {
     std::uint64_t id = 0;
-    SubmitRequest request;
+    SubmitRequest request; ///< Grid moved out on admission.
+    std::size_t total = 0; ///< Grid size (outlives the move).
     std::vector<std::string> fingerprints; ///< Index-aligned.
+    unsigned budget = 0; ///< Scheduler worker budget (clamped).
+
+    /**
+     * Scheduler handle; 0 until the job is admitted. Guarded by the
+     * server mutex together with cancelRequested, so a cancel frame
+     * racing the admission is never lost.
+     */
+    std::uint64_t schedulerId = 0;
+    bool cancelRequested = false;
 
     enum class State
     {
@@ -50,13 +86,9 @@ struct SimServer::Job
         Error,
     };
     std::atomic<State> state{State::Queued};
-    std::atomic<bool> cancelled{false};
     std::atomic<std::uint64_t> completed{0};
     std::atomic<std::uint64_t> cachedCount{0};
     std::string message; ///< Failure detail, set before state.
-
-    /** Submitting connection; results stream here while it lives. */
-    std::weak_ptr<Connection> owner;
 
     const char *stateName() const
     {
@@ -71,25 +103,21 @@ struct SimServer::Job
     }
 };
 
-namespace
-{
-
-/** Internal cancellation signal thrown by the simulate hook. */
-struct JobCancelled
-{
-};
-
-} // namespace
-
 SimServer::SimServer(const std::string &endpoint_spec,
                      ServerOptions options)
-    : options_(options), listener_(Endpoint::parse(endpoint_spec))
+    : options_(options),
+      listener_(Endpoint::parse(endpoint_spec)),
+      cache_(options.cacheBytes, resultCacheBytes),
+      scheduler_(
+          runner::GridScheduler::Options{poolWorkers(options.jobs)})
 {
 }
 
 SimServer::~SimServer()
 {
     requestShutdown();
+    // The member scheduler joins its workers on destruction, after
+    // which no callback can touch this object again.
 }
 
 std::string
@@ -104,6 +132,12 @@ SimServer::cacheSize() const
     return cache_.size();
 }
 
+MemoCacheStats
+SimServer::cacheStats() const
+{
+    return cache_.stats();
+}
+
 void
 SimServer::log(const std::string &line)
 {
@@ -115,8 +149,8 @@ void
 SimServer::serve()
 {
     log("listening on " + endpoint() + " (version " +
-        cli::kVersion + ")");
-    std::thread dispatcher([this]() { dispatchLoop(); });
+        cli::kVersion + ", " + std::to_string(scheduler_.workers()) +
+        " workers)");
 
     // Reader threads flag themselves done so a long-running daemon
     // reclaims them as it accepts, not only at shutdown.
@@ -177,11 +211,12 @@ SimServer::serve()
              done});
     }
 
-    // Shutdown: the dispatcher drains (cancelling) and exits; readers
-    // see their sockets shut down and exit.
-    queueCv_.notify_all();
-    dispatcher.join();
+    // Shutdown: join the readers first (no thread can admit another
+    // job), then cancel and drain the scheduler -- every admitted
+    // job still gets its `done` frame (as cancelled) before exit.
     reap(true);
+    scheduler_.cancelAll();
+    scheduler_.waitIdle();
     log("shut down");
 }
 
@@ -189,9 +224,10 @@ void
 SimServer::requestShutdown()
 {
     const bool was_stopped = stop_.exchange(true);
-    // shutdown(2), not close(2): serve() may be blocked in accept()
-    // on this fd right now; the fd itself is reclaimed when the
-    // listener is destroyed with the server, after serve() returned.
+    // shutdown(2) + wake pipe, not close(2): serve() may be blocked
+    // in accept() on this fd right now; the fd itself is reclaimed
+    // when the listener is destroyed with the server, after serve()
+    // returned.
     listener_.shutdownListener();
     std::vector<std::shared_ptr<Connection>> live;
     {
@@ -200,12 +236,10 @@ SimServer::requestShutdown()
             if (auto conn = weak.lock())
                 live.push_back(std::move(conn));
         }
-        for (auto &entry : jobs_)
-            entry.second->cancelled.store(true);
     }
     for (auto &conn : live)
         conn->channel.socket().shutdownBoth();
-    queueCv_.notify_all();
+    scheduler_.cancelAll();
     if (!was_stopped)
         log("shutdown requested");
 }
@@ -215,6 +249,9 @@ SimServer::handleSubmit(const std::shared_ptr<Connection> &conn,
                         const json::Value &frame)
 {
     SubmitRequest request = decodeSubmit(frame);
+
+    if (stop_.load())
+        throw CodecError("server is shutting down");
 
     // Validate up front what would otherwise fatal() mid-simulation
     // and take down the daemon: a trace-backed workload needs a
@@ -269,10 +306,17 @@ SimServer::handleSubmit(const std::shared_ptr<Connection> &conn,
 
     auto job = std::make_shared<Job>();
     job->request = std::move(request);
-    job->owner = conn;
+    job->total = job->request.grid.size();
     job->fingerprints.reserve(job->request.grid.size());
     for (const runner::Experiment &exp : job->request.grid)
         job->fingerprints.push_back(configFingerprint(exp.config));
+
+    const unsigned cap = scheduler_.workers();
+    job->budget =
+        job->request.jobs == 0
+            ? cap
+            : static_cast<unsigned>(std::min<std::uint64_t>(
+                  job->request.jobs, cap));
 
     Value fingerprints = Value::array();
     for (const std::string &fp : job->fingerprints)
@@ -284,25 +328,119 @@ SimServer::handleSubmit(const std::shared_ptr<Connection> &conn,
         jobs_.emplace(job->id, job);
     }
 
-    // `accepted` must be on the wire before the job can produce
-    // result frames: enqueue only after sending, or a cache-hit job
-    // could stream results past the dispatcher first and the client
-    // would read a `result` frame as its submit reply.
+    // `accepted` must be on the wire before the job is admitted to
+    // the scheduler, or a cache-hit job could stream results first
+    // and the client would read a `result` frame as its submit reply.
     Value accepted = makeFrame("accepted");
     accepted.set("job", Value::number(job->id));
-    accepted.set("total",
-                 Value::number(std::uint64_t{job->request.grid.size()}));
+    accepted.set("total", Value::number(std::uint64_t{job->total}));
     accepted.set("fingerprints", std::move(fingerprints));
     conn->sendFrame(accepted);
     log("job " + std::to_string(job->id) + " accepted: " +
-        job->request.experiment + ", " +
-        std::to_string(job->request.grid.size()) + " points");
+        job->request.experiment + ", " + std::to_string(job->total) +
+        " points, budget " + std::to_string(job->budget));
 
+    // Written by scheduler workers at distinct indices, read when
+    // the index's ordered emission fires.
+    auto cached_flags =
+        std::make_shared<std::vector<char>>(job->total, 0);
+
+    runner::GridScheduler::JobHooks hooks;
+    hooks.simulate = [this, job, cached_flags](
+                         std::size_t index,
+                         const runner::Experiment &exp) {
+        bool computed = false;
+        auto value = cache_.get(job->fingerprints[index],
+                                [&exp, &computed]() {
+                                    computed = true;
+                                    return runner::runExperiment(exp);
+                                });
+        if (!computed) {
+            job->cachedCount.fetch_add(1);
+            (*cached_flags)[index] = 1;
+        }
+        return *value;
+    };
+    hooks.onStart = [this, job]() {
+        job->state.store(Job::State::Running);
+        log("job " + std::to_string(job->id) + " running");
+    };
+    // The hooks hold the submitting connection weakly: a client
+    // that disconnects mid-job must not pin the socket fd (and pay
+    // per-point frame encoding) for the rest of a long grid -- the
+    // job still completes, warming the cache, it just stops
+    // streaming.
+    std::weak_ptr<Connection> owner = conn;
+    hooks.onResult = [job, owner, cached_flags](
+                         std::size_t index,
+                         const runner::Experiment &exp,
+                         const SimResult &result) {
+        job->completed.fetch_add(1);
+        auto conn = owner.lock();
+        if (conn == nullptr)
+            return;
+        ResultEvent event;
+        event.job = job->id;
+        event.index = index;
+        event.cached = (*cached_flags)[index] != 0;
+        event.workload = exp.workload;
+        event.label = exp.label;
+        event.fingerprint = job->fingerprints[index];
+        event.result = result;
+        conn->sendFrame(encodeResultEvent(event));
+    };
+    hooks.onDone = [this, job, owner](
+                       const runner::GridScheduler::Outcome &outcome) {
+        DoneEvent done;
+        done.job = job->id;
+        switch (outcome.status) {
+          case runner::GridScheduler::Outcome::Status::Ok:
+            job->state.store(Job::State::Ok);
+            done.status = "ok";
+            break;
+          case runner::GridScheduler::Outcome::Status::Cancelled:
+            job->state.store(Job::State::Cancelled);
+            done.status = "cancelled";
+            break;
+          case runner::GridScheduler::Outcome::Status::Error:
+            try {
+                std::rethrow_exception(outcome.error);
+            } catch (const std::exception &e) {
+                job->message = e.what();
+            } catch (...) {
+                job->message = "unknown error";
+            }
+            job->state.store(Job::State::Error);
+            done.status = "error";
+            done.message = job->message;
+            break;
+        }
+        done.completed = job->completed.load();
+        done.cached = job->cachedCount.load();
+        if (auto conn = owner.lock())
+            conn->sendFrame(encodeDone(done));
+        log("job " + std::to_string(job->id) + " " + done.status +
+            " (" + std::to_string(done.completed) + "/" +
+            std::to_string(job->total) + " points, " +
+            std::to_string(done.cached) + " cached)");
+        pruneJobs();
+    };
+
+    // The grid moves into the scheduler (which owns it for the
+    // job's lifetime); the Job keeps only its size and fingerprints.
+    const std::uint64_t scheduler_id =
+        scheduler_.submit(std::move(job->request.grid), job->budget,
+                          std::move(hooks));
+    bool cancel_now = false;
     {
         std::lock_guard<std::mutex> lock(mutex_);
-        queue_.push_back(job);
+        job->schedulerId = scheduler_id;
+        cancel_now = job->cancelRequested;
     }
-    queueCv_.notify_one();
+    // A cancel frame that raced the admission parked its request on
+    // the job; honor it now that the scheduler knows the id.
+    if (cancel_now || stop_.load())
+        scheduler_.cancel(scheduler_id);
 }
 
 json::Value
@@ -317,23 +455,35 @@ SimServer::statusFrame()
             status.id = job.id;
             status.experiment = job.request.experiment;
             status.state = job.stateName();
-            status.total = job.request.grid.size();
+            status.total = job.total;
             status.completed = job.completed.load();
             status.cached = job.cachedCount.load();
+            status.budget = job.budget;
             jobs.push(encodeJobStatus(status));
         }
     }
+    const MemoCacheStats cache_stats = cache_.stats();
+    Value cache = Value::object();
+    cache.set("entries",
+              Value::number(std::uint64_t{cache_stats.entries}));
+    cache.set("bytes", Value::number(std::uint64_t{cache_stats.bytes}));
+    cache.set("budget_bytes",
+              Value::number(std::uint64_t{cache_stats.budgetBytes}));
+    cache.set("hits", Value::number(std::uint64_t{cache_stats.hits}));
+    cache.set("misses",
+              Value::number(std::uint64_t{cache_stats.misses}));
+    cache.set("evictions",
+              Value::number(std::uint64_t{cache_stats.evictions}));
+
     Value server = Value::object();
     server.set("version", Value::string(cli::kVersion));
     server.set("protocol", Value::number(kProtocolVersion));
     server.set("endpoint", Value::string(endpoint()));
     server.set("cache_entries",
-               Value::number(std::uint64_t{cache_.size()}));
+               Value::number(std::uint64_t{cache_stats.entries}));
+    server.set("cache", std::move(cache));
     server.set("max_jobs",
-               Value::number(std::uint64_t{
-                   options_.jobs != 0
-                       ? options_.jobs
-                       : runner::ThreadPool::hardwareJobs()}));
+               Value::number(std::uint64_t{scheduler_.workers()}));
 
     Value v = makeFrame("status");
     v.set("server", std::move(server));
@@ -360,17 +510,25 @@ SimServer::handleConnection(std::shared_ptr<Connection> conn)
             } else if (type == "cancel") {
                 const std::uint64_t id = frame.at("job").asU64();
                 std::shared_ptr<Job> job;
+                std::uint64_t scheduler_id = 0;
                 {
                     std::lock_guard<std::mutex> lock(mutex_);
                     auto it = jobs_.find(id);
-                    if (it != jobs_.end())
+                    if (it != jobs_.end()) {
                         job = it->second;
+                        job->cancelRequested = true;
+                        scheduler_id = job->schedulerId;
+                    }
                 }
                 if (job == nullptr) {
                     reply = makeError("unknown job " +
                                       std::to_string(id));
                 } else {
-                    job->cancelled.store(true);
+                    // Stops dispatch of the job's remaining points;
+                    // in-flight points finish and the `done` frame
+                    // reports `cancelled` truthfully.
+                    if (scheduler_id != 0)
+                        scheduler_.cancel(scheduler_id);
                     reply = makeFrame("cancelling");
                     reply.set("job", Value::number(id));
                 }
@@ -398,31 +556,6 @@ SimServer::handleConnection(std::shared_ptr<Connection> conn)
 }
 
 void
-SimServer::dispatchLoop()
-{
-    while (true) {
-        std::shared_ptr<Job> job;
-        {
-            std::unique_lock<std::mutex> lock(mutex_);
-            queueCv_.wait(lock, [this]() {
-                return stop_.load() || !queue_.empty();
-            });
-            if (queue_.empty()) {
-                if (stop_.load())
-                    return;
-                continue;
-            }
-            job = queue_.front();
-            queue_.pop_front();
-        }
-        runJob(job);
-        pruneJobs();
-        // Drain-and-cancel continues after stop: every queued job
-        // still gets its `done` frame (as cancelled) before exit.
-    }
-}
-
-void
 SimServer::pruneJobs()
 {
     // Keep a bounded tail of terminal jobs for `status`; a daemon
@@ -437,100 +570,6 @@ SimServer::pruneJobs()
         else
             it = jobs_.erase(it);
     }
-}
-
-void
-SimServer::runJob(const std::shared_ptr<Job> &job)
-{
-    auto owner = job->owner.lock();
-    DoneEvent done;
-    done.job = job->id;
-
-    if (job->cancelled.load()) {
-        job->state.store(Job::State::Cancelled);
-        done.status = "cancelled";
-        if (owner)
-            owner->sendFrame(encodeDone(done));
-        return;
-    }
-
-    job->state.store(Job::State::Running);
-    log("job " + std::to_string(job->id) + " running");
-
-    runner::RunnerOptions ropts;
-    const unsigned cap = options_.jobs != 0
-                             ? options_.jobs
-                             : runner::ThreadPool::hardwareJobs();
-    const unsigned requested =
-        job->request.jobs == 0
-            ? cap
-            : static_cast<unsigned>(std::min<std::uint64_t>(
-                  job->request.jobs, cap));
-    ropts.jobs = requested;
-
-    // Written by worker threads at distinct indices, read by the
-    // collector thread after that index's future resolved.
-    auto cached_flags =
-        std::make_shared<std::vector<char>>(job->request.grid.size(), 0);
-
-    ropts.simulate = [this, job, cached_flags](
-                         std::size_t index,
-                         const runner::Experiment &exp) {
-        if (job->cancelled.load())
-            throw JobCancelled{};
-        bool computed = false;
-        auto value = cache_.get(job->fingerprints[index],
-                                [&exp, &computed]() {
-                                    computed = true;
-                                    return runner::runExperiment(exp);
-                                });
-        if (!computed) {
-            job->cachedCount.fetch_add(1);
-            (*cached_flags)[index] = 1;
-        }
-        return *value;
-    };
-
-    ropts.onResult = [job, owner, cached_flags](
-                         std::size_t index,
-                         const runner::Experiment &exp,
-                         const SimResult &result) {
-        job->completed.fetch_add(1);
-        if (owner == nullptr)
-            return;
-        ResultEvent event;
-        event.job = job->id;
-        event.index = index;
-        event.cached = (*cached_flags)[index] != 0;
-        event.workload = exp.workload;
-        event.label = exp.label;
-        event.fingerprint = job->fingerprints[index];
-        event.result = result;
-        owner->sendFrame(encodeResultEvent(event));
-    };
-
-    try {
-        runner::ExperimentRunner(ropts).run(job->request.grid);
-        job->state.store(Job::State::Ok);
-        done.status = "ok";
-    } catch (const JobCancelled &) {
-        job->state.store(Job::State::Cancelled);
-        done.status = "cancelled";
-    } catch (const std::exception &e) {
-        job->message = e.what();
-        job->state.store(Job::State::Error);
-        done.status = "error";
-        done.message = job->message;
-    }
-
-    done.completed = job->completed.load();
-    done.cached = job->cachedCount.load();
-    if (owner)
-        owner->sendFrame(encodeDone(done));
-    log("job " + std::to_string(job->id) + " " + done.status + " (" +
-        std::to_string(done.completed) + "/" +
-        std::to_string(job->request.grid.size()) + " points, " +
-        std::to_string(done.cached) + " cached)");
 }
 
 } // namespace service

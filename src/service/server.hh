@@ -1,40 +1,43 @@
 /**
  * @file
  * The batch/async simulation service daemon core: accepts frame
- * protocol connections (see protocol.hh), queues submitted grids as
- * jobs, executes them FIFO through the shared ExperimentRunner with
- * per-job worker budgeting, streams `result` frames in grid order as
+ * protocol connections (see protocol.hh), admits submitted grids as
+ * jobs into a work-conserving multi-job scheduler
+ * (runner/grid_scheduler.hh) -- a fixed worker pool dispatches grid
+ * points round-robin across every admitted job, so concurrently
+ * submitted sweeps make progress together instead of queueing FIFO
+ * behind each other -- streams `result` frames in grid order as
  * points complete, and serves repeated configurations from a
- * fingerprint-keyed result cache (common/memo.hh) -- a sweep
- * resubmitted after a client crash, or sharing points with an earlier
- * sweep, only simulates the configurations it has not seen.
+ * fingerprint-keyed result cache with an optional LRU byte budget
+ * (common/memo.hh): a sweep resubmitted after a client crash, or
+ * sharing points with an earlier sweep, only simulates the
+ * configurations it has not seen.
  *
  * The class is the in-process core of the `shotgun-serve` tool, kept
  * in the library so tests can run a real server on a Unix socket in
  * the test process and assert byte-identical results end to end.
  *
- * Determinism: the server executes each submitted grid with the same
- * ExperimentRunner machinery the benches use, so any shard of a grid
- * returns exactly the results an in-process run of that shard yields,
- * regardless of job count, caching, or which worker serves it.
+ * Determinism: every job's results are emitted strictly in its grid
+ * order and each simulation is a pure function of its SimConfig, so
+ * any shard of a grid returns exactly the results an in-process run
+ * of that shard yields, regardless of worker budgets, concurrent
+ * jobs, caching or eviction.
  */
 
 #ifndef SHOTGUN_SERVICE_SERVER_HH
 #define SHOTGUN_SERVICE_SERVER_HH
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
-#include <deque>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <ostream>
 #include <string>
-#include <thread>
 #include <vector>
 
 #include "common/memo.hh"
+#include "runner/grid_scheduler.hh"
 #include "service/protocol.hh"
 #include "service/socket.hh"
 
@@ -46,11 +49,18 @@ namespace service
 struct ServerOptions
 {
     /**
-     * Cap on any single job's worker threads; 0 means one per
-     * hardware thread. A submit's own `jobs` request is clamped to
-     * this.
+     * Worker pool size (and the cap on any single job's worker
+     * budget); 0 means one per hardware thread. A submit's own
+     * `jobs` request is clamped to this.
      */
     unsigned jobs = 0;
+
+    /**
+     * Byte budget for the fingerprint result cache; least-recently-
+     * used entries are evicted once the accounted result bytes
+     * exceed it. 0 keeps the cache unbounded.
+     */
+    std::size_t cacheBytes = 0;
 
     /** Log stream for connection/job lines; nullptr is quiet. */
     std::ostream *log = nullptr;
@@ -76,19 +86,23 @@ class SimServer
 
     /**
      * Accept and serve connections until a `shutdown` frame arrives
-     * or requestShutdown() is called. Joins every worker before
-     * returning, so the caller may destroy the server afterwards.
+     * or requestShutdown() is called. Joins every reader, cancels
+     * and drains every job (each still gets its `done` frame), so
+     * the caller may destroy the server afterwards.
      */
     void serve();
 
     /**
      * Initiate shutdown from any thread: stop accepting, cancel
-     * queued and running jobs, unblock connection readers.
+     * admitted jobs, unblock connection readers.
      */
     void requestShutdown();
 
-    /** Distinct configurations simulated so far (cache entries). */
+    /** Distinct configurations in the result cache right now. */
     std::size_t cacheSize() const;
+
+    /** Cache counters (entries/bytes/hits/misses/evictions). */
+    MemoCacheStats cacheStats() const;
 
   private:
     struct Connection;
@@ -98,8 +112,6 @@ class SimServer
     void handleSubmit(const std::shared_ptr<Connection> &conn,
                       const json::Value &frame);
     json::Value statusFrame();
-    void dispatchLoop();
-    void runJob(const std::shared_ptr<Job> &job);
     void pruneJobs();
     void log(const std::string &line);
 
@@ -108,14 +120,19 @@ class SimServer
 
     std::atomic<bool> stop_{false};
 
-    mutable std::mutex mutex_; ///< jobs_, queue_, connections_.
-    std::condition_variable queueCv_;
-    std::deque<std::shared_ptr<Job>> queue_;
+    mutable std::mutex mutex_; ///< jobs_, connections_.
     std::map<std::uint64_t, std::shared_ptr<Job>> jobs_;
     std::vector<std::weak_ptr<Connection>> connections_;
     std::uint64_t nextJobId_ = 1;
 
-    MemoCache<std::string, SimResult> cache_;
+    LruMemoCache<std::string, SimResult> cache_;
+
+    // Declared last on purpose: its destructor joins the worker
+    // threads, and their hooks touch cache_, jobs_, mutex_ and the
+    // connection registry -- all of which must still be alive.
+    // Members destroy in reverse declaration order, so the
+    // scheduler goes first.
+    runner::GridScheduler scheduler_;
 };
 
 } // namespace service

@@ -4,9 +4,12 @@
 #include <cstring>
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netdb.h>
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <sys/un.h>
 #include <unistd.h>
 
@@ -106,8 +109,21 @@ Socket::recvSome(char *data, std::size_t size)
         const ssize_t n = ::recv(fd_, data, size, 0);
         if (n < 0 && errno == EINTR)
             continue;
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+            return kTimedOut; // SO_RCVTIMEO deadline expired.
         return static_cast<long>(n);
     }
+}
+
+bool
+Socket::setRecvTimeout(unsigned milliseconds)
+{
+    timeval tv{};
+    tv.tv_sec = milliseconds / 1000;
+    tv.tv_usec =
+        static_cast<suseconds_t>((milliseconds % 1000) * 1000);
+    return ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv,
+                        sizeof(tv)) == 0;
 }
 
 void
@@ -214,6 +230,24 @@ Listener::Listener(const Endpoint &endpoint, int backlog)
     } else {
         sock_ = tcpListen(endpoint, backlog, bound_);
     }
+
+    int fds[2];
+    if (::pipe(fds) != 0)
+        throw SocketError("cannot create listener wake pipe: " +
+                          errnoString());
+    wakeRead_ = fds[0];
+    wakeWrite_ = fds[1];
+    ::fcntl(wakeRead_, F_SETFD, FD_CLOEXEC);
+    ::fcntl(wakeWrite_, F_SETFD, FD_CLOEXEC);
+
+    // Non-blocking listener: accept() waits in poll(), and a pending
+    // connection that is aborted between poll and accept(2) must
+    // yield EAGAIN back to the poll loop, not block accept(2) with
+    // the wake pipe unwatched. (Accepted sockets do not inherit the
+    // flag on Linux.)
+    const int flags = ::fcntl(sock_.fd(), F_GETFL, 0);
+    if (flags >= 0)
+        ::fcntl(sock_.fd(), F_SETFL, flags | O_NONBLOCK);
 }
 
 Listener::~Listener()
@@ -226,13 +260,56 @@ Listener::accept()
 {
     if (!sock_.valid())
         return Socket();
-    const int fd = ::accept(sock_.fd(), nullptr, nullptr);
-    return Socket(fd);
+
+    // Wait for a connection OR the wake pipe: shutdownListener()
+    // writes a byte from any thread and a blocked accept returns an
+    // invalid Socket immediately, even on platforms where
+    // shutdown(2) of a listening socket does not interrupt accept.
+    pollfd fds[2];
+    fds[0].fd = sock_.fd();
+    fds[0].events = POLLIN;
+    fds[1].fd = wakeRead_;
+    fds[1].events = POLLIN;
+    while (true) {
+        const int rc = ::poll(fds, 2, -1);
+        if (rc < 0) {
+            if (errno == EINTR)
+                continue;
+            return Socket();
+        }
+        if (fds[1].revents != 0)
+            return Socket(); // Woken for shutdown.
+        if (fds[0].revents == 0)
+            continue;
+        const int fd = ::accept(sock_.fd(), nullptr, nullptr);
+        if (fd >= 0) {
+            // BSDs make accepted fds inherit the listener's
+            // O_NONBLOCK (Linux does not); connections must block.
+            const int flags = ::fcntl(fd, F_GETFL, 0);
+            if (flags >= 0)
+                ::fcntl(fd, F_SETFL, flags & ~O_NONBLOCK);
+            return Socket(fd);
+        }
+        // The pending connection vanished between poll and accept
+        // (client abort): back to poll, which still watches the
+        // wake pipe.
+        if (errno == EAGAIN || errno == EWOULDBLOCK ||
+            errno == ECONNABORTED || errno == EINTR)
+            continue;
+        return Socket(fd);
+    }
 }
 
 void
 Listener::shutdownListener()
 {
+    if (wakeWrite_ >= 0) {
+        const char byte = 1;
+        ssize_t rc;
+        do {
+            rc = ::write(wakeWrite_, &byte, 1);
+        } while (rc < 0 && errno == EINTR);
+    }
     sock_.shutdownBoth();
 }
 
@@ -246,6 +323,11 @@ Listener::close()
     if (!unlinkPath_.empty()) {
         ::unlink(unlinkPath_.c_str());
         unlinkPath_.clear();
+    }
+    if (wakeRead_ >= 0) {
+        ::close(wakeRead_);
+        ::close(wakeWrite_);
+        wakeRead_ = wakeWrite_ = -1;
     }
 }
 
@@ -303,6 +385,7 @@ connectTo(const Endpoint &endpoint)
 bool
 LineChannel::recvLine(std::string &line)
 {
+    timedOut_ = false;
     while (true) {
         const auto newline = buffer_.find('\n');
         if (newline != std::string::npos) {
@@ -314,6 +397,10 @@ LineChannel::recvLine(std::string &line)
             return false;
         char chunk[16384];
         const long n = sock_.recvSome(chunk, sizeof(chunk));
+        if (n == Socket::kTimedOut) {
+            timedOut_ = true;
+            return false;
+        }
         if (n <= 0)
             return false;
         buffer_.append(chunk, static_cast<std::size_t>(n));

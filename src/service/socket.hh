@@ -77,11 +77,24 @@ class Socket
     bool valid() const { return fd_ >= 0; }
     int fd() const { return fd_; }
 
+    /** recvSome() return value when the receive deadline expired. */
+    static constexpr long kTimedOut = -2;
+
     /** Send the whole buffer; false on error (SIGPIPE suppressed). */
     bool sendAll(const char *data, std::size_t size);
 
-    /** One recv(); 0 on orderly EOF, -1 on error. */
+    /**
+     * One recv(); 0 on orderly EOF, kTimedOut when a receive
+     * deadline (setRecvTimeout) expired with no data, -1 on error.
+     */
     long recvSome(char *data, std::size_t size);
+
+    /**
+     * Arm a receive deadline (SO_RCVTIMEO): a recv with no data for
+     * `milliseconds` returns kTimedOut instead of blocking forever.
+     * 0 disarms. False when setsockopt failed.
+     */
+    bool setRecvTimeout(unsigned milliseconds);
 
     /** shutdown(2) both directions -- unblocks a reader elsewhere. */
     void shutdownBoth();
@@ -109,8 +122,14 @@ class Listener
     Listener &operator=(const Listener &) = delete;
 
     /**
-     * Accept one connection; an invalid Socket after close() was
-     * called (the shutdown path) or on a transient accept failure.
+     * Accept one connection; an invalid Socket after
+     * shutdownListener()/close() (the shutdown path) or on a
+     * transient accept failure. Waits in poll(2) on the listening
+     * socket *and* an internal wake pipe, so a concurrent
+     * shutdownListener() interrupts a blocked accept deterministically
+     * -- shutdown(2) on a listening socket alone is not a portable
+     * wakeup, and a daemon with a connected-but-idle client must
+     * still stop promptly.
      */
     Socket accept();
 
@@ -119,8 +138,9 @@ class Listener
 
     /**
      * Unblock a concurrent accept() (it returns an invalid Socket)
-     * without closing the file descriptor. This is the only member
-     * safe to call from another thread while accept() runs: close()
+     * without closing the file descriptor: writes the wake pipe and
+     * shuts the listening socket down. This is the only member safe
+     * to call from another thread while accept() runs: close()
      * would free the fd under accept's feet (data race + the fd
      * number could be recycled by a concurrent open).
      */
@@ -137,6 +157,8 @@ class Listener
     Socket sock_;
     Endpoint bound_;
     std::string unlinkPath_; ///< Unix socket file to remove.
+    int wakeRead_ = -1;      ///< Wake pipe, read end (poll target).
+    int wakeWrite_ = -1;     ///< Wake pipe, write end.
 };
 
 /** Connect to an endpoint; throws SocketError on failure. */
@@ -157,8 +179,16 @@ class LineChannel
     bool valid() const { return sock_.valid(); }
     Socket &socket() { return sock_; }
 
-    /** False on EOF/error. */
+    /** False on EOF/error/timeout; timedOut() tells which. */
     bool recvLine(std::string &line);
+
+    /**
+     * True when the last failed recvLine() hit the socket's receive
+     * deadline (setRecvTimeout) rather than EOF or a transport
+     * error -- the caller can report "server stalled" instead of
+     * "connection closed".
+     */
+    bool timedOut() const { return timedOut_; }
 
     /** Appends '\n'; false on send failure. */
     bool sendLine(const std::string &line);
@@ -168,6 +198,7 @@ class LineChannel
 
     Socket sock_;
     std::string buffer_;
+    bool timedOut_ = false;
 };
 
 } // namespace service

@@ -9,12 +9,19 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <functional>
+#include <condition_variable>
+#include <mutex>
 #include <set>
 #include <sstream>
 #include <stdexcept>
+#include <thread>
 
 #include "runner/experiment.hh"
+#include "runner/grid_scheduler.hh"
 #include "runner/progress.hh"
 #include "runner/result_sink.hh"
 #include "runner/thread_pool.hh"
@@ -27,6 +34,7 @@ namespace
 
 using runner::ExperimentRunner;
 using runner::ExperimentSet;
+using runner::GridScheduler;
 using runner::ProgressReporter;
 using runner::ResultRow;
 using runner::ResultSink;
@@ -262,6 +270,305 @@ TEST(ResultSinkTest, SerializationDoesNotLeakStreamFormatting)
     const std::string text = tail.str();
     ASSERT_GE(text.size(), 8u);
     EXPECT_EQ(text.substr(text.size() - 8), "0.333333");
+}
+
+// ------------------------------------------------------------ GridScheduler
+
+/** A grid of `n` placeholder points; simulate hooks fabricate the
+ * results, so these tests pin scheduler behaviour, not simulation. */
+std::vector<runner::Experiment>
+fakeGrid(std::size_t n, const std::string &tag)
+{
+    std::vector<runner::Experiment> grid(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        grid[i].workload = tag;
+        grid[i].label = "p" + std::to_string(i);
+    }
+    return grid;
+}
+
+SimResult
+fakeResult(std::size_t index)
+{
+    SimResult result;
+    result.instructions = index + 1;
+    result.cycles = 1000 + index;
+    return result;
+}
+
+struct DoneCapture
+{
+    std::mutex mutex;
+    std::condition_variable cv;
+    bool fired = false;
+    GridScheduler::Outcome outcome;
+
+    std::function<void(const GridScheduler::Outcome &)> hook()
+    {
+        return [this](const GridScheduler::Outcome &o) {
+            std::lock_guard<std::mutex> lock(mutex);
+            outcome = o;
+            fired = true;
+            cv.notify_all();
+        };
+    }
+
+    GridScheduler::Outcome wait()
+    {
+        std::unique_lock<std::mutex> lock(mutex);
+        cv.wait(lock, [this]() { return fired; });
+        return outcome;
+    }
+};
+
+TEST(GridSchedulerTest, EmitsInGridOrderAndReportsOk)
+{
+    GridScheduler scheduler(GridScheduler::Options(4));
+    const auto grid = fakeGrid(16, "order");
+
+    std::mutex mutex;
+    std::vector<std::size_t> emitted;
+    DoneCapture done;
+
+    GridScheduler::JobHooks hooks;
+    hooks.simulate = [](std::size_t index, const runner::Experiment &) {
+        // Later points finish sooner: emission order must not care.
+        std::this_thread::sleep_for(
+            std::chrono::microseconds((16 - index) * 100));
+        return fakeResult(index);
+    };
+    hooks.onResult = [&](std::size_t index, const runner::Experiment &,
+                         const SimResult &result) {
+        std::lock_guard<std::mutex> lock(mutex);
+        EXPECT_EQ(result.instructions, index + 1);
+        emitted.push_back(index);
+    };
+    hooks.onDone = done.hook();
+    scheduler.submit(grid, 0, std::move(hooks));
+
+    const auto outcome = done.wait();
+    EXPECT_EQ(outcome.status, GridScheduler::Outcome::Status::Ok);
+    EXPECT_EQ(outcome.completed, grid.size());
+    ASSERT_EQ(emitted.size(), grid.size());
+    for (std::size_t i = 0; i < emitted.size(); ++i)
+        EXPECT_EQ(emitted[i], i);
+}
+
+TEST(GridSchedulerTest, ConcurrentJobsBothMakeProgress)
+{
+    // Pool of 2; job A is long, job B short and submitted second.
+    // Round-robin dispatch must start B's points while A still has
+    // undispatched work, so B finishes long before A's last point.
+    GridScheduler scheduler(GridScheduler::Options(2));
+
+    std::mutex mutex;
+    std::vector<std::string> sequence;
+    auto record = [&](const std::string &tag) {
+        std::lock_guard<std::mutex> lock(mutex);
+        sequence.push_back(tag);
+    };
+
+    DoneCapture done_a, done_b;
+    GridScheduler::JobHooks hooks_a;
+    hooks_a.simulate = [&](std::size_t index,
+                           const runner::Experiment &) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        record("a" + std::to_string(index));
+        return fakeResult(index);
+    };
+    hooks_a.onDone = done_a.hook();
+    scheduler.submit(fakeGrid(8, "a"), 0, std::move(hooks_a));
+
+    GridScheduler::JobHooks hooks_b;
+    hooks_b.simulate = [&](std::size_t index,
+                           const runner::Experiment &) {
+        record("b" + std::to_string(index));
+        return fakeResult(index);
+    };
+    hooks_b.onDone = done_b.hook();
+    scheduler.submit(fakeGrid(2, "b"), 0, std::move(hooks_b));
+
+    EXPECT_EQ(done_a.wait().status,
+              GridScheduler::Outcome::Status::Ok);
+    EXPECT_EQ(done_b.wait().status,
+              GridScheduler::Outcome::Status::Ok);
+
+    // B's first point must have run before A's last: the older job
+    // did not own the pool.
+    const auto first_b = std::find(sequence.begin(), sequence.end(),
+                                   std::string("b0"));
+    const auto last_a = std::find(sequence.begin(), sequence.end(),
+                                  std::string("a7"));
+    ASSERT_NE(first_b, sequence.end());
+    ASSERT_NE(last_a, sequence.end());
+    EXPECT_LT(first_b - sequence.begin(), last_a - sequence.begin());
+}
+
+TEST(GridSchedulerTest, CancelStopsDispatchTruthfully)
+{
+    GridScheduler scheduler(GridScheduler::Options(1));
+
+    std::mutex mutex;
+    std::condition_variable cv;
+    bool started = false, release = false;
+    std::atomic<int> simulated{0};
+
+    DoneCapture done;
+    GridScheduler::JobHooks hooks;
+    hooks.simulate = [&](std::size_t index,
+                         const runner::Experiment &) {
+        ++simulated;
+        std::unique_lock<std::mutex> lock(mutex);
+        started = true;
+        cv.notify_all();
+        cv.wait(lock, [&]() { return release; });
+        return fakeResult(index);
+    };
+    hooks.onDone = done.hook();
+    const std::uint64_t id =
+        scheduler.submit(fakeGrid(8, "cancel"), 0, std::move(hooks));
+
+    {
+        std::unique_lock<std::mutex> lock(mutex);
+        cv.wait(lock, [&]() { return started; });
+    }
+    scheduler.cancel(id);
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        release = true;
+        cv.notify_all();
+    }
+
+    const auto outcome = done.wait();
+    EXPECT_EQ(outcome.status,
+              GridScheduler::Outcome::Status::Cancelled);
+    // The in-flight point finished; nothing further was dispatched.
+    EXPECT_EQ(simulated.load(), 1);
+    EXPECT_EQ(outcome.completed, 1u);
+}
+
+TEST(GridSchedulerTest, CancelQueuedJobNeedsNoWorker)
+{
+    // One worker, wedged on job A; job B is cancelled while fully
+    // queued -- its outcome must arrive without any worker touching
+    // it (the canceller's thread finalizes it).
+    GridScheduler scheduler(GridScheduler::Options(1));
+
+    std::mutex mutex;
+    std::condition_variable cv;
+    bool release = false;
+
+    DoneCapture done_a, done_b;
+    GridScheduler::JobHooks hooks_a;
+    hooks_a.simulate = [&](std::size_t index,
+                           const runner::Experiment &) {
+        std::unique_lock<std::mutex> lock(mutex);
+        cv.wait(lock, [&]() { return release; });
+        return fakeResult(index);
+    };
+    hooks_a.onDone = done_a.hook();
+    scheduler.submit(fakeGrid(1, "a"), 0, std::move(hooks_a));
+
+    std::atomic<int> b_simulated{0};
+    GridScheduler::JobHooks hooks_b;
+    hooks_b.simulate = [&](std::size_t index,
+                           const runner::Experiment &) {
+        ++b_simulated;
+        return fakeResult(index);
+    };
+    hooks_b.onDone = done_b.hook();
+    const std::uint64_t id_b =
+        scheduler.submit(fakeGrid(4, "b"), 0, std::move(hooks_b));
+
+    scheduler.cancel(id_b);
+    const auto outcome_b = done_b.wait(); // Worker still wedged.
+    EXPECT_EQ(outcome_b.status,
+              GridScheduler::Outcome::Status::Cancelled);
+    EXPECT_EQ(outcome_b.completed, 0u);
+    EXPECT_EQ(b_simulated.load(), 0);
+
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        release = true;
+        cv.notify_all();
+    }
+    EXPECT_EQ(done_a.wait().status,
+              GridScheduler::Outcome::Status::Ok);
+}
+
+TEST(GridSchedulerTest, SimulateExceptionStopsJobNotPool)
+{
+    GridScheduler scheduler(GridScheduler::Options(1));
+
+    DoneCapture done_bad, done_good;
+    GridScheduler::JobHooks hooks_bad;
+    hooks_bad.simulate =
+        [](std::size_t index, const runner::Experiment &) -> SimResult {
+        if (index == 1)
+            throw std::runtime_error("boom at 1");
+        return fakeResult(index);
+    };
+    hooks_bad.onDone = done_bad.hook();
+    scheduler.submit(fakeGrid(8, "bad"), 0, std::move(hooks_bad));
+
+    const auto outcome = done_bad.wait();
+    EXPECT_EQ(outcome.status, GridScheduler::Outcome::Status::Error);
+    EXPECT_EQ(outcome.completed, 1u); // Point 0 emitted, then stop.
+    ASSERT_NE(outcome.error, nullptr);
+    EXPECT_THROW(std::rethrow_exception(outcome.error),
+                 std::runtime_error);
+
+    // The pool survives a failed job and runs the next one.
+    GridScheduler::JobHooks hooks_good;
+    hooks_good.simulate = [](std::size_t index,
+                             const runner::Experiment &) {
+        return fakeResult(index);
+    };
+    hooks_good.onDone = done_good.hook();
+    scheduler.submit(fakeGrid(2, "good"), 0, std::move(hooks_good));
+    EXPECT_EQ(done_good.wait().status,
+              GridScheduler::Outcome::Status::Ok);
+}
+
+TEST(GridSchedulerTest, BudgetCapsAJobsConcurrency)
+{
+    GridScheduler scheduler(GridScheduler::Options(4));
+
+    std::atomic<int> inFlight{0}, peak{0};
+    DoneCapture done;
+    GridScheduler::JobHooks hooks;
+    hooks.simulate = [&](std::size_t index,
+                         const runner::Experiment &) {
+        const int now = ++inFlight;
+        int expected = peak.load();
+        while (now > expected &&
+               !peak.compare_exchange_weak(expected, now)) {
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        --inFlight;
+        return fakeResult(index);
+    };
+    hooks.onDone = done.hook();
+    scheduler.submit(fakeGrid(12, "budget"), 2, std::move(hooks));
+
+    EXPECT_EQ(done.wait().status, GridScheduler::Outcome::Status::Ok);
+    EXPECT_LE(peak.load(), 2);
+    EXPECT_GE(peak.load(), 1);
+}
+
+TEST(GridSchedulerTest, EmptyGridCompletesImmediately)
+{
+    GridScheduler scheduler(GridScheduler::Options(2));
+    DoneCapture done;
+    GridScheduler::JobHooks hooks;
+    hooks.simulate = [](std::size_t, const runner::Experiment &) {
+        return SimResult{};
+    };
+    hooks.onDone = done.hook();
+    scheduler.submit({}, 0, std::move(hooks));
+    const auto outcome = done.wait();
+    EXPECT_EQ(outcome.status, GridScheduler::Outcome::Status::Ok);
+    EXPECT_EQ(outcome.completed, 0u);
 }
 
 // ----------------------------------------------- parallel == serial results

@@ -10,9 +10,12 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <memory>
+#include <mutex>
 #include <sstream>
 #include <thread>
 #include <vector>
@@ -82,8 +85,10 @@ requestFor(const runner::ExperimentSet &set, const std::string &name)
 class TestServer
 {
   public:
-    explicit TestServer(const std::string &tag)
-        : server_("unix:/tmp/shotgun_svc_test_" + tag + ".sock", {}),
+    explicit TestServer(const std::string &tag,
+                        ServerOptions options = {})
+        : server_("unix:/tmp/shotgun_svc_test_" + tag + ".sock",
+                  options),
           thread_([this]() { server_.serve(); })
     {
     }
@@ -290,6 +295,355 @@ TEST(ServiceTest, SubmitWithBadTraceFileIsRejected)
     }
     EXPECT_TRUE(client.ping());
     std::remove(trace.c_str());
+}
+
+TEST(ServiceTest, ConcurrentJobsInterleaveAndMatchInProcess)
+{
+    // Two different grids submitted concurrently to one daemon with
+    // a 2-thread pool: the scheduler must run them side by side (a
+    // status frame observes both `running` at once) and each must
+    // still return results bitwise-identical to its in-process run.
+    runner::ExperimentSet set_a = quickGrid(3);
+    runner::ExperimentSet set_b;
+    {
+        const std::uint64_t warmup = 20000, measure = 50000;
+        for (int w = 0; w < 2; ++w) {
+            const WorkloadPreset preset =
+                tinyPreset("svc-conc" + std::to_string(w),
+                           0x77a0 + static_cast<std::uint64_t>(w));
+            set_b.addBaseline(preset, warmup, measure);
+            SimConfig config =
+                SimConfig::make(preset, SchemeType::Shotgun);
+            config.warmupInstructions = warmup;
+            config.measureInstructions = measure;
+            set_b.add(preset, "shotgun", config);
+        }
+    }
+    const auto local_a = runner::ExperimentRunner().run(set_a);
+    const auto local_b = runner::ExperimentRunner().run(set_b);
+
+    ServerOptions options;
+    options.jobs = 2;
+    TestServer server("concurrent", options);
+
+    std::atomic<bool> a_started{false};
+    std::vector<SimResult> remote_a, remote_b;
+
+    std::thread submit_a([&]() {
+        ServiceClient client(server.endpoint());
+        remote_a = client.submit(
+            requestFor(set_a, "job-a"),
+            [&](const ResultEvent &) { a_started.store(true); });
+    });
+    while (!a_started.load())
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+
+    std::atomic<bool> done_b{false};
+    std::thread submit_b([&]() {
+        ServiceClient client(server.endpoint());
+        remote_b = client.submit(requestFor(set_b, "job-b"));
+        done_b.store(true);
+    });
+
+    // Poll status from a third connection until one frame reports
+    // both jobs running -- the "two grids make progress at once"
+    // observable (polling stops once job B finished, which can beat
+    // a poll on a fast machine).
+    bool both_running = false;
+    {
+        ServiceClient status_client(server.endpoint());
+        while (!both_running && !done_b.load()) {
+            const json::Value status = status_client.status();
+            std::size_t running = 0;
+            for (const json::Value &row : status.at("jobs").items())
+                running += decodeJobStatus(row).state == "running";
+            both_running = running >= 2;
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(1));
+        }
+    }
+    submit_a.join();
+    submit_b.join();
+    EXPECT_TRUE(both_running)
+        << "no status frame observed both jobs running";
+
+    ASSERT_EQ(remote_a.size(), set_a.size());
+    for (std::size_t i = 0; i < set_a.size(); ++i)
+        EXPECT_TRUE(remote_a[i] == local_a[i]) << "A index " << i;
+    ASSERT_EQ(remote_b.size(), set_b.size());
+    for (std::size_t i = 0; i < set_b.size(); ++i)
+        EXPECT_TRUE(remote_b[i] == local_b[i]) << "B index " << i;
+}
+
+TEST(ServiceTest, CancelRunningJobStopsDispatch)
+{
+    // A 1-worker pool serializes the 9 points, leaving a wide window
+    // to cancel mid-job; the job must then stop dispatching, report
+    // `cancelled` truthfully, and leave the tail unsimulated.
+    const runner::ExperimentSet set = quickGrid(3);
+
+    ServerOptions options;
+    options.jobs = 1;
+    TestServer server("cancel-running", options);
+
+    std::atomic<bool> started{false};
+    std::atomic<std::uint64_t> job_id{0};
+    std::string failure;
+
+    std::thread submitter([&]() {
+        ServiceClient client(server.endpoint());
+        try {
+            SubmitRequest request = requestFor(set, "cancel-me");
+            client.submit(request, [&](const ResultEvent &event) {
+                job_id.store(event.job);
+                started.store(true);
+            });
+            failure = "submit returned ok despite cancel";
+        } catch (const ServiceError &e) {
+            if (std::string(e.what()).find("cancelled") ==
+                std::string::npos)
+                failure = std::string("unexpected error: ") +
+                          e.what();
+        }
+    });
+    while (!started.load())
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+
+    ServiceClient control(server.endpoint());
+    control.cancel(job_id.load());
+    submitter.join();
+    EXPECT_TRUE(failure.empty()) << failure;
+
+    // The job's terminal status is `cancelled` with an honest
+    // completed count, and the remaining points were never simulated.
+    const json::Value status = control.status();
+    ASSERT_EQ(status.at("jobs").size(), 1u);
+    const JobStatus job = decodeJobStatus(status.at("jobs").items()[0]);
+    EXPECT_EQ(job.state, "cancelled");
+    EXPECT_LT(job.completed, set.size());
+    EXPECT_LT(server.server().cacheSize(), set.size());
+}
+
+TEST(ServiceTest, CacheEvictionRespectsByteBudget)
+{
+    const runner::ExperimentSet set = quickGrid(2); // 6 points.
+
+    ServerOptions options;
+    options.jobs = 2;
+    // Room for roughly one result (fingerprint + struct + strings),
+    // so a 6-point grid must evict while it runs.
+    options.cacheBytes = 400;
+    TestServer server("evict", options);
+
+    ServiceClient client(server.endpoint());
+    const auto first = client.submit(requestFor(set, "evict"));
+
+    MemoCacheStats stats = server.server().cacheStats();
+    EXPECT_LE(stats.bytes, options.cacheBytes);
+    EXPECT_GT(stats.evictions, 0u);
+    EXPECT_LT(stats.entries, set.size());
+
+    // Resubmit: mostly recomputed (the cache was too small to hold
+    // the grid), and the recomputed results are identical to the
+    // first run and to in-process -- eviction can never serve a
+    // stale or corrupted entry.
+    const auto second = client.submit(requestFor(set, "evict"));
+    const auto local = runner::ExperimentRunner().run(set);
+    ASSERT_EQ(second.size(), set.size());
+    for (std::size_t i = 0; i < set.size(); ++i) {
+        EXPECT_TRUE(first[i] == second[i]) << "index " << i;
+        EXPECT_TRUE(second[i] == local[i]) << "index " << i;
+    }
+    stats = server.server().cacheStats();
+    EXPECT_LE(stats.bytes, options.cacheBytes);
+}
+
+TEST(ServiceTest, ShardedSurvivesDeadWorkerEndpoint)
+{
+    // One of three workers is dead on arrival (nothing listens on
+    // its socket): its shard must be redistributed across the two
+    // survivors and the stitched result must stay byte-identical.
+    const runner::ExperimentSet set = quickGrid(3);
+    const auto local = runner::ExperimentRunner().run(set);
+
+    TestServer a("dead-a"), b("dead-b");
+    const std::string dead = "unix:/tmp/shotgun_svc_dead_worker.sock";
+
+    ShardedOptions options;
+    std::vector<ShardOutcome> outcomes;
+    options.outcomes = &outcomes;
+    std::atomic<std::size_t> last_done{0};
+    options.onProgress = [&](std::size_t done, std::size_t total) {
+        last_done.store(done);
+        EXPECT_EQ(total, set.size());
+    };
+
+    const auto remote = submitSharded(
+        {a.endpoint(), dead, b.endpoint()},
+        requestFor(set, "dead-worker"), options);
+
+    EXPECT_EQ(last_done.load(), set.size());
+    ASSERT_EQ(remote.size(), set.size());
+    for (std::size_t i = 0; i < set.size(); ++i)
+        EXPECT_TRUE(remote[i] == local[i]) << "index " << i;
+
+    ASSERT_EQ(outcomes.size(), 3u);
+    EXPECT_TRUE(outcomes[0].error.empty());
+    EXPECT_TRUE(outcomes[2].error.empty());
+    EXPECT_FALSE(outcomes[1].error.empty());
+    EXPECT_EQ(outcomes[1].delivered, 0u);
+    EXPECT_EQ(outcomes[1].retried, outcomes[1].assigned);
+    EXPECT_EQ(outcomes[0].delivered + outcomes[2].delivered,
+              set.size());
+}
+
+TEST(ServiceTest, ShardedSurvivesWorkerKilledMidGrid)
+{
+    // Kill one of three live workers while the grid runs: its
+    // undelivered points move to the survivors and the stitched
+    // vector is still complete and byte-identical.
+    const runner::ExperimentSet set = quickGrid(3);
+    const auto local = runner::ExperimentRunner().run(set);
+
+    TestServer a("kill-a"), b("kill-b");
+    auto victim = std::make_unique<TestServer>("kill-c");
+
+    ShardedOptions options;
+    std::vector<ShardOutcome> outcomes;
+    options.outcomes = &outcomes;
+    std::atomic<bool> killed{false};
+    options.onProgress = [&](std::size_t, std::size_t) {
+        // First delivered point anywhere: shoot worker C.
+        if (!killed.exchange(true))
+            victim->server().requestShutdown();
+    };
+
+    const auto remote = submitSharded(
+        {a.endpoint(), b.endpoint(), victim->endpoint()},
+        requestFor(set, "killed-worker"), options);
+
+    ASSERT_EQ(remote.size(), set.size());
+    for (std::size_t i = 0; i < set.size(); ++i)
+        EXPECT_TRUE(remote[i] == local[i]) << "index " << i;
+    // Every point was delivered by someone; C's ledger is truthful
+    // whether the kill caught it mid-shard or just after it
+    // finished (both are legal interleavings).
+    ASSERT_EQ(outcomes.size(), 3u);
+    EXPECT_EQ(outcomes[0].delivered + outcomes[1].delivered +
+                  outcomes[2].delivered,
+              set.size());
+    EXPECT_EQ(outcomes[2].delivered + outcomes[2].retried,
+              outcomes[2].assigned);
+}
+
+TEST(ServiceTest, ShardedJobErrorFailsFastWithoutRedistribution)
+{
+    // A fake worker that accepts the submit and then reports the job
+    // itself failed (`done` status "error"): that failure is
+    // deterministic -- the same point would fail on every worker --
+    // so submitSharded must rethrow it immediately instead of
+    // "redistributing" the shard across the healthy fleet.
+    const std::string path = "/tmp/shotgun_svc_failfast.sock";
+    Listener fake(Endpoint::parse("unix:" + path));
+    std::thread fake_thread([&]() {
+        Socket sock = fake.accept();
+        if (!sock.valid())
+            return;
+        LineChannel channel(std::move(sock));
+        std::string line;
+        while (channel.recvLine(line)) {
+            const json::Value frame = json::Value::parse(line);
+            if (frameType(frame) != "submit")
+                continue;
+            json::Value accepted = makeFrame("accepted");
+            accepted.set("job", json::Value::number(std::uint64_t{1}));
+            accepted.set(
+                "total",
+                json::Value::number(
+                    std::uint64_t{frame.at("grid").size()}));
+            accepted.set("fingerprints", json::Value::array());
+            channel.sendLine(accepted.dump());
+            DoneEvent done;
+            done.job = 1;
+            done.status = "error";
+            done.completed = 0;
+            done.message = "synthetic simulate failure";
+            channel.sendLine(encodeDone(done).dump());
+        }
+    });
+
+    TestServer healthy("failfast");
+    const runner::ExperimentSet set = quickGrid(2);
+    ShardedOptions options;
+    try {
+        submitSharded({healthy.endpoint(), "unix:" + path},
+                      requestFor(set, "failfast"), options);
+        FAIL() << "deterministic job failure was not propagated";
+    } catch (const JobFailedError &e) {
+        EXPECT_NE(std::string(e.what())
+                      .find("synthetic simulate failure"),
+                  std::string::npos)
+            << e.what();
+    }
+    fake.shutdownListener();
+    fake_thread.join();
+}
+
+TEST(ServiceTest, ShardedAllWorkersDeadRethrows)
+{
+    const runner::ExperimentSet set = quickGrid(1);
+    ShardedOptions options;
+    EXPECT_THROW(
+        submitSharded({"unix:/tmp/shotgun_svc_dead_1.sock",
+                       "unix:/tmp/shotgun_svc_dead_2.sock"},
+                      requestFor(set, "all-dead"), options),
+        SocketError);
+}
+
+TEST(ServiceTest, ClientTimesOutOnWedgedServer)
+{
+    // A listener that accepts the TCP/Unix handshake but never
+    // answers a frame: the client must fail with a clear timeout
+    // error instead of blocking forever.
+    Listener wedged(
+        Endpoint::parse("unix:/tmp/shotgun_svc_wedged.sock"));
+
+    ServiceClient client("unix:/tmp/shotgun_svc_wedged.sock",
+                         /*timeout_seconds=*/1);
+    try {
+        client.ping();
+        FAIL() << "ping returned despite a wedged server";
+    } catch (const SocketError &e) {
+        EXPECT_NE(std::string(e.what()).find("sent nothing for 1s"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(ServiceTest, ShutdownInterruptsAcceptWithIdleClientConnected)
+{
+    // Regression: a connected-but-idle client must not wedge
+    // shutdown -- the wake pipe interrupts the blocked accept() and
+    // the idle connection is shut down and drained.
+    auto server = std::make_unique<SimServer>(
+        "unix:/tmp/shotgun_svc_test_idle_shutdown.sock",
+        ServerOptions{});
+    std::thread thread([&]() { server->serve(); });
+
+    // An idle client: connects, then sends nothing at all.
+    LineChannel idle(connectTo(Endpoint::parse(server->endpoint())));
+    ASSERT_TRUE(idle.valid());
+
+    // Shutdown arrives over a second connection.
+    ServiceClient control(server->endpoint());
+    control.shutdownServer();
+    thread.join(); // Hangs here if accept/readers were not woken.
+
+    // The idle client's connection was shut down by the server.
+    std::string line;
+    EXPECT_FALSE(idle.recvLine(line));
+    server.reset();
+    SUCCEED();
 }
 
 TEST(ServiceTest, CancelUnknownJobIsAnError)

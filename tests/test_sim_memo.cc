@@ -83,6 +83,127 @@ TEST(MemoCacheTest, ThrowingComputeAllowsRetry)
     EXPECT_EQ(*cache.get(1, [&attempts]() { return ++attempts; }), 2);
 }
 
+// ----------------------------------------------------------- LruMemoCache
+
+/** Every entry costs 10 bytes: budgets become entry counts. */
+std::size_t
+tenBytes(const int &, const int &)
+{
+    return 10;
+}
+
+TEST(LruMemoCacheTest, EvictsLeastRecentlyUsedWithinBudget)
+{
+    LruMemoCache<int, int> cache(30, tenBytes); // Room for 3.
+    std::atomic<int> computes{0};
+    auto fill = [&](int key) {
+        return *cache.get(key, [&computes, key]() {
+            ++computes;
+            return key * 2;
+        });
+    };
+
+    EXPECT_EQ(fill(1), 2);
+    EXPECT_EQ(fill(2), 4);
+    EXPECT_EQ(fill(3), 6);
+    EXPECT_EQ(computes.load(), 3);
+    EXPECT_EQ(cache.stats().bytes, 30u);
+
+    fill(1);             // Touch: 1 is now most recent.
+    EXPECT_EQ(fill(4), 8); // Evicts 2 (the LRU), not 1.
+    EXPECT_EQ(cache.size(), 3u);
+    EXPECT_EQ(cache.stats().evictions, 1u);
+    EXPECT_LE(cache.stats().bytes, 30u);
+
+    fill(1); // Still cached.
+    EXPECT_EQ(computes.load(), 4);
+    fill(2); // Was evicted: recomputes the identical value.
+    EXPECT_EQ(computes.load(), 5);
+}
+
+TEST(LruMemoCacheTest, EvictedKeyRecomputesSameValueNeverStale)
+{
+    LruMemoCache<int, int> cache(10, tenBytes); // Room for 1.
+    for (int round = 0; round < 3; ++round) {
+        for (int key = 0; key < 4; ++key) {
+            // The "simulation" is pure: recomputation after any
+            // eviction pattern must always return the same value.
+            EXPECT_EQ(*cache.get(key, [key]() { return key + 7; }),
+                      key + 7);
+        }
+    }
+    EXPECT_EQ(cache.size(), 1u);
+    EXPECT_GT(cache.stats().evictions, 0u);
+}
+
+TEST(LruMemoCacheTest, ZeroBudgetIsUnbounded)
+{
+    LruMemoCache<int, int> cache(0, tenBytes);
+    for (int key = 0; key < 100; ++key)
+        cache.get(key, [key]() { return key; });
+    EXPECT_EQ(cache.size(), 100u);
+    EXPECT_EQ(cache.stats().evictions, 0u);
+    EXPECT_EQ(cache.stats().bytes, 1000u);
+}
+
+TEST(LruMemoCacheTest, CountsHitsAndMisses)
+{
+    LruMemoCache<int, int> cache(0, tenBytes);
+    cache.get(1, []() { return 1; });
+    cache.get(1, []() { return 1; });
+    cache.get(2, []() { return 2; });
+    const MemoCacheStats stats = cache.stats();
+    EXPECT_EQ(stats.misses, 2u);
+    EXPECT_EQ(stats.hits, 1u);
+    EXPECT_EQ(stats.entries, 2u);
+}
+
+TEST(LruMemoCacheTest, ValueHandedOutSurvivesEviction)
+{
+    LruMemoCache<int, int> cache(10, tenBytes);
+    const auto held = cache.get(1, []() { return 41; });
+    cache.get(2, []() { return 42; }); // Evicts key 1.
+    EXPECT_EQ(cache.size(), 1u);
+    EXPECT_EQ(*held, 41); // The shared_ptr keeps the value alive.
+}
+
+TEST(LruMemoCacheTest, ConcurrentHammerStaysWithinBudgetAndCorrect)
+{
+    LruMemoCache<int, int> cache(50, tenBytes); // Room for 5.
+    constexpr int kThreads = 8, kIters = 300, kKeys = 12;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t]() {
+            for (int i = 0; i < kIters; ++i) {
+                const int key = (i + t) % kKeys;
+                const auto value =
+                    cache.get(key, [key]() { return key * 5; });
+                ASSERT_EQ(*value, key * 5);
+            }
+        });
+    }
+    for (auto &thread : threads)
+        thread.join();
+    const MemoCacheStats stats = cache.stats();
+    EXPECT_LE(stats.bytes, 50u);
+    EXPECT_LE(stats.entries, 5u);
+    EXPECT_GT(stats.evictions, 0u);
+}
+
+TEST(LruMemoCacheTest, ThrowingComputeAllowsRetry)
+{
+    LruMemoCache<int, int> cache(0, tenBytes);
+    int attempts = 0;
+    EXPECT_THROW(cache.get(1,
+                           [&attempts]() -> int {
+                               ++attempts;
+                               throw std::runtime_error("first try");
+                           }),
+                 std::runtime_error);
+    EXPECT_EQ(*cache.get(1, [&attempts]() { return ++attempts; }), 2);
+    EXPECT_EQ(cache.size(), 1u);
+}
+
 /** Small synthetic workloads so the hammer stays fast. */
 WorkloadPreset
 tinyPreset(const std::string &name, std::uint64_t seed)

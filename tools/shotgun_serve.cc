@@ -32,19 +32,26 @@ namespace
 {
 
 const char *kUsage =
-    "usage: shotgun-serve --listen ENDPOINT [--jobs N] [--quiet]\n"
+    "usage: shotgun-serve --listen ENDPOINT [--jobs N]\n"
+    "                     [--cache-bytes N[K|M|G]] [--quiet]\n"
     "\n"
     "Long-running simulation service: accepts experiment grids over\n"
     "the newline-delimited JSON frame protocol (see\n"
-    "src/service/README.md), runs them through the shared experiment\n"
-    "runner with a fingerprint-keyed result cache, and streams\n"
-    "results back in grid order.\n"
+    "src/service/README.md), schedules concurrently submitted grids\n"
+    "fairly over one worker pool (round-robin per grid point), and\n"
+    "streams each job's results back in its grid order, serving\n"
+    "repeated configurations from a fingerprint-keyed result cache.\n"
     "\n"
     "  --listen ENDPOINT   unix:<path> or <host>:<port> (TCP port 0\n"
     "                      asks the kernel for a free port; the\n"
     "                      resolved endpoint is printed on stdout)\n"
-    "  --jobs N            cap per-job worker threads (default: one\n"
+    "  --jobs N            worker pool size, also the cap on any\n"
+    "                      single job's worker budget (default: one\n"
     "                      per hardware thread)\n"
+    "  --cache-bytes N     byte budget for the result cache;\n"
+    "                      least-recently-used results are evicted\n"
+    "                      beyond it (suffix K/M/G; default:\n"
+    "                      unbounded)\n"
     "  --quiet             no connection/job log lines on stderr\n"
     "\n"
     "Stop it with: shotgun-submit --server ENDPOINT --shutdown\n";
@@ -87,6 +94,29 @@ main(int argc, char **argv)
                                        "count in [1, 1024], got '") +
                            text + "'");
             options.jobs = static_cast<unsigned>(jobs);
+        } else if (std::strcmp(argv[i], "--cache-bytes") == 0) {
+            std::string text = next("--cache-bytes");
+            std::uint64_t multiplier = 1;
+            if (!text.empty()) {
+                switch (text.back()) {
+                  case 'K': multiplier = 1ull << 10; break;
+                  case 'M': multiplier = 1ull << 20; break;
+                  case 'G': multiplier = 1ull << 30; break;
+                  default: break;
+                }
+                if (multiplier != 1)
+                    text.pop_back();
+            }
+            std::uint64_t bytes = 0;
+            if (!parseU64(text.c_str(), bytes) || bytes == 0 ||
+                bytes > UINT64_MAX / multiplier)
+                usageError(std::string("--cache-bytes: expected a "
+                                       "positive byte count "
+                                       "(K/M/G suffix allowed), "
+                                       "got '") +
+                           argv[i] + "'");
+            options.cacheBytes =
+                static_cast<std::size_t>(bytes * multiplier);
         } else if (std::strcmp(argv[i], "--quiet") == 0) {
             options.log = nullptr;
         } else {

@@ -62,7 +62,14 @@ const char *kUsage =
     "\n"
     "Sharding: --workers submits experiment i to worker i mod W and\n"
     "stitches results back by index, so the output is byte-identical\n"
-    "to a single-server or --local run of the same grid.\n"
+    "to a single-server or --local run of the same grid. A worker\n"
+    "that dies mid-grid has its undelivered points redistributed\n"
+    "across the surviving workers (delivered results are kept); the\n"
+    "submit fails only when every worker is dead.\n"
+    "\n"
+    "Transport options:\n"
+    "  --timeout SECONDS    fail when the server sends nothing for\n"
+    "                       this long (default 600; 0 waits forever)\n"
     "\n"
     "Output options:\n"
     "  --out BASE           write BASE.json and BASE.csv\n"
@@ -117,6 +124,7 @@ struct Options
     std::uint64_t warmup = 2000000;
     std::uint64_t seed = 1;
     std::uint64_t jobs = 0;
+    std::uint64_t timeoutSeconds = service::kDefaultTimeoutSeconds;
 
     std::string outBase;
     bool showProgress = true;
@@ -187,6 +195,11 @@ parseOptions(int argc, char **argv)
             opts.seed = nextU64("--seed");
         } else if (std::strcmp(arg, "--jobs") == 0) {
             opts.jobs = nextU64("--jobs");
+        } else if (std::strcmp(arg, "--timeout") == 0) {
+            opts.timeoutSeconds = nextU64("--timeout");
+            if (opts.timeoutSeconds > 86400)
+                usageError("--timeout: expected seconds in "
+                           "[0, 86400]");
         } else if (std::strcmp(arg, "--out") == 0) {
             opts.outBase = next("--out");
         } else if (std::strcmp(arg, "--no-progress") == 0) {
@@ -253,13 +266,29 @@ runSubmit(const Options &opts)
         ropts.progress = opts.showProgress ? &std::cerr : nullptr;
         results = runner::ExperimentRunner(ropts).run(set);
     } else {
-        auto progress = [&](std::size_t done, std::size_t total) {
+        service::ShardedOptions shard_opts;
+        shard_opts.onProgress = [&](std::size_t done,
+                                    std::size_t total) {
             if (opts.showProgress)
                 std::fprintf(stderr, "[%zu/%zu] points complete\n",
                              done, total);
         };
+        shard_opts.timeoutSeconds =
+            static_cast<unsigned>(opts.timeoutSeconds);
+        std::vector<service::ShardOutcome> outcomes;
+        shard_opts.outcomes = &outcomes;
         results =
-            service::submitSharded(opts.endpoints, request, progress);
+            service::submitSharded(opts.endpoints, request, shard_opts);
+        for (const service::ShardOutcome &outcome : outcomes) {
+            if (outcome.error.empty())
+                continue;
+            std::fprintf(stderr,
+                         "warning: worker %s died after %zu points "
+                         "(%s); %zu points redistributed to "
+                         "survivors\n",
+                         outcome.endpoint.c_str(), outcome.delivered,
+                         outcome.error.c_str(), outcome.retried);
+        }
     }
 
     // Rows, table and files go through the exact machinery
@@ -293,26 +322,34 @@ main(int argc, char **argv)
           case Options::Action::Submit:
             return runSubmit(opts);
           case Options::Action::Status: {
-            service::ServiceClient client(opts.endpoints[0]);
+            service::ServiceClient client(
+                opts.endpoints[0],
+                static_cast<unsigned>(opts.timeoutSeconds));
             std::cout << client.status().dump() << "\n";
             return 0;
           }
           case Options::Action::Ping: {
-            service::ServiceClient client(opts.endpoints[0]);
+            service::ServiceClient client(
+                opts.endpoints[0],
+                static_cast<unsigned>(opts.timeoutSeconds));
             if (!client.ping())
                 fatal("no pong from %s", opts.endpoints[0].c_str());
             std::printf("pong from %s\n", opts.endpoints[0].c_str());
             return 0;
           }
           case Options::Action::Shutdown: {
-            service::ServiceClient client(opts.endpoints[0]);
+            service::ServiceClient client(
+                opts.endpoints[0],
+                static_cast<unsigned>(opts.timeoutSeconds));
             client.shutdownServer();
             std::printf("server %s shutting down\n",
                         opts.endpoints[0].c_str());
             return 0;
           }
           case Options::Action::Cancel: {
-            service::ServiceClient client(opts.endpoints[0]);
+            service::ServiceClient client(
+                opts.endpoints[0],
+                static_cast<unsigned>(opts.timeoutSeconds));
             client.cancel(opts.cancelJob);
             std::printf("job %llu cancelling\n",
                         static_cast<unsigned long long>(
