@@ -1,0 +1,201 @@
+/**
+ * @file
+ * End-to-end simulator throughput micro-benchmark: wall-clock
+ * simulated instructions/sec (and cycles/sec) of runSimulation()
+ * over a fixed preset, per scheme. Emits JSON so CI can track the
+ * numbers and future changes can enforce a cycles/sec budget (the
+ * ROADMAP item bench_micro_structures does not cover: it guards
+ * structure throughput, not the full simulation loop).
+ *
+ *   bench_sim_throughput [--workload NAME] [--schemes LIST]
+ *       [--instructions N] [--warmup N] [--repeats N] [--out FILE]
+ *
+ * Each (workload, scheme) point is simulated --repeats times and the
+ * best run is reported (least-noise estimator for throughput). The
+ * simulated results themselves are deterministic; only the timings
+ * vary across machines.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/cli.hh"
+#include "common/json.hh"
+#include "common/parse.hh"
+#include "prefetch/factory.hh"
+#include "sim/simulator.hh"
+#include "trace/presets.hh"
+
+using namespace shotgun;
+
+namespace
+{
+
+const char *kUsage =
+    "usage:\n"
+    "  bench_sim_throughput [--workload NAME] [--schemes LIST]\n"
+    "      [--instructions N] [--warmup N] [--repeats N]\n"
+    "      [--out FILE]\n"
+    "\n"
+    "Measures end-to-end runSimulation() throughput (simulated\n"
+    "instructions and cycles per wall-clock second) over one preset\n"
+    "(default nutch) for each scheme (default baseline,shotgun),\n"
+    "reporting the best of --repeats (default 3) runs as JSON to\n"
+    "--out (default stdout).\n";
+
+[[noreturn]] void
+usageError(const std::string &message)
+{
+    std::fprintf(stderr, "bench_sim_throughput: %s\n%s",
+                 message.c_str(), kUsage);
+    std::exit(cli::kUsageExitCode);
+}
+
+std::vector<std::string>
+splitCommas(const std::string &text)
+{
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    while (start < text.size()) {
+        const auto comma = text.find(',', start);
+        const auto end =
+            comma == std::string::npos ? text.size() : comma;
+        if (end > start)
+            out.push_back(text.substr(start, end - start));
+        if (comma == std::string::npos)
+            break;
+        start = comma + 1;
+    }
+    return out;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    int exit_code = 0;
+    if (cli::handleStandardFlags(argc, argv, "bench_sim_throughput",
+                                 kUsage, exit_code))
+        return exit_code;
+
+    std::string workload = "nutch";
+    std::vector<std::string> schemes{"baseline", "shotgun"};
+    std::uint64_t measure = 2000000, warmup = 500000, repeats = 3;
+    std::string out_path;
+    for (int i = 1; i < argc; ++i) {
+        auto next = [&](const char *flag) -> const char * {
+            if (i + 1 >= argc)
+                usageError(std::string(flag) + ": missing value");
+            return argv[++i];
+        };
+        auto nextU64 = [&](const char *flag) {
+            std::uint64_t value = 0;
+            const char *text = next(flag);
+            if (!parseU64(text, value) || value == 0)
+                usageError(std::string(flag) +
+                           ": expected a nonzero decimal count");
+            return value;
+        };
+        if (std::strcmp(argv[i], "--workload") == 0)
+            workload = next("--workload");
+        else if (std::strcmp(argv[i], "--schemes") == 0)
+            schemes = splitCommas(next("--schemes"));
+        else if (std::strcmp(argv[i], "--instructions") == 0)
+            measure = nextU64("--instructions");
+        else if (std::strcmp(argv[i], "--warmup") == 0)
+            warmup = nextU64("--warmup");
+        else if (std::strcmp(argv[i], "--repeats") == 0)
+            repeats = nextU64("--repeats");
+        else if (std::strcmp(argv[i], "--out") == 0)
+            out_path = next("--out");
+        else
+            usageError(std::string("unknown option '") + argv[i] +
+                       "'");
+    }
+    if (schemes.empty())
+        usageError("--schemes: expected a scheme list");
+
+    const WorkloadPreset preset = presetByName(workload);
+
+    using json::Value;
+    Value rows = Value::array();
+    for (const std::string &scheme : schemes) {
+        SimConfig config =
+            SimConfig::make(preset, schemeTypeByName(scheme));
+        config.warmupInstructions = warmup;
+        config.measureInstructions = measure;
+
+        // Warm the program memo outside the timed region: building
+        // the synthetic image is one-time setup, not simulation.
+        programFor(config.workload);
+
+        double best_seconds = 0.0;
+        SimResult result;
+        for (std::uint64_t r = 0; r < repeats; ++r) {
+            const auto start = std::chrono::steady_clock::now();
+            result = runSimulation(config);
+            const double seconds =
+                std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+            if (r == 0 || seconds < best_seconds)
+                best_seconds = seconds;
+        }
+        // Warm-up instructions are simulated work too; count them in
+        // the throughput so the metric reflects the real loop cost.
+        const double simulated =
+            static_cast<double>(warmup + result.instructions);
+        const double ips =
+            best_seconds > 0.0 ? simulated / best_seconds : 0.0;
+        const double cps =
+            best_seconds > 0.0
+                ? static_cast<double>(result.cycles) / best_seconds
+                : 0.0;
+
+        Value row = Value::object();
+        row.set("workload", Value::string(result.workload));
+        row.set("scheme", Value::string(result.scheme));
+        row.set("warmup_instructions", Value::number(warmup));
+        row.set("measured_instructions",
+                Value::number(result.instructions));
+        row.set("measured_cycles",
+                Value::number(std::uint64_t{result.cycles}));
+        row.set("best_seconds", Value::number(best_seconds));
+        row.set("instructions_per_second", Value::number(ips));
+        row.set("cycles_per_second", Value::number(cps));
+        rows.push(std::move(row));
+
+        std::fprintf(stderr,
+                     "%s/%s: %.2f Minstr/s, %.2f Mcycles/s "
+                     "(best of %llu x %.3fs)\n",
+                     result.workload.c_str(), result.scheme.c_str(),
+                     ips / 1e6, cps / 1e6,
+                     static_cast<unsigned long long>(repeats),
+                     best_seconds);
+    }
+
+    Value doc = Value::object();
+    doc.set("experiment", Value::string("sim_throughput"));
+    doc.set("repeats", Value::number(repeats));
+    doc.set("rows", std::move(rows));
+
+    if (out_path.empty()) {
+        std::printf("%s\n", doc.dump().c_str());
+    } else {
+        std::ofstream out(out_path);
+        if (!out) {
+            std::fprintf(stderr,
+                         "bench_sim_throughput: cannot write '%s'\n",
+                         out_path.c_str());
+            return 1;
+        }
+        out << doc.dump() << "\n";
+        std::fprintf(stderr, "results: %s\n", out_path.c_str());
+    }
+    return 0;
+}

@@ -145,6 +145,71 @@ for ext in json csv; do
         "$BUILD_DIR/smoke/svc_local.$ext"
 done
 
+echo "== windowed simulation: record -> index -> 3-daemon fleet =="
+# One heavy workload split into 3 measurement windows distributed
+# across a 3-daemon fleet, with one daemon killed mid-run: the lost
+# windows are re-simulated on the survivors and the stitched result
+# must match the monolithic run numerically -- the CSVs (which carry
+# every metric) are compared byte for byte. The index tool is
+# exercised first (build + inspect; full-coverage windows re-simulate
+# their prefix for exactness, so the .idx serves the sampled mode).
+WTRACE="$BUILD_DIR/smoke/window.trace"
+"$BUILD_DIR/shotgun-trace" record nutch "$WTRACE" \
+    --warmup 100000 --instructions 200000
+"$BUILD_DIR/shotgun-trace" index "$WTRACE" --every 4096
+"$BUILD_DIR/shotgun-trace" index "$WTRACE" --show \
+    | grep -q "checkpoints"
+test -s "$WTRACE.idx" || {
+    echo "missing trace window index $WTRACE.idx" >&2
+    exit 1
+}
+
+WGRID=(--workload "trace:$WTRACE" --schemes shotgun
+       --warmup 100000 --instructions 200000 --no-progress)
+SOCK_W1="$BUILD_DIR/smoke/serve_w1.sock"
+SOCK_W2="$BUILD_DIR/smoke/serve_w2.sock"
+SOCK_W3="$BUILD_DIR/smoke/serve_w3.sock"
+start_serve "$SOCK_W1"
+start_serve "$SOCK_W2"
+start_serve "$SOCK_W3"
+VICTIM_PID="${DAEMON_PIDS[-1]}"
+
+"$BUILD_DIR/shotgun-submit" --local "${WGRID[@]}" \
+    --out "$BUILD_DIR/smoke/win_mono" > /dev/null
+
+# Kill one daemon shortly after the windowed submit starts. Whether
+# it dies before, during or after its windows were delivered, the
+# stitched output must be the same -- that is the recovery contract.
+"$BUILD_DIR/shotgun-submit" \
+    --workers "unix:$SOCK_W1,unix:$SOCK_W2,unix:$SOCK_W3" \
+    "${WGRID[@]}" --window-shards 3 \
+    --out "$BUILD_DIR/smoke/win_fleet" \
+    2> "$BUILD_DIR/smoke/win_fleet.err" > /dev/null &
+SUBMIT_PID=$!
+sleep 0.3
+kill "$VICTIM_PID" 2>/dev/null || true
+wait "$SUBMIT_PID"
+
+cmp "$BUILD_DIR/smoke/win_fleet.csv" "$BUILD_DIR/smoke/win_mono.csv"
+grep -q '"windows": 3' "$BUILD_DIR/smoke/win_fleet.json"
+
+# The same windowed grid entirely in-process matches too.
+"$BUILD_DIR/shotgun-submit" --local "${WGRID[@]}" --window-shards 3 \
+    --out "$BUILD_DIR/smoke/win_local" > /dev/null
+cmp "$BUILD_DIR/smoke/win_local.csv" "$BUILD_DIR/smoke/win_mono.csv"
+
+"$BUILD_DIR/shotgun-submit" --server "unix:$SOCK_W1" --shutdown
+"$BUILD_DIR/shotgun-submit" --server "unix:$SOCK_W2" --shutdown
+
+echo "== bench_sim_throughput emits machine-readable JSON =="
+"$BUILD_DIR/bench_sim_throughput" --instructions 200000 \
+    --warmup 50000 --repeats 1 \
+    --out "$BUILD_DIR/smoke/sim_throughput.json" 2> /dev/null
+grep -q '"instructions_per_second"' \
+    "$BUILD_DIR/smoke/sim_throughput.json"
+grep -q '"cycles_per_second"' \
+    "$BUILD_DIR/smoke/sim_throughput.json"
+
 # A bounded cache on a live daemon evicts instead of growing: after
 # a grid bigger than the budget, the status frame reports evictions.
 SOCK_C="$BUILD_DIR/smoke/serve_c.sock"

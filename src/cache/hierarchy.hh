@@ -126,6 +126,7 @@ class InstrHierarchy
     }
 
     Cache &l1i() { return l1i_; }
+    const Cache &l1i() const { return l1i_; }
     Cache &llc() { return llc_; }
     MeshModel &mesh() { return mesh_; }
     MainMemory &memory() { return memory_; }

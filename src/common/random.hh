@@ -13,6 +13,7 @@
 #ifndef SHOTGUN_COMMON_RANDOM_HH
 #define SHOTGUN_COMMON_RANDOM_HH
 
+#include <array>
 #include <cmath>
 #include <cstdint>
 #include <vector>
@@ -102,6 +103,24 @@ class Rng
     chance(double p)
     {
         return uniform() < p;
+    }
+
+    /**
+     * The full engine state, for checkpointing (generator state
+     * capture in windowed simulation). restoreState(state()) resumes
+     * the exact same draw sequence.
+     */
+    std::array<std::uint64_t, 4>
+    state() const
+    {
+        return {state_[0], state_[1], state_[2], state_[3]};
+    }
+
+    void
+    restoreState(const std::array<std::uint64_t, 4> &state)
+    {
+        for (std::size_t i = 0; i < state.size(); ++i)
+            state_[i] = state[i];
     }
 
     /**

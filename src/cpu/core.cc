@@ -24,7 +24,12 @@ Core::Core(const Program &program, TraceSource &source,
 void
 Core::run(std::uint64_t instructions)
 {
-    const std::uint64_t target = retiredSinceReset_ + instructions;
+    runUntilRetired(retiredSinceReset_ + instructions);
+}
+
+void
+Core::runUntilRetired(std::uint64_t target)
+{
     while (retiredSinceReset_ < target) {
         // A drained pipeline with no source left can never retire
         // again; stop instead of spinning (the caller reports it).
@@ -32,6 +37,25 @@ Core::run(std::uint64_t instructions)
             break;
         step();
     }
+}
+
+Core::StatsSnapshot
+Core::snapshotStats() const
+{
+    StatsSnapshot snap;
+    snap.instructions = retiredSinceReset_;
+    snap.cycles = cyclesSinceReset_;
+    snap.stalls = stalls_;
+    snap.btbMisses = btbMisses_;
+    snap.mispredicts = mispredicts_;
+    snap.misfetches = misfetches_;
+    snap.l1iDemandMisses = mem_.demandMisses();
+    snap.prefetchesIssued = mem_.prefetchesIssued();
+    snap.usefulPrefetches = mem_.l1i().usefulPrefetches();
+    snap.lateUsefulPrefetches = mem_.lateUsefulPrefetches();
+    snap.l1dFillSum = l1dFill_.sum();
+    snap.l1dFillCount = l1dFill_.count();
+    return snap;
 }
 
 void

@@ -49,6 +49,16 @@ class Core
      */
     void run(std::uint64_t instructions);
 
+    /**
+     * Simulate until at least `target` instructions have retired
+     * since the last resetStats(). A no-op when already past the
+     * target. This is the windowed-simulation primitive: stopping at
+     * a threshold and resuming later traverses exactly the cycle
+     * sequence an uninterrupted run does, so window boundaries are
+     * consistent between a monolithic run and per-window sub-runs.
+     */
+    void runUntilRetired(std::uint64_t target);
+
     /** True once the trace source returned end-of-stream. */
     bool sourceExhausted() const { return sourceExhausted_; }
 
@@ -87,6 +97,33 @@ class Core
     };
 
     const StallBreakdown &stalls() const { return stalls_; }
+
+    /**
+     * Every raw measurement counter at one instant, as accumulated
+     * since the last resetStats(). All fields are exact (integral
+     * counters, or double sums of integral samples well below 2^53),
+     * so the difference of two snapshots is an exact per-window stats
+     * delta and deltas of adjacent windows add back to the monolithic
+     * totals bit for bit (see sim/stats_delta.hh).
+     */
+    struct StatsSnapshot
+    {
+        std::uint64_t instructions = 0;
+        std::uint64_t cycles = 0;
+        StallBreakdown stalls{};
+        std::uint64_t btbMisses = 0;
+        std::uint64_t mispredicts = 0;
+        std::uint64_t misfetches = 0;
+        std::uint64_t l1iDemandMisses = 0;
+        std::uint64_t prefetchesIssued = 0;
+        std::uint64_t usefulPrefetches = 0;
+        std::uint64_t lateUsefulPrefetches = 0;
+        double l1dFillSum = 0.0;
+        std::uint64_t l1dFillCount = 0;
+    };
+
+    /** Capture every measurement counter (cheap; no side effects). */
+    StatsSnapshot snapshotStats() const;
 
     std::uint64_t btbMisses() const { return btbMisses_; }
     std::uint64_t mispredicts() const { return mispredicts_; }

@@ -58,7 +58,10 @@ ExperimentSet::baselineIndex(const std::string &workload) const
 SimResult
 runExperiment(const Experiment &exp)
 {
-    return exp.viaBaselineCache
+    // The baseline memo is keyed on (workload, lengths, seed) only --
+    // a windowed config is a different simulation and must not alias
+    // the whole-region baseline.
+    return exp.viaBaselineCache && !exp.config.window.enabled()
                ? baselineFor(exp.config.workload,
                              exp.config.warmupInstructions,
                              exp.config.measureInstructions,
@@ -179,7 +182,8 @@ ExperimentRunner::run(const ExperimentSet &set, ResultSink *sink) const
 
 void
 appendResultRows(const ExperimentSet &set,
-                 const std::vector<SimResult> &results, ResultSink &sink)
+                 const std::vector<SimResult> &results,
+                 ResultSink &sink, std::uint64_t windows)
 {
     const auto &grid = set.experiments();
     // A short results vector would silently truncate the output
@@ -199,6 +203,7 @@ appendResultRows(const ExperimentSet &set,
             row.speedup = speedup(results[i], results[base]);
             row.stallCoverage = stallCoverage(results[i], results[base]);
         }
+        row.windows = windows;
         sink.add(std::move(row));
     }
 }

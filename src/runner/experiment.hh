@@ -149,10 +149,12 @@ class ExperimentRunner
  * the grid has one. Shared by ExperimentRunner::run() and the
  * service client (shotgun-submit), so a grid executed remotely
  * serializes byte-identically to the same grid run in-process.
+ * `windows` (when nonzero) marks every row as stitched from that
+ * many simulation windows (JSON-only annotation).
  */
 void appendResultRows(const ExperimentSet &set,
                       const std::vector<SimResult> &results,
-                      ResultSink &sink);
+                      ResultSink &sink, std::uint64_t windows = 0);
 
 } // namespace runner
 } // namespace shotgun

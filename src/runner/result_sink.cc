@@ -76,6 +76,8 @@ writeRowJson(std::ostream &os, const ResultRow &row)
         num(os, row.speedup) << ", \"stall_coverage\": ";
         num(os, row.stallCoverage);
     }
+    if (row.windows > 0)
+        os << ",\n     \"windows\": " << row.windows;
     os << "}";
 }
 

@@ -36,6 +36,14 @@ struct ResultRow
     bool hasBaseline = false;
     double speedup = 0.0;
     double stallCoverage = 0.0;
+
+    /**
+     * Windows stitched into this row's result; 0 for a monolithic
+     * run. Emitted in the JSON only (the numeric CSV columns are
+     * unchanged, so a stitched run's CSV is byte-comparable to the
+     * monolithic run's -- which the smoke script exploits).
+     */
+    std::uint64_t windows = 0;
 };
 
 class ResultSink

@@ -4,6 +4,10 @@
 #include <mutex>
 #include <thread>
 
+#include "common/logging.hh"
+#include "window/window_plan.hh"
+#include "window/windowed_runner.hh"
+
 namespace shotgun
 {
 namespace service
@@ -253,10 +257,12 @@ submitSharded(const std::vector<std::string> &endpoints,
                                 event.result;
                             state.done[grid_index] = 1;
                             ++outcomes[w].delivered;
-                            // Under the ledger lock: onProgress
-                            // calls are serialized and their
+                            // Under the ledger lock: onProgress /
+                            // onEvent calls are serialized and the
                             // `done` counts monotone, whichever
                             // shard delivered the point.
+                            if (options.onEvent)
+                                options.onEvent(grid_index, event);
                             if (options.onProgress)
                                 options.onProgress(++state.delivered,
                                                    total);
@@ -345,6 +351,81 @@ submitSharded(
     ShardedOptions options;
     options.onProgress = on_progress;
     return submitSharded(endpoints, request, options);
+}
+
+std::vector<SimResult>
+submitWindowSharded(const std::vector<std::string> &endpoints,
+                    const SubmitRequest &request,
+                    unsigned window_shards,
+                    const ShardedOptions &options)
+{
+    fatal_if(window_shards == 0,
+             "window sharding needs at least 1 window");
+
+    // Expand each experiment into its full-coverage windows; the
+    // expanded grid is an ordinary submission, so assignment,
+    // harvesting and dead-worker redistribution all operate on
+    // windows with no new machinery.
+    SubmitRequest expanded;
+    expanded.experiment = request.experiment;
+    expanded.jobs = request.jobs;
+    std::vector<std::size_t> owner; // expanded index -> grid index
+    for (std::size_t i = 0; i < request.grid.size(); ++i) {
+        const runner::Experiment &exp = request.grid[i];
+        fatal_if(exp.config.window.enabled(),
+                 "experiment %s/%s already has a window; window "
+                 "sharding splits whole runs",
+                 exp.workload.c_str(), exp.label.c_str());
+        const window::WindowPlan plan =
+            window::contiguousPlan(exp.config, window_shards);
+        for (runner::Experiment &sub :
+             window::expandExperiment(exp, plan)) {
+            owner.push_back(i);
+            expanded.grid.push_back(std::move(sub));
+        }
+    }
+
+    // Harvest raw deltas per expanded point (onEvent runs under the
+    // sharded ledger lock: serialized, once per point).
+    std::vector<SimulationDelta> deltas(expanded.grid.size());
+    std::vector<char> have(expanded.grid.size(), 0);
+    ShardedOptions inner = options;
+    inner.onEvent = [&deltas, &have,
+                     &options](std::size_t index,
+                               const ResultEvent &event) {
+        if (event.hasDelta) {
+            SimulationDelta &delta = deltas[index];
+            delta.workload = event.result.workload;
+            delta.scheme = event.result.scheme;
+            delta.schemeStorageBits = event.result.schemeStorageBits;
+            delta.stats = event.delta;
+            have[index] = 1;
+        }
+        if (options.onEvent)
+            options.onEvent(index, event);
+    };
+    submitSharded(endpoints, expanded, inner);
+
+    for (std::size_t i = 0; i < have.size(); ++i) {
+        if (have[i] == 0)
+            throw ServiceError(
+                "window " + expanded.grid[i].label + " of \"" +
+                expanded.grid[i].workload +
+                "\" came back without its raw delta (worker too "
+                "old for windowed results?)");
+    }
+
+    // Stitch each experiment's windows, in window order.
+    std::vector<SimResult> results(request.grid.size());
+    std::size_t cursor = 0;
+    for (std::size_t i = 0; i < request.grid.size(); ++i) {
+        std::vector<SimulationDelta> windows;
+        windows.reserve(window_shards);
+        while (cursor < owner.size() && owner[cursor] == i)
+            windows.push_back(std::move(deltas[cursor++]));
+        results[i] = window::stitchWindows(windows);
+    }
+    return results;
 }
 
 } // namespace service

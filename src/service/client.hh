@@ -130,6 +130,17 @@ struct ShardedOptions
     std::function<void(std::size_t done, std::size_t total)>
         onProgress;
 
+    /**
+     * Observes each first-time delivered point's full ResultEvent
+     * (with `grid_index` mapped back to the submitted grid). Calls
+     * are serialized; a point re-delivered after a worker death is
+     * reported once. Window sharding uses this to harvest the raw
+     * per-window deltas the stitcher needs.
+     */
+    std::function<void(std::size_t grid_index,
+                       const ResultEvent &event)>
+        onEvent;
+
     /** Per-connection receive deadline (0 disables). */
     unsigned timeoutSeconds = kDefaultTimeoutSeconds;
 
@@ -161,6 +172,28 @@ std::vector<SimResult> submitSharded(
     const SubmitRequest &request,
     const std::function<void(std::size_t done, std::size_t total)>
         &on_progress = {});
+
+/**
+ * Run a grid with each experiment split into `window_shards`
+ * full-coverage windows distributed across the workers (finer-
+ * grained than per-config sharding: one heavy workload parallelizes
+ * across machines). Every window is an ordinary grid point of the
+ * expanded wire grid, so the submitSharded() machinery above --
+ * round-robin assignment, streamed-result harvesting, dead-worker
+ * redistribution -- applies unchanged to windows: a window lost with
+ * its worker is re-simulated on a survivor and the stitch does not
+ * change, which keeps the returned vector (index-aligned with
+ * `request.grid`) numerically identical to running each experiment
+ * monolithically, as long as one worker survives.
+ *
+ * onProgress/onEvent tick per *window*; `outcomes` ledgers count
+ * windows too. Throws like submitSharded(); additionally fatal() on
+ * window_shards == 0 or a grid point too short to split.
+ */
+std::vector<SimResult> submitWindowSharded(
+    const std::vector<std::string> &endpoints,
+    const SubmitRequest &request, unsigned window_shards,
+    const ShardedOptions &options);
 
 } // namespace service
 } // namespace shotgun

@@ -302,6 +302,17 @@ encodeSchemeConfig(const SchemeConfig &config)
 }
 
 json::Value
+encodeSimWindow(const SimWindow &window)
+{
+    Value v = Value::object();
+    v.set("skip_instructions",
+          Value::number(window.skipInstructions));
+    v.set("measure_start", Value::number(window.measureStart));
+    v.set("measure_end", Value::number(window.measureEnd));
+    return v;
+}
+
+json::Value
 encodeSimConfig(const SimConfig &config)
 {
     Value v = Value::object();
@@ -313,6 +324,7 @@ encodeSimConfig(const SimConfig &config)
     v.set("measure_instructions",
           Value::number(config.measureInstructions));
     v.set("trace_seed", Value::number(config.traceSeed));
+    v.set("window", encodeSimWindow(config.window));
     return v;
 }
 
@@ -346,6 +358,38 @@ encodeSimResult(const SimResult &result)
     v.set("prefetches_issued",
           Value::number(result.prefetchesIssued));
     v.set("storage_bits", Value::number(result.schemeStorageBits));
+    return v;
+}
+
+json::Value
+encodeStatsDelta(const StatsDelta &delta)
+{
+    Value stalls = Value::object();
+    stalls.set("icache", Value::number(delta.stalls.icache));
+    stalls.set("btb_resolve", Value::number(delta.stalls.btbResolve));
+    stalls.set("misfetch", Value::number(delta.stalls.misfetch));
+    stalls.set("mispredict", Value::number(delta.stalls.mispredict));
+    stalls.set("other", Value::number(delta.stalls.other));
+
+    Value v = Value::object();
+    v.set("instructions", Value::number(delta.instructions));
+    v.set("cycles", Value::number(delta.cycles));
+    v.set("stalls", std::move(stalls));
+    v.set("btb_misses", Value::number(delta.btbMisses));
+    v.set("mispredicts", Value::number(delta.mispredicts));
+    v.set("misfetches", Value::number(delta.misfetches));
+    v.set("l1i_demand_misses",
+          Value::number(delta.l1iDemandMisses));
+    v.set("prefetches_issued",
+          Value::number(delta.prefetchesIssued));
+    v.set("useful_prefetches",
+          Value::number(delta.usefulPrefetches));
+    v.set("late_useful_prefetches",
+          Value::number(delta.lateUsefulPrefetches));
+    // An exact integer (sum of Cycle-valued samples); the canonical
+    // double formatting round-trips it bit for bit.
+    v.set("l1d_fill_sum", Value::number(delta.l1dFillSum));
+    v.set("l1d_fill_count", Value::number(delta.l1dFillCount));
     return v;
 }
 
@@ -528,6 +572,29 @@ decodeSchemeConfig(const json::Value &v)
     return config;
 }
 
+SimWindow
+decodeSimWindow(const json::Value &v)
+{
+    ObjectReader r(v, "window");
+    SimWindow window;
+    window.skipInstructions = r.u64("skip_instructions");
+    window.measureStart = r.u64("measure_start");
+    window.measureEnd = r.u64("measure_end");
+    r.finish();
+    // Semantic validation here, at the frame boundary: what would be
+    // fatal() inside runSimulation() must reject the frame instead.
+    if (window.enabled() && window.measureStart >= window.measureEnd)
+        throw CodecError("window: empty measure range [" +
+                         std::to_string(window.measureStart) + ", " +
+                         std::to_string(window.measureEnd) + ")");
+    if (!window.enabled() &&
+        (window.skipInstructions != 0 || window.measureStart != 0))
+        throw CodecError(
+            "window: skip_instructions/measure_start without a "
+            "window (set measure_end)");
+    return window;
+}
+
 SimConfig
 decodeSimConfig(const json::Value &v)
 {
@@ -539,6 +606,14 @@ decodeSimConfig(const json::Value &v)
     config.warmupInstructions = r.u64("warmup_instructions");
     config.measureInstructions = r.u64("measure_instructions");
     config.traceSeed = r.u64("trace_seed");
+    config.window = decodeSimWindow(r.get("window"));
+    if (config.window.enabled() &&
+        config.window.measureEnd > config.measureInstructions)
+        throw CodecError(
+            "window: measure_end " +
+            std::to_string(config.window.measureEnd) +
+            " exceeds measure_instructions " +
+            std::to_string(config.measureInstructions));
     r.finish();
     return config;
 }
@@ -572,6 +647,35 @@ decodeSimResult(const json::Value &v)
     result.schemeStorageBits = r.u64("storage_bits");
     r.finish();
     return result;
+}
+
+StatsDelta
+decodeStatsDelta(const json::Value &v)
+{
+    ObjectReader r(v, "delta");
+    StatsDelta delta;
+    delta.instructions = r.u64("instructions");
+    delta.cycles = r.u64("cycles");
+
+    ObjectReader st(r.get("stalls"), "delta.stalls");
+    delta.stalls.icache = st.u64("icache");
+    delta.stalls.btbResolve = st.u64("btb_resolve");
+    delta.stalls.misfetch = st.u64("misfetch");
+    delta.stalls.mispredict = st.u64("mispredict");
+    delta.stalls.other = st.u64("other");
+    st.finish();
+
+    delta.btbMisses = r.u64("btb_misses");
+    delta.mispredicts = r.u64("mispredicts");
+    delta.misfetches = r.u64("misfetches");
+    delta.l1iDemandMisses = r.u64("l1i_demand_misses");
+    delta.prefetchesIssued = r.u64("prefetches_issued");
+    delta.usefulPrefetches = r.u64("useful_prefetches");
+    delta.lateUsefulPrefetches = r.u64("late_useful_prefetches");
+    delta.l1dFillSum = r.number("l1d_fill_sum");
+    delta.l1dFillCount = r.u64("l1d_fill_count");
+    r.finish();
+    return delta;
 }
 
 // ---------------------------------------------------- trace validation

@@ -50,8 +50,16 @@ json::Value encodeProgramParams(const ProgramParams &params);
 json::Value encodeWorkloadPreset(const WorkloadPreset &preset);
 json::Value encodeCoreParams(const CoreParams &params);
 json::Value encodeSchemeConfig(const SchemeConfig &config);
+json::Value encodeSimWindow(const SimWindow &window);
 json::Value encodeSimConfig(const SimConfig &config);
 json::Value encodeSimResult(const SimResult &result);
+
+/**
+ * Raw per-window counters (sim/stats_delta.hh), shipped in windowed
+ * `result` frames so the client stitches from exact integers, never
+ * from derived doubles.
+ */
+json::Value encodeStatsDelta(const StatsDelta &delta);
 
 // ------------------------------------------------------------- decode
 
@@ -66,8 +74,18 @@ WorkloadPreset decodeWorkloadPreset(const json::Value &v);
 
 CoreParams decodeCoreParams(const json::Value &v);
 SchemeConfig decodeSchemeConfig(const json::Value &v);
+
+/**
+ * Strict decode plus semantic validation (an enabled window must be
+ * a non-empty range; a stream skip needs a window): an invalid
+ * window is a rejected frame, never a fatal() inside a simulation
+ * worker thread of the daemon.
+ */
+SimWindow decodeSimWindow(const json::Value &v);
+
 SimConfig decodeSimConfig(const json::Value &v);
 SimResult decodeSimResult(const json::Value &v);
+StatsDelta decodeStatsDelta(const json::Value &v);
 
 // ------------------------------------------------- trace validation
 

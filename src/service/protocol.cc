@@ -68,6 +68,8 @@ encodeResultEvent(const ResultEvent &event)
     v.set("label", Value::string(event.label));
     v.set("fingerprint", Value::string(event.fingerprint));
     v.set("result", encodeSimResult(event.result));
+    if (event.hasDelta)
+        v.set("delta", encodeStatsDelta(event.delta));
     return v;
 }
 
@@ -82,6 +84,10 @@ decodeResultEvent(const json::Value &frame)
     event.label = frame.at("label").asString();
     event.fingerprint = frame.at("fingerprint").asString();
     event.result = decodeSimResult(frame.at("result"));
+    if (const Value *delta = frame.find("delta")) {
+        event.hasDelta = true;
+        event.delta = decodeStatsDelta(*delta);
+    }
     return event;
 }
 

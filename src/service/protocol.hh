@@ -6,7 +6,7 @@
  * full grammar and an example session.
  *
  * Client -> server:
- *   {"type":"submit","protocol":1,"experiment":...,"jobs":N,
+ *   {"type":"submit","protocol":2,"experiment":...,"jobs":N,
  *    "grid":[{"workload":...,"label":...,"via_baseline_cache":b,
  *             "config":{...}},...]}
  *   {"type":"status"}          {"type":"cancel","job":N}
@@ -15,11 +15,19 @@
  * Server -> client:
  *   {"type":"accepted","job":N,"total":N,"fingerprints":[...]}
  *   {"type":"result","job":N,"index":N,"cached":b,
- *    "workload":...,"label":...,"fingerprint":...,"result":{...}}
+ *    "workload":...,"label":...,"fingerprint":...,"result":{...}
+ *    [,"delta":{...}]}
  *   {"type":"done","job":N,"status":"ok|cancelled|error",
  *    "completed":N,"cached":N[,"message":...]}
  *   {"type":"status","server":{...},"jobs":[...]}
  *   {"type":"pong"}  {"type":"bye"}  {"type":"error","message":...}
+ *
+ * Protocol 2 (windowed simulation): every config carries a "window"
+ * member ({"skip_instructions","measure_start","measure_end"}, all 0
+ * when disabled), and the `result` frame of a windowed grid point
+ * additionally carries "delta" -- the window's raw counters
+ * (sim/stats_delta.hh) -- so clients stitch windows from exact
+ * integers rather than derived doubles.
  *
  * This header provides typed encode/decode for the structured frames;
  * trivial frames (ping/pong/bye/...) are built inline where used.
@@ -43,7 +51,7 @@ namespace service
 {
 
 /** Bumped on any incompatible frame-layout change. */
-constexpr std::uint64_t kProtocolVersion = 1;
+constexpr std::uint64_t kProtocolVersion = 2;
 
 /** A grid submission: the wire form of a runner::ExperimentSet. */
 struct SubmitRequest
@@ -70,6 +78,13 @@ struct ResultEvent
     std::string label;
     std::string fingerprint;
     SimResult result;
+
+    /**
+     * Raw window counters, present exactly when the grid point's
+     * config had a window: what submitWindowSharded() stitches.
+     */
+    bool hasDelta = false;
+    StatsDelta delta;
 };
 
 json::Value encodeResultEvent(const ResultEvent &event);

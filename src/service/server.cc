@@ -26,10 +26,11 @@ namespace
  */
 std::size_t
 resultCacheBytes(const std::string &fingerprint,
-                 const SimResult &result)
+                 const CachedResult &cached)
 {
-    return fingerprint.size() + sizeof(SimResult) +
-           result.workload.size() + result.scheme.size();
+    return fingerprint.size() + sizeof(CachedResult) +
+           cached.result.workload.size() +
+           cached.result.scheme.size();
 }
 
 unsigned
@@ -285,8 +286,13 @@ SimServer::handleSubmit(const std::shared_ptr<Connection> &conn,
                                       .dump()))
                      .first;
         }
-        const std::uint64_t needed = exp.config.warmupInstructions +
-                                     exp.config.measureInstructions;
+        // A windowed config fast-forwards to window.measureEnd at
+        // most (plus any stream skip); the whole region otherwise.
+        const SimWindow &window = exp.config.window;
+        const std::uint64_t needed =
+            window.skipInstructions + exp.config.warmupInstructions +
+            (window.enabled() ? window.measureEnd
+                              : exp.config.measureInstructions);
         if (it->second.first < needed)
             throw CodecError(
                 "experiment \"" + exp.workload + "/" + exp.label +
@@ -344,22 +350,40 @@ SimServer::handleSubmit(const std::shared_ptr<Connection> &conn,
     // the index's ordered emission fires.
     auto cached_flags =
         std::make_shared<std::vector<char>>(job->total, 0);
+    auto outcomes = std::make_shared<
+        std::vector<std::shared_ptr<const CachedResult>>>(job->total);
 
     runner::GridScheduler::JobHooks hooks;
-    hooks.simulate = [this, job, cached_flags](
+    hooks.simulate = [this, job, cached_flags, outcomes](
                          std::size_t index,
                          const runner::Experiment &exp) {
         bool computed = false;
-        auto value = cache_.get(job->fingerprints[index],
-                                [&exp, &computed]() {
-                                    computed = true;
-                                    return runner::runExperiment(exp);
-                                });
+        auto value = cache_.get(
+            job->fingerprints[index], [&exp, &computed]() {
+                computed = true;
+                CachedResult cached;
+                if (exp.config.window.enabled()) {
+                    // Windowed grid point: keep the raw counters so
+                    // the result frame (and any later cache hit)
+                    // carries the stitchable delta.
+                    const SimulationDelta delta =
+                        runSimulationDelta(exp.config);
+                    cached.result = finalizeResult(
+                        delta.workload, delta.scheme,
+                        delta.schemeStorageBits, delta.stats);
+                    cached.hasDelta = true;
+                    cached.delta = delta.stats;
+                } else {
+                    cached.result = runner::runExperiment(exp);
+                }
+                return cached;
+            });
         if (!computed) {
             job->cachedCount.fetch_add(1);
             (*cached_flags)[index] = 1;
         }
-        return *value;
+        (*outcomes)[index] = value;
+        return value->result;
     };
     hooks.onStart = [this, job]() {
         job->state.store(Job::State::Running);
@@ -371,7 +395,7 @@ SimServer::handleSubmit(const std::shared_ptr<Connection> &conn,
     // job still completes, warming the cache, it just stops
     // streaming.
     std::weak_ptr<Connection> owner = conn;
-    hooks.onResult = [job, owner, cached_flags](
+    hooks.onResult = [job, owner, cached_flags, outcomes](
                          std::size_t index,
                          const runner::Experiment &exp,
                          const SimResult &result) {
@@ -387,6 +411,12 @@ SimServer::handleSubmit(const std::shared_ptr<Connection> &conn,
         event.label = exp.label;
         event.fingerprint = job->fingerprints[index];
         event.result = result;
+        const std::shared_ptr<const CachedResult> &outcome =
+            (*outcomes)[index];
+        if (outcome != nullptr && outcome->hasDelta) {
+            event.hasDelta = true;
+            event.delta = outcome->delta;
+        }
         conn->sendFrame(encodeResultEvent(event));
     };
     hooks.onDone = [this, job, owner](

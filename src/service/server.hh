@@ -66,6 +66,19 @@ struct ServerOptions
     std::ostream *log = nullptr;
 };
 
+/**
+ * A cached grid-point outcome: the derived result plus, for windowed
+ * configs, the raw window counters -- a cache hit must replay the
+ * same `delta` member the original `result` frame carried, or a
+ * resubmitted window could no longer be stitched.
+ */
+struct CachedResult
+{
+    SimResult result;
+    bool hasDelta = false;
+    StatsDelta delta;
+};
+
 class SimServer
 {
   public:
@@ -125,7 +138,7 @@ class SimServer
     std::vector<std::weak_ptr<Connection>> connections_;
     std::uint64_t nextJobId_ = 1;
 
-    LruMemoCache<std::string, SimResult> cache_;
+    LruMemoCache<std::string, CachedResult> cache_;
 
     // Declared last on purpose: its destructor joins the worker
     // threads, and their hooks touch cache_, jobs_, mutex_ and the

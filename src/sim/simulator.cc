@@ -88,6 +88,14 @@ SimConfig::make(const WorkloadPreset &workload, SchemeType type)
     return config;
 }
 
+bool
+operator==(const SimWindow &a, const SimWindow &b)
+{
+    return a.skipInstructions == b.skipInstructions &&
+           a.measureStart == b.measureStart &&
+           a.measureEnd == b.measureEnd;
+}
+
 double
 speedup(const SimResult &result, const SimResult &baseline)
 {
@@ -129,9 +137,32 @@ programFor(const WorkloadPreset &preset)
                       [&preset]() { return Program(preset.program); });
 }
 
-SimResult
-runSimulation(const SimConfig &config)
+SimulationDelta
+runSimulationDelta(const SimConfig &config)
 {
+    const SimWindow &window = config.window;
+    fatal_if(window.enabled() &&
+                 (window.measureStart >= window.measureEnd ||
+                  window.measureEnd > config.measureInstructions),
+             "invalid simulation window [%llu, %llu) for a "
+             "%llu-instruction measure region",
+             static_cast<unsigned long long>(window.measureStart),
+             static_cast<unsigned long long>(window.measureEnd),
+             static_cast<unsigned long long>(
+                 config.measureInstructions));
+    fatal_if(!window.enabled() && (window.skipInstructions != 0 ||
+                                   window.measureStart != 0),
+             "simulation window skip/measureStart without a window "
+             "(set measureEnd)");
+
+    // [measure_start, measure_end) of the measure region; the whole
+    // region when no window is configured.
+    const std::uint64_t measure_start =
+        window.enabled() ? window.measureStart : 0;
+    const std::uint64_t measure_end =
+        window.enabled() ? window.measureEnd
+                         : config.measureInstructions;
+
     const Program &program = programFor(config.workload);
 
     // A workload either generates its control flow live or replays a
@@ -147,20 +178,22 @@ runSimulation(const SimConfig &config)
                  "does not match this workload's program parameters",
                  trace_path.c_str(),
                  replay->preset().program.name.c_str());
-        const std::uint64_t needed =
-            config.warmupInstructions + config.measureInstructions;
+        const std::uint64_t needed = window.skipInstructions +
+                                     config.warmupInstructions +
+                                     measure_end;
         fatal_if(replay->totalInstructions() < needed,
                  "trace '%s' holds %llu instructions but the run "
-                 "needs %llu (%llu warm-up + %llu measured); record "
-                 "a longer trace",
+                 "needs %llu (%llu skipped + %llu warm-up + %llu "
+                 "measured); record a longer trace",
                  trace_path.c_str(),
                  static_cast<unsigned long long>(
                      replay->totalInstructions()),
                  static_cast<unsigned long long>(needed),
                  static_cast<unsigned long long>(
-                     config.warmupInstructions),
+                     window.skipInstructions),
                  static_cast<unsigned long long>(
-                     config.measureInstructions));
+                     config.warmupInstructions),
+                 static_cast<unsigned long long>(measure_end));
         // Use the recorded seed so the data-side model reproduces the
         // run the trace was captured from, bit for bit.
         control_seed = replay->traceSeed();
@@ -169,6 +202,13 @@ runSimulation(const SimConfig &config)
         source =
             std::make_unique<TraceGenerator>(program, config.traceSeed);
     }
+
+    // Sampled-window mode: drop the stream prefix a short warm-up
+    // stands in for. Whole basic blocks are skipped until the
+    // threshold is reached, identically with or without a trace
+    // window index (the index only accelerates the seek).
+    if (window.skipInstructions > 0)
+        source->skipInstructions(window.skipInstructions);
 
     CoreParams core_params = config.core;
     core_params.loadFrac = config.workload.loadFrac;
@@ -185,37 +225,38 @@ runSimulation(const SimConfig &config)
 
     core.run(config.warmupInstructions);
     core.resetStats();
-    core.run(config.measureInstructions);
+    // Fast-forward to the window, then measure it as the snapshot
+    // difference. Both bounds are thresholds relative to the
+    // post-warm-up reset ("first cycle in which the N-th measured
+    // instruction has retired"), the same points an uninterrupted
+    // monolithic run passes through -- which is what makes the
+    // windows of a contiguous plan partition its cycles exactly.
+    core.runUntilRetired(measure_start);
+    const Core::StatsSnapshot begin = core.snapshotStats();
+    core.runUntilRetired(measure_end);
     fatal_if(core.sourceExhausted() &&
-                 core.instructionsRetired() <
-                     config.measureInstructions,
+                 core.instructionsRetired() < measure_end,
              "trace '%s' ran dry after %llu of %llu measured "
              "instructions",
              trace_path.c_str(),
              static_cast<unsigned long long>(core.instructionsRetired()),
-             static_cast<unsigned long long>(
-                 config.measureInstructions));
+             static_cast<unsigned long long>(measure_end));
+    const Core::StatsSnapshot end = core.snapshotStats();
 
-    SimResult result;
-    result.workload = config.workload.name;
-    result.scheme = core.scheme().name();
-    result.instructions = core.instructionsRetired();
-    result.cycles = core.cycles();
-    result.ipc = core.ipc();
-    result.btbMPKI = core.btbMPKI();
-    result.l1iMPKI = core.l1iMPKI();
-    result.mispredictsPerKI =
-        result.instructions == 0
-            ? 0.0
-            : 1000.0 * static_cast<double>(core.mispredicts()) /
-                  static_cast<double>(result.instructions);
-    result.stalls = core.stalls();
-    result.frontEndStallCycles = core.stalls().frontEnd();
-    result.prefetchAccuracy = core.prefetchAccuracy();
-    result.avgL1DFillCycles = core.avgL1DFillCycles();
-    result.prefetchesIssued = core.mem().prefetchesIssued();
-    result.schemeStorageBits = core.scheme().storageBits();
-    return result;
+    SimulationDelta out;
+    out.workload = config.workload.name;
+    out.scheme = core.scheme().name();
+    out.schemeStorageBits = core.scheme().storageBits();
+    out.stats = deltaBetween(begin, end);
+    return out;
+}
+
+SimResult
+runSimulation(const SimConfig &config)
+{
+    const SimulationDelta delta = runSimulationDelta(config);
+    return finalizeResult(delta.workload, delta.scheme,
+                          delta.schemeStorageBits, delta.stats);
 }
 
 SimResult

@@ -13,10 +13,48 @@
 #include <string>
 
 #include "cpu/core.hh"
+#include "sim/stats_delta.hh"
 #include "trace/presets.hh"
 
 namespace shotgun
 {
+
+/**
+ * One measurement window of a run (windowed simulation, see
+ * src/window/). Disabled by default (measureEnd == 0), in which case
+ * a run measures the whole [0, measureInstructions) region exactly as
+ * it always has.
+ *
+ * When enabled, the run still warms up for `warmupInstructions`, then
+ * fast-forwards to the `measureStart`-th measured instruction with
+ * structures training but the window's counters unaffected (snapshot
+ * subtraction), and measures until the `measureEnd`-th: the window
+ * covers [measureStart, measureEnd) of the measure region. Boundaries
+ * are instruction-count thresholds relative to the post-warm-up
+ * reset, so the windows of a contiguous plan partition the monolithic
+ * run's cycles exactly (see src/window/README.md for the argument).
+ *
+ * `skipInstructions` additionally skips that many instructions of the
+ * *stream* before simulation starts (whole basic blocks, until the
+ * threshold is reached) -- the sampled-window mode, where a short
+ * warm-up stands in for the full prefix. Exact stitching requires
+ * skipInstructions == 0; sampled windows are approximations.
+ */
+struct SimWindow
+{
+    std::uint64_t skipInstructions = 0;
+    std::uint64_t measureStart = 0;
+    std::uint64_t measureEnd = 0;
+
+    bool enabled() const { return measureEnd != 0; }
+};
+
+bool operator==(const SimWindow &a, const SimWindow &b);
+inline bool
+operator!=(const SimWindow &a, const SimWindow &b)
+{
+    return !(a == b);
+}
 
 struct SimConfig
 {
@@ -39,6 +77,14 @@ struct SimConfig
 
     /** Generator seed; ignored for trace replay (header seed wins). */
     std::uint64_t traceSeed = 1;
+
+    /**
+     * Optional measurement window within the measure region; disabled
+     * by default. Part of a configuration's canonical identity: two
+     * windows of one run are distinct simulations (distinct service
+     * fingerprints/cache entries).
+     */
+    SimWindow window{};
 
     /** Build a config for (workload, scheme type) with defaults. */
     static SimConfig make(const WorkloadPreset &workload,
@@ -105,6 +151,28 @@ const Program &programFor(const WorkloadPreset &preset);
 
 /** Run one (workload, scheme) simulation. */
 SimResult runSimulation(const SimConfig &config);
+
+/**
+ * A simulation's raw-counter outcome: what runSimulation() derives
+ * its SimResult from, kept raw so windowed sub-runs can be stitched
+ * exactly (derived doubles do not merge; counters do).
+ */
+struct SimulationDelta
+{
+    std::string workload;
+    std::string scheme;
+    std::uint64_t schemeStorageBits = 0;
+    StatsDelta stats;
+};
+
+/**
+ * Run one simulation and return the raw counters of its measurement
+ * window (the whole measure region when config.window is disabled).
+ * runSimulation() is finalizeResult() over this, so for a
+ * full-coverage window plan, merging the per-window deltas and
+ * finalizing reproduces the monolithic SimResult bit for bit.
+ */
+SimulationDelta runSimulationDelta(const SimConfig &config);
 
 /**
  * Convenience: run the no-prefetch baseline for a workload with the

@@ -136,4 +136,45 @@ TraceGenerator::skip(std::uint64_t count)
         next(scratch);
 }
 
+std::uint64_t
+TraceSource::skipInstructions(std::uint64_t instructions)
+{
+    BBRecord scratch;
+    std::uint64_t skipped = 0;
+    while (skipped < instructions) {
+        if (!next(scratch))
+            break;
+        skipped += scratch.numInstrs;
+    }
+    return skipped;
+}
+
+GeneratorCheckpoint
+TraceGenerator::checkpoint() const
+{
+    GeneratorCheckpoint state;
+    state.rngState = rng_.state();
+    state.cur = cur_;
+    state.requestType = requestType_;
+    state.stack = stack_;
+    state.counters = counters_;
+    state.stats = stats_;
+    return state;
+}
+
+void
+TraceGenerator::restore(const GeneratorCheckpoint &state)
+{
+    panic_if(state.counters.size() != counters_.size(),
+             "generator checkpoint restore across different programs "
+             "(%zu vs %zu static basic blocks)",
+             state.counters.size(), counters_.size());
+    rng_.restoreState(state.rngState);
+    cur_ = state.cur;
+    requestType_ = state.requestType;
+    stack_ = state.stack;
+    counters_ = state.counters;
+    stats_ = state.stats;
+}
+
 } // namespace shotgun

@@ -7,6 +7,7 @@
 #ifndef SHOTGUN_TRACE_GENERATOR_HH
 #define SHOTGUN_TRACE_GENERATOR_HH
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -33,6 +34,18 @@ class TraceSource
      *         never exhausts).
      */
     virtual bool next(BBRecord &out) = 0;
+
+    /**
+     * Discard whole basic blocks until at least `instructions`
+     * instructions have been skipped (or the stream ran dry). The
+     * boundary lands on the first record that reaches the threshold,
+     * deterministically -- a window defined by a skip count starts at
+     * the same record no matter how the skip is implemented (the
+     * default reads and discards; TraceFileSource seeks via its
+     * window index when one is present).
+     * @return instructions actually skipped.
+     */
+    virtual std::uint64_t skipInstructions(std::uint64_t instructions);
 };
 
 /** Aggregate counts of what a generator has produced so far. */
@@ -50,6 +63,25 @@ struct GeneratorStats
 };
 
 /**
+ * A generator's complete dynamic state at one point of its stream.
+ * Captured with TraceGenerator::checkpoint() and reinstated with
+ * restore() on a generator over the same program: the restored
+ * generator continues with exactly the records the original would
+ * have produced. This is what lets synthetic workloads window
+ * identically without regenerating the stream prefix -- a window
+ * worker restores the checkpoint at its window start instead.
+ */
+struct GeneratorCheckpoint
+{
+    std::array<std::uint64_t, 4> rngState{};
+    std::uint32_t cur = 0;
+    std::uint32_t requestType = 0;
+    std::vector<std::uint32_t> stack;
+    std::vector<std::uint32_t> counters;
+    GeneratorStats stats;
+};
+
+/**
  * Executes the program model: walks intra-function CFGs, follows the
  * acyclic call graph, services traps, and starts a new top-level
  * "request" whenever the call stack unwinds completely. All branch
@@ -64,6 +96,17 @@ class TraceGenerator : public TraceSource
 
     /** Discard the next `count` basic blocks (cheap warm-up skip). */
     void skip(std::uint64_t count);
+
+    /** Capture the full dynamic state at the current stream point. */
+    GeneratorCheckpoint checkpoint() const;
+
+    /**
+     * Reinstate `state` (captured from a generator over the same
+     * program; panic() on a counter-table size mismatch). The next
+     * record produced equals the one the checkpointed generator
+     * would have produced next.
+     */
+    void restore(const GeneratorCheckpoint &state);
 
     const GeneratorStats &stats() const { return stats_; }
     const Program &program() const { return program_; }

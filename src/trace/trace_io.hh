@@ -29,6 +29,7 @@
 #include <fstream>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "trace/generator.hh"
 #include "trace/instruction.hh"
@@ -78,6 +79,83 @@ class TraceWriter
     bool closed_ = false;
 };
 
+/** Header summary of a trace file (shotgun-trace info, trace: specs). */
+struct TraceInfo
+{
+    WorkloadPreset preset;
+    std::uint64_t traceSeed = 1;
+    std::uint64_t records = 0;
+    std::uint64_t instructions = 0;
+};
+
+// ----------------------------------------------------- window index
+//
+// Sidecar seek index (`<trace>.idx`) for windowed simulation: evenly
+// spaced checkpoints of (record number, cumulative instructions, byte
+// offset), so a worker assigned a window deep inside a long trace can
+// seek near its start instead of reading every prefix record. Purely
+// an accelerator: TraceFileSource::skipInstructions() lands on the
+// same record with or without it (asserted in tests/test_trace.cc); a
+// missing or stale index only costs time. Layout (all little-endian):
+//
+//   u32 magic "SHTX"      u32 version (1)
+//   u64 records, u64 instructions, u64 trace seed
+//       (copied from the trace header; a mismatch marks the index
+//        stale -- e.g. the trace was re-recorded -- and it is ignored)
+//   u64 checkpoint interval (records)   u64 checkpoint count
+//   per checkpoint: u64 record, u64 instructions before it,
+//                   u64 absolute byte offset
+
+/** Magic bytes at the start of a trace index file. */
+constexpr std::uint32_t kTraceIndexMagic = 0x58544853; // "SHTX"
+
+/** Current trace index format version. */
+constexpr std::uint32_t kTraceIndexVersion = 1;
+
+/** One seekable stream position. */
+struct TraceIndexEntry
+{
+    std::uint64_t record = 0;       ///< Records before this point.
+    std::uint64_t instructions = 0; ///< Instructions before it.
+    std::uint64_t byteOffset = 0;   ///< Absolute file offset.
+};
+
+struct TraceIndex
+{
+    /** Binding to the indexed trace (its header counters + seed). */
+    std::uint64_t records = 0;
+    std::uint64_t instructions = 0;
+    std::uint64_t traceSeed = 0;
+
+    std::uint64_t interval = 0; ///< Records between checkpoints.
+    std::vector<TraceIndexEntry> entries;
+};
+
+/** The sidecar path for a trace: `<trace_path>.idx`. */
+std::string traceIndexPath(const std::string &trace_path);
+
+/**
+ * Scan `trace_path` and build an index with a checkpoint every
+ * `every_records` records (the first is always record 0); fatal() on
+ * a bad trace or every_records == 0.
+ */
+TraceIndex buildTraceIndex(const std::string &trace_path,
+                           std::uint64_t every_records);
+
+/** Serialize `index` to `idx_path`; fatal() on I/O failure. */
+void writeTraceIndex(const std::string &idx_path,
+                     const TraceIndex &index);
+
+/**
+ * Read and validate the index at `idx_path` for the trace described
+ * by `info`. Non-fatal: returns false with a message in `error` on a
+ * missing/corrupt file or one whose binding (record/instruction
+ * counts, seed) does not match `info` (stale index).
+ */
+bool tryReadTraceIndex(const std::string &idx_path,
+                       const TraceInfo &info, TraceIndex &out,
+                       std::string &error);
+
 /** Replays a binary trace file as a TraceSource. */
 class TraceFileSource : public TraceSource
 {
@@ -87,9 +165,21 @@ class TraceFileSource : public TraceSource
 
     bool next(BBRecord &out) override;
 
+    /**
+     * Skip whole records until `instructions` are skipped, seeking
+     * via the sidecar window index (`<path>.idx`) when a valid one
+     * exists -- the landing record is identical either way; the
+     * index only replaces linear reading with a seek. A missing or
+     * stale index silently falls back to the linear skip.
+     */
+    std::uint64_t skipInstructions(std::uint64_t instructions) override;
+
     std::uint64_t totalRecords() const { return total_; }
     std::uint64_t totalInstructions() const { return totalInstrs_; }
     std::uint64_t recordsRead() const { return read_; }
+
+    /** Instructions contained in the records read so far. */
+    std::uint64_t instructionsRead() const { return instrsRead_; }
 
     /**
      * The workload the trace was recorded from, reconstructed from
@@ -108,15 +198,12 @@ class TraceFileSource : public TraceSource
     std::uint64_t total_ = 0;
     std::uint64_t totalInstrs_ = 0;
     std::uint64_t read_ = 0;
-};
+    std::uint64_t instrsRead_ = 0;
+    std::uint64_t payloadStart_ = 0; ///< First record's byte offset.
 
-/** Header summary of a trace file (shotgun-trace info, trace: specs). */
-struct TraceInfo
-{
-    WorkloadPreset preset;
-    std::uint64_t traceSeed = 1;
-    std::uint64_t records = 0;
-    std::uint64_t instructions = 0;
+    /** Lazily loaded window index; empty entries = none usable. */
+    bool indexProbed_ = false;
+    TraceIndex index_;
 };
 
 /** Read and validate just the header of `path`; fatal() on a bad file. */

@@ -224,7 +224,9 @@ TEST(ServiceCodecTest, FingerprintIsStableAndDiscriminates)
     // canonical encoding (field order, number formatting, a new
     // field) invalidates every cached fingerprint and must be a
     // conscious decision -- this golden value is the tripwire.
-    EXPECT_EQ(configFingerprint(config), "d5c694b56104af14");
+    // (Moved deliberately in protocol 2, which added the "window"
+    // member to every canonical config.)
+    EXPECT_EQ(configFingerprint(config), "f1da860b0b9b7400");
 
     // Identical for an encode/decode round trip.
     const SimConfig decoded =
@@ -341,9 +343,15 @@ TEST(ServiceProtocolTest, SubmitRejectsBadFrames)
         "\"jobs\":0,\"grid\":[]}");
     EXPECT_THROW(decodeSubmit(bad), CodecError);
 
+    // A protocol-1 frame (pre-window configs) is refused outright.
+    Value v1 = Value::parse(
+        "{\"type\":\"submit\",\"protocol\":1,\"experiment\":\"x\","
+        "\"jobs\":0,\"grid\":[]}");
+    EXPECT_THROW(decodeSubmit(v1), CodecError);
+
     // Empty grid.
     Value empty = Value::parse(
-        "{\"type\":\"submit\",\"protocol\":1,\"experiment\":\"x\","
+        "{\"type\":\"submit\",\"protocol\":2,\"experiment\":\"x\","
         "\"jobs\":0,\"grid\":[]}");
     EXPECT_THROW(decodeSubmit(empty), CodecError);
 

@@ -547,6 +547,169 @@ appendLE32(std::vector<unsigned char> &bytes, std::uint32_t v)
         bytes.push_back(static_cast<unsigned char>(v >> (8 * i)));
 }
 
+// ------------------------------------------- windowed-trace support
+
+TEST(GeneratorTest, CheckpointRestoreContinuesIdentically)
+{
+    const WorkloadPreset preset = tinyPreset();
+    Program prog(preset.program);
+
+    TraceGenerator original(prog, 77);
+    original.skip(4321);
+    const GeneratorCheckpoint checkpoint = original.checkpoint();
+    EXPECT_EQ(checkpoint.stats.basicBlocks, 4321u);
+
+    // A differently seeded generator over the same program becomes
+    // the checkpointed stream: synthetic workloads window
+    // identically without regenerating the prefix.
+    TraceGenerator restored(prog, 12345);
+    restored.restore(checkpoint);
+    BBRecord a, b;
+    for (int i = 0; i < 5000; ++i) {
+        ASSERT_TRUE(original.next(a));
+        ASSERT_TRUE(restored.next(b));
+        ASSERT_TRUE(a == b) << "record " << i;
+    }
+    EXPECT_EQ(original.stats().instructions,
+              restored.stats().instructions);
+}
+
+TEST(GeneratorDeathTest, CheckpointAcrossProgramsPanics)
+{
+    const WorkloadPreset preset = tinyPreset();
+    Program prog(preset.program);
+    ProgramParams other_params = preset.program;
+    other_params.numFuncs += 50;
+    Program other(other_params);
+
+    TraceGenerator gen(prog, 1);
+    const GeneratorCheckpoint checkpoint = gen.checkpoint();
+    TraceGenerator foreign(other, 1);
+    EXPECT_DEATH(foreign.restore(checkpoint), "different programs");
+}
+
+TEST(TraceSourceTest, SkipInstructionsLandsOnThresholdRecord)
+{
+    const WorkloadPreset preset = tinyPreset();
+    Program prog(preset.program);
+
+    // Reference landing point: read records until the threshold.
+    TraceGenerator reference(prog, 5);
+    BBRecord scratch;
+    std::uint64_t consumed = 0;
+    std::uint64_t records = 0;
+    while (consumed < 33333) {
+        ASSERT_TRUE(reference.next(scratch));
+        consumed += scratch.numInstrs;
+        ++records;
+    }
+
+    TraceGenerator skipper(prog, 5);
+    EXPECT_EQ(skipper.skipInstructions(33333), consumed);
+    EXPECT_EQ(skipper.stats().basicBlocks, records);
+    BBRecord a, b;
+    ASSERT_TRUE(reference.next(a));
+    ASSERT_TRUE(skipper.next(b));
+    EXPECT_TRUE(a == b);
+}
+
+TEST(TraceIndexTest, IndexedSkipMatchesLinearSkip)
+{
+    const WorkloadPreset preset = tinyPreset();
+    Program prog(preset.program);
+    const std::string path = "/tmp/shotgun_test_idx_skip.bin";
+    TraceGenerator gen(prog, 21);
+    recordTrace(gen, preset, 21, path, 20000);
+
+    // Several thresholds, including checkpoint-exact and
+    // past-last-checkpoint ones; the landing record must be
+    // identical with and without the index.
+    const TraceIndex index = buildTraceIndex(path, 512);
+    EXPECT_GE(index.entries.size(), 2u);
+    for (const std::uint64_t threshold :
+         {std::uint64_t(1), index.entries[1].instructions,
+          index.entries[1].instructions + 1, std::uint64_t(50000),
+          std::uint64_t(100000)}) {
+        TraceFileSource linear(path); // no .idx on disk yet
+        const std::uint64_t linear_skipped =
+            linear.skipInstructions(threshold);
+
+        writeTraceIndex(traceIndexPath(path), index);
+        TraceFileSource seeking(path);
+        const std::uint64_t seek_skipped =
+            seeking.skipInstructions(threshold);
+        std::remove(traceIndexPath(path).c_str());
+
+        EXPECT_EQ(seek_skipped, linear_skipped) << threshold;
+        EXPECT_EQ(seeking.recordsRead(), linear.recordsRead())
+            << threshold;
+        BBRecord a, b;
+        ASSERT_TRUE(linear.next(a));
+        ASSERT_TRUE(seeking.next(b));
+        EXPECT_TRUE(a == b) << threshold;
+    }
+    std::remove(path.c_str());
+}
+
+TEST(TraceIndexTest, StaleOrCorruptIndexIsRejectedNotTrusted)
+{
+    const WorkloadPreset preset = tinyPreset();
+    Program prog(preset.program);
+    const std::string path = "/tmp/shotgun_test_idx_stale.bin";
+    TraceGenerator gen(prog, 3);
+    recordTrace(gen, preset, 3, path, 3000);
+
+    const TraceIndex index = buildTraceIndex(path, 100);
+    writeTraceIndex(traceIndexPath(path), index);
+
+    TraceIndex loaded;
+    std::string error;
+    const TraceInfo info = readTraceInfo(path);
+    EXPECT_TRUE(
+        tryReadTraceIndex(traceIndexPath(path), info, loaded, error))
+        << error;
+    EXPECT_EQ(loaded.entries.size(), index.entries.size());
+
+    // Re-record over the trace with a different seed: the sidecar
+    // must be detected as stale...
+    TraceGenerator regen(prog, 4);
+    recordTrace(regen, preset, 4, path, 3000);
+    EXPECT_FALSE(tryReadTraceIndex(traceIndexPath(path),
+                                   readTraceInfo(path), loaded,
+                                   error));
+    EXPECT_NE(error.find("stale"), std::string::npos);
+
+    // ...and replay must still work: a stale index falls back to
+    // the linear skip instead of seeking into the wrong recording.
+    TraceFileSource source(path);
+    EXPECT_GT(source.skipInstructions(1000), 0u);
+
+    // Garbage magic is rejected too.
+    {
+        std::ofstream out(traceIndexPath(path), std::ios::binary);
+        out << "not an index";
+    }
+    EXPECT_FALSE(tryReadTraceIndex(traceIndexPath(path),
+                                   readTraceInfo(path), loaded,
+                                   error));
+    EXPECT_NE(error.find("not a shotgun trace index"),
+              std::string::npos);
+
+    std::remove(traceIndexPath(path).c_str());
+    std::remove(path.c_str());
+}
+
+TEST(TraceIndexDeathTest, BuildRejectsZeroInterval)
+{
+    const WorkloadPreset preset = tinyPreset();
+    Program prog(preset.program);
+    const std::string path = "/tmp/shotgun_test_idx_zero.bin";
+    TraceGenerator gen(prog, 9);
+    recordTrace(gen, preset, 9, path, 100);
+    EXPECT_DEATH(buildTraceIndex(path, 0), "nonzero");
+    std::remove(path.c_str());
+}
+
 TEST(PresetsDeathTest, UnknownWorkloadListsEveryAlternative)
 {
     // The error is the documentation at point of failure: it must

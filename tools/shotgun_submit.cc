@@ -28,8 +28,11 @@
 #include "common/logging.hh"
 #include "common/parse.hh"
 #include "runner/experiment.hh"
+#include "runner/grid_scheduler.hh"
 #include "runner/result_sink.hh"
 #include "service/client.hh"
+#include "window/window_plan.hh"
+#include "window/windowed_runner.hh"
 
 using namespace shotgun;
 
@@ -66,6 +69,22 @@ const char *kUsage =
     "that dies mid-grid has its undelivered points redistributed\n"
     "across the surviving workers (delivered results are kept); the\n"
     "submit fails only when every worker is dead.\n"
+    "\n"
+    "  --window-shards N    split every experiment into N contiguous\n"
+    "                       measurement windows distributed across\n"
+    "                       the workers (finer-grained work units\n"
+    "                       than per-config sharding) and stitch the\n"
+    "                       windows back into results numerically\n"
+    "                       identical to monolithic runs; dead-worker\n"
+    "                       recovery re-simulates lost windows on\n"
+    "                       survivors. Each window re-simulates its\n"
+    "                       prefix as warm-up (the price of exact\n"
+    "                       stitching), so this buys distribution\n"
+    "                       granularity and fault tolerance, not a\n"
+    "                       shorter critical path; the sampled-window\n"
+    "                       API (src/window/) is the latency lever.\n"
+    "                       Works with --local too (the windows run\n"
+    "                       on the in-process pool).\n"
     "\n"
     "Transport options:\n"
     "  --timeout SECONDS    fail when the server sends nothing for\n"
@@ -124,6 +143,7 @@ struct Options
     std::uint64_t warmup = 2000000;
     std::uint64_t seed = 1;
     std::uint64_t jobs = 0;
+    std::uint64_t windowShards = 0; ///< 0 = monolithic experiments.
     std::uint64_t timeoutSeconds = service::kDefaultTimeoutSeconds;
 
     std::string outBase;
@@ -195,6 +215,11 @@ parseOptions(int argc, char **argv)
             opts.seed = nextU64("--seed");
         } else if (std::strcmp(arg, "--jobs") == 0) {
             opts.jobs = nextU64("--jobs");
+        } else if (std::strcmp(arg, "--window-shards") == 0) {
+            opts.windowShards = nextU64("--window-shards");
+            if (opts.windowShards == 0 || opts.windowShards > 65536)
+                usageError("--window-shards: expected a window count "
+                           "in [1, 65536]");
         } else if (std::strcmp(arg, "--timeout") == 0) {
             opts.timeoutSeconds = nextU64("--timeout");
             if (opts.timeoutSeconds > 86400)
@@ -259,12 +284,34 @@ runSubmit(const Options &opts)
     request.jobs = opts.jobs;
     request.grid = set.experiments();
 
+    const unsigned window_shards =
+        static_cast<unsigned>(opts.windowShards);
     std::vector<SimResult> results;
-    if (opts.local) {
+    if (opts.local && window_shards == 0) {
         runner::RunnerOptions ropts;
         ropts.jobs = static_cast<unsigned>(opts.jobs);
         ropts.progress = opts.showProgress ? &std::cerr : nullptr;
         results = runner::ExperimentRunner(ropts).run(set);
+    } else if (opts.local) {
+        // Windowed in-process: each experiment's windows run
+        // concurrently on one pool; experiments run in sequence.
+        runner::GridScheduler::Options sopts;
+        if (opts.jobs != 0)
+            sopts.workers = static_cast<unsigned>(opts.jobs);
+        runner::GridScheduler scheduler(sopts);
+        for (const runner::Experiment &exp : set.experiments()) {
+            const window::WindowPlan plan =
+                window::contiguousPlan(exp.config, window_shards);
+            window::WindowedOutcome outcome =
+                window::runWindowedExperiment(exp, plan, scheduler);
+            if (opts.showProgress)
+                std::fprintf(stderr, "[%zu/%zu] %s/%s stitched from "
+                             "%u windows\n",
+                             results.size() + 1, set.size(),
+                             exp.workload.c_str(), exp.label.c_str(),
+                             window_shards);
+            results.push_back(std::move(outcome.stitched));
+        }
     } else {
         service::ShardedOptions shard_opts;
         shard_opts.onProgress = [&](std::size_t done,
@@ -278,7 +325,13 @@ runSubmit(const Options &opts)
         std::vector<service::ShardOutcome> outcomes;
         shard_opts.outcomes = &outcomes;
         results =
-            service::submitSharded(opts.endpoints, request, shard_opts);
+            window_shards == 0
+                ? service::submitSharded(opts.endpoints, request,
+                                         shard_opts)
+                : service::submitWindowSharded(opts.endpoints,
+                                               request,
+                                               window_shards,
+                                               shard_opts);
         for (const service::ShardOutcome &outcome : outcomes) {
             if (outcome.error.empty())
                 continue;
@@ -293,9 +346,10 @@ runSubmit(const Options &opts)
 
     // Rows, table and files go through the exact machinery
     // ExperimentRunner::run(set, sink) uses, so remote === local
-    // results imply byte-identical output artifacts.
+    // results imply byte-identical output artifacts. (Stitched rows
+    // carry a JSON-only "windows" marker; the CSV stays comparable.)
     runner::ResultSink sink(opts.experiment);
-    runner::appendResultRows(set, results, sink);
+    runner::appendResultRows(set, results, sink, opts.windowShards);
     sink.printTable(std::cout);
     if (!opts.outBase.empty()) {
         if (!sink.writeFiles(opts.outBase))
