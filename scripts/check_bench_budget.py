@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Guard simulator throughput against regressions.
+
+Compares a fresh ``bench_sim_throughput`` run against the committed
+baseline (``BENCH_sim_throughput.json``) and exits non-zero when any
+(workload, scheme) row regressed:
+
+  * ``measured_instructions`` / ``measured_cycles`` must match the
+    baseline exactly -- the simulation itself is deterministic, so any
+    drift here is a correctness bug, not noise;
+  * ``instructions_per_second`` must be within ``--budget`` percent
+    (default 15) of the baseline row.
+
+The throughput check is wall-clock and therefore machine-sensitive:
+the committed baseline is meaningful on hardware comparable to the
+machine that produced it. Regenerate it alongside intentional perf
+changes with
+
+    build/bench_sim_throughput --out BENCH_sim_throughput.json
+
+Usage:
+    scripts/check_bench_budget.py --baseline BENCH_sim_throughput.json \
+        --measured build/bench_fresh.json [--budget 15]
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_rows(path):
+    with open(path) as handle:
+        doc = json.load(handle)
+    if doc.get("experiment") != "sim_throughput":
+        sys.exit(f"{path}: not a sim_throughput result file")
+    rows = {}
+    for row in doc["rows"]:
+        rows[(row["workload"], row["scheme"])] = row
+    return rows
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="fail on simulator throughput regression")
+    parser.add_argument("--baseline", required=True,
+                        help="committed BENCH_sim_throughput.json")
+    parser.add_argument("--measured", required=True,
+                        help="fresh bench_sim_throughput output")
+    parser.add_argument("--budget", type=float, default=15.0,
+                        help="allowed instr/sec regression, percent "
+                             "(default 15)")
+    args = parser.parse_args()
+
+    baseline = load_rows(args.baseline)
+    measured = load_rows(args.measured)
+
+    failures = []
+    for key, base in sorted(baseline.items()):
+        workload, scheme = key
+        fresh = measured.get(key)
+        if fresh is None:
+            failures.append(f"{workload}/{scheme}: missing from "
+                            f"{args.measured}")
+            continue
+
+        for field in ("measured_instructions", "measured_cycles"):
+            if fresh[field] != base[field]:
+                failures.append(
+                    f"{workload}/{scheme}: {field} drifted "
+                    f"({base[field]} -> {fresh[field]}); the "
+                    f"simulation is deterministic, so this is a "
+                    f"correctness change, not noise")
+
+        base_ips = base["instructions_per_second"]
+        fresh_ips = fresh["instructions_per_second"]
+        floor = base_ips * (1.0 - args.budget / 100.0)
+        delta = (fresh_ips - base_ips) / base_ips * 100.0
+        status = "ok" if fresh_ips >= floor else "REGRESSED"
+        print(f"{workload}/{scheme}: {fresh_ips / 1e6:.2f} Minstr/s "
+              f"vs baseline {base_ips / 1e6:.2f} ({delta:+.1f}%, "
+              f"budget -{args.budget:.0f}%): {status}")
+        if fresh_ips < floor:
+            failures.append(
+                f"{workload}/{scheme}: instructions/sec regressed "
+                f"{-delta:.1f}% (> {args.budget:.0f}% budget)")
+
+    if failures:
+        print("\nbench budget check FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("bench budget check OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -57,7 +57,7 @@ grep -q '"workload": "nutch"' "$TRACE_OUT.json"
     | grep -q "OK: file replay is bit-identical"
 
 echo "== tool CLI conventions (--help 0 / --version 0 / bad usage 2) =="
-for tool in shotgun-trace shotgun-serve shotgun-submit; do
+for tool in shotgun-trace shotgun-serve shotgun-submit shotgun-coord; do
     "$BUILD_DIR/$tool" --help > /dev/null
     "$BUILD_DIR/$tool" --version | grep -q "^$tool "
     rc=0
@@ -200,6 +200,80 @@ cmp "$BUILD_DIR/smoke/win_local.csv" "$BUILD_DIR/smoke/win_mono.csv"
 
 "$BUILD_DIR/shotgun-submit" --server "unix:$SOCK_W1" --shutdown
 "$BUILD_DIR/shotgun-submit" --server "unix:$SOCK_W2" --shutdown
+
+echo "== fleet: coord + 3 workers, kill one, verify bitwise =="
+# The same windowed grid through the coordinator fleet: three
+# shotgun-serve workers register with a shotgun-coord daemon and
+# steal points from its global queue; one worker is killed mid-run
+# and the coordinator must requeue its in-flight points on the
+# survivors, with the stitched CSV still matching the monolithic
+# local run byte for byte. The coordinator writes every result
+# through to an on-disk cache, exercised by the restart step below.
+COORD_SOCK="$BUILD_DIR/smoke/coord.sock"
+FLEET_CACHE="$BUILD_DIR/smoke/fleet_cache"
+rm -rf "$FLEET_CACHE"
+"$BUILD_DIR/shotgun-coord" --listen "unix:$COORD_SOCK" --quiet \
+    --heartbeat-ms 200 --cache-dir "$FLEET_CACHE" &
+DAEMON_PIDS+=($!)
+for _ in $(seq 50); do
+    [ -S "$COORD_SOCK" ] && break
+    sleep 0.1
+done
+[ -S "$COORD_SOCK" ] || {
+    echo "shotgun-coord did not come up" >&2
+    exit 1
+}
+
+SOCK_F1="$BUILD_DIR/smoke/serve_f1.sock"
+SOCK_F2="$BUILD_DIR/smoke/serve_f2.sock"
+SOCK_F3="$BUILD_DIR/smoke/serve_f3.sock"
+for i in 1 2 3; do
+    eval "sock=\$SOCK_F$i"
+    start_serve "$sock" --coordinator "unix:$COORD_SOCK" \
+        --name "smoke-w$i" --heartbeat-ms 200 --jobs 1
+done
+FLEET_VICTIM_PID="${DAEMON_PIDS[-1]}"
+
+"$BUILD_DIR/shotgun-submit" --coordinator "unix:$COORD_SOCK" \
+    "${WGRID[@]}" --window-shards 3 \
+    --out "$BUILD_DIR/smoke/fleet_run" > /dev/null &
+SUBMIT_PID=$!
+sleep 0.3
+kill "$FLEET_VICTIM_PID" 2>/dev/null || true
+wait "$SUBMIT_PID"
+cmp "$BUILD_DIR/smoke/fleet_run.csv" "$BUILD_DIR/smoke/win_mono.csv"
+
+# The metrics frame renders per-worker rows and fleet cache stats.
+FLEET_STATUS=$("$BUILD_DIR/shotgun-submit" \
+    --coordinator "unix:$COORD_SOCK" --fleet-status)
+echo "$FLEET_STATUS" | grep -q "queue depth"
+echo "$FLEET_STATUS" | grep -q "coordinator cache:"
+echo "$FLEET_STATUS" | grep -q "smoke-w"
+
+echo "== fleet: persistent cache answers across a coord restart =="
+# Stop the whole fleet, then restart only the coordinator on the
+# same --cache-dir with zero workers: the resubmitted grid must be
+# answered entirely from the on-disk result cache, byte-identically.
+"$BUILD_DIR/shotgun-submit" --server "unix:$SOCK_F1" --shutdown
+"$BUILD_DIR/shotgun-submit" --server "unix:$SOCK_F2" --shutdown
+"$BUILD_DIR/shotgun-submit" --coordinator "unix:$COORD_SOCK" --shutdown
+sleep 0.3
+
+"$BUILD_DIR/shotgun-coord" --listen "unix:$COORD_SOCK" --quiet \
+    --heartbeat-ms 200 --cache-dir "$FLEET_CACHE" &
+DAEMON_PIDS+=($!)
+for _ in $(seq 50); do
+    "$BUILD_DIR/shotgun-submit" --coordinator "unix:$COORD_SOCK" \
+        --ping > /dev/null 2>&1 && break
+    sleep 0.1
+done
+"$BUILD_DIR/shotgun-submit" --coordinator "unix:$COORD_SOCK" \
+    "${WGRID[@]}" --window-shards 3 \
+    --out "$BUILD_DIR/smoke/fleet_cached" > /dev/null
+cmp "$BUILD_DIR/smoke/fleet_cached.csv" "$BUILD_DIR/smoke/win_mono.csv"
+"$BUILD_DIR/shotgun-submit" --coordinator "unix:$COORD_SOCK" \
+    --fleet-status | grep -q "(no workers registered)"
+"$BUILD_DIR/shotgun-submit" --coordinator "unix:$COORD_SOCK" --shutdown
 
 echo "== bench_sim_throughput emits machine-readable JSON =="
 "$BUILD_DIR/bench_sim_throughput" --instructions 200000 \

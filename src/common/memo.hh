@@ -84,9 +84,13 @@ struct MemoCacheStats
     std::size_t entries = 0;     ///< Cached (completed) values.
     std::size_t bytes = 0;       ///< Accounted size of those values.
     std::size_t budgetBytes = 0; ///< Eviction threshold; 0 unbounded.
-    std::size_t hits = 0;   ///< get() served without computing.
-    std::size_t misses = 0; ///< get() that ran compute.
+    std::size_t hits = 0;   ///< get()/tryGet() served from memory.
+    std::size_t misses = 0; ///< get() that ran compute (or the
+                            ///< backend), tryGet() that found nothing.
     std::size_t evictions = 0; ///< Entries dropped for the budget.
+
+    /** Misses the persistent backend answered instead of compute. */
+    std::size_t backendHits = 0;
 };
 
 /**
@@ -105,6 +109,15 @@ struct MemoCacheStats
  *    recomputes on its next get() -- for pure functions the result
  *    is identical, so eviction can cost time but never staleness.
  *  - stats() exposes hit/miss/eviction counters for monitoring.
+ *  - An optional write-through persistent backend (setBackend): a
+ *    get() miss first consults `load` -- a hit there is cached in
+ *    memory without running compute (counted as a backendHit) -- and
+ *    a computed value is handed to `store` so it survives the
+ *    process. Eviction only drops the in-memory copy; the backend
+ *    serves the key again on its next miss.
+ *  - tryGet()/put() for producers that obtain values asynchronously
+ *    (the fleet coordinator: results arrive from remote workers, so
+ *    there is no compute function to run in the caller).
  *
  * A budget of 0 disables eviction (unbounded, like MemoCache).
  */
@@ -115,10 +128,27 @@ class LruMemoCache
     using BytesFn =
         std::function<std::size_t(const Key &, const Value &)>;
 
+    /** Backend read: fill `value`, true on a hit. Must not throw. */
+    using LoadFn = std::function<bool(const Key &, Value &)>;
+
+    /** Backend write-through. Failures are the backend's to log. */
+    using StoreFn = std::function<void(const Key &, const Value &)>;
+
     explicit LruMemoCache(std::size_t budget_bytes = 0,
                           BytesFn bytes_of = {})
         : budget_(budget_bytes), bytesOf_(std::move(bytes_of))
     {
+    }
+
+    /**
+     * Attach a persistent write-through backend. Call before the
+     * cache is shared across threads (the callbacks themselves are
+     * invoked outside the cache lock and must be thread-safe).
+     */
+    void setBackend(LoadFn load, StoreFn store)
+    {
+        backendLoad_ = std::move(load);
+        backendStore_ = std::move(store);
     }
 
     /**
@@ -153,9 +183,21 @@ class LruMemoCache
 
         if (mine) {
             std::shared_ptr<const Value> value;
+            bool from_backend = false;
             try {
-                value = std::make_shared<const Value>(
-                    std::forward<Fn>(compute)());
+                // A persistent-backend hit replaces compute (and is
+                // not written back: the backend already has it).
+                if (backendLoad_) {
+                    Value loaded;
+                    if (backendLoad_(key, loaded)) {
+                        from_backend = true;
+                        value = std::make_shared<const Value>(
+                            std::move(loaded));
+                    }
+                }
+                if (value == nullptr)
+                    value = std::make_shared<const Value>(
+                        std::forward<Fn>(compute)());
             } catch (...) {
                 {
                     std::lock_guard<std::mutex> lock(mutex_);
@@ -164,6 +206,8 @@ class LruMemoCache
                 promise.set_exception(std::current_exception());
                 throw;
             }
+            if (!from_backend && backendStore_)
+                backendStore_(key, *value);
             {
                 std::lock_guard<std::mutex> lock(mutex_);
                 auto it = entries_.find(key);
@@ -176,11 +220,58 @@ class LruMemoCache
                 lru_.push_front(key);
                 it->second.lruIt = lru_.begin();
                 bytes_ += it->second.bytes;
+                if (from_backend)
+                    ++backendHits_;
                 evictLocked();
             }
             promise.set_value(std::move(value));
         }
         return future.get();
+    }
+
+    /**
+     * Lookup without computing: the completed in-memory entry, else a
+     * backend hit (cached in memory on the way through), else
+     * nullptr. In-flight get() computations are not waited for --
+     * tryGet() callers produce values themselves and use put().
+     */
+    std::shared_ptr<const Value> tryGet(const Key &key)
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            auto it = entries_.find(key);
+            if (it != entries_.end() && it->second.ready) {
+                lru_.splice(lru_.begin(), lru_, it->second.lruIt);
+                ++hits_;
+                return it->second.future.get();
+            }
+            ++misses_;
+        }
+        if (!backendLoad_)
+            return nullptr;
+        Value loaded;
+        if (!backendLoad_(key, loaded))
+            return nullptr;
+        auto value = std::make_shared<const Value>(std::move(loaded));
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            ++backendHits_;
+        }
+        insertReady(key, value, /*store_through=*/false);
+        return value;
+    }
+
+    /**
+     * Insert a value produced elsewhere (write-through to the
+     * backend). An existing or in-flight entry for the key wins --
+     * values are pure functions of their key, so the first one is as
+     * good as any -- and the put is then a no-op.
+     */
+    void put(const Key &key, Value value)
+    {
+        insertReady(key,
+                    std::make_shared<const Value>(std::move(value)),
+                    /*store_through=*/true);
     }
 
     /** Completed + in-flight entries (MemoCache-compatible). */
@@ -200,10 +291,37 @@ class LruMemoCache
         stats.hits = hits_;
         stats.misses = misses_;
         stats.evictions = evictions_;
+        stats.backendHits = backendHits_;
         return stats;
     }
 
   private:
+    /** Insert an already-available value; existing entries win. */
+    void insertReady(const Key &key,
+                     std::shared_ptr<const Value> value,
+                     bool store_through)
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (entries_.find(key) != entries_.end())
+                return;
+            std::promise<std::shared_ptr<const Value>> promise;
+            promise.set_value(value);
+            Entry entry;
+            entry.future = promise.get_future().share();
+            entry.ready = true;
+            entry.bytes = bytesOf_ ? bytesOf_(key, *value)
+                                   : sizeof(Value) + sizeof(Key);
+            auto it = entries_.emplace(key, std::move(entry)).first;
+            lru_.push_front(key);
+            it->second.lruIt = lru_.begin();
+            bytes_ += it->second.bytes;
+            evictLocked();
+        }
+        if (store_through && backendStore_)
+            backendStore_(key, *value);
+    }
+
     struct Entry
     {
         std::shared_future<std::shared_ptr<const Value>> future;
@@ -235,7 +353,10 @@ class LruMemoCache
     std::size_t hits_ = 0;
     std::size_t misses_ = 0;
     std::size_t evictions_ = 0;
+    std::size_t backendHits_ = 0;
     BytesFn bytesOf_;
+    LoadFn backendLoad_;
+    StoreFn backendStore_;
 };
 
 } // namespace shotgun

@@ -1,0 +1,174 @@
+#include "fleet/disk_cache.hh"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include <dirent.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "service/codec.hh"
+
+namespace shotgun
+{
+namespace fleet
+{
+
+using json::Value;
+
+namespace
+{
+
+/** mkdir -p: create every missing component of `dir`. */
+bool
+makeDirs(const std::string &dir)
+{
+    std::string partial;
+    std::size_t pos = 0;
+    while (pos <= dir.size()) {
+        const std::size_t slash = dir.find('/', pos);
+        partial = slash == std::string::npos ? dir
+                                             : dir.substr(0, slash);
+        pos = slash == std::string::npos ? dir.size() + 1 : slash + 1;
+        if (partial.empty())
+            continue;
+        if (::mkdir(partial.c_str(), 0777) != 0 && errno != EEXIST)
+            return false;
+    }
+    return true;
+}
+
+/**
+ * Fingerprints are 16 lowercase hex digits (codec.hh); anything else
+ * must not be turned into a path component.
+ */
+bool
+safeFingerprint(const std::string &fingerprint)
+{
+    if (fingerprint.empty() || fingerprint.size() > 64)
+        return false;
+    for (char c : fingerprint) {
+        const bool ok = (c >= '0' && c <= '9') ||
+                        (c >= 'a' && c <= 'f');
+        if (!ok)
+            return false;
+    }
+    return true;
+}
+
+} // namespace
+
+DiskResultCache::DiskResultCache(std::string dir)
+    : dir_(std::move(dir))
+{
+    if (dir_.empty())
+        throw std::runtime_error("disk cache: empty directory");
+    while (dir_.size() > 1 && dir_.back() == '/')
+        dir_.pop_back();
+    if (!makeDirs(dir_))
+        throw std::runtime_error("disk cache: cannot create '" +
+                                 dir_ + "': " + strerror(errno));
+    // Probe writability now: a daemon should fail to start rather
+    // than discover a read-only cache directory store by store.
+    const std::string probe = dir_ + "/.probe." +
+                              std::to_string(::getpid());
+    std::ofstream out(probe, std::ios::trunc);
+    if (!out || !(out << "ok\n")) {
+        throw std::runtime_error("disk cache: '" + dir_ +
+                                 "' is not writable");
+    }
+    out.close();
+    ::unlink(probe.c_str());
+}
+
+std::string
+DiskResultCache::entryPath(const std::string &fingerprint) const
+{
+    return dir_ + "/" + fingerprint + ".json";
+}
+
+bool
+DiskResultCache::load(const std::string &fingerprint,
+                      service::CachedResult &out) const
+{
+    if (!safeFingerprint(fingerprint))
+        return false;
+    std::ifstream in(entryPath(fingerprint));
+    if (!in)
+        return false;
+    std::ostringstream text;
+    text << in.rdbuf();
+    try {
+        const Value v = Value::parse(text.str());
+        // The embedded fingerprint guards against a file copied or
+        // renamed across keys: a mismatch is damage, hence a miss.
+        if (v.at("fingerprint").asString() != fingerprint)
+            return false;
+        service::CachedResult cached;
+        cached.result = service::decodeSimResult(v.at("result"));
+        if (const Value *delta = v.find("delta")) {
+            cached.hasDelta = true;
+            cached.delta = service::decodeStatsDelta(*delta);
+        }
+        out = std::move(cached);
+        return true;
+    } catch (const json::JsonError &) {
+        return false;
+    }
+}
+
+void
+DiskResultCache::store(const std::string &fingerprint,
+                       const service::CachedResult &value) const
+{
+    if (!safeFingerprint(fingerprint))
+        return;
+    Value v = Value::object();
+    v.set("fingerprint", Value::string(fingerprint));
+    v.set("result", service::encodeSimResult(value.result));
+    if (value.hasDelta)
+        v.set("delta", service::encodeStatsDelta(value.delta));
+
+    // Atomic publish: write a per-process tmp file in the same
+    // directory, then rename over the final name. Readers see the
+    // old entry, no entry, or the complete new entry -- never a
+    // truncated one.
+    const std::string path = entryPath(fingerprint);
+    const std::string tmp =
+        path + ".tmp." + std::to_string(::getpid());
+    {
+        std::ofstream out(tmp, std::ios::trunc);
+        if (!out || !(out << v.dump() << '\n')) {
+            ::unlink(tmp.c_str());
+            return;
+        }
+    }
+    if (::rename(tmp.c_str(), path.c_str()) != 0)
+        ::unlink(tmp.c_str());
+}
+
+std::size_t
+DiskResultCache::entryCount() const
+{
+    DIR *d = ::opendir(dir_.c_str());
+    if (d == nullptr)
+        return 0;
+    std::size_t count = 0;
+    while (struct dirent *entry = ::readdir(d)) {
+        const std::string name = entry->d_name;
+        const std::string suffix = ".json";
+        if (name.size() > suffix.size() &&
+            name.compare(name.size() - suffix.size(), suffix.size(),
+                         suffix) == 0)
+            ++count;
+    }
+    ::closedir(d);
+    return count;
+}
+
+} // namespace fleet
+} // namespace shotgun

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Persistent result cache: one JSON file per config fingerprint in a
+ * flat directory, holding the canonical encoding of a
+ * service::CachedResult (the derived result plus, for windowed
+ * points, the raw stitchable counters). Plugged into an
+ * LruMemoCache as its write-through backend (memo.hh setBackend), it
+ * makes a daemon's fingerprint cache survive restarts: the in-memory
+ * LRU keeps the hot set, the directory keeps everything, and a miss
+ * after a restart is answered from disk instead of re-simulating.
+ *
+ * Writes are atomic (tmp file + rename in the same directory), so a
+ * crash mid-store leaves at worst a stray .tmp file, never a
+ * truncated entry; a reader that finds a damaged or foreign file
+ * treats it as a miss. Results are pure functions of their
+ * fingerprint, so entries never need invalidation -- the same
+ * caveat as configFingerprint(): re-recording a different workload
+ * over an existing trace path aliases entries. Don't do that.
+ *
+ * Shared by the coordinator (fleet-wide cache) and by
+ * shotgun-serve --cache-dir (per-worker cache); the service layer
+ * itself stays storage-ignorant and only sees the memo-cache
+ * backend callbacks.
+ */
+
+#ifndef SHOTGUN_FLEET_DISK_CACHE_HH
+#define SHOTGUN_FLEET_DISK_CACHE_HH
+
+#include <cstdint>
+#include <string>
+
+#include "service/server.hh"
+
+namespace shotgun
+{
+namespace fleet
+{
+
+class DiskResultCache
+{
+  public:
+    /**
+     * Create/open the cache directory (parents included). Throws
+     * std::runtime_error when the directory cannot be created or is
+     * not writable -- a daemon should refuse to start with a broken
+     * cache rather than silently run without persistence.
+     */
+    explicit DiskResultCache(std::string dir);
+
+    const std::string &dir() const { return dir_; }
+
+    /**
+     * Read one entry; false on absent/damaged/foreign files (a
+     * damaged entry is a cache miss, never an error). Thread-safe.
+     */
+    bool load(const std::string &fingerprint,
+              service::CachedResult &out) const;
+
+    /**
+     * Write one entry atomically. Failures (disk full, permissions)
+     * are swallowed: persistence is an optimization, and the value
+     * is already in memory. Thread-safe; concurrent stores of the
+     * same fingerprint write identical bytes, so the last rename
+     * winning is harmless.
+     */
+    void store(const std::string &fingerprint,
+               const service::CachedResult &value) const;
+
+    /** Completed entries on disk right now (for tests/status). */
+    std::size_t entryCount() const;
+
+  private:
+    std::string entryPath(const std::string &fingerprint) const;
+
+    std::string dir_;
+};
+
+} // namespace fleet
+} // namespace shotgun
+
+#endif // SHOTGUN_FLEET_DISK_CACHE_HH

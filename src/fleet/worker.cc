@@ -1,0 +1,251 @@
+#include "fleet/worker.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <exception>
+#include <utility>
+
+#include "service/client.hh"
+
+namespace shotgun
+{
+namespace fleet
+{
+
+using json::Value;
+using service::LineChannel;
+
+FleetWorker::FleetWorker(service::SimServer &server,
+                         WorkerOptions options)
+    : server_(server), options_(std::move(options)),
+      coordinator_(service::Endpoint::parse(options_.coordinator))
+{
+    if (options_.slots == 0)
+        options_.slots = 1;
+    if (options_.heartbeatMs == 0)
+        options_.heartbeatMs = 1000;
+}
+
+FleetWorker::~FleetWorker()
+{
+    stop();
+}
+
+void
+FleetWorker::start()
+{
+    if (started_.exchange(true))
+        return;
+    threads_.emplace_back([this]() { controlLoop(); });
+    for (unsigned i = 0; i < options_.slots; ++i)
+        threads_.emplace_back([this, i]() { slotLoop(i); });
+}
+
+void
+FleetWorker::stop()
+{
+    if (!started_.load())
+        return;
+    stop_.store(true);
+    std::vector<std::shared_ptr<LineChannel>> live;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (auto &weak : channels_) {
+            if (auto channel = weak.lock())
+                live.push_back(std::move(channel));
+        }
+    }
+    // shutdown(2) unblocks readers parked in recv on the
+    // coordinator; the channel objects stay alive through the
+    // shared_ptrs their loops hold.
+    for (auto &channel : live)
+        channel->socket().shutdownBoth();
+    stopCv_.notify_all();
+    for (auto &thread : threads_)
+        thread.join();
+    threads_.clear();
+}
+
+std::shared_ptr<LineChannel>
+FleetWorker::adoptChannel(service::Socket sock)
+{
+    auto channel = std::make_shared<LineChannel>(std::move(sock));
+    std::lock_guard<std::mutex> lock(mutex_);
+    channels_.erase(
+        std::remove_if(channels_.begin(), channels_.end(),
+                       [](const std::weak_ptr<LineChannel> &w) {
+                           return w.expired();
+                       }),
+        channels_.end());
+    channels_.push_back(channel);
+    // A stop() racing this adoption may have missed the new
+    // channel; close it here so the caller's loop exits promptly.
+    if (stop_.load())
+        channel->socket().shutdownBoth();
+    return channel;
+}
+
+bool
+FleetWorker::sleepMs(unsigned ms)
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    stopCv_.wait_for(lock, std::chrono::milliseconds(ms),
+                     [this]() { return stop_.load(); });
+    return !stop_.load();
+}
+
+void
+FleetWorker::log(const std::string &line)
+{
+    if (options_.log != nullptr)
+        *options_.log << "fleet-worker: " << line << std::endl;
+}
+
+void
+FleetWorker::controlLoop()
+{
+    while (!stop_.load()) {
+        try {
+            auto channel =
+                adoptChannel(service::connectTo(coordinator_));
+            // Acks are tiny and immediate; a coordinator that stays
+            // silent for several heartbeat periods is wedged and
+            // the reconnect path should take over.
+            channel->socket().setRecvTimeout(
+                std::max(2000u, options_.heartbeatMs * 4));
+
+            service::RegisterRequest reg;
+            reg.name = options_.name;
+            reg.slots = options_.slots;
+            if (!channel->sendLine(
+                    service::encodeRegister(reg).dump()))
+                throw service::SocketError("register send failed");
+            std::string line;
+            if (!channel->recvLine(line))
+                throw service::SocketError("no register ack");
+            const Value ack = Value::parse(line);
+            if (service::frameType(ack) != "ack")
+                throw service::ServiceError(
+                    "register rejected: " + line);
+            workerId_.store(ack.at("worker").asU64());
+            log("registered as worker " +
+                std::to_string(workerId_.load()) + " at " +
+                coordinator_.str());
+
+            while (sleepMs(options_.heartbeatMs)) {
+                service::HeartbeatFrame hb;
+                hb.worker = workerId_.load();
+                hb.completed = completed_.load();
+                const MemoCacheStats stats = server_.cacheStats();
+                hb.cacheHits = stats.hits;
+                hb.cacheMisses = stats.misses;
+                hb.backendHits = stats.backendHits;
+                if (!channel->sendLine(
+                        service::encodeHeartbeat(hb).dump()))
+                    break;
+                if (!channel->recvLine(line))
+                    break;
+                // The reply is an ack (or an error frame we can only
+                // log); either way the connection is alive.
+            }
+        } catch (const std::exception &e) {
+            if (!stop_.load())
+                log(std::string("control connection lost: ") +
+                    e.what());
+        }
+        // Stale id: slots attached under it are torn down by the
+        // coordinator (their worker died with the control conn), and
+        // their loops re-attach once a new id is assigned.
+        workerId_.store(0);
+        if (!sleepMs(options_.heartbeatMs))
+            break;
+    }
+}
+
+void
+FleetWorker::slotLoop(unsigned slot_index)
+{
+    service::TraceProbeCache probed;
+    while (!stop_.load()) {
+        const std::uint64_t id = workerId_.load();
+        if (id == 0) {
+            // Not registered (yet, or between reconnects).
+            if (!sleepMs(std::max(50u, options_.heartbeatMs / 4)))
+                break;
+            continue;
+        }
+        try {
+            auto channel =
+                adoptChannel(service::connectTo(coordinator_));
+            Value attach = service::makeFrame("attach");
+            attach.set("worker", Value::number(id));
+            if (!channel->sendLine(attach.dump()))
+                throw service::SocketError("attach send failed");
+            std::string line;
+            if (!channel->recvLine(line))
+                throw service::SocketError("no attach ack");
+            const Value ack = Value::parse(line);
+            if (service::frameType(ack) != "ack")
+                throw service::ServiceError("attach rejected: " +
+                                            line);
+
+            // Steal -> work -> result, parked on the coordinator
+            // while the queue is empty. No receive deadline: an idle
+            // fleet legitimately sits here for hours; stop() and
+            // coordinator death both surface as a closed socket.
+            for (;;) {
+                if (!channel->sendLine(
+                        service::makeFrame("steal").dump()))
+                    break;
+                if (!channel->recvLine(line))
+                    break;
+                const Value frame = Value::parse(line);
+                const std::string type = service::frameType(frame);
+                if (type != "work")
+                    continue; // e.g. an error frame; keep stealing.
+                const service::WorkItem item =
+                    service::decodeWork(frame);
+
+                service::WorkResult out;
+                out.task = item.task;
+                std::string error;
+                if (!service::validateExperimentTrace(
+                        item.experiment, probed, error)) {
+                    out.ok = false;
+                    out.message = error;
+                } else {
+                    try {
+                        out.fingerprint = service::configFingerprint(
+                            item.experiment.config);
+                        bool was_cached = false;
+                        auto value = server_.computeCached(
+                            out.fingerprint, item.experiment,
+                            &was_cached);
+                        out.cached = was_cached;
+                        out.result = value->result;
+                        out.hasDelta = value->hasDelta;
+                        if (value->hasDelta)
+                            out.delta = value->delta;
+                    } catch (const std::exception &e) {
+                        out.ok = false;
+                        out.message = e.what();
+                    }
+                }
+                if (!channel->sendLine(
+                        service::encodeWorkResult(out).dump()))
+                    break;
+                if (out.ok)
+                    completed_.fetch_add(1);
+            }
+        } catch (const std::exception &e) {
+            if (!stop_.load())
+                log("slot " + std::to_string(slot_index) +
+                    " connection lost: " + e.what());
+        }
+        if (!sleepMs(options_.heartbeatMs))
+            break;
+    }
+}
+
+} // namespace fleet
+} // namespace shotgun

@@ -26,9 +26,19 @@ struct GridScheduler::JobState
     std::uint64_t id = 0;
     std::vector<Experiment> grid;
     unsigned budget = 0;
+    std::uint64_t weight = 1; ///< Fair-share weight (>= 1).
+    std::uint64_t served = 0; ///< Points dispatched so far.
     JobHooks hooks;
 
-    std::size_t nextDispatch = 0; ///< First undispatched index.
+    /**
+     * Dispatch permutation: grid indices in the order they go to
+     * workers -- grid order by default, descending costOf when the
+     * job installed the hook. Emission order is grid order either
+     * way.
+     */
+    std::vector<std::size_t> order;
+
+    std::size_t nextDispatch = 0; ///< First undispatched order slot.
     unsigned active = 0;          ///< Points in flight right now.
     std::vector<char> ready;      ///< Computed flags, per index.
     std::vector<SimResult> results;
@@ -105,11 +115,35 @@ std::uint64_t
 GridScheduler::submit(std::vector<Experiment> grid, unsigned budget,
                       JobHooks hooks)
 {
+    return submit(std::move(grid), budget, 1, std::move(hooks));
+}
+
+std::uint64_t
+GridScheduler::submit(std::vector<Experiment> grid, unsigned budget,
+                      std::uint64_t weight, JobHooks hooks)
+{
     auto job = std::make_shared<JobState>();
     job->grid = std::move(grid);
+    job->weight = std::max<std::uint64_t>(1, weight);
     job->hooks = std::move(hooks);
     job->ready.assign(job->grid.size(), 0);
     job->results.resize(job->grid.size());
+
+    job->order.resize(job->grid.size());
+    for (std::size_t i = 0; i < job->order.size(); ++i)
+        job->order[i] = i;
+    if (job->hooks.costOf) {
+        // Cost every point once up front (the hook may be slow), then
+        // dispatch longest-first; stable sort keeps grid order for
+        // equal costs, so the permutation is deterministic.
+        std::vector<std::uint64_t> cost(job->grid.size());
+        for (std::size_t i = 0; i < job->grid.size(); ++i)
+            cost[i] = job->hooks.costOf(i, job->grid[i]);
+        std::stable_sort(job->order.begin(), job->order.end(),
+                         [&cost](std::size_t a, std::size_t b) {
+                             return cost[a] > cost[b];
+                         });
+    }
 
     std::vector<std::shared_ptr<JobState>> finished;
     {
@@ -186,23 +220,22 @@ GridScheduler::anyDispatchableLocked() const
 std::shared_ptr<GridScheduler::JobState>
 GridScheduler::pickJobLocked()
 {
-    // Round-robin by job id: the first dispatchable job after the
-    // one served last, wrapping -- two admitted grids alternate
-    // points instead of the older one hogging every free worker.
-    std::shared_ptr<JobState> wrap;
+    // Stride scheduling: serve the dispatchable job with the lowest
+    // served/weight ratio, so a weight-3 job gets three points per
+    // weight-1 job's one and equal weights alternate fairly. The
+    // comparison cross-multiplies to stay in integers; ties go to the
+    // lower id (the older job), keeping the pick deterministic.
+    std::shared_ptr<JobState> best;
     for (auto &job : jobs_) {
         if (!job->dispatchable())
             continue;
-        if (job->id > lastServedId_) {
-            lastServedId_ = job->id;
-            return job;
-        }
-        if (wrap == nullptr)
-            wrap = job;
+        if (best == nullptr ||
+            job->served * best->weight < best->served * job->weight)
+            best = job;
     }
-    if (wrap != nullptr)
-        lastServedId_ = wrap->id;
-    return wrap;
+    if (best != nullptr)
+        ++best->served;
+    return best;
 }
 
 std::vector<std::shared_ptr<GridScheduler::JobState>>
@@ -271,7 +304,7 @@ GridScheduler::workerLoop()
         }
 
         auto job = pickJobLocked();
-        const std::size_t index = job->nextDispatch++;
+        const std::size_t index = job->order[job->nextDispatch++];
         ++job->active;
         const bool first = !job->started;
         job->started = true;

@@ -2,12 +2,23 @@
  * @file
  * Work-conserving multi-grid scheduler: one fixed pool of worker
  * threads executing any number of concurrently admitted experiment
- * grids ("jobs"). Dispatch is round-robin across jobs, one grid
- * point at a time, so every admitted job makes progress while a
- * long sweep runs -- no job owns the pool. Each job declares a
- * worker budget capping how many pool threads may simulate its
- * points at once; budgets above the pool size (or 0) mean "whole
- * pool", and unused budget is always available to other jobs.
+ * grids ("jobs"). Dispatch picks one grid point at a time across
+ * jobs by weighted fair share (stride scheduling: the job with the
+ * smallest dispatched/weight ratio goes next, so equal weights
+ * degenerate to round-robin and a weight-3 job receives three
+ * points for a weight-1 job's one), so every admitted job makes
+ * progress while a long sweep runs -- no job owns the pool. Each
+ * job declares a worker budget capping how many pool threads may
+ * simulate its points at once; budgets above the pool size (or 0)
+ * mean "whole pool", and unused budget is always available to
+ * other jobs.
+ *
+ * Within one job, points dispatch in grid order by default; a job
+ * that knows its points' relative costs can install a costOf hook
+ * and have them dispatched longest-first (classic LPT: starting the
+ * heavy windows first minimizes the tail where one straggler holds
+ * the whole job). Neither weights nor cost ordering change what is
+ * *emitted*: onResult order is strict grid order regardless.
  *
  * Determinism: simulations are pure functions of their config, and
  * each job's results are emitted strictly in grid order (index 0,
@@ -98,6 +109,18 @@ class GridScheduler
                            const SimResult &)>
             onResult;
         std::function<void(const Outcome &)> onDone;
+
+        /**
+         * Optional relative cost of a grid point (e.g. its simulated
+         * instruction count). When set, the job's points are
+         * *dispatched* in descending cost order (ties keep grid
+         * order) so the longest work starts first; emission order is
+         * unaffected. Called once per point at submit time, on the
+         * submitting thread.
+         */
+        std::function<std::uint64_t(std::size_t index,
+                                    const Experiment &)>
+            costOf;
     };
 
     explicit GridScheduler(Options options = Options());
@@ -119,9 +142,14 @@ class GridScheduler
      * soon as a pool thread is free. `budget` caps the job's
      * concurrent points (0 or anything >= the pool size means the
      * whole pool). An empty grid completes immediately with Ok.
+     * `weight` is the job's fair-share weight against other admitted
+     * jobs (see the header comment; 0 is clamped to 1; the overload
+     * without it submits at weight 1).
      */
     std::uint64_t submit(std::vector<Experiment> grid, unsigned budget,
                          JobHooks hooks);
+    std::uint64_t submit(std::vector<Experiment> grid, unsigned budget,
+                         std::uint64_t weight, JobHooks hooks);
 
     /**
      * Stop dispatching a job's remaining points. In-flight points
@@ -154,8 +182,7 @@ class GridScheduler
     std::condition_variable idleCv_;
     std::vector<std::shared_ptr<JobState>> jobs_; ///< Admitted, by id.
     std::uint64_t nextId_ = 1;
-    std::uint64_t lastServedId_ = 0; ///< Round-robin cursor.
-    std::size_t finalizing_ = 0;     ///< Outcomes being delivered.
+    std::size_t finalizing_ = 0; ///< Outcomes being delivered.
     bool stopping_ = false;
 
     std::vector<std::thread> threads_;

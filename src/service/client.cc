@@ -175,6 +175,24 @@ describeFailure(std::exception_ptr error)
     }
 }
 
+/**
+ * Moves the working ledger into the caller's ShardedOptions.outcomes
+ * on destruction, so the per-worker accounting survives every exit
+ * path -- including the rethrow when the whole fleet dies, which is
+ * exactly when the caller needs the ledger to explain the failure.
+ */
+struct LedgerPublisher
+{
+    std::vector<ShardOutcome> *dest;
+    std::vector<ShardOutcome> *source;
+
+    ~LedgerPublisher()
+    {
+        if (dest != nullptr)
+            *dest = std::move(*source);
+    }
+};
+
 } // namespace
 
 std::vector<SimResult>
@@ -191,6 +209,7 @@ submitSharded(const std::vector<std::string> &endpoints,
     std::vector<ShardOutcome> outcomes(workers);
     for (std::size_t w = 0; w < workers; ++w)
         outcomes[w].endpoint = endpoints[w];
+    LedgerPublisher publish{options.outcomes, &outcomes};
     std::vector<char> alive(workers, 1);
 
     // Initial round-robin assignment: experiment i -> worker i mod W.
@@ -336,8 +355,6 @@ submitSharded(const std::vector<std::string> &endpoints,
                                std::to_string(i));
         }
     }
-    if (options.outcomes != nullptr)
-        *options.outcomes = std::move(outcomes);
     return std::move(state.results);
 }
 

@@ -7,24 +7,56 @@ namespace service
 
 using json::Value;
 
+namespace
+{
+
+/** Throw unless `frame` carries this build's protocol version. */
+void
+checkProtocol(const json::Value &frame)
+{
+    const Value &protocol = frame.at("protocol");
+    if (protocol.asU64() != kProtocolVersion)
+        throw CodecError("unsupported protocol version " +
+                         protocol.numberToken() + " (this build: " +
+                         std::to_string(kProtocolVersion) + ")");
+}
+
+} // namespace
+
+json::Value
+encodeExperiment(const runner::Experiment &exp)
+{
+    Value e = Value::object();
+    e.set("workload", Value::string(exp.workload));
+    e.set("label", Value::string(exp.label));
+    e.set("via_baseline_cache", Value::boolean(exp.viaBaselineCache));
+    e.set("config", encodeSimConfig(exp.config));
+    return e;
+}
+
+runner::Experiment
+decodeExperiment(const json::Value &v)
+{
+    runner::Experiment exp;
+    exp.workload = v.at("workload").asString();
+    exp.label = v.at("label").asString();
+    exp.viaBaselineCache = v.at("via_baseline_cache").asBool();
+    exp.config = decodeSimConfig(v.at("config"));
+    return exp;
+}
+
 json::Value
 encodeSubmit(const SubmitRequest &request)
 {
     Value grid = Value::array();
-    for (const runner::Experiment &exp : request.grid) {
-        Value e = Value::object();
-        e.set("workload", Value::string(exp.workload));
-        e.set("label", Value::string(exp.label));
-        e.set("via_baseline_cache",
-              Value::boolean(exp.viaBaselineCache));
-        e.set("config", encodeSimConfig(exp.config));
-        grid.push(std::move(e));
-    }
+    for (const runner::Experiment &exp : request.grid)
+        grid.push(encodeExperiment(exp));
     Value v = Value::object();
     v.set("type", Value::string("submit"));
     v.set("protocol", Value::number(kProtocolVersion));
     v.set("experiment", Value::string(request.experiment));
     v.set("jobs", Value::number(request.jobs));
+    v.set("priority", Value::number(request.priority));
     v.set("grid", std::move(grid));
     return v;
 }
@@ -33,26 +65,18 @@ SubmitRequest
 decodeSubmit(const json::Value &frame)
 {
     SubmitRequest request;
-    const Value &protocol = frame.at("protocol");
-    if (protocol.asU64() != kProtocolVersion)
-        throw CodecError("unsupported protocol version " +
-                         protocol.numberToken() + " (this build: " +
-                         std::to_string(kProtocolVersion) + ")");
+    checkProtocol(frame);
     request.experiment = frame.at("experiment").asString();
     request.jobs = frame.at("jobs").asU64();
+    if (const Value *priority = frame.find("priority"))
+        request.priority = priority->asU64();
     const Value &grid = frame.at("grid");
     if (!grid.isArray())
         throw CodecError("submit: \"grid\" must be an array");
     if (grid.items().empty())
         throw CodecError("submit: empty grid");
-    for (const Value &e : grid.items()) {
-        runner::Experiment exp;
-        exp.workload = e.at("workload").asString();
-        exp.label = e.at("label").asString();
-        exp.viaBaselineCache = e.at("via_baseline_cache").asBool();
-        exp.config = decodeSimConfig(e.at("config"));
-        request.grid.push_back(std::move(exp));
-    }
+    for (const Value &e : grid.items())
+        request.grid.push_back(decodeExperiment(e));
     return request;
 }
 
@@ -145,6 +169,202 @@ decodeJobStatus(const json::Value &v)
     if (const Value *budget = v.find("budget"))
         status.budget = budget->asU64();
     return status;
+}
+
+json::Value
+encodeRegister(const RegisterRequest &request)
+{
+    Value v = Value::object();
+    v.set("type", Value::string("register"));
+    v.set("protocol", Value::number(kProtocolVersion));
+    v.set("name", Value::string(request.name));
+    v.set("slots", Value::number(request.slots));
+    return v;
+}
+
+RegisterRequest
+decodeRegister(const json::Value &frame)
+{
+    checkProtocol(frame);
+    RegisterRequest request;
+    request.name = frame.at("name").asString();
+    request.slots = frame.at("slots").asU64();
+    if (request.slots == 0)
+        throw CodecError("register: \"slots\" must be >= 1");
+    return request;
+}
+
+json::Value
+encodeHeartbeat(const HeartbeatFrame &heartbeat)
+{
+    Value cache = Value::object();
+    cache.set("hits", Value::number(heartbeat.cacheHits));
+    cache.set("misses", Value::number(heartbeat.cacheMisses));
+    cache.set("backend_hits", Value::number(heartbeat.backendHits));
+    Value v = Value::object();
+    v.set("type", Value::string("heartbeat"));
+    v.set("worker", Value::number(heartbeat.worker));
+    v.set("completed", Value::number(heartbeat.completed));
+    v.set("cache", std::move(cache));
+    return v;
+}
+
+HeartbeatFrame
+decodeHeartbeat(const json::Value &frame)
+{
+    HeartbeatFrame heartbeat;
+    heartbeat.worker = frame.at("worker").asU64();
+    heartbeat.completed = frame.at("completed").asU64();
+    const Value &cache = frame.at("cache");
+    heartbeat.cacheHits = cache.at("hits").asU64();
+    heartbeat.cacheMisses = cache.at("misses").asU64();
+    heartbeat.backendHits = cache.at("backend_hits").asU64();
+    return heartbeat;
+}
+
+json::Value
+encodeWork(const WorkItem &item)
+{
+    Value v = Value::object();
+    v.set("type", Value::string("work"));
+    v.set("task", Value::number(item.task));
+    v.set("experiment", encodeExperiment(item.experiment));
+    return v;
+}
+
+WorkItem
+decodeWork(const json::Value &frame)
+{
+    WorkItem item;
+    item.task = frame.at("task").asU64();
+    item.experiment = decodeExperiment(frame.at("experiment"));
+    return item;
+}
+
+json::Value
+encodeWorkResult(const WorkResult &result)
+{
+    Value v = Value::object();
+    v.set("type", Value::string("result"));
+    v.set("task", Value::number(result.task));
+    v.set("ok", Value::boolean(result.ok));
+    if (!result.ok) {
+        v.set("message", Value::string(result.message));
+        return v;
+    }
+    v.set("cached", Value::boolean(result.cached));
+    v.set("fingerprint", Value::string(result.fingerprint));
+    v.set("result", encodeSimResult(result.result));
+    if (result.hasDelta)
+        v.set("delta", encodeStatsDelta(result.delta));
+    return v;
+}
+
+WorkResult
+decodeWorkResult(const json::Value &frame)
+{
+    WorkResult result;
+    result.task = frame.at("task").asU64();
+    result.ok = frame.at("ok").asBool();
+    if (!result.ok) {
+        result.message = frame.at("message").asString();
+        return result;
+    }
+    result.cached = frame.at("cached").asBool();
+    result.fingerprint = frame.at("fingerprint").asString();
+    result.result = decodeSimResult(frame.at("result"));
+    if (const Value *delta = frame.find("delta")) {
+        result.hasDelta = true;
+        result.delta = decodeStatsDelta(*delta);
+    }
+    return result;
+}
+
+json::Value
+encodeWorkerStatus(const WorkerStatus &status)
+{
+    Value v = Value::object();
+    v.set("id", Value::number(status.id));
+    v.set("name", Value::string(status.name));
+    v.set("slots", Value::number(status.slots));
+    v.set("inflight", Value::number(status.inflight));
+    v.set("completed", Value::number(status.completed));
+    v.set("alive", Value::boolean(status.alive));
+    v.set("heartbeat_age_ms", Value::number(status.heartbeatAgeMs));
+    v.set("throughput", Value::number(status.throughput));
+    v.set("cache_hits", Value::number(status.cacheHits));
+    v.set("cache_misses", Value::number(status.cacheMisses));
+    v.set("backend_hits", Value::number(status.backendHits));
+    return v;
+}
+
+WorkerStatus
+decodeWorkerStatus(const json::Value &v)
+{
+    WorkerStatus status;
+    status.id = v.at("id").asU64();
+    status.name = v.at("name").asString();
+    status.slots = v.at("slots").asU64();
+    status.inflight = v.at("inflight").asU64();
+    status.completed = v.at("completed").asU64();
+    status.alive = v.at("alive").asBool();
+    status.heartbeatAgeMs = v.at("heartbeat_age_ms").asU64();
+    status.throughput = v.at("throughput").asDouble();
+    status.cacheHits = v.at("cache_hits").asU64();
+    status.cacheMisses = v.at("cache_misses").asU64();
+    status.backendHits = v.at("backend_hits").asU64();
+    return status;
+}
+
+bool
+validateExperimentTrace(const runner::Experiment &exp,
+                        TraceProbeCache &probed, std::string &error)
+{
+    const std::string &path = exp.config.workload.tracePath;
+    if (path.empty())
+        return true;
+    auto it = probed.find(path);
+    if (it == probed.end()) {
+        std::string probe_error;
+        TraceInfo info;
+        if (!probeTraceFile(path, 0, probe_error, &info)) {
+            error = "experiment \"" + exp.workload + "/" + exp.label +
+                    "\": " + probe_error;
+            return false;
+        }
+        it = probed
+                 .emplace(path,
+                          std::make_pair(
+                              info.instructions,
+                              encodeProgramParams(info.preset.program)
+                                  .dump()))
+                 .first;
+    }
+    // A windowed config fast-forwards to window.measureEnd at most
+    // (plus any stream skip); the whole region otherwise.
+    const SimWindow &window = exp.config.window;
+    const std::uint64_t needed =
+        window.skipInstructions + exp.config.warmupInstructions +
+        (window.enabled() ? window.measureEnd
+                          : exp.config.measureInstructions);
+    if (it->second.first < needed) {
+        error = "experiment \"" + exp.workload + "/" + exp.label +
+                "\": trace '" + path + "' holds " +
+                std::to_string(it->second.first) +
+                " instructions but the run needs " +
+                std::to_string(needed) + "; record a longer trace";
+        return false;
+    }
+    if (it->second.second !=
+        encodeProgramParams(exp.config.workload.program).dump()) {
+        error = "experiment \"" + exp.workload + "/" + exp.label +
+                "\": trace '" + path +
+                "' on this server was recorded from different "
+                "program parameters than the submitted workload "
+                "(stale or re-recorded copy?)";
+        return false;
+    }
+    return true;
 }
 
 json::Value

@@ -29,16 +29,46 @@
  * (sim/stats_delta.hh) -- so clients stitch windows from exact
  * integers rather than derived doubles.
  *
+ * Protocol 3 (fleet): `submit` gains an optional "priority" (the
+ * job's fair-share weight against concurrently admitted jobs,
+ * default 1), and the coordinator<->worker frames below join the
+ * grammar. A worker holds one *control* connection (register,
+ * then periodic heartbeats) and one *work* connection per slot
+ * (attach, then a steal -> work -> result loop). See
+ * src/fleet/README.md for the full fleet protocol spec.
+ *
+ * Worker -> coordinator (control):
+ *   {"type":"register","protocol":3,"name":...,"slots":N}
+ *     -> {"type":"ack","worker":N}
+ *   {"type":"heartbeat","worker":N,"completed":N,
+ *    "cache":{"hits":N,"misses":N,"backend_hits":N}}
+ *     -> {"type":"ack"}
+ *
+ * Worker -> coordinator (one per slot):
+ *   {"type":"attach","worker":N}            -> {"type":"ack"}
+ *   {"type":"steal","worker":N}             -> (parked until work)
+ *     <- {"type":"work","task":N,"experiment":{...}}
+ *   {"type":"result","task":N,"ok":b,"cached":b,
+ *    "fingerprint":...,"result":{...}[,"delta":{...}]
+ *    [,"message":...]}                      -> (next steal)
+ *
+ * A coordinator answers the ordinary client `status` frame with an
+ * additional "fleet" member: per-worker rows (encodeWorkerStatus)
+ * plus queue depths and cache counters.
+ *
  * This header provides typed encode/decode for the structured frames;
- * trivial frames (ping/pong/bye/...) are built inline where used.
- * Decoding throws CodecError/JsonError on malformed frames.
+ * trivial frames (ping/pong/bye/attach/steal/ack/...) are built
+ * inline where used. Decoding throws CodecError/JsonError on
+ * malformed frames.
  */
 
 #ifndef SHOTGUN_SERVICE_PROTOCOL_HH
 #define SHOTGUN_SERVICE_PROTOCOL_HH
 
 #include <cstdint>
+#include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/json.hh"
@@ -51,7 +81,7 @@ namespace service
 {
 
 /** Bumped on any incompatible frame-layout change. */
-constexpr std::uint64_t kProtocolVersion = 2;
+constexpr std::uint64_t kProtocolVersion = 3;
 
 /** A grid submission: the wire form of a runner::ExperimentSet. */
 struct SubmitRequest
@@ -61,6 +91,13 @@ struct SubmitRequest
     /** Worker threads for this job; 0 = server default; the server
      * additionally clamps to its --jobs cap. */
     std::uint64_t jobs = 0;
+
+    /**
+     * Fair-share weight against other admitted jobs: a priority-3
+     * job is dispatched three points per priority-1 job's one (see
+     * runner/grid_scheduler.hh). 0 is clamped to 1 server-side.
+     */
+    std::uint64_t priority = 1;
 
     std::vector<runner::Experiment> grid;
 };
@@ -119,6 +156,115 @@ struct JobStatus
 
 json::Value encodeJobStatus(const JobStatus &status);
 JobStatus decodeJobStatus(const json::Value &v);
+
+// ---------------------------------------------------- fleet frames
+
+/**
+ * Worker enrollment, first frame on a worker's control connection.
+ * Carries the protocol version (checked like submit: a mismatched
+ * worker is rejected, not silently mis-fed).
+ */
+struct RegisterRequest
+{
+    std::string name;         ///< Operator-facing worker name.
+    std::uint64_t slots = 1;  ///< Concurrent simulation slots.
+};
+
+json::Value encodeRegister(const RegisterRequest &request);
+RegisterRequest decodeRegister(const json::Value &frame);
+
+/** Periodic liveness proof plus the worker's local cache counters. */
+struct HeartbeatFrame
+{
+    std::uint64_t worker = 0;
+    std::uint64_t completed = 0; ///< Points finished since register.
+    std::uint64_t cacheHits = 0;
+    std::uint64_t cacheMisses = 0;
+    std::uint64_t backendHits = 0; ///< Served by the disk cache.
+};
+
+json::Value encodeHeartbeat(const HeartbeatFrame &heartbeat);
+HeartbeatFrame decodeHeartbeat(const json::Value &frame);
+
+/** One grid point handed to a stealing worker slot. */
+struct WorkItem
+{
+    std::uint64_t task = 0; ///< Coordinator-assigned task id.
+    runner::Experiment experiment;
+};
+
+json::Value encodeWork(const WorkItem &item);
+WorkItem decodeWork(const json::Value &frame);
+
+/**
+ * A slot's finished point. `ok` false reports a failed simulation
+ * (bad trace on this worker, ...) with the detail in `message`; the
+ * coordinator fails the owning job, mirroring how a local simulate
+ * exception fails a SimServer job.
+ */
+struct WorkResult
+{
+    std::uint64_t task = 0;
+    bool ok = true;
+    std::string message; ///< Failure detail when !ok.
+    bool cached = false; ///< Served from the worker's cache.
+    std::string fingerprint;
+    SimResult result;
+    bool hasDelta = false;
+    StatsDelta delta;
+};
+
+json::Value encodeWorkResult(const WorkResult &result);
+WorkResult decodeWorkResult(const json::Value &frame);
+
+/** One worker's row in a coordinator `status` frame's fleet member. */
+struct WorkerStatus
+{
+    std::uint64_t id = 0;
+    std::string name;
+    std::uint64_t slots = 0;
+    std::uint64_t inflight = 0;  ///< Points dispatched, unreturned.
+    std::uint64_t completed = 0; ///< Points returned since register.
+    bool alive = true;           ///< False once declared dead.
+    std::uint64_t heartbeatAgeMs = 0; ///< Since the last heartbeat.
+
+    /** Points returned per second since registration. */
+    double throughput = 0.0;
+
+    // The worker's own cache counters, from its last heartbeat.
+    std::uint64_t cacheHits = 0;
+    std::uint64_t cacheMisses = 0;
+    std::uint64_t backendHits = 0;
+};
+
+json::Value encodeWorkerStatus(const WorkerStatus &status);
+WorkerStatus decodeWorkerStatus(const json::Value &v);
+
+// -------------------------------------------------- shared helpers
+
+/** Wire form of one grid point (shared by submit and work frames). */
+json::Value encodeExperiment(const runner::Experiment &exp);
+runner::Experiment decodeExperiment(const json::Value &v);
+
+/**
+ * Per-path probe memo for validateExperimentTrace: path ->
+ * (instruction count, canonical program-params encoding).
+ */
+using TraceProbeCache =
+    std::map<std::string, std::pair<std::uint64_t, std::string>>;
+
+/**
+ * Validate that a trace-backed experiment can run *here*: readable,
+ * untruncated v2 trace, long enough for the requested (possibly
+ * windowed) run, recorded from the same program parameters the
+ * config describes. One probe per distinct path via `probed`.
+ * Returns false with the detail in `error`; never throws or
+ * fatal()s -- callers sit on daemon threads. Non-trace experiments
+ * trivially pass.
+ */
+bool validateExperimentTrace(const runner::Experiment &exp,
+                             TraceProbeCache &probed,
+                             std::string &error);
 
 /** Convenience: {"type":t} or {"type":"error","message":m}. */
 json::Value makeFrame(const std::string &type);

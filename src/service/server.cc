@@ -140,6 +140,43 @@ SimServer::cacheStats() const
 }
 
 void
+SimServer::setCacheBackend(
+    LruMemoCache<std::string, CachedResult>::LoadFn load,
+    LruMemoCache<std::string, CachedResult>::StoreFn store)
+{
+    cache_.setBackend(std::move(load), std::move(store));
+}
+
+std::shared_ptr<const CachedResult>
+SimServer::computeCached(const std::string &fingerprint,
+                         const runner::Experiment &exp, bool *cached)
+{
+    bool computed = false;
+    auto value = cache_.get(fingerprint, [&exp, &computed]() {
+        computed = true;
+        CachedResult result;
+        if (exp.config.window.enabled()) {
+            // Windowed grid point: keep the raw counters so the
+            // result frame (and any later cache hit) carries the
+            // stitchable delta.
+            const SimulationDelta delta =
+                runSimulationDelta(exp.config);
+            result.result = finalizeResult(
+                delta.workload, delta.scheme, delta.schemeStorageBits,
+                delta.stats);
+            result.hasDelta = true;
+            result.delta = delta.stats;
+        } else {
+            result.result = runner::runExperiment(exp);
+        }
+        return result;
+    });
+    if (cached != nullptr)
+        *cached = !computed;
+    return value;
+}
+
+void
 SimServer::log(const std::string &line)
 {
     if (options_.log != nullptr)
@@ -261,53 +298,11 @@ SimServer::handleSubmit(const std::shared_ptr<Connection> &conn,
     // config describes (the client read its header from the client's
     // copy of the file -- in a multi-machine deployment this server's
     // copy can differ).
-    // One probe (open + header parse + size check) per distinct
-    // path; per-experiment checks below reuse the parsed header.
-    std::map<std::string,
-             std::pair<std::uint64_t, std::string>>
-        probed; // path -> (instructions, canonical program params)
+    TraceProbeCache probed;
     for (const runner::Experiment &exp : request.grid) {
-        const std::string &path = exp.config.workload.tracePath;
-        if (path.empty())
-            continue;
-        auto it = probed.find(path);
-        if (it == probed.end()) {
-            std::string error;
-            TraceInfo info;
-            if (!probeTraceFile(path, 0, error, &info))
-                throw CodecError("experiment \"" + exp.workload +
-                                 "/" + exp.label + "\": " + error);
-            it = probed
-                     .emplace(path,
-                              std::make_pair(
-                                  info.instructions,
-                                  encodeProgramParams(
-                                      info.preset.program)
-                                      .dump()))
-                     .first;
-        }
-        // A windowed config fast-forwards to window.measureEnd at
-        // most (plus any stream skip); the whole region otherwise.
-        const SimWindow &window = exp.config.window;
-        const std::uint64_t needed =
-            window.skipInstructions + exp.config.warmupInstructions +
-            (window.enabled() ? window.measureEnd
-                              : exp.config.measureInstructions);
-        if (it->second.first < needed)
-            throw CodecError(
-                "experiment \"" + exp.workload + "/" + exp.label +
-                "\": trace '" + path + "' holds " +
-                std::to_string(it->second.first) +
-                " instructions but the run needs " +
-                std::to_string(needed) + "; record a longer trace");
-        if (it->second.second !=
-            encodeProgramParams(exp.config.workload.program).dump())
-            throw CodecError(
-                "experiment \"" + exp.workload + "/" + exp.label +
-                "\": trace '" + path +
-                "' on this server was recorded from different "
-                "program parameters than the submitted workload "
-                "(stale or re-recorded copy?)");
+        std::string error;
+        if (!validateExperimentTrace(exp, probed, error))
+            throw CodecError(error);
     }
 
     auto job = std::make_shared<Job>();
@@ -357,33 +352,26 @@ SimServer::handleSubmit(const std::shared_ptr<Connection> &conn,
     hooks.simulate = [this, job, cached_flags, outcomes](
                          std::size_t index,
                          const runner::Experiment &exp) {
-        bool computed = false;
-        auto value = cache_.get(
-            job->fingerprints[index], [&exp, &computed]() {
-                computed = true;
-                CachedResult cached;
-                if (exp.config.window.enabled()) {
-                    // Windowed grid point: keep the raw counters so
-                    // the result frame (and any later cache hit)
-                    // carries the stitchable delta.
-                    const SimulationDelta delta =
-                        runSimulationDelta(exp.config);
-                    cached.result = finalizeResult(
-                        delta.workload, delta.scheme,
-                        delta.schemeStorageBits, delta.stats);
-                    cached.hasDelta = true;
-                    cached.delta = delta.stats;
-                } else {
-                    cached.result = runner::runExperiment(exp);
-                }
-                return cached;
-            });
-        if (!computed) {
+        bool was_cached = false;
+        auto value = computeCached(job->fingerprints[index], exp,
+                                   &was_cached);
+        if (was_cached) {
             job->cachedCount.fetch_add(1);
             (*cached_flags)[index] = 1;
         }
         (*outcomes)[index] = value;
         return value->result;
+    };
+    // Dispatch a job's own points longest-run-first (LPT): starting
+    // the heavy windows early shortens the straggler tail when the
+    // grid's points differ in simulated length. Emission order (and
+    // thus every byte on the wire) is unaffected.
+    hooks.costOf = [](std::size_t, const runner::Experiment &exp) {
+        const SimWindow &window = exp.config.window;
+        return window.skipInstructions +
+               exp.config.warmupInstructions +
+               (window.enabled() ? window.measureEnd
+                                 : exp.config.measureInstructions);
     };
     hooks.onStart = [this, job]() {
         job->state.store(Job::State::Running);
@@ -460,7 +448,7 @@ SimServer::handleSubmit(const std::shared_ptr<Connection> &conn,
     // job's lifetime); the Job keeps only its size and fingerprints.
     const std::uint64_t scheduler_id =
         scheduler_.submit(std::move(job->request.grid), job->budget,
-                          std::move(hooks));
+                          job->request.priority, std::move(hooks));
     bool cancel_now = false;
     {
         std::lock_guard<std::mutex> lock(mutex_);
@@ -504,6 +492,8 @@ SimServer::statusFrame()
               Value::number(std::uint64_t{cache_stats.misses}));
     cache.set("evictions",
               Value::number(std::uint64_t{cache_stats.evictions}));
+    cache.set("backend_hits",
+              Value::number(std::uint64_t{cache_stats.backendHits}));
 
     Value server = Value::object();
     server.set("version", Value::string(cli::kVersion));

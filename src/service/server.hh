@@ -117,6 +117,29 @@ class SimServer
     /** Cache counters (entries/bytes/hits/misses/evictions). */
     MemoCacheStats cacheStats() const;
 
+    /**
+     * Attach a persistent write-through backend to the result cache
+     * (e.g. fleet::DiskResultCache, wired by the tool layer so the
+     * service stays ignorant of storage). Call before serve().
+     */
+    void setCacheBackend(
+        LruMemoCache<std::string, CachedResult>::LoadFn load,
+        LruMemoCache<std::string, CachedResult>::StoreFn store);
+
+    /**
+     * Compute one grid point through the result cache -- the shared
+     * path of admitted jobs and the fleet worker's steal loop, so
+     * both populate the same fingerprint cache. `cached` (optional)
+     * reports whether the value was served without simulating here.
+     * Throws whatever the simulation throws; callers on daemon
+     * threads must validate the experiment first
+     * (validateExperimentTrace) so a bad trace cannot fatal().
+     */
+    std::shared_ptr<const CachedResult>
+    computeCached(const std::string &fingerprint,
+                  const runner::Experiment &exp,
+                  bool *cached = nullptr);
+
   private:
     struct Connection;
     struct Job;

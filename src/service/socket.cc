@@ -134,6 +134,13 @@ Socket::shutdownBoth()
 }
 
 void
+Socket::shutdownRead()
+{
+    if (fd_ >= 0)
+        ::shutdown(fd_, SHUT_RD);
+}
+
+void
 Socket::close()
 {
     if (fd_ >= 0) {

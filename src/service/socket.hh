@@ -99,6 +99,13 @@ class Socket
     /** shutdown(2) both directions -- unblocks a reader elsewhere. */
     void shutdownBoth();
 
+    /**
+     * shutdown(2) the receive direction only: unblocks a reader
+     * elsewhere while this side can still send a final frame (e.g. a
+     * cancelled `done` during coordinator shutdown).
+     */
+    void shutdownRead();
+
     void close();
 
   private:

@@ -1,0 +1,572 @@
+/**
+ * @file
+ * End-to-end tests for the fleet control plane: a real
+ * FleetCoordinator on a Unix socket in this process, with real
+ * SimServer+FleetWorker workers attached to it. The load-bearing
+ * assertions are determinism and exactly-once delivery: a grid
+ * submitted to the coordinator -- including one whose worker is
+ * killed or stops heartbeating mid-grid -- returns results bitwise
+ * identical to the same grid run in-process, and a persistent cache
+ * directory answers a resubmitted grid across a coordinator restart
+ * without any worker at all.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "fleet/coordinator.hh"
+#include "fleet/disk_cache.hh"
+#include "fleet/worker.hh"
+#include "runner/experiment.hh"
+#include "runner/result_sink.hh"
+#include "service/client.hh"
+#include "service/server.hh"
+
+namespace shotgun
+{
+namespace fleet
+{
+namespace
+{
+
+using service::CachedResult;
+using service::LineChannel;
+using service::ResultEvent;
+using service::ServiceClient;
+using service::SubmitRequest;
+
+/** Small but non-trivial synthetic workload: fast to simulate. */
+WorkloadPreset
+tinyPreset(const std::string &name, std::uint64_t seed)
+{
+    WorkloadPreset preset;
+    preset.name = name;
+    preset.program.name = name;
+    preset.program.numFuncs = 150;
+    preset.program.numOsFuncs = 30;
+    preset.program.numTrapHandlers = 4;
+    preset.program.numTopLevel = 8;
+    preset.program.seed = seed;
+    return preset;
+}
+
+runner::ExperimentSet
+quickGrid(int workloads = 2)
+{
+    const std::uint64_t warmup = 20000, measure = 50000;
+    runner::ExperimentSet set;
+    for (int w = 0; w < workloads; ++w) {
+        const WorkloadPreset preset =
+            tinyPreset("fleet-w" + std::to_string(w),
+                       0xf1ee7 + static_cast<std::uint64_t>(w));
+        set.addBaseline(preset, warmup, measure);
+        for (SchemeType type :
+             {SchemeType::Boomerang, SchemeType::Shotgun}) {
+            SimConfig config = SimConfig::make(preset, type);
+            config.warmupInstructions = warmup;
+            config.measureInstructions = measure;
+            set.add(preset, schemeTypeName(type), config);
+        }
+    }
+    return set;
+}
+
+SubmitRequest
+requestFor(const runner::ExperimentSet &set, const std::string &name)
+{
+    SubmitRequest request;
+    request.experiment = name;
+    request.jobs = 1;
+    request.grid = set.experiments();
+    return request;
+}
+
+/** A serve()ing FleetCoordinator on a Unix socket, RAII-stopped. */
+class TestCoordinator
+{
+  public:
+    explicit TestCoordinator(const std::string &tag,
+                             CoordinatorOptions options = {})
+        : coordinator_("unix:/tmp/shotgun_fleet_c_" + tag + ".sock",
+                       options),
+          thread_([this]() { coordinator_.serve(); })
+    {
+    }
+
+    ~TestCoordinator() { shutdown(); }
+
+    void shutdown()
+    {
+        if (thread_.joinable()) {
+            coordinator_.requestShutdown();
+            thread_.join();
+        }
+    }
+
+    std::string endpoint() const { return coordinator_.endpoint(); }
+    FleetCoordinator &coordinator() { return coordinator_; }
+
+  private:
+    FleetCoordinator coordinator_;
+    std::thread thread_;
+};
+
+/** A SimServer with a FleetWorker attached to a coordinator. */
+class TestWorker
+{
+  public:
+    TestWorker(const std::string &tag, const std::string &coordinator,
+               unsigned slots = 1, unsigned heartbeat_ms = 100)
+        : server_("unix:/tmp/shotgun_fleet_w_" + tag + ".sock",
+                  service::ServerOptions{}),
+          thread_([this]() { server_.serve(); })
+    {
+        WorkerOptions options;
+        options.coordinator = coordinator;
+        options.name = tag;
+        options.slots = slots;
+        options.heartbeatMs = heartbeat_ms;
+        worker_.reset(new FleetWorker(server_, options));
+        worker_->start();
+    }
+
+    ~TestWorker() { stop(); }
+
+    /** Tear the fleet side down first, then the server. Idempotent. */
+    void stop()
+    {
+        if (worker_ != nullptr) {
+            worker_->stop();
+            worker_.reset();
+        }
+        if (thread_.joinable()) {
+            server_.requestShutdown();
+            thread_.join();
+        }
+    }
+
+    service::SimServer &server() { return server_; }
+
+  private:
+    service::SimServer server_;
+    std::thread thread_;
+    std::unique_ptr<FleetWorker> worker_;
+};
+
+/** Poll until the coordinator sees `count` live workers. */
+void
+awaitWorkers(FleetCoordinator &coordinator, std::size_t count,
+             unsigned timeout_ms = 10000)
+{
+    for (unsigned waited = 0; waited < timeout_ms; ++waited) {
+        if (coordinator.liveWorkers() == count)
+            return;
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    FAIL() << "never saw " << count << " live workers";
+}
+
+std::string
+freshDir(const std::string &tag)
+{
+    const std::string dir = "/tmp/shotgun_fleet_" + tag + "_cache";
+    std::system(("rm -rf " + dir).c_str());
+    return dir;
+}
+
+TEST(FleetDiskCacheTest, RoundTripDamageAndForeignKeys)
+{
+    const std::string dir = freshDir("disk");
+    DiskResultCache cache(dir);
+    EXPECT_EQ(cache.entryCount(), 0u);
+
+    CachedResult value;
+    value.result.workload = "w";
+    value.result.scheme = "shotgun";
+    value.result.instructions = 50000;
+    value.result.cycles = 123456;
+    value.result.ipc = 0.405;
+    value.hasDelta = true;
+    value.delta.instructions = 50000;
+    value.delta.cycles = 123456;
+    cache.store("ab12cd34", value);
+    EXPECT_EQ(cache.entryCount(), 1u);
+
+    CachedResult loaded;
+    ASSERT_TRUE(cache.load("ab12cd34", loaded));
+    EXPECT_TRUE(loaded.result == value.result);
+    ASSERT_TRUE(loaded.hasDelta);
+    EXPECT_TRUE(loaded.delta == value.delta);
+
+    // A second instance over the same directory sees the entry: this
+    // is the restart-persistence contract.
+    DiskResultCache reopened(dir);
+    CachedResult again;
+    ASSERT_TRUE(reopened.load("ab12cd34", again));
+    EXPECT_TRUE(again.result == value.result);
+
+    // Unknown fingerprints and non-hex (path-traversal-shaped) keys
+    // miss; store with such a key is swallowed, not written.
+    EXPECT_FALSE(cache.load("feedbeef", loaded));
+    EXPECT_FALSE(cache.load("../evil", loaded));
+    cache.store("../evil", value);
+    EXPECT_EQ(cache.entryCount(), 1u);
+
+    // A damaged file is a miss, never a crash or a garbage result.
+    {
+        std::ofstream out(dir + "/ab12cd34.json",
+                          std::ios::binary | std::ios::trunc);
+        out << "{\"fingerprint\": truncated";
+    }
+    EXPECT_FALSE(cache.load("ab12cd34", loaded));
+
+    // A file whose embedded fingerprint disagrees with its name
+    // (e.g. a stray copy) is rejected too.
+    cache.store("00ff00ff", value);
+    std::rename((dir + "/00ff00ff.json").c_str(),
+                (dir + "/11ee11ee.json").c_str());
+    EXPECT_FALSE(cache.load("11ee11ee", loaded));
+}
+
+TEST(FleetTest, CoordinatorMatchesInProcessBitwise)
+{
+    const runner::ExperimentSet set = quickGrid(2);
+    const auto local = runner::ExperimentRunner().run(set);
+
+    TestCoordinator coord("bitwise");
+    TestWorker w1("bw-1", coord.endpoint());
+    TestWorker w2("bw-2", coord.endpoint());
+    TestWorker w3("bw-3", coord.endpoint());
+    awaitWorkers(coord.coordinator(), 3);
+
+    ServiceClient client(coord.endpoint());
+    EXPECT_TRUE(client.ping());
+    std::vector<ResultEvent> events;
+    const auto remote = client.submit(
+        requestFor(set, "fleet-bitwise"),
+        [&](const ResultEvent &event) { events.push_back(event); });
+
+    ASSERT_EQ(remote.size(), set.size());
+    for (std::size_t i = 0; i < set.size(); ++i)
+        EXPECT_TRUE(remote[i] == local[i]) << "index " << i;
+
+    // Streamed strictly in grid order, like a single server.
+    ASSERT_EQ(events.size(), set.size());
+    for (std::size_t i = 0; i < events.size(); ++i)
+        EXPECT_EQ(events[i].index, i);
+
+    // The serialized artifacts are byte-identical too.
+    runner::ResultSink local_sink("fleet-bitwise");
+    runner::appendResultRows(set, local, local_sink);
+    runner::ResultSink remote_sink("fleet-bitwise");
+    runner::appendResultRows(set, remote, remote_sink);
+    std::ostringstream local_json, remote_json, local_csv, remote_csv;
+    local_sink.writeJson(local_json);
+    remote_sink.writeJson(remote_json);
+    local_sink.writeCsv(local_csv);
+    remote_sink.writeCsv(remote_csv);
+    EXPECT_EQ(local_json.str(), remote_json.str());
+    EXPECT_EQ(local_csv.str(), remote_csv.str());
+
+    // The fleet did the work collectively: every point landed
+    // exactly once (the per-index duplicate check lives in
+    // ServiceClient::submit) and nothing is left queued.
+    EXPECT_EQ(coord.coordinator().queueDepth(), 0u);
+}
+
+TEST(FleetTest, WorkerKilledMidGridLandsEveryPointExactlyOnce)
+{
+    // Three workers, one killed after the first delivered point: its
+    // in-flight tasks must be requeued on the survivors and the
+    // stitched stream must stay complete, duplicate-free and bitwise
+    // identical to the in-process run.
+    const runner::ExperimentSet set = quickGrid(3);
+    const auto local = runner::ExperimentRunner().run(set);
+
+    TestCoordinator coord("kill");
+    TestWorker w1("kill-1", coord.endpoint());
+    TestWorker w2("kill-2", coord.endpoint());
+    auto victim =
+        std::make_unique<TestWorker>("kill-3", coord.endpoint());
+    awaitWorkers(coord.coordinator(), 3);
+
+    ServiceClient client(coord.endpoint());
+    std::atomic<bool> killed{false};
+    std::vector<ResultEvent> events;
+    const auto remote = client.submit(
+        requestFor(set, "fleet-kill"),
+        [&](const ResultEvent &event) {
+            events.push_back(event);
+            // First result anywhere: shoot worker 3. Closing its
+            // sockets makes the coordinator requeue whatever it had
+            // in flight without waiting for the heartbeat monitor.
+            if (!killed.exchange(true))
+                victim->stop();
+        });
+
+    ASSERT_EQ(remote.size(), set.size());
+    for (std::size_t i = 0; i < set.size(); ++i)
+        EXPECT_TRUE(remote[i] == local[i]) << "index " << i;
+    ASSERT_EQ(events.size(), set.size());
+    for (std::size_t i = 0; i < events.size(); ++i)
+        EXPECT_EQ(events[i].index, i);
+
+    EXPECT_EQ(coord.coordinator().queueDepth(), 0u);
+    EXPECT_EQ(coord.coordinator().liveWorkers(), 2u);
+    victim.reset();
+}
+
+TEST(FleetTest, SilentWorkerIsDeclaredDeadAndItsTaskRequeued)
+{
+    // A raw-socket "worker" that registers, attaches one slot,
+    // steals a task and then goes silent -- it neither returns the
+    // result nor heartbeats. The heartbeat monitor must declare it
+    // dead after missLimit intervals and requeue its task on the one
+    // real worker, and the job must still finish byte-identical.
+    const runner::ExperimentSet set = quickGrid(2);
+    const auto local = runner::ExperimentRunner().run(set);
+
+    CoordinatorOptions options;
+    options.heartbeatIntervalMs = 50;
+    options.heartbeatMissLimit = 2;
+    TestCoordinator coord("silent", options);
+
+    // The fake worker: a control connection that heartbeats every
+    // 20ms until its slot receives a work frame, then stops cold.
+    std::atomic<bool> got_work{false};
+    std::atomic<bool> fake_stop{false};
+    LineChannel control(service::connectTo(
+        service::Endpoint::parse(coord.endpoint())));
+    service::RegisterRequest reg;
+    reg.name = "fake";
+    reg.slots = 1;
+    ASSERT_TRUE(
+        control.sendLine(service::encodeRegister(reg).dump()));
+    std::string line;
+    ASSERT_TRUE(control.recvLine(line));
+    const std::uint64_t fake_id =
+        json::Value::parse(line).at("worker").asU64();
+
+    std::thread fake_heart([&]() {
+        while (!got_work.load() && !fake_stop.load()) {
+            service::HeartbeatFrame hb;
+            hb.worker = fake_id;
+            if (!control.sendLine(
+                    service::encodeHeartbeat(hb).dump()))
+                return;
+            std::string reply;
+            if (!control.recvLine(reply))
+                return;
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(20));
+        }
+    });
+    LineChannel slot(service::connectTo(
+        service::Endpoint::parse(coord.endpoint())));
+    json::Value attach = service::makeFrame("attach");
+    attach.set("worker", json::Value::number(fake_id));
+    ASSERT_TRUE(slot.sendLine(attach.dump()));
+    ASSERT_TRUE(slot.recvLine(line));
+    std::thread fake_slot([&]() {
+        std::string work_line;
+        if (!slot.sendLine(service::makeFrame("steal").dump()))
+            return;
+        if (!slot.recvLine(work_line))
+            return;
+        // Swallow the work frame and go silent.
+        got_work.store(true);
+    });
+
+    TestWorker real("silent-real", coord.endpoint());
+    awaitWorkers(coord.coordinator(), 2);
+
+    ServiceClient client(coord.endpoint());
+    std::vector<ResultEvent> events;
+    const auto remote = client.submit(
+        requestFor(set, "fleet-silent"),
+        [&](const ResultEvent &event) { events.push_back(event); });
+
+    // The fake held one task hostage; finishing the grid proves the
+    // monitor requeued it. Every index landed exactly once, bitwise
+    // identical to in-process.
+    EXPECT_TRUE(got_work.load());
+    ASSERT_EQ(remote.size(), set.size());
+    for (std::size_t i = 0; i < set.size(); ++i)
+        EXPECT_TRUE(remote[i] == local[i]) << "index " << i;
+    ASSERT_EQ(events.size(), set.size());
+    for (std::size_t i = 0; i < events.size(); ++i)
+        EXPECT_EQ(events[i].index, i);
+    EXPECT_EQ(coord.coordinator().liveWorkers(), 1u);
+    EXPECT_EQ(coord.coordinator().queueDepth(), 0u);
+
+    fake_stop.store(true);
+    control.socket().shutdownBoth();
+    slot.socket().shutdownBoth();
+    fake_heart.join();
+    fake_slot.join();
+}
+
+TEST(FleetTest, PersistentCacheAnswersAcrossRestartWithoutWorkers)
+{
+    const runner::ExperimentSet set = quickGrid(1);
+    const auto local = runner::ExperimentRunner().run(set);
+    const std::string dir = freshDir("restart");
+
+    // First life: one worker computes the grid; every result is
+    // written through to the cache directory.
+    {
+        CoordinatorOptions options;
+        options.cacheDir = dir;
+        TestCoordinator coord("restart-a", options);
+        TestWorker worker("restart-w", coord.endpoint());
+        awaitWorkers(coord.coordinator(), 1);
+        ServiceClient client(coord.endpoint());
+        const auto first =
+            client.submit(requestFor(set, "fleet-restart"));
+        ASSERT_EQ(first.size(), set.size());
+        for (std::size_t i = 0; i < set.size(); ++i)
+            EXPECT_TRUE(first[i] == local[i]) << "index " << i;
+    }
+
+    // Second life: a fresh coordinator over the same directory, and
+    // deliberately no workers at all -- the whole grid must be
+    // served from disk, marked cached, in grid order.
+    CoordinatorOptions options;
+    options.cacheDir = dir;
+    TestCoordinator coord("restart-b", options);
+    ServiceClient client(coord.endpoint());
+    std::size_t cached = 0;
+    const auto second = client.submit(
+        requestFor(set, "fleet-restart"),
+        [&](const ResultEvent &event) { cached += event.cached; });
+    ASSERT_EQ(second.size(), set.size());
+    for (std::size_t i = 0; i < set.size(); ++i)
+        EXPECT_TRUE(second[i] == local[i]) << "index " << i;
+    EXPECT_EQ(cached, set.size());
+    EXPECT_GT(coord.coordinator().cacheStats().backendHits, 0u);
+}
+
+TEST(FleetTest, StatusFrameReportsFleetAndWorkers)
+{
+    const runner::ExperimentSet set = quickGrid(1);
+
+    TestCoordinator coord("status");
+    TestWorker worker("status-w", coord.endpoint(), /*slots=*/2);
+    awaitWorkers(coord.coordinator(), 1);
+
+    ServiceClient client(coord.endpoint());
+    client.submit(requestFor(set, "fleet-status"));
+    // Give the worker a couple of heartbeats to report the cache
+    // counters the simulations just bumped.
+    std::this_thread::sleep_for(std::chrono::milliseconds(250));
+
+    const json::Value status = client.status();
+    EXPECT_EQ(status.at("server").at("role").asString(),
+              "coordinator");
+    EXPECT_EQ(status.at("server").at("protocol").asU64(),
+              service::kProtocolVersion);
+
+    const json::Value &fleet = status.at("fleet");
+    EXPECT_EQ(fleet.at("queue_depth").asU64(), 0u);
+    EXPECT_EQ(fleet.at("inflight").asU64(), 0u);
+    EXPECT_EQ(fleet.at("total_slots").asU64(), 2u);
+    ASSERT_EQ(fleet.at("workers").size(), 1u);
+    const service::WorkerStatus row = service::decodeWorkerStatus(
+        fleet.at("workers").items()[0]);
+    EXPECT_EQ(row.name, "status-w");
+    EXPECT_EQ(row.slots, 2u);
+    EXPECT_TRUE(row.alive);
+    EXPECT_EQ(row.completed, set.size());
+    EXPECT_GT(row.throughput, 0.0);
+    EXPECT_LT(row.heartbeatAgeMs, 5000u);
+    // The worker simulated the whole grid: its heartbeat carried one
+    // cache miss per point and no hits.
+    EXPECT_EQ(row.cacheMisses, set.size());
+
+    // The coordinator cache holds every fingerprint; a resubmit is
+    // answered from it without touching the worker.
+    const json::Value &cache = status.at("server").at("cache");
+    EXPECT_EQ(cache.at("entries").asU64(), set.size());
+    std::size_t cached = 0;
+    client.submit(requestFor(set, "fleet-status-again"),
+                  [&](const ResultEvent &event) {
+                      cached += event.cached;
+                  });
+    EXPECT_EQ(cached, set.size());
+}
+
+TEST(FleetTest, SubmitWithNoWorkersWaitsThenCompletes)
+{
+    // A grid submitted to an empty fleet must queue (not fail), and
+    // complete as soon as the first worker registers.
+    const runner::ExperimentSet set = quickGrid(1);
+    const auto local = runner::ExperimentRunner().run(set);
+
+    TestCoordinator coord("late");
+    ServiceClient client(coord.endpoint());
+
+    std::vector<SimResult> remote;
+    std::thread submitter([&]() {
+        remote = client.submit(requestFor(set, "fleet-late"));
+    });
+    // Wait until the job's tasks are actually queued, then bring up
+    // the first worker.
+    for (int waited = 0;
+         coord.coordinator().queueDepth() == 0 && waited < 10000;
+         ++waited)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    EXPECT_GT(coord.coordinator().queueDepth(), 0u);
+
+    TestWorker worker("late-w", coord.endpoint());
+    submitter.join();
+    ASSERT_EQ(remote.size(), set.size());
+    for (std::size_t i = 0; i < set.size(); ++i)
+        EXPECT_TRUE(remote[i] == local[i]) << "index " << i;
+}
+
+TEST(FleetTest, ShutdownCancelsUnfinishedJobs)
+{
+    // A job waiting on an empty fleet when the coordinator shuts
+    // down gets an honest `cancelled` done frame, not a hang.
+    const runner::ExperimentSet set = quickGrid(1);
+
+    auto coord = std::make_unique<TestCoordinator>("shutdown");
+    ServiceClient client(coord->endpoint());
+
+    std::string failure;
+    std::thread submitter([&]() {
+        try {
+            client.submit(requestFor(set, "fleet-shutdown"));
+            failure = "submit succeeded with no workers";
+        } catch (const service::ServiceError &e) {
+            if (std::string(e.what()).find("cancelled") ==
+                std::string::npos)
+                failure = std::string("unexpected error: ") +
+                          e.what();
+        } catch (const std::exception &e) {
+            failure =
+                std::string("unexpected exception: ") + e.what();
+        }
+    });
+    for (int waited = 0;
+         coord->coordinator().queueDepth() == 0 && waited < 10000;
+         ++waited)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+
+    coord->shutdown();
+    submitter.join();
+    EXPECT_TRUE(failure.empty()) << failure;
+}
+
+} // namespace
+} // namespace fleet
+} // namespace shotgun

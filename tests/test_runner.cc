@@ -404,6 +404,112 @@ TEST(GridSchedulerTest, ConcurrentJobsBothMakeProgress)
     EXPECT_LT(first_b - sequence.begin(), last_a - sequence.begin());
 }
 
+TEST(GridSchedulerTest, CostOrderedDispatchRunsLongestFirstEmitsInOrder)
+{
+    // costOf makes dispatch longest-first (LPT) while emission must
+    // stay in grid order. One worker serializes dispatch, so the
+    // simulate call order is exactly the cost order.
+    GridScheduler scheduler(GridScheduler::Options(1));
+    const auto grid = fakeGrid(6, "lpt");
+
+    std::mutex mutex;
+    std::vector<std::size_t> dispatched, emitted;
+    DoneCapture done;
+
+    GridScheduler::JobHooks hooks;
+    hooks.costOf = [](std::size_t index, const runner::Experiment &) {
+        // Ascending cost by index: dispatch must reverse grid order.
+        return static_cast<std::uint64_t>(index);
+    };
+    hooks.simulate = [&](std::size_t index,
+                         const runner::Experiment &) {
+        std::lock_guard<std::mutex> lock(mutex);
+        dispatched.push_back(index);
+        return fakeResult(index);
+    };
+    hooks.onResult = [&](std::size_t index, const runner::Experiment &,
+                         const SimResult &) {
+        std::lock_guard<std::mutex> lock(mutex);
+        emitted.push_back(index);
+    };
+    hooks.onDone = done.hook();
+    scheduler.submit(grid, 0, std::move(hooks));
+
+    EXPECT_EQ(done.wait().status, GridScheduler::Outcome::Status::Ok);
+    ASSERT_EQ(dispatched.size(), grid.size());
+    for (std::size_t i = 0; i < dispatched.size(); ++i)
+        EXPECT_EQ(dispatched[i], grid.size() - 1 - i) << "slot " << i;
+    ASSERT_EQ(emitted.size(), grid.size());
+    for (std::size_t i = 0; i < emitted.size(); ++i)
+        EXPECT_EQ(emitted[i], i);
+}
+
+TEST(GridSchedulerTest, WeightedFairShareFavorsHeavierJob)
+{
+    // Jobs A (weight 1) and B (weight 3) queued behind a plug that
+    // wedges the single worker until both are admitted: the stride
+    // scheduler must then give B three dispatches for each of A's,
+    // so B's 6 points all run well before A's fourth.
+    GridScheduler scheduler(GridScheduler::Options(1));
+
+    std::mutex mutex;
+    std::condition_variable cv;
+    bool release = false;
+    std::vector<std::string> sequence;
+
+    DoneCapture done_plug;
+    GridScheduler::JobHooks plug;
+    plug.simulate = [&](std::size_t index,
+                        const runner::Experiment &) {
+        std::unique_lock<std::mutex> lock(mutex);
+        cv.wait(lock, [&]() { return release; });
+        return fakeResult(index);
+    };
+    plug.onDone = done_plug.hook();
+    scheduler.submit(fakeGrid(1, "plug"), 0, std::move(plug));
+
+    auto record = [&](const std::string &tag) {
+        return [&sequence, &mutex, tag](std::size_t index,
+                                        const runner::Experiment &) {
+            std::lock_guard<std::mutex> lock(mutex);
+            sequence.push_back(tag + std::to_string(index));
+            return fakeResult(index);
+        };
+    };
+    DoneCapture done_a, done_b;
+    GridScheduler::JobHooks hooks_a;
+    hooks_a.simulate = record("a");
+    hooks_a.onDone = done_a.hook();
+    scheduler.submit(fakeGrid(6, "a"), 0, /*weight=*/1,
+                     std::move(hooks_a));
+    GridScheduler::JobHooks hooks_b;
+    hooks_b.simulate = record("b");
+    hooks_b.onDone = done_b.hook();
+    scheduler.submit(fakeGrid(6, "b"), 0, /*weight=*/3,
+                     std::move(hooks_b));
+
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        release = true;
+        cv.notify_all();
+    }
+    EXPECT_EQ(done_plug.wait().status,
+              GridScheduler::Outcome::Status::Ok);
+    EXPECT_EQ(done_a.wait().status,
+              GridScheduler::Outcome::Status::Ok);
+    EXPECT_EQ(done_b.wait().status,
+              GridScheduler::Outcome::Status::Ok);
+
+    // 3:1 share: b5 must run before a3 whatever the tie-breaks did.
+    const auto last_b = std::find(sequence.begin(), sequence.end(),
+                                  std::string("b5"));
+    const auto fourth_a = std::find(sequence.begin(), sequence.end(),
+                                    std::string("a3"));
+    ASSERT_NE(last_b, sequence.end());
+    ASSERT_NE(fourth_a, sequence.end());
+    EXPECT_LT(last_b - sequence.begin(), fourth_a - sequence.begin());
+}
+
 TEST(GridSchedulerTest, CancelStopsDispatchTruthfully)
 {
     GridScheduler scheduler(GridScheduler::Options(1));

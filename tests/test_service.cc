@@ -589,15 +589,28 @@ TEST(ServiceTest, ShardedJobErrorFailsFastWithoutRedistribution)
     fake_thread.join();
 }
 
-TEST(ServiceTest, ShardedAllWorkersDeadRethrows)
+TEST(ServiceTest, ShardedAllWorkersDeadRethrowsWithLedger)
 {
     const runner::ExperimentSet set = quickGrid(1);
     ShardedOptions options;
+    std::vector<ShardOutcome> outcomes;
+    options.outcomes = &outcomes;
     EXPECT_THROW(
         submitSharded({"unix:/tmp/shotgun_svc_dead_1.sock",
                        "unix:/tmp/shotgun_svc_dead_2.sock"},
                       requestFor(set, "all-dead"), options),
         SocketError);
+
+    // The per-worker ledger is filled even on the failure path, so
+    // the caller can report who died with what instead of only the
+    // first exception (this is what shotgun-submit prints before
+    // exiting non-zero when the whole fleet is gone).
+    ASSERT_EQ(outcomes.size(), 2u);
+    for (const ShardOutcome &outcome : outcomes) {
+        EXPECT_FALSE(outcome.error.empty()) << outcome.endpoint;
+        EXPECT_EQ(outcome.delivered, 0u);
+        EXPECT_GT(outcome.assigned, 0u);
+    }
 }
 
 TEST(ServiceTest, ClientTimesOutOnWedgedServer)

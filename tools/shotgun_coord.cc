@@ -1,0 +1,157 @@
+/**
+ * @file
+ * shotgun-coord: the fleet control-plane daemon. Wraps the
+ * in-library FleetCoordinator (src/fleet/coordinator.hh): workers
+ * started with `shotgun-serve --coordinator HOST:PORT` register
+ * here and steal grid points from a global priority/cost-ordered
+ * queue; clients submit with `shotgun-submit --coordinator
+ * HOST:PORT` exactly as they would to a single server, and get
+ * byte-identical results.
+ *
+ *   shotgun-coord --listen 0.0.0.0:7400 --cache-dir /var/cache/shotgun
+ *   shotgun-coord --listen unix:/run/shotgun-coord.sock --quiet
+ *
+ * The daemon prints `listening on <endpoint>` on stdout once ready
+ * (scripts wait for that line), then serves until a client sends a
+ * `shutdown` frame (`shotgun-submit --coordinator ... --shutdown`).
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "common/cli.hh"
+#include "common/logging.hh"
+#include "common/parse.hh"
+#include "fleet/coordinator.hh"
+
+using namespace shotgun;
+
+namespace
+{
+
+const char *kUsage =
+    "usage: shotgun-coord --listen ENDPOINT [--cache-bytes N[K|M|G]]\n"
+    "                     [--cache-dir DIR] [--heartbeat-ms N]\n"
+    "                     [--miss-limit N] [--quiet]\n"
+    "\n"
+    "Fleet coordinator: holds a global work-stealing queue of grid\n"
+    "points ordered by job priority then simulated length\n"
+    "(longest-measured-first), hands them to registered\n"
+    "shotgun-serve workers, requeues the points of a worker that\n"
+    "dies or misses heartbeats, and streams each job's results to\n"
+    "its client in grid order -- byte-identical to a local run.\n"
+    "\n"
+    "  --listen ENDPOINT   unix:<path> or <host>:<port> (TCP port 0\n"
+    "                      asks the kernel for a free port; the\n"
+    "                      resolved endpoint is printed on stdout)\n"
+    "  --cache-bytes N     byte budget for the in-memory result\n"
+    "                      cache (suffix K/M/G; default: unbounded)\n"
+    "  --cache-dir DIR     persistent result cache directory; every\n"
+    "                      result is written through to one JSON\n"
+    "                      file per config fingerprint and served\n"
+    "                      from disk after a restart\n"
+    "  --heartbeat-ms N    expected worker heartbeat interval\n"
+    "                      (default 1000)\n"
+    "  --miss-limit N      heartbeats a worker may miss before its\n"
+    "                      in-flight points are requeued on the\n"
+    "                      survivors (default 3)\n"
+    "  --quiet             no fleet/job log lines on stderr\n"
+    "\n"
+    "Stop it with: shotgun-submit --coordinator ENDPOINT --shutdown\n";
+
+[[noreturn]] void
+usageError(const std::string &message)
+{
+    std::fprintf(stderr, "shotgun-coord: %s\n%s", message.c_str(),
+                 kUsage);
+    std::exit(cli::kUsageExitCode);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    int exit_code = 0;
+    if (cli::handleStandardFlags(argc, argv, "shotgun-coord", kUsage,
+                                 exit_code))
+        return exit_code;
+
+    std::string listen;
+    fleet::CoordinatorOptions options;
+    options.log = &std::cerr;
+
+    for (int i = 1; i < argc; ++i) {
+        auto next = [&](const char *flag) -> const char * {
+            if (i + 1 >= argc)
+                usageError(std::string(flag) + ": missing value");
+            return argv[++i];
+        };
+        if (std::strcmp(argv[i], "--listen") == 0) {
+            listen = next("--listen");
+        } else if (std::strcmp(argv[i], "--cache-bytes") == 0) {
+            std::string text = next("--cache-bytes");
+            std::uint64_t multiplier = 1;
+            if (!text.empty()) {
+                switch (text.back()) {
+                  case 'K': multiplier = 1ull << 10; break;
+                  case 'M': multiplier = 1ull << 20; break;
+                  case 'G': multiplier = 1ull << 30; break;
+                  default: break;
+                }
+                if (multiplier != 1)
+                    text.pop_back();
+            }
+            std::uint64_t bytes = 0;
+            if (!parseU64(text.c_str(), bytes) || bytes == 0 ||
+                bytes > UINT64_MAX / multiplier)
+                usageError(std::string("--cache-bytes: expected a "
+                                       "positive byte count "
+                                       "(K/M/G suffix allowed), "
+                                       "got '") +
+                           argv[i] + "'");
+            options.cacheBytes =
+                static_cast<std::size_t>(bytes * multiplier);
+        } else if (std::strcmp(argv[i], "--cache-dir") == 0) {
+            options.cacheDir = next("--cache-dir");
+        } else if (std::strcmp(argv[i], "--heartbeat-ms") == 0) {
+            std::uint64_t ms = 0;
+            const char *text = next("--heartbeat-ms");
+            if (!parseU64(text, ms) || ms == 0 || ms > 3600000)
+                usageError(std::string("--heartbeat-ms: expected an "
+                                       "interval in [1, 3600000], "
+                                       "got '") +
+                           text + "'");
+            options.heartbeatIntervalMs = static_cast<unsigned>(ms);
+        } else if (std::strcmp(argv[i], "--miss-limit") == 0) {
+            std::uint64_t limit = 0;
+            const char *text = next("--miss-limit");
+            if (!parseU64(text, limit) || limit == 0 || limit > 1000)
+                usageError(std::string("--miss-limit: expected a "
+                                       "count in [1, 1000], got '") +
+                           text + "'");
+            options.heartbeatMissLimit =
+                static_cast<unsigned>(limit);
+        } else if (std::strcmp(argv[i], "--quiet") == 0) {
+            options.log = nullptr;
+        } else {
+            usageError(std::string("unknown option '") + argv[i] +
+                       "'");
+        }
+    }
+    if (listen.empty())
+        usageError("--listen ENDPOINT is required");
+
+    try {
+        fleet::FleetCoordinator coordinator(listen, options);
+        std::printf("listening on %s\n",
+                    coordinator.endpoint().c_str());
+        std::fflush(stdout);
+        coordinator.serve();
+    } catch (const std::exception &e) {
+        fatal("%s", e.what());
+    }
+    return 0;
+}

@@ -21,9 +21,14 @@
 #include <iostream>
 #include <string>
 
+#include <unistd.h>
+
 #include "common/cli.hh"
 #include "common/logging.hh"
 #include "common/parse.hh"
+#include "fleet/disk_cache.hh"
+#include "fleet/worker.hh"
+#include "runner/thread_pool.hh"
 #include "service/server.hh"
 
 using namespace shotgun;
@@ -33,14 +38,17 @@ namespace
 
 const char *kUsage =
     "usage: shotgun-serve --listen ENDPOINT [--jobs N]\n"
-    "                     [--cache-bytes N[K|M|G]] [--quiet]\n"
+    "                     [--cache-bytes N[K|M|G]] [--cache-dir DIR]\n"
+    "                     [--coordinator ENDPOINT] [--name NAME]\n"
+    "                     [--heartbeat-ms N] [--quiet]\n"
     "\n"
     "Long-running simulation service: accepts experiment grids over\n"
     "the newline-delimited JSON frame protocol (see\n"
     "src/service/README.md), schedules concurrently submitted grids\n"
-    "fairly over one worker pool (round-robin per grid point), and\n"
-    "streams each job's results back in its grid order, serving\n"
-    "repeated configurations from a fingerprint-keyed result cache.\n"
+    "fairly over one worker pool (weighted fair share per grid\n"
+    "point), and streams each job's results back in its grid order,\n"
+    "serving repeated configurations from a fingerprint-keyed\n"
+    "result cache.\n"
     "\n"
     "  --listen ENDPOINT   unix:<path> or <host>:<port> (TCP port 0\n"
     "                      asks the kernel for a free port; the\n"
@@ -52,6 +60,16 @@ const char *kUsage =
     "                      least-recently-used results are evicted\n"
     "                      beyond it (suffix K/M/G; default:\n"
     "                      unbounded)\n"
+    "  --cache-dir DIR     persistent result cache directory: every\n"
+    "                      result is written through to disk and\n"
+    "                      served from there after a restart\n"
+    "  --coordinator EP    join the fleet at this shotgun-coord\n"
+    "                      endpoint: register, heartbeat, and steal\n"
+    "                      grid points (one slot per --jobs worker)\n"
+    "                      while still serving direct clients\n"
+    "  --name NAME         worker name shown in --fleet-status\n"
+    "                      (default: serve-<pid>)\n"
+    "  --heartbeat-ms N    fleet heartbeat period (default 1000)\n"
     "  --quiet             no connection/job log lines on stderr\n"
     "\n"
     "Stop it with: shotgun-submit --server ENDPOINT --shutdown\n";
@@ -75,8 +93,11 @@ main(int argc, char **argv)
         return exit_code;
 
     std::string listen;
+    std::string cache_dir;
     service::ServerOptions options;
     options.log = &std::cerr;
+    fleet::WorkerOptions fleet_options;
+    fleet_options.name = "serve-" + std::to_string(::getpid());
 
     for (int i = 1; i < argc; ++i) {
         auto next = [&](const char *flag) -> const char * {
@@ -117,6 +138,21 @@ main(int argc, char **argv)
                            argv[i] + "'");
             options.cacheBytes =
                 static_cast<std::size_t>(bytes * multiplier);
+        } else if (std::strcmp(argv[i], "--cache-dir") == 0) {
+            cache_dir = next("--cache-dir");
+        } else if (std::strcmp(argv[i], "--coordinator") == 0) {
+            fleet_options.coordinator = next("--coordinator");
+        } else if (std::strcmp(argv[i], "--name") == 0) {
+            fleet_options.name = next("--name");
+        } else if (std::strcmp(argv[i], "--heartbeat-ms") == 0) {
+            std::uint64_t ms = 0;
+            const char *text = next("--heartbeat-ms");
+            if (!parseU64(text, ms) || ms == 0 || ms > 3600000)
+                usageError(std::string("--heartbeat-ms: expected an "
+                                       "interval in [1, 3600000], "
+                                       "got '") +
+                           text + "'");
+            fleet_options.heartbeatMs = static_cast<unsigned>(ms);
         } else if (std::strcmp(argv[i], "--quiet") == 0) {
             options.log = nullptr;
         } else {
@@ -129,11 +165,43 @@ main(int argc, char **argv)
 
     try {
         service::SimServer server(listen, options);
+        // The disk cache must be attached before serve() admits any
+        // job (setBackend is not thread-safe against concurrent
+        // gets); it outlives the server, which uses it from worker
+        // threads until serve() returns.
+        std::unique_ptr<fleet::DiskResultCache> disk;
+        if (!cache_dir.empty()) {
+            disk.reset(new fleet::DiskResultCache(cache_dir));
+            fleet::DiskResultCache *cache = disk.get();
+            server.setCacheBackend(
+                [cache](const std::string &key,
+                        service::CachedResult &out) {
+                    return cache->load(key, out);
+                },
+                [cache](const std::string &key,
+                        const service::CachedResult &value) {
+                    cache->store(key, value);
+                });
+        }
         // Ready marker for scripts; resolved so `--listen host:0`
         // callers learn the actual port.
         std::printf("listening on %s\n", server.endpoint().c_str());
         std::fflush(stdout);
-        server.serve();
+        if (!fleet_options.coordinator.empty()) {
+            if (fleet_options.slots <= 1)
+                fleet_options.slots =
+                    options.jobs != 0
+                        ? options.jobs
+                        : runner::ThreadPool::hardwareJobs();
+            if (options.log != nullptr)
+                fleet_options.log = options.log;
+            fleet::FleetWorker worker(server, fleet_options);
+            worker.start();
+            server.serve();
+            worker.stop();
+        } else {
+            server.serve();
+        }
     } catch (const std::exception &e) {
         // SocketError (bad endpoint, bind failure) or anything else
         // escaping serve() (e.g. std::system_error from thread

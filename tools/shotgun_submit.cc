@@ -16,6 +16,13 @@
  *       --out results/speedup
  *   shotgun-submit --server hostA:7401 --status
  *   shotgun-submit --server hostA:7401 --shutdown
+ *
+ * With `--coordinator` the same grid goes to a shotgun-coord fleet
+ * control plane instead of a single server: the coordinator spreads
+ * the points over its registered workers and streams results back in
+ * grid order, so the output stays byte-identical. `--fleet-status`
+ * renders the coordinator's per-worker table (throughput, queue
+ * depth, heartbeat age, cache hit rate).
  */
 
 #include <cstdio>
@@ -42,9 +49,11 @@ namespace
 const char *kUsage =
     "usage:\n"
     "  shotgun-submit --server ENDPOINT | --workers EP1,EP2,...\n"
+    "                 | --coordinator ENDPOINT\n"
     "                 [grid options] [output options]\n"
     "  shotgun-submit --server ENDPOINT --status|--ping|--shutdown\n"
     "  shotgun-submit --server ENDPOINT --cancel JOB\n"
+    "  shotgun-submit --coordinator ENDPOINT --fleet-status\n"
     "  shotgun-submit --local [grid options] [output options]\n"
     "\n"
     "Grid options (mirror the bench command lines):\n"
@@ -62,6 +71,21 @@ const char *kUsage =
     "  --jobs N             per-job worker threads on the server\n"
     "                       (or in-process with --local); 0 = server\n"
     "                       default\n"
+    "\n"
+    "Fleet: --coordinator submits the grid to a shotgun-coord\n"
+    "control plane, which spreads the points over its registered\n"
+    "shotgun-serve workers (work stealing, longest-measured-first)\n"
+    "and requeues the in-flight points of a worker that dies or\n"
+    "misses heartbeats. Results stream back in grid order, so the\n"
+    "output is byte-identical to --local.\n"
+    "\n"
+    "  --priority N         weighted fair share against concurrent\n"
+    "                       jobs: a priority-2 job is dispatched\n"
+    "                       twice as often as a priority-1 job\n"
+    "                       (default 1; also honoured by --server)\n"
+    "  --fleet-status       render the coordinator's fleet table:\n"
+    "                       per-worker throughput, queue depth,\n"
+    "                       heartbeat age and cache hit rate\n"
     "\n"
     "Sharding: --workers submits experiment i to worker i mod W and\n"
     "stitches results back by index, so the output is byte-identical\n"
@@ -129,6 +153,7 @@ struct Options
     {
         Submit,
         Status,
+        FleetStatus,
         Ping,
         Shutdown,
         Cancel,
@@ -143,6 +168,7 @@ struct Options
     std::uint64_t warmup = 2000000;
     std::uint64_t seed = 1;
     std::uint64_t jobs = 0;
+    std::uint64_t priority = 1;
     std::uint64_t windowShards = 0; ///< 0 = monolithic experiments.
     std::uint64_t timeoutSeconds = service::kDefaultTimeoutSeconds;
 
@@ -176,10 +202,16 @@ parseOptions(int argc, char **argv)
             opts.endpoints = splitCommas(next("--workers"));
             if (opts.endpoints.empty())
                 usageError("--workers: expected EP1,EP2,...");
+        } else if (std::strcmp(arg, "--coordinator") == 0) {
+            // The coordinator speaks the same client protocol as a
+            // single server; it fans the grid out to its fleet.
+            opts.endpoints = {next("--coordinator")};
         } else if (std::strcmp(arg, "--local") == 0) {
             opts.local = true;
         } else if (std::strcmp(arg, "--status") == 0) {
             opts.action = Options::Action::Status;
+        } else if (std::strcmp(arg, "--fleet-status") == 0) {
+            opts.action = Options::Action::FleetStatus;
         } else if (std::strcmp(arg, "--ping") == 0) {
             opts.action = Options::Action::Ping;
         } else if (std::strcmp(arg, "--shutdown") == 0) {
@@ -215,6 +247,11 @@ parseOptions(int argc, char **argv)
             opts.seed = nextU64("--seed");
         } else if (std::strcmp(arg, "--jobs") == 0) {
             opts.jobs = nextU64("--jobs");
+        } else if (std::strcmp(arg, "--priority") == 0) {
+            opts.priority = nextU64("--priority");
+            if (opts.priority == 0 || opts.priority > 1000000)
+                usageError("--priority: expected a weight in "
+                           "[1, 1000000]");
         } else if (std::strcmp(arg, "--window-shards") == 0) {
             opts.windowShards = nextU64("--window-shards");
             if (opts.windowShards == 0 || opts.windowShards > 65536)
@@ -240,8 +277,9 @@ parseOptions(int argc, char **argv)
         usageError("one of --server, --workers or --local is required");
     if (opts.action != Options::Action::Submit &&
         (opts.local || opts.endpoints.size() != 1))
-        usageError("--status/--ping/--shutdown/--cancel need exactly "
-                   "one --server");
+        usageError("--status/--fleet-status/--ping/--shutdown/"
+                   "--cancel need exactly one --server or "
+                   "--coordinator");
     return opts;
 }
 
@@ -282,6 +320,7 @@ runSubmit(const Options &opts)
     service::SubmitRequest request;
     request.experiment = opts.experiment;
     request.jobs = opts.jobs;
+    request.priority = opts.priority;
     request.grid = set.experiments();
 
     const unsigned window_shards =
@@ -324,14 +363,57 @@ runSubmit(const Options &opts)
             static_cast<unsigned>(opts.timeoutSeconds);
         std::vector<service::ShardOutcome> outcomes;
         shard_opts.outcomes = &outcomes;
-        results =
-            window_shards == 0
-                ? service::submitSharded(opts.endpoints, request,
-                                         shard_opts)
-                : service::submitWindowSharded(opts.endpoints,
-                                               request,
-                                               window_shards,
-                                               shard_opts);
+        try {
+            results =
+                window_shards == 0
+                    ? service::submitSharded(opts.endpoints, request,
+                                             shard_opts)
+                    : service::submitWindowSharded(opts.endpoints,
+                                                   request,
+                                                   window_shards,
+                                                   shard_opts);
+        } catch (const service::JobFailedError &) {
+            // The job itself is broken (a grid point whose
+            // simulation fails deterministically); the fleet is
+            // fine. Let the generic handler report it.
+            throw;
+        } catch (const std::exception &e) {
+            // Transport failure with no survivors: print the
+            // per-worker ledger so the operator can see who died
+            // when, then fail with an unambiguous summary.
+            // Window sharding expands each experiment into
+            // window_shards transport-level points.
+            const std::size_t total_points =
+                request.grid.size() *
+                (window_shards == 0 ? 1 : window_shards);
+            std::size_t delivered = 0;
+            std::size_t dead = 0;
+            for (const service::ShardOutcome &outcome : outcomes) {
+                delivered += outcome.delivered;
+                if (!outcome.error.empty())
+                    ++dead;
+                std::fprintf(
+                    stderr,
+                    "worker %s: %zu assigned, %zu delivered%s%s\n",
+                    outcome.endpoint.c_str(), outcome.assigned,
+                    outcome.delivered,
+                    outcome.error.empty() ? "" : "; died: ",
+                    outcome.error.c_str());
+            }
+            if (dead > 0 && dead == outcomes.size())
+                std::fprintf(stderr,
+                             "shotgun-submit: all %zu worker%s died; "
+                             "grid incomplete (%zu/%zu points "
+                             "delivered): %s\n",
+                             dead, dead == 1 ? "" : "s", delivered,
+                             total_points, e.what());
+            else
+                std::fprintf(stderr,
+                             "shotgun-submit: submit failed after "
+                             "%zu/%zu points: %s\n",
+                             delivered, total_points, e.what());
+            return 1;
+        }
         for (const service::ShardOutcome &outcome : outcomes) {
             if (outcome.error.empty())
                 continue;
@@ -360,6 +442,89 @@ runSubmit(const Options &opts)
     return 0;
 }
 
+/** Percent string for a hit/miss pair; "-" before any lookup. */
+std::string
+hitRate(std::uint64_t hits, std::uint64_t misses)
+{
+    const std::uint64_t lookups = hits + misses;
+    if (lookups == 0)
+        return "-";
+    char buffer[16];
+    std::snprintf(buffer, sizeof(buffer), "%.1f%%",
+                  100.0 * static_cast<double>(hits) /
+                      static_cast<double>(lookups));
+    return buffer;
+}
+
+/**
+ * Renders a coordinator status frame's fleet table. The raw frame is
+ * available via --status; this is the human view of the same data.
+ */
+int
+runFleetStatus(const Options &opts)
+{
+    service::ServiceClient client(
+        opts.endpoints[0],
+        static_cast<unsigned>(opts.timeoutSeconds));
+    const json::Value status = client.status();
+    const json::Value *fleet = status.find("fleet");
+    if (fleet == nullptr)
+        fatal("%s is a plain server, not a coordinator (its status "
+              "frame has no `fleet` member); point --coordinator at "
+              "a shotgun-coord endpoint",
+              opts.endpoints[0].c_str());
+
+    const json::Value &server = status.at("server");
+    const json::Value &cache = server.at("cache");
+    std::printf("fleet @ %s\n", opts.endpoints[0].c_str());
+    std::printf("  queue depth %llu, in flight %llu, parked slots "
+                "%llu/%llu\n",
+                static_cast<unsigned long long>(
+                    fleet->at("queue_depth").asU64()),
+                static_cast<unsigned long long>(
+                    fleet->at("inflight").asU64()),
+                static_cast<unsigned long long>(
+                    fleet->at("parked_slots").asU64()),
+                static_cast<unsigned long long>(
+                    fleet->at("total_slots").asU64()));
+    std::printf("  coordinator cache: %llu entries, %s hit rate, "
+                "%llu disk hits\n",
+                static_cast<unsigned long long>(
+                    cache.at("entries").asU64()),
+                hitRate(cache.at("hits").asU64(),
+                        cache.at("misses").asU64())
+                    .c_str(),
+                static_cast<unsigned long long>(
+                    cache.at("backend_hits").asU64()));
+
+    const std::vector<json::Value> &rows =
+        fleet->at("workers").items();
+    std::printf("\n  %-4s %-16s %5s %8s %9s %9s %9s %9s\n", "id",
+                "name", "slots", "inflight", "done", "hb-age",
+                "pts/s", "cache-hit");
+    for (const json::Value &row : rows) {
+        const service::WorkerStatus worker =
+            service::decodeWorkerStatus(row);
+        char age[24];
+        std::snprintf(age, sizeof(age), "%.1fs",
+                      static_cast<double>(worker.heartbeatAgeMs) /
+                          1000.0);
+        std::printf("  %-4llu %-16s %5llu %8llu %9llu %9s %9.2f "
+                    "%9s\n",
+                    static_cast<unsigned long long>(worker.id),
+                    worker.name.c_str(),
+                    static_cast<unsigned long long>(worker.slots),
+                    static_cast<unsigned long long>(worker.inflight),
+                    static_cast<unsigned long long>(worker.completed),
+                    age, worker.throughput,
+                    hitRate(worker.cacheHits, worker.cacheMisses)
+                        .c_str());
+    }
+    if (rows.empty())
+        std::printf("  (no workers registered)\n");
+    return 0;
+}
+
 } // namespace
 
 int
@@ -382,6 +547,8 @@ main(int argc, char **argv)
             std::cout << client.status().dump() << "\n";
             return 0;
           }
+          case Options::Action::FleetStatus:
+            return runFleetStatus(opts);
           case Options::Action::Ping: {
             service::ServiceClient client(
                 opts.endpoints[0],
