@@ -283,6 +283,53 @@ grep -q '"instructions_per_second"' \
     "$BUILD_DIR/smoke/sim_throughput.json"
 grep -q '"cycles_per_second"' \
     "$BUILD_DIR/smoke/sim_throughput.json"
+grep -q '"scheme":"batched-grid"' \
+    "$BUILD_DIR/smoke/sim_throughput.json"
+
+echo "== one-pass grid: shared decode + warmed checkpoints, bitwise =="
+# A 6-scheme grid over one recorded trace must be byte-identical to
+# running the six points one at a time in separate processes (where
+# no cross-point reuse is possible): the cohort/checkpoint machinery
+# is trajectory-invisible by contract (src/sim/README.md).
+ALL_SCHEMES=baseline,fdip,boomerang,confluence,shotgun,rdip
+CGRID=(--workload "trace:$WTRACE" --warmup 100000
+       --instructions 200000 --no-progress)
+"$BUILD_DIR/shotgun-submit" --local "${CGRID[@]}" \
+    --schemes "$ALL_SCHEMES" \
+    --out "$BUILD_DIR/smoke/cohort_grid" > /dev/null
+head -n 1 "$BUILD_DIR/smoke/cohort_grid.csv" \
+    > "$BUILD_DIR/smoke/point_grid.csv"
+for scheme in ${ALL_SCHEMES//,/ }; do
+    "$BUILD_DIR/shotgun-submit" --local "${CGRID[@]}" \
+        --schemes "$scheme" \
+        --out "$BUILD_DIR/smoke/point_$scheme" > /dev/null
+    # Keep only the point's own row: a single-scheme submit also
+    # simulates the implicit baseline for the speedup column.
+    tail -n 1 "$BUILD_DIR/smoke/point_$scheme.csv" \
+        >> "$BUILD_DIR/smoke/point_grid.csv"
+done
+cmp "$BUILD_DIR/smoke/cohort_grid.csv" "$BUILD_DIR/smoke/point_grid.csv"
+
+# Through the service the status frame proves the reuse: the grid
+# decoded the trace once and simulated each scheme's warmup once
+# (6 misses, one per checkpoint key); a second grid with a shorter
+# measure phase shares those keys and restores all six warmups.
+SOCK_G="$BUILD_DIR/smoke/serve_g.sock"
+start_serve "$SOCK_G"
+"$BUILD_DIR/shotgun-submit" --server "unix:$SOCK_G" "${CGRID[@]}" \
+    --schemes "$ALL_SCHEMES" \
+    --out "$BUILD_DIR/smoke/cohort_svc" > /dev/null
+cmp "$BUILD_DIR/smoke/cohort_svc.csv" "$BUILD_DIR/smoke/cohort_grid.csv"
+"$BUILD_DIR/shotgun-submit" --server "unix:$SOCK_G" --status \
+    | grep -q '"checkpoint":{"entries":6,[^}]*"hits":0,"misses":6'
+"$BUILD_DIR/shotgun-submit" --server "unix:$SOCK_G" --status \
+    | grep -q '"traces":{"entries":1,[^}]*"decodes":1'
+"$BUILD_DIR/shotgun-submit" --server "unix:$SOCK_G" "${CGRID[@]}" \
+    --schemes "$ALL_SCHEMES" --instructions 100000 \
+    --out "$BUILD_DIR/smoke/cohort_rerun" > /dev/null
+"$BUILD_DIR/shotgun-submit" --server "unix:$SOCK_G" --status \
+    | grep -q '"checkpoint":{"entries":6,[^}]*"hits":6,"misses":6'
+"$BUILD_DIR/shotgun-submit" --server "unix:$SOCK_G" --shutdown
 
 # A bounded cache on a live daemon evicts instead of growing: after
 # a grid bigger than the budget, the status frame reports evictions.

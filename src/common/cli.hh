@@ -26,7 +26,7 @@ namespace cli
 {
 
 /** Single project-wide version: seed was 0.1, each PR bumps minor. */
-constexpr const char *kVersion = "0.7.0";
+constexpr const char *kVersion = "0.8.0";
 
 /** Exit code for malformed command lines (0 is help, 1 is fatal()). */
 constexpr int kUsageExitCode = 2;

@@ -33,6 +33,19 @@ class FootprintRecorder
   public:
     explicit FootprintRecorder(ShotgunBTB &btbs);
 
+    /**
+     * Copy `other`'s recording state (open region, retire-side call
+     * stack, counters) rebound onto `btbs` -- the cloning scheme's
+     * own BTBs, not the original's (checkpoint cloning).
+     */
+    FootprintRecorder(const FootprintRecorder &other, ShotgunBTB &btbs)
+        : btbs_(btbs), region_(other.region_),
+          callStack_(other.callStack_),
+          regionsClosed_(other.regionsClosed_),
+          stored_(other.stored_), covered_(other.covered_)
+    {
+    }
+
     /** Observe one retired basic block. */
     void retire(const BBRecord &record);
 

@@ -30,6 +30,18 @@ class ShotgunScheme : public Scheme
                   const ShotgunBTBConfig &config = ShotgunBTBConfig{},
                   std::size_t prefetch_buffer_entries = 32);
 
+    /**
+     * Copy for clone(): member-wise, except the recorder is rebound
+     * to the copy's own BTBs (its reference would otherwise keep
+     * writing footprints into the original's U-BTB).
+     */
+    ShotgunScheme(const ShotgunScheme &other)
+        : Scheme(other), btbs_(other.btbs_), buffer_(other.buffer_),
+          recorder_(other.recorder_, btbs_),
+          resolutions_(other.resolutions_), regionPf_(other.regionPf_)
+    {
+    }
+
     const char *name() const override { return "shotgun"; }
 
     void processBB(const BBRecord &truth, Cycle now,
@@ -39,6 +51,13 @@ class ShotgunScheme : public Scheme
     void onRetire(const BBRecord &record) override;
 
     std::uint64_t storageBits() const override;
+
+    std::unique_ptr<Scheme> clone(SchemeContext ctx) const override
+    {
+        auto copy = std::make_unique<ShotgunScheme>(*this);
+        copy->ctx_ = ctx;
+        return copy;
+    }
 
     ShotgunBTB &btbs() { return btbs_; }
     const ShotgunBTB &btbs() const { return btbs_; }

@@ -7,7 +7,7 @@ Core::Core(const Program &program, TraceSource &source,
            const CoreParams &core_params,
            const HierarchyParams &hierarchy_params,
            const SchemeConfig &scheme_config)
-    : program_(program), source_(source), params_(core_params),
+    : program_(program), source_(&source), params_(core_params),
       mem_(hierarchy_params), ras_(core_params.rasEntries),
       predecoder_(program, core_params.predecodeCycles),
       ftq_(core_params.ftqEntries), dataRng_(core_params.dataSeed)
@@ -19,6 +19,48 @@ Core::Core(const Program &program, TraceSource &source,
     ctx.predecoder = &predecoder_;
     ctx.params = &params_;
     scheme_ = makeScheme(scheme_config, ctx);
+}
+
+Core::Core(const Core &other, TraceSource *source)
+    : program_(other.program_), source_(source),
+      params_(other.params_), mem_(other.mem_), tage_(other.tage_),
+      ras_(other.ras_), predecoder_(other.predecoder_),
+      ftq_(other.ftq_), backendQ_(other.backendQ_),
+      backendInstrs_(other.backendInstrs_), now_(other.now_),
+      bpuStallUntil_(other.bpuStallUntil_),
+      bpuStallKind_(other.bpuStallKind_),
+      sourceExhausted_(other.sourceExhausted_),
+      bpuWaitingRedirect_(other.bpuWaitingRedirect_),
+      pendingRedirectPenalty_(other.pendingRedirectPenalty_),
+      pendingRedirectKind_(other.pendingRedirectKind_),
+      fetchStallUntil_(other.fetchStallUntil_),
+      fetchStallKind_(other.fetchStallKind_),
+      dataStallUntil_(other.dataStallUntil_),
+      deliveredThisCycle_(other.deliveredThisCycle_),
+      retireCredit_(other.retireCredit_), dataRng_(other.dataRng_),
+      cyclesSinceReset_(other.cyclesSinceReset_),
+      retiredSinceReset_(other.retiredSinceReset_),
+      stalls_(other.stalls_), btbMisses_(other.btbMisses_),
+      mispredicts_(other.mispredicts_),
+      misfetches_(other.misfetches_), l1dFill_(other.l1dFill_)
+{
+    SchemeContext ctx;
+    ctx.tage = &tage_;
+    ctx.ras = &ras_;
+    ctx.mem = &mem_;
+    ctx.predecoder = &predecoder_;
+    ctx.params = &params_;
+    scheme_ = other.scheme_->clone(ctx);
+}
+
+std::size_t
+Core::approxStateBytes() const
+{
+    // Accounting estimate only (see the header comment): the fixed
+    // constant stands in for the TAGE tables, L1-I/LLC arrays, and
+    // NoC state, which dominate and do not vary with the scheme.
+    return sizeof(Core) + scheme_->storageBits() / 8 +
+           backendQ_.size() * sizeof(BackendItem) + (1u << 21);
 }
 
 void
@@ -101,7 +143,7 @@ Core::bpuStep()
         if (ftq_.full())
             return;
         BBRecord truth;
-        if (!source_.next(truth)) {
+        if (!source_->next(truth)) {
             sourceExhausted_ = true; // File replay only; see run().
             return;
         }

@@ -42,6 +42,27 @@ class Core
          const SchemeConfig &scheme_config);
 
     /**
+     * Deep-copy clone for warmup checkpointing (sim/checkpoint.hh):
+     * every piece of microarchitectural and measurement state is
+     * copied by value (the scheme via Scheme::clone, rebound onto the
+     * copy's own structures) and the stream is rebound to `source`,
+     * which the caller must position exactly where `other`'s source
+     * stood. `source` may be nullptr for a parked clone that is never
+     * stepped -- a stored checkpoint -- since only the BPU touches
+     * the source. Cloning is const on `other`: taking a checkpoint
+     * cannot perturb the original's trajectory.
+     */
+    Core(const Core &other, TraceSource *source);
+
+    /**
+     * Rough in-memory footprint, for checkpoint-cache LRU accounting
+     * (not an exact measurement): the object itself, the scheme's
+     * metadata via storageBits(), and a constant standing in for the
+     * TAGE/cache/NoC tables of the default parameters.
+     */
+    std::size_t approxStateBytes() const;
+
+    /**
      * Simulate until `instructions` more have retired. Returns early
      * when a finite trace source runs dry and the pipeline has fully
      * drained (live generation never exhausts); check
@@ -177,7 +198,7 @@ class Core
     void accountStarvation();
 
     const Program &program_;
-    TraceSource &source_;
+    TraceSource *source_; ///< Null only for a parked checkpoint clone.
     CoreParams params_;
 
     InstrHierarchy mem_;

@@ -190,7 +190,8 @@ FleetCoordinator::FleetCoordinator(const std::string &endpoint_spec,
       cache_(options.cacheBytes, resultCacheBytes)
 {
     if (!options_.cacheDir.empty()) {
-        disk_.reset(new DiskResultCache(options_.cacheDir));
+        disk_.reset(new DiskResultCache(options_.cacheDir,
+                                        options_.cacheDirMaxBytes));
         DiskResultCache *disk = disk_.get();
         cache_.setBackend(
             [disk](const std::string &key, CachedResult &out) {
@@ -947,6 +948,8 @@ FleetCoordinator::statusFrame()
     std::uint64_t inflight = 0;
     std::uint64_t parked = 0;
     std::uint64_t total_slots = 0;
+    std::uint64_t checkpoint_hits = 0;
+    std::uint64_t checkpoint_misses = 0;
     {
         std::lock_guard<std::mutex> lock(mutex_);
         for (const auto &entry : jobs_) {
@@ -984,6 +987,10 @@ FleetCoordinator::statusFrame()
             status.cacheHits = worker.stats.cacheHits;
             status.cacheMisses = worker.stats.cacheMisses;
             status.backendHits = worker.stats.backendHits;
+            status.checkpointHits = worker.stats.checkpointHits;
+            status.checkpointMisses = worker.stats.checkpointMisses;
+            checkpoint_hits += status.checkpointHits;
+            checkpoint_misses += status.checkpointMisses;
             inflight += status.inflight;
             total_slots += worker.slots;
             workers.push(encodeWorkerStatus(status));
@@ -1015,6 +1022,11 @@ FleetCoordinator::statusFrame()
     fleet.set("inflight", Value::number(inflight));
     fleet.set("parked_slots", Value::number(parked));
     fleet.set("total_slots", Value::number(total_slots));
+    // Fleet-wide warmed-state checkpoint reuse, summed over the
+    // workers' last heartbeats (the coordinator itself never
+    // simulates, so it has no local checkpoint store to report).
+    fleet.set("checkpoint_hits", Value::number(checkpoint_hits));
+    fleet.set("checkpoint_misses", Value::number(checkpoint_misses));
 
     Value server = Value::object();
     server.set("version", Value::string(cli::kVersion));

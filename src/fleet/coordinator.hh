@@ -82,6 +82,12 @@ struct CoordinatorOptions
      */
     std::string cacheDir;
 
+    /**
+     * Byte bound on the persistent cache directory; 0 unbounded.
+     * Oldest entries are trimmed first (DiskResultCache).
+     */
+    std::uint64_t cacheDirMaxBytes = 0;
+
     /** Expected worker heartbeat interval. */
     unsigned heartbeatIntervalMs = 1000;
 

@@ -1,11 +1,13 @@
 #include "fleet/disk_cache.hh"
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
+#include <vector>
 
 #include <dirent.h>
 #include <sys/stat.h>
@@ -60,10 +62,47 @@ safeFingerprint(const std::string &fingerprint)
     return true;
 }
 
+/** One completed (.json) entry found by scanEntries. */
+struct EntryInfo
+{
+    std::string name; ///< File name within the cache directory.
+    std::uint64_t bytes = 0;
+    std::int64_t mtime = 0; ///< Seconds; ties broken by name.
+};
+
+/** Every completed entry with its size and modification time. */
+std::vector<EntryInfo>
+scanEntries(const std::string &dir)
+{
+    std::vector<EntryInfo> entries;
+    DIR *d = ::opendir(dir.c_str());
+    if (d == nullptr)
+        return entries;
+    const std::string suffix = ".json";
+    while (struct dirent *entry = ::readdir(d)) {
+        const std::string name = entry->d_name;
+        if (name.size() <= suffix.size() ||
+            name.compare(name.size() - suffix.size(), suffix.size(),
+                         suffix) != 0)
+            continue;
+        struct stat st;
+        if (::stat((dir + "/" + name).c_str(), &st) != 0)
+            continue; // Raced with a concurrent trim: skip.
+        EntryInfo info;
+        info.name = name;
+        info.bytes = static_cast<std::uint64_t>(st.st_size);
+        info.mtime = static_cast<std::int64_t>(st.st_mtime);
+        entries.push_back(std::move(info));
+    }
+    ::closedir(d);
+    return entries;
+}
+
 } // namespace
 
-DiskResultCache::DiskResultCache(std::string dir)
-    : dir_(std::move(dir))
+DiskResultCache::DiskResultCache(std::string dir,
+                                 std::uint64_t max_bytes)
+    : dir_(std::move(dir)), maxBytes_(max_bytes)
 {
     if (dir_.empty())
         throw std::runtime_error("disk cache: empty directory");
@@ -147,27 +186,54 @@ DiskResultCache::store(const std::string &fingerprint,
             return;
         }
     }
-    if (::rename(tmp.c_str(), path.c_str()) != 0)
+    if (::rename(tmp.c_str(), path.c_str()) != 0) {
         ::unlink(tmp.c_str());
+        return;
+    }
+    if (maxBytes_ != 0)
+        trimToBudget(path);
+}
+
+void
+DiskResultCache::trimToBudget(const std::string &keep) const
+{
+    std::vector<EntryInfo> entries = scanEntries(dir_);
+    std::uint64_t total = 0;
+    for (const EntryInfo &entry : entries)
+        total += entry.bytes;
+    if (total <= maxBytes_)
+        return;
+    // Oldest first; name breaks mtime ties so concurrent trimmers
+    // converge on the same victims instead of each picking its own.
+    std::sort(entries.begin(), entries.end(),
+              [](const EntryInfo &a, const EntryInfo &b) {
+                  return a.mtime != b.mtime ? a.mtime < b.mtime
+                                            : a.name < b.name;
+              });
+    for (const EntryInfo &entry : entries) {
+        if (total <= maxBytes_)
+            break;
+        const std::string path = dir_ + "/" + entry.name;
+        if (path == keep)
+            continue; // Never trim the entry just stored.
+        if (::unlink(path.c_str()) == 0 || errno == ENOENT)
+            total -= entry.bytes;
+    }
 }
 
 std::size_t
 DiskResultCache::entryCount() const
 {
-    DIR *d = ::opendir(dir_.c_str());
-    if (d == nullptr)
-        return 0;
-    std::size_t count = 0;
-    while (struct dirent *entry = ::readdir(d)) {
-        const std::string name = entry->d_name;
-        const std::string suffix = ".json";
-        if (name.size() > suffix.size() &&
-            name.compare(name.size() - suffix.size(), suffix.size(),
-                         suffix) == 0)
-            ++count;
-    }
-    ::closedir(d);
-    return count;
+    return scanEntries(dir_).size();
+}
+
+std::uint64_t
+DiskResultCache::totalBytes() const
+{
+    std::uint64_t total = 0;
+    for (const EntryInfo &entry : scanEntries(dir_))
+        total += entry.bytes;
+    return total;
 }
 
 } // namespace fleet

@@ -44,10 +44,22 @@ class DiskResultCache
      * std::runtime_error when the directory cannot be created or is
      * not writable -- a daemon should refuse to start with a broken
      * cache rather than silently run without persistence.
+     *
+     * `max_bytes` bounds the directory's total entry size; 0 means
+     * unbounded (the pre-existing behavior). When a store pushes the
+     * total over the bound, oldest entries (by modification time) are
+     * deleted first until the total fits again -- a disk-level
+     * approximation of the in-memory LRU eviction, biased towards
+     * keeping recently (re)written results. The entry just stored is
+     * never trimmed, so a single oversized result still persists.
      */
-    explicit DiskResultCache(std::string dir);
+    explicit DiskResultCache(std::string dir,
+                             std::uint64_t max_bytes = 0);
 
     const std::string &dir() const { return dir_; }
+
+    /** Byte bound applied after each store; 0 = unbounded. */
+    std::uint64_t maxBytes() const { return maxBytes_; }
 
     /**
      * Read one entry; false on absent/damaged/foreign files (a
@@ -69,10 +81,22 @@ class DiskResultCache
     /** Completed entries on disk right now (for tests/status). */
     std::size_t entryCount() const;
 
+    /** Total bytes of completed entries (for tests/status). */
+    std::uint64_t totalBytes() const;
+
   private:
     std::string entryPath(const std::string &fingerprint) const;
 
+    /**
+     * Delete oldest-modified entries until the directory total fits
+     * under maxBytes_, sparing `keep` (the freshly stored path).
+     * Failures are swallowed like store()'s: the bound is advisory
+     * against unbounded growth, not a hard invariant.
+     */
+    void trimToBudget(const std::string &keep) const;
+
     std::string dir_;
+    std::uint64_t maxBytes_ = 0;
 };
 
 } // namespace fleet

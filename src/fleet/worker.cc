@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "service/client.hh"
+#include "sim/checkpoint.hh"
 
 namespace shotgun
 {
@@ -140,6 +141,9 @@ FleetWorker::controlLoop()
                 hb.cacheHits = stats.hits;
                 hb.cacheMisses = stats.misses;
                 hb.backendHits = stats.backendHits;
+                const MemoCacheStats cp = checkpointCache().stats();
+                hb.checkpointHits = cp.hits;
+                hb.checkpointMisses = cp.misses;
                 if (!channel->sendLine(
                         service::encodeHeartbeat(hb).dump()))
                     break;

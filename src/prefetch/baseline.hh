@@ -39,6 +39,13 @@ class BaselineScheme : public Scheme
         return btb_.storageBits();
     }
 
+    std::unique_ptr<Scheme> clone(SchemeContext ctx) const override
+    {
+        auto copy = std::make_unique<BaselineScheme>(*this);
+        copy->ctx_ = ctx;
+        return copy;
+    }
+
     ConventionalBTB &btb() { return btb_; }
 
   private:

@@ -36,6 +36,13 @@ class BoomerangScheme : public Scheme
 
     std::uint64_t storageBits() const override;
 
+    std::unique_ptr<Scheme> clone(SchemeContext ctx) const override
+    {
+        auto copy = std::make_unique<BoomerangScheme>(*this);
+        copy->ctx_ = ctx;
+        return copy;
+    }
+
     ConventionalBTB &btb() { return btb_; }
     BTBPrefetchBuffer &prefetchBuffer() { return buffer_; }
 

@@ -66,6 +66,13 @@ class ConfluenceScheme : public Scheme
 
     std::uint64_t storageBits() const override;
 
+    std::unique_ptr<Scheme> clone(SchemeContext ctx) const override
+    {
+        auto copy = std::make_unique<ConfluenceScheme>(*this);
+        copy->ctx_ = ctx;
+        return copy;
+    }
+
     ConventionalBTB &btb() { return btb_; }
     std::uint64_t streamsStarted() const { return streams_.value(); }
     std::uint64_t divergences() const { return divergences_.value(); }

@@ -31,6 +31,11 @@ class IdealScheme : public Scheme
     bool idealICache() const override { return true; }
 
     std::uint64_t storageBits() const override { return 0; }
+
+    std::unique_ptr<Scheme> clone(SchemeContext ctx) const override
+    {
+        return std::make_unique<IdealScheme>(ctx);
+    }
 };
 
 } // namespace shotgun

@@ -52,6 +52,13 @@ class RdipScheme : public Scheme
 
     std::uint64_t storageBits() const override;
 
+    std::unique_ptr<Scheme> clone(SchemeContext ctx) const override
+    {
+        auto copy = std::make_unique<RdipScheme>(*this);
+        copy->ctx_ = ctx;
+        return copy;
+    }
+
     std::uint64_t contextSwitches() const { return switches_.value(); }
     std::uint64_t tableHits() const { return tableHits_.value(); }
 

@@ -104,6 +104,14 @@ class Scheme
     /** Control-flow metadata storage (BTBs + history), in bits. */
     virtual std::uint64_t storageBits() const = 0;
 
+    /**
+     * Deep-copy every piece of scheme state, rebound onto `ctx` (the
+     * cloning core's components). The copy and the original diverge
+     * freely afterwards; neither observes the other. This is what
+     * lets a warmed Core be checkpointed by value (sim/checkpoint.hh).
+     */
+    virtual std::unique_ptr<Scheme> clone(SchemeContext ctx) const = 0;
+
   protected:
     /**
      * Shared direction/target prediction for a *known* branch (after

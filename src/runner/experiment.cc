@@ -7,6 +7,7 @@
 #include <mutex>
 
 #include "common/logging.hh"
+#include "sim/checkpoint.hh"
 
 #include "runner/grid_scheduler.hh"
 #include "runner/progress.hh"
@@ -134,6 +135,18 @@ ExperimentRunner::run(const std::vector<Experiment> &grid) const
         ready.emplace_back(index, result);
         cv.notify_one();
     };
+    if (!options_.simulate) {
+        // Group grid points by warmed-state checkpoint key so the
+        // leader populates the checkpoint cache and every follower
+        // restores instead of re-simulating the warmup (see
+        // sim/checkpoint.hh). A custom simulate hook may not run
+        // runSimulation at all, so only real simulations opt in.
+        hooks.cohortOf = [](std::size_t, const Experiment &exp) {
+            return exp.config.warmupInstructions == 0
+                       ? std::string()
+                       : checkpointKey(exp.config, nullptr);
+        };
+    }
     hooks.onDone = [&](const GridScheduler::Outcome &o) {
         std::lock_guard<std::mutex> lock(mutex);
         outcome = o;

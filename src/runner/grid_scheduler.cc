@@ -1,6 +1,8 @@
 #include "runner/grid_scheduler.hh"
 
 #include <algorithm>
+#include <map>
+#include <string>
 #include <utility>
 
 #include "runner/thread_pool.hh"
@@ -23,6 +25,9 @@ namespace runner
  */
 struct GridScheduler::JobState
 {
+    static constexpr std::size_t kNoCohort =
+        static_cast<std::size_t>(-1);
+
     std::uint64_t id = 0;
     std::vector<Experiment> grid;
     unsigned budget = 0;
@@ -37,6 +42,18 @@ struct GridScheduler::JobState
      * way.
      */
     std::vector<std::size_t> order;
+
+    /**
+     * Cohort gating (see JobHooks::cohortOf): per grid index, the
+     * dense cohort id or kNoCohort; per cohort, the leader's grid
+     * index and whether the leader has completed. A follower is held
+     * back until its cohort opens; everything else dispatches as if
+     * cohorts did not exist. Empty when the job has no cohortOf.
+     */
+    std::vector<std::size_t> cohortIds;
+    std::vector<std::size_t> cohortLeader;
+    std::vector<char> cohortOpen;
+    std::vector<char> dispatched; ///< Per grid index (cohorts only).
 
     std::size_t nextDispatch = 0; ///< First undispatched order slot.
     unsigned active = 0;          ///< Points in flight right now.
@@ -68,10 +85,67 @@ struct GridScheduler::JobState
         }
     }
 
+    /** May grid index `i` be dispatched right now (cohort gate)? */
+    bool eligible(std::size_t i) const
+    {
+        if (cohortIds.empty())
+            return true;
+        const std::size_t c = cohortIds[i];
+        return c == kNoCohort || cohortOpen[c] || cohortLeader[c] == i;
+    }
+
+    /**
+     * The order slot of the next dispatchable point, or grid.size()
+     * when every undispatched point is cohort-gated (or none is
+     * left). Without cohorts this is just nextDispatch.
+     */
+    std::size_t nextEligibleSlot() const
+    {
+        if (cohortIds.empty())
+            return nextDispatch;
+        for (std::size_t s = nextDispatch; s < order.size(); ++s) {
+            const std::size_t i = order[s];
+            if (!dispatched[i] && eligible(i))
+                return s;
+        }
+        return grid.size();
+    }
+
+    /** Claim the point in order slot `s`; returns its grid index. */
+    std::size_t claimSlot(std::size_t s)
+    {
+        const std::size_t index = order[s];
+        if (cohortIds.empty()) {
+            ++nextDispatch;
+            return index;
+        }
+        dispatched[index] = 1;
+        while (nextDispatch < order.size() &&
+               dispatched[order[nextDispatch]])
+            ++nextDispatch;
+        return index;
+    }
+
+    /**
+     * A completed point opens its cohort if it led one; true when
+     * that may have unblocked gated followers (callers wake idle
+     * workers).
+     */
+    bool noteCompleted(std::size_t index)
+    {
+        if (cohortIds.empty() || cohortIds[index] == kNoCohort)
+            return false;
+        const std::size_t c = cohortIds[index];
+        if (cohortLeader[c] != index || cohortOpen[c])
+            return false;
+        cohortOpen[c] = 1;
+        return true;
+    }
+
     bool dispatchable() const
     {
-        return !cancelled && !failed && nextDispatch < grid.size() &&
-               active < budget;
+        return !cancelled && !failed && active < budget &&
+               nextEligibleSlot() < grid.size();
     }
 
     /** No further dispatch or in-flight work can touch this job. */
@@ -143,6 +217,31 @@ GridScheduler::submit(std::vector<Experiment> grid, unsigned budget,
                          [&cost](std::size_t a, std::size_t b) {
                              return cost[a] > cost[b];
                          });
+    }
+
+    if (job->hooks.cohortOf && !job->grid.empty()) {
+        // Key every point once up front; the first member of each
+        // cohort *in dispatch order* leads it, so with a costOf
+        // permutation the longest member warms the checkpoint up.
+        job->cohortIds.assign(job->grid.size(),
+                              JobState::kNoCohort);
+        job->dispatched.assign(job->grid.size(), 0);
+        std::map<std::string, std::size_t> ids;
+        for (std::size_t s = 0; s < job->order.size(); ++s) {
+            const std::size_t i = job->order[s];
+            std::string key = job->hooks.cohortOf(i, job->grid[i]);
+            if (key.empty())
+                continue;
+            auto it = ids.find(key);
+            if (it == ids.end()) {
+                it = ids.emplace(std::move(key),
+                                 job->cohortLeader.size())
+                         .first;
+                job->cohortLeader.push_back(i);
+                job->cohortOpen.push_back(0);
+            }
+            job->cohortIds[i] = it->second;
+        }
     }
 
     std::vector<std::shared_ptr<JobState>> finished;
@@ -304,7 +403,8 @@ GridScheduler::workerLoop()
         }
 
         auto job = pickJobLocked();
-        const std::size_t index = job->order[job->nextDispatch++];
+        const std::size_t index =
+            job->claimSlot(job->nextEligibleSlot());
         ++job->active;
         const bool first = !job->started;
         job->started = true;
@@ -376,8 +476,13 @@ GridScheduler::workerLoop()
             }
         }
         --job->active;
+        // Success or failure, a finished leader opens its cohort:
+        // followers of a failed job never dispatch anyway, and a
+        // gate that outlived its leader would deadlock a cancel
+        // that raced the leader's completion.
+        const bool opened = job->noteCompleted(index);
         finished = reapLocked();
-        if (!finished.empty() || job->dispatchable()) {
+        if (!finished.empty() || opened || job->dispatchable()) {
             lock.unlock();
             deliverOutcomes(std::move(finished));
             // This worker freed budget (or finished a job): idle

@@ -121,6 +121,24 @@ class GridScheduler
         std::function<std::uint64_t(std::size_t index,
                                     const Experiment &)>
             costOf;
+
+        /**
+         * Optional cohort key of a grid point (e.g. its warmup
+         * checkpoint key, see sim/checkpoint.hh). Points sharing a
+         * non-empty key form a cohort: the first of them in dispatch
+         * order is the cohort's leader, and the rest only become
+         * dispatchable after the leader *completed* -- so the leader
+         * populates the checkpoint cache and every follower restores
+         * instead of re-simulating the shared warmup. An empty key
+         * opts the point out (no gating). Points of different
+         * cohorts (and cohort-free points) still dispatch freely in
+         * parallel, and emission order stays strict grid order, so
+         * cohort batching changes wall-clock shape but never
+         * results. Called once per point at submit time.
+         */
+        std::function<std::string(std::size_t index,
+                                  const Experiment &)>
+            cohortOf;
     };
 
     explicit GridScheduler(Options options = Options());

@@ -201,11 +201,16 @@ encodeHeartbeat(const HeartbeatFrame &heartbeat)
     cache.set("hits", Value::number(heartbeat.cacheHits));
     cache.set("misses", Value::number(heartbeat.cacheMisses));
     cache.set("backend_hits", Value::number(heartbeat.backendHits));
+    Value checkpoint = Value::object();
+    checkpoint.set("hits", Value::number(heartbeat.checkpointHits));
+    checkpoint.set("misses",
+                   Value::number(heartbeat.checkpointMisses));
     Value v = Value::object();
     v.set("type", Value::string("heartbeat"));
     v.set("worker", Value::number(heartbeat.worker));
     v.set("completed", Value::number(heartbeat.completed));
     v.set("cache", std::move(cache));
+    v.set("checkpoint", std::move(checkpoint));
     return v;
 }
 
@@ -219,6 +224,12 @@ decodeHeartbeat(const json::Value &frame)
     heartbeat.cacheHits = cache.at("hits").asU64();
     heartbeat.cacheMisses = cache.at("misses").asU64();
     heartbeat.backendHits = cache.at("backend_hits").asU64();
+    // Absent from workers predating warmed-state checkpoints.
+    if (const Value *checkpoint = frame.find("checkpoint")) {
+        heartbeat.checkpointHits = checkpoint->at("hits").asU64();
+        heartbeat.checkpointMisses =
+            checkpoint->at("misses").asU64();
+    }
     return heartbeat;
 }
 
@@ -295,6 +306,9 @@ encodeWorkerStatus(const WorkerStatus &status)
     v.set("cache_hits", Value::number(status.cacheHits));
     v.set("cache_misses", Value::number(status.cacheMisses));
     v.set("backend_hits", Value::number(status.backendHits));
+    v.set("checkpoint_hits", Value::number(status.checkpointHits));
+    v.set("checkpoint_misses",
+          Value::number(status.checkpointMisses));
     return v;
 }
 
@@ -313,6 +327,11 @@ decodeWorkerStatus(const json::Value &v)
     status.cacheHits = v.at("cache_hits").asU64();
     status.cacheMisses = v.at("cache_misses").asU64();
     status.backendHits = v.at("backend_hits").asU64();
+    // Absent from coordinators predating warmed-state checkpoints.
+    if (const Value *hits = v.find("checkpoint_hits"))
+        status.checkpointHits = hits->asU64();
+    if (const Value *misses = v.find("checkpoint_misses"))
+        status.checkpointMisses = misses->asU64();
     return status;
 }
 

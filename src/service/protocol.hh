@@ -181,6 +181,11 @@ struct HeartbeatFrame
     std::uint64_t cacheHits = 0;
     std::uint64_t cacheMisses = 0;
     std::uint64_t backendHits = 0; ///< Served by the disk cache.
+
+    // The worker's warmed-state checkpoint store (sim/checkpoint.hh):
+    // hits are restored warmups, misses are warmups simulated.
+    std::uint64_t checkpointHits = 0;
+    std::uint64_t checkpointMisses = 0;
 };
 
 json::Value encodeHeartbeat(const HeartbeatFrame &heartbeat);
@@ -235,6 +240,8 @@ struct WorkerStatus
     std::uint64_t cacheHits = 0;
     std::uint64_t cacheMisses = 0;
     std::uint64_t backendHits = 0;
+    std::uint64_t checkpointHits = 0;   ///< Warmups restored.
+    std::uint64_t checkpointMisses = 0; ///< Warmups simulated.
 };
 
 json::Value encodeWorkerStatus(const WorkerStatus &status);

@@ -8,6 +8,8 @@
 
 #include "common/cli.hh"
 #include "runner/thread_pool.hh"
+#include "sim/checkpoint.hh"
+#include "trace/decoded_trace.hh"
 
 namespace shotgun
 {
@@ -373,6 +375,14 @@ SimServer::handleSubmit(const std::shared_ptr<Connection> &conn,
                (window.enabled() ? window.measureEnd
                                  : exp.config.measureInstructions);
     };
+    // Points sharing a warmed-state checkpoint key dispatch as a
+    // cohort: the first populates the checkpoint cache, the rest
+    // restore instead of re-simulating the warmup (sim/checkpoint.hh).
+    hooks.cohortOf = [](std::size_t, const runner::Experiment &exp) {
+        return exp.config.warmupInstructions == 0
+                   ? std::string()
+                   : checkpointKey(exp.config, nullptr);
+    };
     hooks.onStart = [this, job]() {
         job->state.store(Job::State::Running);
         log("job " + std::to_string(job->id) + " running");
@@ -495,6 +505,36 @@ SimServer::statusFrame()
     cache.set("backend_hits",
               Value::number(std::uint64_t{cache_stats.backendHits}));
 
+    // Warmed-state checkpoint store and decoded-trace store stats,
+    // process-wide (shared by every job), beside the result cache:
+    // the three caches the one-pass grid pipeline rests on.
+    const MemoCacheStats cp_stats = checkpointCache().stats();
+    Value checkpoint = Value::object();
+    checkpoint.set("entries",
+                   Value::number(std::uint64_t{cp_stats.entries}));
+    checkpoint.set("bytes",
+                   Value::number(std::uint64_t{cp_stats.bytes}));
+    checkpoint.set("budget_bytes",
+                   Value::number(std::uint64_t{cp_stats.budgetBytes}));
+    checkpoint.set("hits",
+                   Value::number(std::uint64_t{cp_stats.hits}));
+    checkpoint.set("misses",
+                   Value::number(std::uint64_t{cp_stats.misses}));
+    checkpoint.set("evictions",
+                   Value::number(std::uint64_t{cp_stats.evictions}));
+
+    const DecodedTraceStoreStats trace_stats =
+        decodedTraces().stats();
+    Value traces = Value::object();
+    traces.set("entries",
+               Value::number(std::uint64_t{trace_stats.cache.entries}));
+    traces.set("bytes",
+               Value::number(std::uint64_t{trace_stats.cache.bytes}));
+    traces.set("decodes",
+               Value::number(std::uint64_t{trace_stats.decodes}));
+    traces.set("rejected",
+               Value::number(std::uint64_t{trace_stats.rejected}));
+
     Value server = Value::object();
     server.set("version", Value::string(cli::kVersion));
     server.set("protocol", Value::number(kProtocolVersion));
@@ -502,6 +542,8 @@ SimServer::statusFrame()
     server.set("cache_entries",
                Value::number(std::uint64_t{cache_stats.entries}));
     server.set("cache", std::move(cache));
+    server.set("checkpoint", std::move(checkpoint));
+    server.set("traces", std::move(traces));
     server.set("max_jobs",
                Value::number(std::uint64_t{scheduler_.workers()}));
 

@@ -7,6 +7,8 @@
 #include <utility>
 
 #include "common/memo.hh"
+#include "sim/checkpoint.hh"
+#include "trace/decoded_trace.hh"
 #include "trace/trace_io.hh"
 
 namespace shotgun
@@ -29,12 +31,8 @@ mixIn(std::uint64_t hash, double value)
     return mixIn(hash, bits);
 }
 
-/**
- * Identity of a program image: every ProgramParams field that shapes
- * generation. Two presets may share a name (e.g. ad-hoc "studio"
- * workloads) yet differ in knobs; the caches must treat them as
- * distinct.
- */
+} // namespace
+
 std::uint64_t
 programFingerprint(const ProgramParams &p)
 {
@@ -61,7 +59,6 @@ programFingerprint(const ProgramParams &p)
     return h;
 }
 
-/** Program identity plus the preset's data-side behaviour. */
 std::uint64_t
 presetFingerprint(const WorkloadPreset &preset)
 {
@@ -76,8 +73,6 @@ presetFingerprint(const WorkloadPreset &preset)
     h = mixIn(h, std::hash<std::string>{}(preset.tracePath));
     return h;
 }
-
-} // namespace
 
 SimConfig
 SimConfig::make(const WorkloadPreset &workload, SchemeType type)
@@ -167,27 +162,49 @@ runSimulationDelta(const SimConfig &config)
 
     // A workload either generates its control flow live or replays a
     // recorded trace file; both feed the core through TraceSource.
+    // Trace replay prefers the process-wide decoded store (one file
+    // decode feeds every concurrent Core); a file whose decode would
+    // blow the store budget streams through TraceFileSource instead,
+    // producing the identical record sequence.
     std::unique_ptr<TraceSource> source;
+    DecodedTraceCursor *cursor = nullptr;
+    TraceGenerator *generator = nullptr;
     std::uint64_t control_seed = config.traceSeed;
+    TraceInfo trace_info;
     const std::string &trace_path = config.workload.tracePath;
     if (!trace_path.empty()) {
-        auto replay = std::make_unique<TraceFileSource>(trace_path);
-        fatal_if(programFingerprint(replay->preset().program) !=
+        const WorkloadPreset *recorded = nullptr;
+        if (auto decoded = decodedTraces().acquire(trace_path)) {
+            trace_info = decoded->info();
+            auto view =
+                std::make_unique<DecodedTraceCursor>(std::move(decoded));
+            cursor = view.get();
+            recorded = &cursor->preset();
+            source = std::move(view);
+        } else {
+            auto replay = std::make_unique<TraceFileSource>(trace_path);
+            trace_info.preset = replay->preset();
+            trace_info.traceSeed = replay->traceSeed();
+            trace_info.records = replay->totalRecords();
+            trace_info.instructions = replay->totalInstructions();
+            recorded = &replay->preset();
+            source = std::move(replay);
+        }
+        fatal_if(programFingerprint(recorded->program) !=
                      programFingerprint(config.workload.program),
                  "trace '%s' was recorded from program '%s', which "
                  "does not match this workload's program parameters",
-                 trace_path.c_str(),
-                 replay->preset().program.name.c_str());
+                 trace_path.c_str(), recorded->program.name.c_str());
         const std::uint64_t needed = window.skipInstructions +
                                      config.warmupInstructions +
                                      measure_end;
-        fatal_if(replay->totalInstructions() < needed,
+        fatal_if(trace_info.instructions < needed,
                  "trace '%s' holds %llu instructions but the run "
                  "needs %llu (%llu skipped + %llu warm-up + %llu "
                  "measured); record a longer trace",
                  trace_path.c_str(),
                  static_cast<unsigned long long>(
-                     replay->totalInstructions()),
+                     trace_info.instructions),
                  static_cast<unsigned long long>(needed),
                  static_cast<unsigned long long>(
                      window.skipInstructions),
@@ -196,19 +213,13 @@ runSimulationDelta(const SimConfig &config)
                  static_cast<unsigned long long>(measure_end));
         // Use the recorded seed so the data-side model reproduces the
         // run the trace was captured from, bit for bit.
-        control_seed = replay->traceSeed();
-        source = std::move(replay);
+        control_seed = trace_info.traceSeed;
     } else {
-        source =
+        auto live =
             std::make_unique<TraceGenerator>(program, config.traceSeed);
+        generator = live.get();
+        source = std::move(live);
     }
-
-    // Sampled-window mode: drop the stream prefix a short warm-up
-    // stands in for. Whole basic blocks are skipped until the
-    // threshold is reached, identically with or without a trace
-    // window index (the index only accelerates the seek).
-    if (window.skipInstructions > 0)
-        source->skipInstructions(window.skipInstructions);
 
     CoreParams core_params = config.core;
     core_params.loadFrac = config.workload.loadFrac;
@@ -220,33 +231,83 @@ runSimulationDelta(const SimConfig &config)
     HierarchyParams hierarchy_params;
     hierarchy_params.mesh.backgroundLoad = config.workload.backgroundLoad;
 
-    Core core(program, *source, core_params, hierarchy_params,
-              config.scheme);
+    // Warmup checkpoint reuse: when a warmed clone for this exact
+    // configuration prefix is cached, reposition a fresh source where
+    // the original's stood and resume from the clone -- skipping the
+    // skip+warmup simulation entirely. Streaming TraceFileSource
+    // replay is not checkpointable (no cheap exact reposition), and a
+    // zero-warmup run has nothing worth caching.
+    const bool checkpointable =
+        config.warmupInstructions > 0 &&
+        (generator != nullptr || cursor != nullptr);
+    std::string key;
+    std::shared_ptr<const CoreCheckpoint> restored;
+    if (checkpointable) {
+        key = checkpointKey(config,
+                            cursor != nullptr ? &trace_info : nullptr);
+        restored = checkpointCache().tryGet(key);
+    }
 
-    core.run(config.warmupInstructions);
-    core.resetStats();
+    std::unique_ptr<Core> core;
+    if (restored != nullptr) {
+        if (generator != nullptr)
+            generator->restore(restored->generator);
+        else
+            cursor->seekToRecord(restored->cursorRecord);
+        core = std::make_unique<Core>(*restored->core, source.get());
+    } else {
+        // Sampled-window mode: drop the stream prefix a short warm-up
+        // stands in for. Whole basic blocks are skipped until the
+        // threshold is reached, identically with or without a trace
+        // window index (the index only accelerates the seek).
+        if (window.skipInstructions > 0)
+            source->skipInstructions(window.skipInstructions);
+
+        core = std::make_unique<Core>(program, *source, core_params,
+                                      hierarchy_params, config.scheme);
+        core->run(config.warmupInstructions);
+        if (checkpointable) {
+            // Park a clone; the run continues on the original, so
+            // taking the checkpoint cannot perturb its trajectory.
+            CoreCheckpoint cp;
+            cp.core = std::make_shared<const Core>(*core, nullptr);
+            if (generator != nullptr) {
+                cp.fromGenerator = true;
+                cp.generator = generator->checkpoint();
+            } else {
+                cp.cursorRecord = cursor->recordsRead();
+            }
+            cp.bytes = cp.core->approxStateBytes();
+            checkpointCache().put(key, std::move(cp));
+        }
+    }
+
+    core->resetStats();
     // Fast-forward to the window, then measure it as the snapshot
     // difference. Both bounds are thresholds relative to the
     // post-warm-up reset ("first cycle in which the N-th measured
     // instruction has retired"), the same points an uninterrupted
     // monolithic run passes through -- which is what makes the
     // windows of a contiguous plan partition its cycles exactly.
-    core.runUntilRetired(measure_start);
-    const Core::StatsSnapshot begin = core.snapshotStats();
-    core.runUntilRetired(measure_end);
-    fatal_if(core.sourceExhausted() &&
-                 core.instructionsRetired() < measure_end,
-             "trace '%s' ran dry after %llu of %llu measured "
+    core->runUntilRetired(measure_start);
+    const Core::StatsSnapshot begin = core->snapshotStats();
+    core->runUntilRetired(measure_end);
+    fatal_if(core->sourceExhausted() &&
+                 core->instructionsRetired() < measure_end,
+             "%s '%s' ran dry after %llu of %llu measured "
              "instructions",
-             trace_path.c_str(),
-             static_cast<unsigned long long>(core.instructionsRetired()),
+             trace_path.empty() ? "workload" : "trace",
+             trace_path.empty() ? config.workload.name.c_str()
+                                : trace_path.c_str(),
+             static_cast<unsigned long long>(
+                 core->instructionsRetired()),
              static_cast<unsigned long long>(measure_end));
-    const Core::StatsSnapshot end = core.snapshotStats();
+    const Core::StatsSnapshot end = core->snapshotStats();
 
     SimulationDelta out;
     out.workload = config.workload.name;
-    out.scheme = core.scheme().name();
-    out.schemeStorageBits = core.scheme().storageBits();
+    out.scheme = core->scheme().name();
+    out.schemeStorageBits = core->scheme().storageBits();
     out.stats = deltaBetween(begin, end);
     return out;
 }

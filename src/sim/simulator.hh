@@ -149,6 +149,20 @@ double stallCoverage(const SimResult &result, const SimResult &baseline);
  */
 const Program &programFor(const WorkloadPreset &preset);
 
+/**
+ * Identity of a program image: every ProgramParams field that shapes
+ * generation. Two presets may share a name (e.g. ad-hoc "studio"
+ * workloads) yet differ in knobs; the caches must treat them as
+ * distinct.
+ */
+std::uint64_t programFingerprint(const ProgramParams &params);
+
+/**
+ * Program identity plus the preset's data-side behaviour and trace
+ * binding (checkpoint keys, memoized baselines).
+ */
+std::uint64_t presetFingerprint(const WorkloadPreset &preset);
+
 /** Run one (workload, scheme) simulation. */
 SimResult runSimulation(const SimConfig &config);
 

@@ -7,6 +7,7 @@
 
 #include "common/logging.hh"
 #include "runner/thread_pool.hh"
+#include "sim/checkpoint.hh"
 
 namespace shotgun
 {
@@ -100,6 +101,16 @@ runWindowedExperiment(
         sched_outcome = o;
         done = true;
         cv.notify_one();
+    };
+    // Contiguous windows share warmup and skip, hence a checkpoint
+    // key: the first window warms the core once and every later
+    // window restores it (sampled plans differ in skipInstructions,
+    // so their keys split and no gating applies).
+    hooks.cohortOf = [](std::size_t,
+                        const runner::Experiment &sub) {
+        return sub.config.warmupInstructions == 0
+                   ? std::string()
+                   : checkpointKey(sub.config, nullptr);
     };
     scheduler.submit(std::move(grid), budget, std::move(hooks));
 

@@ -17,11 +17,14 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <ctime>
 #include <fstream>
 #include <memory>
 #include <sstream>
 #include <thread>
 #include <vector>
+
+#include <utime.h>
 
 #include "fleet/coordinator.hh"
 #include "fleet/disk_cache.hh"
@@ -235,6 +238,57 @@ TEST(FleetDiskCacheTest, RoundTripDamageAndForeignKeys)
     std::rename((dir + "/00ff00ff.json").c_str(),
                 (dir + "/11ee11ee.json").c_str());
     EXPECT_FALSE(cache.load("11ee11ee", loaded));
+}
+
+TEST(FleetDiskCacheTest, ByteBoundTrimsOldestFirst)
+{
+    const std::string dir = freshDir("trim");
+    CachedResult value;
+    value.result.workload = "w";
+    value.result.scheme = "shotgun";
+    value.result.instructions = 50000;
+    value.result.cycles = 123456;
+
+    // Measure one entry's on-disk size with an unbounded instance;
+    // identical values under same-length fingerprints give every
+    // entry the same size, so budgets become entry counts.
+    DiskResultCache probe(dir);
+    probe.store("aaaaaaaaaaaaaaaa", value);
+    const std::uint64_t entry_bytes = probe.totalBytes();
+    ASSERT_GT(entry_bytes, 0u);
+
+    // Age the first entry so mtime ordering is unambiguous (stat
+    // mtime has one-second granularity).
+    auto ageFile = [&dir](const std::string &name, long seconds) {
+        struct utimbuf times;
+        times.actime = times.modtime = ::time(nullptr) - seconds;
+        ASSERT_EQ(::utime((dir + "/" + name + ".json").c_str(),
+                          &times),
+                  0);
+    };
+    ageFile("aaaaaaaaaaaaaaaa", 100);
+
+    // Room for exactly two entries.
+    DiskResultCache cache(dir, 2 * entry_bytes);
+    EXPECT_EQ(cache.maxBytes(), 2 * entry_bytes);
+    cache.store("bbbbbbbbbbbbbbbb", value);
+    EXPECT_EQ(cache.entryCount(), 2u); // Still within the bound.
+    ageFile("bbbbbbbbbbbbbbbb", 50);
+
+    cache.store("cccccccccccccccc", value); // Over: trims oldest.
+    EXPECT_EQ(cache.entryCount(), 2u);
+    CachedResult loaded;
+    EXPECT_FALSE(cache.load("aaaaaaaaaaaaaaaa", loaded));
+    EXPECT_TRUE(cache.load("bbbbbbbbbbbbbbbb", loaded));
+    EXPECT_TRUE(cache.load("cccccccccccccccc", loaded));
+
+    // A bound below a single entry still keeps the entry just
+    // stored: the freshest result always persists.
+    const std::string tiny_dir = freshDir("trim_tiny");
+    DiskResultCache tiny(tiny_dir, 1);
+    tiny.store("dddddddddddddddd", value);
+    EXPECT_EQ(tiny.entryCount(), 1u);
+    EXPECT_TRUE(tiny.load("dddddddddddddddd", loaded));
 }
 
 TEST(FleetTest, CoordinatorMatchesInProcessBitwise)

@@ -33,8 +33,10 @@ namespace
 
 const char *kUsage =
     "usage: shotgun-coord --listen ENDPOINT [--cache-bytes N[K|M|G]]\n"
-    "                     [--cache-dir DIR] [--heartbeat-ms N]\n"
-    "                     [--miss-limit N] [--quiet]\n"
+    "                     [--cache-dir DIR]\n"
+    "                     [--cache-max-bytes N[K|M|G]]\n"
+    "                     [--heartbeat-ms N] [--miss-limit N]\n"
+    "                     [--quiet]\n"
     "\n"
     "Fleet coordinator: holds a global work-stealing queue of grid\n"
     "points ordered by job priority then simulated length\n"
@@ -52,6 +54,10 @@ const char *kUsage =
     "                      result is written through to one JSON\n"
     "                      file per config fingerprint and served\n"
     "                      from disk after a restart\n"
+    "  --cache-max-bytes N byte bound on the --cache-dir directory;\n"
+    "                      oldest entries are trimmed first when a\n"
+    "                      store pushes the total over the bound\n"
+    "                      (suffix K/M/G; default: unbounded)\n"
     "  --heartbeat-ms N    expected worker heartbeat interval\n"
     "                      (default 1000)\n"
     "  --miss-limit N      heartbeats a worker may miss before its\n"
@@ -67,6 +73,30 @@ usageError(const std::string &message)
     std::fprintf(stderr, "shotgun-coord: %s\n%s", message.c_str(),
                  kUsage);
     std::exit(cli::kUsageExitCode);
+}
+
+/** Positive byte count with optional K/M/G suffix, or usage error. */
+std::uint64_t
+parseByteSize(const char *flag, std::string text)
+{
+    std::uint64_t multiplier = 1;
+    if (!text.empty()) {
+        switch (text.back()) {
+          case 'K': multiplier = 1ull << 10; break;
+          case 'M': multiplier = 1ull << 20; break;
+          case 'G': multiplier = 1ull << 30; break;
+          default: break;
+        }
+        if (multiplier != 1)
+            text.pop_back();
+    }
+    std::uint64_t bytes = 0;
+    if (!parseU64(text.c_str(), bytes) || bytes == 0 ||
+        bytes > UINT64_MAX / multiplier)
+        usageError(std::string(flag) +
+                   ": expected a positive byte count (K/M/G suffix "
+                   "allowed), got '" + text + "'");
+    return bytes * multiplier;
 }
 
 } // namespace
@@ -92,30 +122,13 @@ main(int argc, char **argv)
         if (std::strcmp(argv[i], "--listen") == 0) {
             listen = next("--listen");
         } else if (std::strcmp(argv[i], "--cache-bytes") == 0) {
-            std::string text = next("--cache-bytes");
-            std::uint64_t multiplier = 1;
-            if (!text.empty()) {
-                switch (text.back()) {
-                  case 'K': multiplier = 1ull << 10; break;
-                  case 'M': multiplier = 1ull << 20; break;
-                  case 'G': multiplier = 1ull << 30; break;
-                  default: break;
-                }
-                if (multiplier != 1)
-                    text.pop_back();
-            }
-            std::uint64_t bytes = 0;
-            if (!parseU64(text.c_str(), bytes) || bytes == 0 ||
-                bytes > UINT64_MAX / multiplier)
-                usageError(std::string("--cache-bytes: expected a "
-                                       "positive byte count "
-                                       "(K/M/G suffix allowed), "
-                                       "got '") +
-                           argv[i] + "'");
-            options.cacheBytes =
-                static_cast<std::size_t>(bytes * multiplier);
+            options.cacheBytes = static_cast<std::size_t>(
+                parseByteSize("--cache-bytes", next("--cache-bytes")));
         } else if (std::strcmp(argv[i], "--cache-dir") == 0) {
             options.cacheDir = next("--cache-dir");
+        } else if (std::strcmp(argv[i], "--cache-max-bytes") == 0) {
+            options.cacheDirMaxBytes = parseByteSize(
+                "--cache-max-bytes", next("--cache-max-bytes"));
         } else if (std::strcmp(argv[i], "--heartbeat-ms") == 0) {
             std::uint64_t ms = 0;
             const char *text = next("--heartbeat-ms");

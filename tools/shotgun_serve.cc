@@ -39,6 +39,7 @@ namespace
 const char *kUsage =
     "usage: shotgun-serve --listen ENDPOINT [--jobs N]\n"
     "                     [--cache-bytes N[K|M|G]] [--cache-dir DIR]\n"
+    "                     [--cache-max-bytes N[K|M|G]]\n"
     "                     [--coordinator ENDPOINT] [--name NAME]\n"
     "                     [--heartbeat-ms N] [--quiet]\n"
     "\n"
@@ -63,6 +64,10 @@ const char *kUsage =
     "  --cache-dir DIR     persistent result cache directory: every\n"
     "                      result is written through to disk and\n"
     "                      served from there after a restart\n"
+    "  --cache-max-bytes N byte bound on the --cache-dir directory;\n"
+    "                      oldest entries are trimmed first when a\n"
+    "                      store pushes the total over the bound\n"
+    "                      (suffix K/M/G; default: unbounded)\n"
     "  --coordinator EP    join the fleet at this shotgun-coord\n"
     "                      endpoint: register, heartbeat, and steal\n"
     "                      grid points (one slot per --jobs worker)\n"
@@ -82,6 +87,30 @@ usageError(const std::string &message)
     std::exit(cli::kUsageExitCode);
 }
 
+/** Positive byte count with optional K/M/G suffix, or usage error. */
+std::uint64_t
+parseByteSize(const char *flag, std::string text)
+{
+    std::uint64_t multiplier = 1;
+    if (!text.empty()) {
+        switch (text.back()) {
+          case 'K': multiplier = 1ull << 10; break;
+          case 'M': multiplier = 1ull << 20; break;
+          case 'G': multiplier = 1ull << 30; break;
+          default: break;
+        }
+        if (multiplier != 1)
+            text.pop_back();
+    }
+    std::uint64_t bytes = 0;
+    if (!parseU64(text.c_str(), bytes) || bytes == 0 ||
+        bytes > UINT64_MAX / multiplier)
+        usageError(std::string(flag) +
+                   ": expected a positive byte count (K/M/G suffix "
+                   "allowed), got '" + text + "'");
+    return bytes * multiplier;
+}
+
 } // namespace
 
 int
@@ -94,6 +123,7 @@ main(int argc, char **argv)
 
     std::string listen;
     std::string cache_dir;
+    std::uint64_t cache_max_bytes = 0;
     service::ServerOptions options;
     options.log = &std::cerr;
     fleet::WorkerOptions fleet_options;
@@ -116,30 +146,13 @@ main(int argc, char **argv)
                            text + "'");
             options.jobs = static_cast<unsigned>(jobs);
         } else if (std::strcmp(argv[i], "--cache-bytes") == 0) {
-            std::string text = next("--cache-bytes");
-            std::uint64_t multiplier = 1;
-            if (!text.empty()) {
-                switch (text.back()) {
-                  case 'K': multiplier = 1ull << 10; break;
-                  case 'M': multiplier = 1ull << 20; break;
-                  case 'G': multiplier = 1ull << 30; break;
-                  default: break;
-                }
-                if (multiplier != 1)
-                    text.pop_back();
-            }
-            std::uint64_t bytes = 0;
-            if (!parseU64(text.c_str(), bytes) || bytes == 0 ||
-                bytes > UINT64_MAX / multiplier)
-                usageError(std::string("--cache-bytes: expected a "
-                                       "positive byte count "
-                                       "(K/M/G suffix allowed), "
-                                       "got '") +
-                           argv[i] + "'");
-            options.cacheBytes =
-                static_cast<std::size_t>(bytes * multiplier);
+            options.cacheBytes = static_cast<std::size_t>(
+                parseByteSize("--cache-bytes", next("--cache-bytes")));
         } else if (std::strcmp(argv[i], "--cache-dir") == 0) {
             cache_dir = next("--cache-dir");
+        } else if (std::strcmp(argv[i], "--cache-max-bytes") == 0) {
+            cache_max_bytes = parseByteSize(
+                "--cache-max-bytes", next("--cache-max-bytes"));
         } else if (std::strcmp(argv[i], "--coordinator") == 0) {
             fleet_options.coordinator = next("--coordinator");
         } else if (std::strcmp(argv[i], "--name") == 0) {
@@ -171,7 +184,8 @@ main(int argc, char **argv)
         // threads until serve() returns.
         std::unique_ptr<fleet::DiskResultCache> disk;
         if (!cache_dir.empty()) {
-            disk.reset(new fleet::DiskResultCache(cache_dir));
+            disk.reset(new fleet::DiskResultCache(cache_dir,
+                                                  cache_max_bytes));
             fleet::DiskResultCache *cache = disk.get();
             server.setCacheBackend(
                 [cache](const std::string &key,

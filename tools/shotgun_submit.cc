@@ -496,12 +496,24 @@ runFleetStatus(const Options &opts)
                     .c_str(),
                 static_cast<unsigned long long>(
                     cache.at("backend_hits").asU64()));
+    // Coordinators predating warmed-state checkpoints omit these.
+    if (const json::Value *cp_hits =
+            fleet->find("checkpoint_hits")) {
+        const std::uint64_t hits = cp_hits->asU64();
+        const std::uint64_t misses =
+            fleet->at("checkpoint_misses").asU64();
+        std::printf("  warmup checkpoints: %llu restored, %llu "
+                    "simulated, %s reuse\n",
+                    static_cast<unsigned long long>(hits),
+                    static_cast<unsigned long long>(misses),
+                    hitRate(hits, misses).c_str());
+    }
 
     const std::vector<json::Value> &rows =
         fleet->at("workers").items();
-    std::printf("\n  %-4s %-16s %5s %8s %9s %9s %9s %9s\n", "id",
+    std::printf("\n  %-4s %-16s %5s %8s %9s %9s %9s %9s %9s\n", "id",
                 "name", "slots", "inflight", "done", "hb-age",
-                "pts/s", "cache-hit");
+                "pts/s", "cache-hit", "ckpt-hit");
     for (const json::Value &row : rows) {
         const service::WorkerStatus worker =
             service::decodeWorkerStatus(row);
@@ -510,7 +522,7 @@ runFleetStatus(const Options &opts)
                       static_cast<double>(worker.heartbeatAgeMs) /
                           1000.0);
         std::printf("  %-4llu %-16s %5llu %8llu %9llu %9s %9.2f "
-                    "%9s\n",
+                    "%9s %9s\n",
                     static_cast<unsigned long long>(worker.id),
                     worker.name.c_str(),
                     static_cast<unsigned long long>(worker.slots),
@@ -518,6 +530,9 @@ runFleetStatus(const Options &opts)
                     static_cast<unsigned long long>(worker.completed),
                     age, worker.throughput,
                     hitRate(worker.cacheHits, worker.cacheMisses)
+                        .c_str(),
+                    hitRate(worker.checkpointHits,
+                            worker.checkpointMisses)
                         .c_str());
     }
     if (rows.empty())
