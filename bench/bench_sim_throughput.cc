@@ -35,6 +35,7 @@
 #include "common/cli.hh"
 #include "common/json.hh"
 #include "common/parse.hh"
+#include "obs/trace.hh"
 #include "prefetch/factory.hh"
 #include "runner/experiment.hh"
 #include "sim/simulator.hh"
@@ -198,6 +199,74 @@ main(int argc, char **argv)
                      "(best of %llu x %.3fs)\n",
                      result.workload.c_str(), result.scheme.c_str(),
                      ips / 1e6, cps / 1e6,
+                     static_cast<unsigned long long>(repeats),
+                     best_seconds);
+    }
+
+    {
+        // Tracing-overhead row: the shotgun scheme re-run with span
+        // tracing fully on (enabled tracer + installed trace
+        // context), so the cost of the observability layer is
+        // visible in the trajectory next to the untraced rows. The
+        // row carries budget_enforced=false -- the budget check
+        // tracks it but never fails on it -- while the determinism
+        // fields still pin that tracing cannot change simulated
+        // results.
+        SimConfig config =
+            SimConfig::make(preset, schemeTypeByName("shotgun"));
+        config.warmupInstructions = warmup;
+        config.measureInstructions = measure;
+        programFor(config.workload);
+
+        obs::tracer().setProcessName("bench");
+        obs::tracer().enable(obs::newTraceId());
+        obs::TraceContext trace_ctx;
+        trace_ctx.traceId = obs::tracer().defaultTraceId();
+        trace_ctx.lane = "bench";
+        double best_seconds = 0.0;
+        SimResult result;
+        {
+            obs::ScopedTraceContext scope(&trace_ctx);
+            for (std::uint64_t r = 0; r < repeats; ++r) {
+                const auto start = std::chrono::steady_clock::now();
+                result = runSimulation(config);
+                const double seconds =
+                    std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+                if (r == 0 || seconds < best_seconds)
+                    best_seconds = seconds;
+            }
+        }
+        obs::tracer().disable();
+
+        const double simulated =
+            static_cast<double>(warmup + result.instructions);
+        const double ips =
+            best_seconds > 0.0 ? simulated / best_seconds : 0.0;
+        const double cps =
+            best_seconds > 0.0
+                ? static_cast<double>(result.cycles) / best_seconds
+                : 0.0;
+
+        Value row = Value::object();
+        row.set("workload", Value::string(result.workload));
+        row.set("scheme", Value::string("shotgun+tracing"));
+        row.set("warmup_instructions", Value::number(warmup));
+        row.set("measured_instructions",
+                Value::number(result.instructions));
+        row.set("measured_cycles",
+                Value::number(std::uint64_t{result.cycles}));
+        row.set("best_seconds", Value::number(best_seconds));
+        row.set("instructions_per_second", Value::number(ips));
+        row.set("cycles_per_second", Value::number(cps));
+        row.set("budget_enforced", Value::boolean(false));
+        rows.push(std::move(row));
+
+        std::fprintf(stderr,
+                     "%s/shotgun+tracing: %.2f Minstr/s, %.2f "
+                     "Mcycles/s (best of %llu x %.3fs, spans on)\n",
+                     result.workload.c_str(), ips / 1e6, cps / 1e6,
                      static_cast<unsigned long long>(repeats),
                      best_seconds);
     }

@@ -79,14 +79,29 @@ def main():
         fresh_ips = fresh["instructions_per_second"]
         floor = base_ips * (1.0 - args.budget / 100.0)
         delta = (fresh_ips - base_ips) / base_ips * 100.0
-        status = "ok" if fresh_ips >= floor else "REGRESSED"
+        # Rows the bench marks budget_enforced=false (the
+        # tracing-enabled row) are tracked for the trajectory but
+        # never fail the check: their cost is the thing being
+        # observed, not a budget.
+        enforced = base.get("budget_enforced", True)
+        if not enforced:
+            status = "tracked (not budget-enforced)"
+        elif fresh_ips >= floor:
+            status = "ok"
+        else:
+            status = "REGRESSED"
         print(f"{workload}/{scheme}: {fresh_ips / 1e6:.2f} Minstr/s "
               f"vs baseline {base_ips / 1e6:.2f} ({delta:+.1f}%, "
               f"budget -{args.budget:.0f}%): {status}")
-        if fresh_ips < floor:
+        if enforced and fresh_ips < floor:
             failures.append(
-                f"{workload}/{scheme}: instructions/sec regressed "
-                f"{-delta:.1f}% (> {args.budget:.0f}% budget)")
+                f"{workload}/{scheme}: instructions/sec regressed: "
+                f"baseline {base_ips:.0f} instr/s "
+                f"({base_ips / 1e6:.2f} Minstr/s), current "
+                f"{fresh_ips:.0f} instr/s "
+                f"({fresh_ips / 1e6:.2f} Minstr/s), "
+                f"delta {delta:+.1f}% exceeds the "
+                f"-{args.budget:.0f}% budget")
 
     if failures:
         print("\nbench budget check FAILED:", file=sys.stderr)

@@ -275,6 +275,63 @@ cmp "$BUILD_DIR/smoke/fleet_cached.csv" "$BUILD_DIR/smoke/win_mono.csv"
     --fleet-status | grep -q "(no workers registered)"
 "$BUILD_DIR/shotgun-submit" --coordinator "unix:$COORD_SOCK" --shutdown
 
+echo "== fleet: coord + 2 workers, one cross-process trace =="
+# A traced fleet run: the client mints one trace id (--trace-out),
+# the coordinator stamps it on every stolen point, and the workers
+# ship their simulation spans back, so the coordinator's trace file
+# holds spans from all three processes under the one id -- while the
+# grid's CSV output stays byte-identical to the untraced local run
+# (tracing is trajectory-invisible by contract, src/obs/README.md).
+COORD_T_SOCK="$BUILD_DIR/smoke/coord_t.sock"
+COORD_TRACE="$BUILD_DIR/smoke/coord_trace.json"
+SUBMIT_TRACE="$BUILD_DIR/smoke/submit_trace.json"
+"$BUILD_DIR/shotgun-coord" --listen "unix:$COORD_T_SOCK" --quiet \
+    --heartbeat-ms 200 --trace-out "$COORD_TRACE" &
+COORD_T_PID=$!
+DAEMON_PIDS+=($COORD_T_PID)
+for _ in $(seq 50); do
+    [ -S "$COORD_T_SOCK" ] && break
+    sleep 0.1
+done
+SOCK_T1="$BUILD_DIR/smoke/serve_t1.sock"
+SOCK_T2="$BUILD_DIR/smoke/serve_t2.sock"
+start_serve "$SOCK_T1" --coordinator "unix:$COORD_T_SOCK" \
+    --name trace-w1 --heartbeat-ms 200 --jobs 1
+start_serve "$SOCK_T2" --coordinator "unix:$COORD_T_SOCK" \
+    --name trace-w2 --heartbeat-ms 200 --jobs 1
+
+"$BUILD_DIR/shotgun-submit" --coordinator "unix:$COORD_T_SOCK" \
+    "${GRID[@]}" --trace-out "$SUBMIT_TRACE" \
+    --out "$BUILD_DIR/smoke/traced_run" > /dev/null
+cmp "$BUILD_DIR/smoke/traced_run.csv" "$BUILD_DIR/smoke/svc_local.csv"
+grep -q '"timing"' "$BUILD_DIR/smoke/traced_run.json"
+
+"$BUILD_DIR/shotgun-submit" --server "unix:$SOCK_T1" --shutdown
+"$BUILD_DIR/shotgun-submit" --server "unix:$SOCK_T2" --shutdown
+"$BUILD_DIR/shotgun-submit" --coordinator "unix:$COORD_T_SOCK" \
+    --shutdown
+wait "$COORD_T_PID" 2>/dev/null || true
+
+# Both trace files are valid JSON...
+python3 -m json.tool "$COORD_TRACE" > /dev/null
+python3 -m json.tool "$SUBMIT_TRACE" > /dev/null
+# ...the coordinator's holds lanes from all three processes and the
+# full per-point phase span set...
+for proc in coord trace-w1 trace-w2; do
+    grep -q "\"name\":\"$proc\"" "$COORD_TRACE"
+done
+for span in decode measure queued emit; do
+    grep -q "\"name\":\"$span\"" "$COORD_TRACE"
+done
+grep -Eq '"name":"(warmup|restore)"' "$COORD_TRACE"
+# ...and every span everywhere carries the client's single trace id.
+TRACE_IDS=$(grep -o '"trace_id":[0-9]*' "$COORD_TRACE" \
+                "$SUBMIT_TRACE" | cut -d: -f3 | sort -u)
+test "$(echo "$TRACE_IDS" | wc -l)" -eq 1 || {
+    echo "expected one shared trace id, got: $TRACE_IDS" >&2
+    exit 1
+}
+
 echo "== bench_sim_throughput emits machine-readable JSON =="
 "$BUILD_DIR/bench_sim_throughput" --instructions 200000 \
     --warmup 50000 --repeats 1 \
@@ -284,6 +341,8 @@ grep -q '"instructions_per_second"' \
 grep -q '"cycles_per_second"' \
     "$BUILD_DIR/smoke/sim_throughput.json"
 grep -q '"scheme":"batched-grid"' \
+    "$BUILD_DIR/smoke/sim_throughput.json"
+grep -q '"scheme":"shotgun+tracing"' \
     "$BUILD_DIR/smoke/sim_throughput.json"
 
 echo "== one-pass grid: shared decode + warmed checkpoints, bitwise =="

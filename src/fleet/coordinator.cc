@@ -6,6 +6,8 @@
 #include <utility>
 
 #include "common/cli.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 
 namespace shotgun
 {
@@ -106,6 +108,19 @@ struct FleetCoordinator::Job
     std::uint64_t cachedCount = 0;
 
     /**
+     * Tracing: non-zero when the submit carried a trace id (or the
+     * coordinator runs with --trace-out and stamps its own). The
+     * per-point vectors hold spans/timing shipped back by workers,
+     * relayed to the client in result frames; sized only for traced
+     * jobs so untraced jobs pay nothing.
+     */
+    std::uint64_t traceId = 0;
+    std::uint64_t traceParent = 0;
+    std::vector<std::vector<obs::SpanRecord>> pointSpans;
+    std::vector<obs::PointTiming> pointTimings;
+    std::vector<char> pointHasTiming;
+
+    /**
      * The submitting connection. Strong on purpose: during shutdown
      * the final cancelled `done` must still reach the client after
      * its reader thread exited. A client that disconnects mid-job
@@ -148,6 +163,10 @@ struct FleetCoordinator::Task
     std::uint64_t cost = 0;      ///< experimentCost() of the point.
     State state = State::Done;   ///< Cache-prefilled unless queued.
     Slot *slot = nullptr;        ///< Owning slot while InFlight.
+
+    /** Queue-entry timestamps for the "queued" span (traced jobs). */
+    std::uint64_t queuedWallUs = 0;
+    Clock::time_point queuedAt;
 };
 
 struct FleetCoordinator::Worker
@@ -488,6 +507,21 @@ FleetCoordinator::handleSubmit(
     job->cachedFlag.assign(job->total, 0);
     job->tasks.resize(job->total);
 
+    // The client's trace id wins; a coordinator running with
+    // --trace-out stamps its own onto bare submits so its workers'
+    // spans still land in one coherent trace.
+    job->traceId = request.traceId != 0
+                       ? request.traceId
+                       : (obs::tracer().enabled()
+                              ? obs::tracer().defaultTraceId()
+                              : 0);
+    job->traceParent = request.parentSpan;
+    if (job->traceId != 0) {
+        job->pointSpans.resize(job->total);
+        job->pointTimings.resize(job->total);
+        job->pointHasTiming.assign(job->total, 0);
+    }
+
     // Cache prefill (memory, then disk): a point seen before is
     // answered without touching any worker. tryGet never runs a
     // simulation, so doing it on the reader thread is cheap.
@@ -547,6 +581,10 @@ FleetCoordinator::handleSubmit(
                 task.priority = job->priority;
                 task.cost = experimentCost(job->grid[i]);
                 task.state = Task::State::Queued;
+                if (job->traceId != 0) {
+                    task.queuedWallUs = obs::wallClockUs();
+                    task.queuedAt = Clock::now();
+                }
                 queue_.insert(&task);
                 tasksById_.emplace(task.id, &task);
             }
@@ -572,6 +610,26 @@ FleetCoordinator::pumpLocked(SendBatch &sends)
         service::WorkItem item;
         item.task = task->id;
         item.experiment = task->job->grid[task->index];
+        item.traceId = task->job->traceId;
+        item.parentSpan = task->job->traceParent;
+        // The coordinator's own contribution to the trace: how long
+        // the point sat in the fleet queue before a slot stole it.
+        if (task->job->traceId != 0 && obs::tracer().enabled()) {
+            obs::SpanRecord span;
+            span.traceId = task->job->traceId;
+            span.id = obs::tracer().nextSpanId();
+            span.parent = task->job->traceParent;
+            span.name = "queued";
+            span.category = "fleet";
+            span.process = obs::tracer().processName();
+            span.lane = "queue";
+            span.startUs = task->queuedWallUs;
+            span.durUs = static_cast<std::uint64_t>(
+                std::chrono::duration_cast<std::chrono::microseconds>(
+                    Clock::now() - task->queuedAt)
+                    .count());
+            obs::tracer().record(std::move(span));
+        }
         sends.emplace_back(slot->conn,
                            service::encodeWork(item).dump());
     }
@@ -621,6 +679,11 @@ FleetCoordinator::emitJob(const std::shared_ptr<Job> &job)
             break;
         job->nextEmit = to;
         lock.unlock();
+        const bool trace_emit =
+            job->traceId != 0 && obs::tracer().enabled();
+        const std::uint64_t emit_start_us =
+            trace_emit ? obs::wallClockUs() : 0;
+        const Clock::time_point emit_start = Clock::now();
         if (conn != nullptr) {
             for (std::size_t i = from; i < to; ++i) {
                 service::ResultEvent event;
@@ -635,8 +698,31 @@ FleetCoordinator::emitJob(const std::shared_ptr<Job> &job)
                     event.hasDelta = true;
                     event.delta = job->outcomes[i]->delta;
                 }
+                if (job->traceId != 0) {
+                    event.spans = job->pointSpans[i];
+                    if (job->pointHasTiming[i]) {
+                        event.hasTiming = true;
+                        event.timing = job->pointTimings[i];
+                    }
+                }
                 conn->sendFrame(service::encodeResultEvent(event));
             }
+        }
+        if (trace_emit) {
+            obs::SpanRecord span;
+            span.traceId = job->traceId;
+            span.id = obs::tracer().nextSpanId();
+            span.parent = job->traceParent;
+            span.name = "emit";
+            span.category = "fleet";
+            span.process = obs::tracer().processName();
+            span.lane = "emit";
+            span.startUs = emit_start_us;
+            span.durUs = static_cast<std::uint64_t>(
+                std::chrono::duration_cast<std::chrono::microseconds>(
+                    Clock::now() - emit_start)
+                    .count());
+            obs::tracer().record(std::move(span));
         }
         lock.lock();
     }
@@ -830,6 +916,7 @@ FleetCoordinator::handleWorkResult(const std::shared_ptr<Slot> &slot,
     std::shared_ptr<Job> job;
     std::string cache_key;
     std::shared_ptr<const CachedResult> value;
+    std::vector<obs::SpanRecord> tracer_spans;
     {
         std::lock_guard<std::mutex> lock(mutex_);
         auto it = tasksById_.find(wr.task);
@@ -865,8 +952,23 @@ FleetCoordinator::handleWorkResult(const std::shared_ptr<Slot> &slot,
                 ++task->job->cachedCount;
             }
             cache_key = task->job->fingerprints[task->index];
+            // Worker spans: into the coordinator's own trace file
+            // (--trace-out merges the whole fleet into one JSON) and
+            // into the job for relay to the client.
+            if (obs::tracer().enabled() && !wr.spans.empty())
+                tracer_spans = wr.spans;
+            if (task->job->traceId != 0) {
+                task->job->pointSpans[task->index] =
+                    std::move(wr.spans);
+                if (wr.hasTiming) {
+                    task->job->pointHasTiming[task->index] = 1;
+                    task->job->pointTimings[task->index] = wr.timing;
+                }
+            }
         }
     }
+    if (!tracer_spans.empty())
+        obs::tracer().record(std::move(tracer_spans));
     if (value != nullptr) {
         // Outside the registry mutex: put() write-throughs to disk.
         cache_.put(cache_key,
@@ -989,6 +1091,19 @@ FleetCoordinator::statusFrame()
             status.backendHits = worker.stats.backendHits;
             status.checkpointHits = worker.stats.checkpointHits;
             status.checkpointMisses = worker.stats.checkpointMisses;
+            status.phaseDecodeUs = worker.stats.phaseDecodeUs;
+            status.phaseWarmupUs = worker.stats.phaseWarmupUs;
+            status.phaseRestoreUs = worker.stats.phaseRestoreUs;
+            status.phaseMeasureUs = worker.stats.phaseMeasureUs;
+            status.phasePoints = worker.stats.phasePoints;
+            // Heartbeat freshness per worker, published as registry
+            // gauges so liveness is inspectable from the same source
+            // the frame reads.
+            obs::metrics()
+                .gauge("fleet.worker." + worker.name +
+                       ".heartbeat_age_ms")
+                ->set(static_cast<std::int64_t>(
+                    status.heartbeatAgeMs));
             checkpoint_hits += status.checkpointHits;
             checkpoint_misses += status.checkpointMisses;
             inflight += status.inflight;
@@ -999,22 +1114,14 @@ FleetCoordinator::statusFrame()
         parked = parked_.size();
     }
 
+    // Registry-rendered (see obs/metrics.hh): publish the stats,
+    // then read the frame object back out of the gauges -- same
+    // bytes as the old hand-assembled object.
     const MemoCacheStats cache_stats = cache_.stats();
-    Value cache = Value::object();
-    cache.set("entries",
-              Value::number(std::uint64_t{cache_stats.entries}));
-    cache.set("bytes",
-              Value::number(std::uint64_t{cache_stats.bytes}));
-    cache.set("budget_bytes",
-              Value::number(std::uint64_t{cache_stats.budgetBytes}));
-    cache.set("hits",
-              Value::number(std::uint64_t{cache_stats.hits}));
-    cache.set("misses",
-              Value::number(std::uint64_t{cache_stats.misses}));
-    cache.set("evictions",
-              Value::number(std::uint64_t{cache_stats.evictions}));
-    cache.set("backend_hits",
-              Value::number(std::uint64_t{cache_stats.backendHits}));
+    obs::publishCacheStats(obs::metrics(), "coord.cache",
+                           cache_stats);
+    Value cache =
+        obs::cacheStatsJson(obs::metrics(), "coord.cache", true);
 
     Value fleet = Value::object();
     fleet.set("workers", std::move(workers));

@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <chrono>
 #include <exception>
+#include <memory>
 #include <utility>
 
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "service/client.hh"
 #include "sim/checkpoint.hh"
 
@@ -144,6 +147,21 @@ FleetWorker::controlLoop()
                 const MemoCacheStats cp = checkpointCache().stats();
                 hb.checkpointHits = cp.hits;
                 hb.checkpointMisses = cp.misses;
+                // Per-phase simulation time, process-lifetime totals
+                // from the always-on registry counters: the
+                // coordinator folds these into --fleet-status's
+                // per-phase breakdown table.
+                obs::Registry &registry = obs::metrics();
+                hb.phaseDecodeUs =
+                    registry.counter("sim.phase.decode_us")->value();
+                hb.phaseWarmupUs =
+                    registry.counter("sim.phase.warmup_us")->value();
+                hb.phaseRestoreUs =
+                    registry.counter("sim.phase.restore_us")->value();
+                hb.phaseMeasureUs =
+                    registry.counter("sim.phase.measure_us")->value();
+                hb.phasePoints =
+                    registry.counter("sim.points")->value();
                 if (!channel->sendLine(
                         service::encodeHeartbeat(hb).dump()))
                     break;
@@ -222,9 +240,41 @@ FleetWorker::slotLoop(unsigned slot_index)
                         out.fingerprint = service::configFingerprint(
                             item.experiment.config);
                         bool was_cached = false;
+                        // A trace-carrying work item (or a worker
+                        // running with --trace-out): record this
+                        // point's phase spans and timing, ship them
+                        // back inside the result frame. computeCached
+                        // runs the simulation on this thread, so the
+                        // thread-local context covers it.
+                        obs::SpanCollector collector;
+                        obs::PointTiming timing;
+                        obs::TraceContext trace_ctx;
+                        std::unique_ptr<obs::ScopedTraceContext>
+                            trace_scope;
+                        if (item.traceId != 0 ||
+                            obs::tracer().enabled()) {
+                            trace_ctx.traceId =
+                                item.traceId != 0
+                                    ? item.traceId
+                                    : obs::tracer().defaultTraceId();
+                            trace_ctx.parentSpan = item.parentSpan;
+                            trace_ctx.collector = &collector;
+                            trace_ctx.timing = &timing;
+                            trace_ctx.lane =
+                                "slot-" + std::to_string(slot_index);
+                            trace_scope.reset(
+                                new obs::ScopedTraceContext(
+                                    &trace_ctx));
+                        }
                         auto value = server_.computeCached(
                             out.fingerprint, item.experiment,
                             &was_cached);
+                        trace_scope.reset();
+                        out.spans = collector.take();
+                        if (timing.any()) {
+                            out.hasTiming = true;
+                            out.timing = timing;
+                        }
                         out.cached = was_cached;
                         out.result = value->result;
                         out.hasDelta = value->hasDelta;

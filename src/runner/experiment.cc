@@ -105,9 +105,17 @@ ExperimentRunner::run(const std::vector<Experiment> &grid) const
     // purpose: if this function unwinds (an onResult callback
     // throws), the scheduler must be destroyed -- joining workers
     // that still touch these locals through the hooks -- first.
+    struct Ready
+    {
+        std::size_t index = 0;
+        SimResult result;
+        bool hasObservation = false;
+        obs::PointTiming timing;
+        std::vector<obs::SpanRecord> spans;
+    };
     std::mutex mutex;
     std::condition_variable cv;
-    std::deque<std::pair<std::size_t, SimResult>> ready;
+    std::deque<Ready> ready;
     bool done = false;
     GridScheduler::Outcome outcome;
 
@@ -129,10 +137,35 @@ ExperimentRunner::run(const std::vector<Experiment> &grid) const
         progress.completed(exp.workload + "/" + exp.label, seconds);
         return result;
     };
+    // For traced runs the scheduler hands each point's observation
+    // to onObservation right before that point's onResult; emissions
+    // of one job never run concurrently, so the pending slot safely
+    // bridges the pair into one hand-off entry.
+    bool pending_has = false;
+    obs::PointTiming pending_timing;
+    std::vector<obs::SpanRecord> pending_spans;
+    if (options_.onObservation) {
+        hooks.onObservation =
+            [&](std::size_t,
+                const GridScheduler::PointObservation &point) {
+                pending_timing = point.timing;
+                pending_spans = point.spans;
+                pending_has = true;
+            };
+    }
     hooks.onResult = [&](std::size_t index, const Experiment &,
                          const SimResult &result) {
         std::lock_guard<std::mutex> lock(mutex);
-        ready.emplace_back(index, result);
+        Ready item;
+        item.index = index;
+        item.result = result;
+        if (pending_has) {
+            item.hasObservation = true;
+            item.timing = pending_timing;
+            item.spans = std::move(pending_spans);
+            pending_has = false;
+        }
+        ready.push_back(std::move(item));
         cv.notify_one();
     };
     if (!options_.simulate) {
@@ -163,12 +196,15 @@ ExperimentRunner::run(const std::vector<Experiment> &grid) const
             cv.wait(lock,
                     [&]() { return done || !ready.empty(); });
             while (!ready.empty()) {
-                auto item = std::move(ready.front());
+                Ready item = std::move(ready.front());
                 ready.pop_front();
                 lock.unlock();
-                results.push_back(std::move(item.second));
+                results.push_back(std::move(item.result));
+                if (item.hasObservation && options_.onObservation)
+                    options_.onObservation(item.index, item.timing,
+                                           item.spans);
                 if (options_.onResult)
-                    options_.onResult(item.first, grid[item.first],
+                    options_.onResult(item.index, grid[item.index],
                                       results.back());
                 lock.lock();
             }
@@ -196,7 +232,8 @@ ExperimentRunner::run(const ExperimentSet &set, ResultSink *sink) const
 void
 appendResultRows(const ExperimentSet &set,
                  const std::vector<SimResult> &results,
-                 ResultSink &sink, std::uint64_t windows)
+                 ResultSink &sink, std::uint64_t windows,
+                 const std::vector<obs::PointTiming> *timings)
 {
     const auto &grid = set.experiments();
     // A short results vector would silently truncate the output
@@ -217,6 +254,11 @@ appendResultRows(const ExperimentSet &set,
             row.stallCoverage = stallCoverage(results[i], results[base]);
         }
         row.windows = windows;
+        if (timings != nullptr && i < timings->size() &&
+            (*timings)[i].any()) {
+            row.hasTiming = true;
+            row.timing = (*timings)[i];
+        }
         sink.add(std::move(row));
     }
 }

@@ -18,6 +18,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/trace.hh"
 #include "runner/result_sink.hh"
 #include "sim/simulator.hh"
 
@@ -102,6 +103,18 @@ struct RunnerOptions
     std::function<void(std::size_t index, const Experiment &,
                        const SimResult &)>
         onResult;
+
+    /**
+     * Optional per-point observation stream for traced runs (the
+     * run() caller installed an obs::TraceContext before calling):
+     * fires on the caller's thread right before the point's
+     * onResult, in the same strict grid order, with the point's
+     * phase timing and recorded spans. Never fires for untraced
+     * runs, so installing it costs nothing by default.
+     */
+    std::function<void(std::size_t index, const obs::PointTiming &,
+                       const std::vector<obs::SpanRecord> &)>
+        onObservation;
 };
 
 /**
@@ -150,11 +163,15 @@ class ExperimentRunner
  * service client (shotgun-submit), so a grid executed remotely
  * serializes byte-identically to the same grid run in-process.
  * `windows` (when nonzero) marks every row as stitched from that
- * many simulation windows (JSON-only annotation).
+ * many simulation windows (JSON-only annotation). `timings` (when
+ * non-null, index-aligned) attaches each point's phase breakdown to
+ * its row (JSON-only as well); all-zero entries are skipped.
  */
 void appendResultRows(const ExperimentSet &set,
                       const std::vector<SimResult> &results,
-                      ResultSink &sink, std::uint64_t windows = 0);
+                      ResultSink &sink, std::uint64_t windows = 0,
+                      const std::vector<obs::PointTiming> *timings =
+                          nullptr);
 
 } // namespace runner
 } // namespace shotgun

@@ -1,16 +1,58 @@
 #include "runner/grid_scheduler.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <map>
 #include <string>
 #include <utility>
 
+#include "obs/metrics.hh"
 #include "runner/thread_pool.hh"
 
 namespace shotgun
 {
 namespace runner
 {
+
+namespace
+{
+
+// Registry counters the scheduler always ticks (migrated from the
+// ad-hoc per-scheduler counts): resolved once, then updates are one
+// relaxed atomic add each.
+obs::Counter *
+jobsSubmittedCounter()
+{
+    static obs::Counter *c =
+        obs::metrics().counter("sched.jobs_submitted");
+    return c;
+}
+
+obs::Counter *
+pointsSubmittedCounter()
+{
+    static obs::Counter *c =
+        obs::metrics().counter("sched.points_submitted");
+    return c;
+}
+
+obs::Counter *
+pointsDispatchedCounter()
+{
+    static obs::Counter *c =
+        obs::metrics().counter("sched.points_dispatched");
+    return c;
+}
+
+obs::Counter *
+pointsEmittedCounter()
+{
+    static obs::Counter *c =
+        obs::metrics().counter("sched.points_emitted");
+    return c;
+}
+
+} // namespace
 
 /**
  * All fields are guarded by the scheduler mutex. Ordered emission
@@ -64,6 +106,20 @@ struct GridScheduler::JobState
     bool started = false;
     bool cancelled = false;
     bool failed = false;
+
+    /**
+     * Tracing, captured from the submitting thread's TraceContext
+     * (immutable after submit, so workers read it without the
+     * mutex). Untraced jobs skip every tracing branch and never
+     * touch `observations`.
+     */
+    bool traced = false;
+    std::uint64_t traceId = 0;
+    std::uint64_t traceParent = 0;
+    std::uint64_t queuedUs = 0; ///< Wall-clock at submit (traced).
+    std::chrono::steady_clock::time_point queuedSteady;
+    std::vector<PointObservation> observations;
+
     std::exception_ptr error; ///< Lowest-index hook exception.
     std::size_t errorIndex = 0; ///< Its grid index (tie-breaker).
     bool finalized = false;
@@ -164,7 +220,7 @@ GridScheduler::GridScheduler(Options options) : options_(options)
                                   : options_.workers);
     threads_.reserve(count);
     for (unsigned i = 0; i < count; ++i)
-        threads_.emplace_back([this]() { workerLoop(); });
+        threads_.emplace_back([this, i]() { workerLoop(i); });
 }
 
 GridScheduler::~GridScheduler()
@@ -202,6 +258,26 @@ GridScheduler::submit(std::vector<Experiment> grid, unsigned budget,
     job->hooks = std::move(hooks);
     job->ready.assign(job->grid.size(), 0);
     job->results.resize(job->grid.size());
+
+    // Capture the submitting thread's tracing context into the job:
+    // workers re-install it around simulate, so spans and per-point
+    // timing survive the hop onto pool threads. No context (the
+    // default) means no tracing work anywhere on the job's path.
+    if (const obs::TraceContext *ctx = obs::currentTraceContext()) {
+        job->traced = ctx->traceId != 0 || ctx->collector != nullptr ||
+                      obs::tracer().enabled();
+        if (job->traced) {
+            job->traceId = ctx->traceId != 0
+                               ? ctx->traceId
+                               : obs::tracer().defaultTraceId();
+            job->traceParent = ctx->parentSpan;
+            job->queuedUs = obs::wallClockUs();
+            job->queuedSteady = std::chrono::steady_clock::now();
+            job->observations.resize(job->grid.size());
+        }
+    }
+    jobsSubmittedCounter()->add(1);
+    pointsSubmittedCounter()->add(job->grid.size());
 
     job->order.resize(job->grid.size());
     for (std::size_t i = 0; i < job->order.size(); ++i)
@@ -389,8 +465,10 @@ GridScheduler::deliverOutcomes(
 }
 
 void
-GridScheduler::workerLoop()
+GridScheduler::workerLoop(unsigned worker_index)
 {
+    const std::string lane =
+        "worker-" + std::to_string(worker_index);
     std::unique_lock<std::mutex> lock(mutex_);
     for (;;) {
         workCv_.wait(lock, [this]() {
@@ -409,6 +487,7 @@ GridScheduler::workerLoop()
         const bool first = !job->started;
         job->started = true;
         lock.unlock();
+        pointsDispatchedCounter()->add(1);
 
         // Hook exceptions (onStart/simulate/onResult) fail the job,
         // never the worker thread: an exception escaping here would
@@ -422,9 +501,48 @@ GridScheduler::workerLoop()
                 error = std::current_exception();
             }
         }
+        obs::SpanCollector collector;
+        obs::PointTiming timing;
         if (error == nullptr) {
             try {
-                result = job->hooks.simulate(index, job->grid[index]);
+                if (job->traced) {
+                    // Re-install the job's tracing context on this
+                    // pool thread: the point's collector catches the
+                    // sim spans, the timing slot catches the phase
+                    // breakdown, and the "queued" + "dispatched"
+                    // spans frame the point's lifecycle.
+                    obs::TraceContext ctx;
+                    ctx.traceId = job->traceId;
+                    ctx.parentSpan = job->traceParent;
+                    ctx.collector = &collector;
+                    ctx.timing = &timing;
+                    ctx.lane = lane;
+                    obs::ScopedTraceContext guard(&ctx);
+                    obs::SpanRecord queued;
+                    queued.traceId = job->traceId;
+                    queued.id = obs::tracer().nextSpanId();
+                    queued.parent = job->traceParent;
+                    queued.name = "queued";
+                    queued.category = "sched";
+                    queued.process = obs::tracer().processName();
+                    queued.lane = "queue";
+                    queued.startUs = job->queuedUs;
+                    queued.durUs = static_cast<std::uint64_t>(
+                        std::chrono::duration_cast<
+                            std::chrono::microseconds>(
+                            std::chrono::steady_clock::now() -
+                            job->queuedSteady)
+                            .count());
+                    collector.add(queued);
+                    if (obs::tracer().enabled())
+                        obs::tracer().record(std::move(queued));
+                    obs::Span dispatched("dispatched", "sched");
+                    result =
+                        job->hooks.simulate(index, job->grid[index]);
+                } else {
+                    result =
+                        job->hooks.simulate(index, job->grid[index]);
+                }
             } catch (...) {
                 error = std::current_exception();
             }
@@ -435,6 +553,10 @@ GridScheduler::workerLoop()
         if (error != nullptr) {
             job->recordFailure(index, error);
         } else {
+            if (job->traced) {
+                job->observations[index].timing = timing;
+                job->observations[index].spans = collector.take();
+            }
             job->results[index] = std::move(result);
             job->ready[index] = 1;
             // Become the job's emitter unless a peer already is (it
@@ -456,15 +578,45 @@ GridScheduler::workerLoop()
                     }
                     job->nextEmit = to;
                     lock.unlock();
+                    const std::uint64_t emit_start_us =
+                        job->traced ? obs::wallClockUs() : 0;
+                    const auto emit_start_steady =
+                        std::chrono::steady_clock::now();
                     std::exception_ptr emit_error;
-                    if (job->hooks.onResult) {
-                        try {
-                            for (std::size_t i = from; i < to; ++i)
+                    try {
+                        for (std::size_t i = from; i < to; ++i) {
+                            if (job->traced &&
+                                job->hooks.onObservation)
+                                job->hooks.onObservation(
+                                    i, job->observations[i]);
+                            if (job->hooks.onResult)
                                 job->hooks.onResult(i, job->grid[i],
                                                     job->results[i]);
-                        } catch (...) {
-                            emit_error = std::current_exception();
                         }
+                    } catch (...) {
+                        emit_error = std::current_exception();
+                    }
+                    pointsEmittedCounter()->add(to - from);
+                    if (job->traced && obs::tracer().enabled()) {
+                        // One "emit" span per streamed batch closes
+                        // the lifecycle (queued -> dispatched -> sim
+                        // phases -> emit) in the local trace file.
+                        obs::SpanRecord emit;
+                        emit.traceId = job->traceId;
+                        emit.id = obs::tracer().nextSpanId();
+                        emit.parent = job->traceParent;
+                        emit.name = "emit";
+                        emit.category = "sched";
+                        emit.process = obs::tracer().processName();
+                        emit.lane = "emit";
+                        emit.startUs = emit_start_us;
+                        emit.durUs = static_cast<std::uint64_t>(
+                            std::chrono::duration_cast<
+                                std::chrono::microseconds>(
+                                std::chrono::steady_clock::now() -
+                                emit_start_steady)
+                                .count());
+                        obs::tracer().record(std::move(emit));
                     }
                     lock.lock();
                     if (emit_error != nullptr) {

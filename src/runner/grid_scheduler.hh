@@ -46,6 +46,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/trace.hh"
 #include "runner/experiment.hh"
 
 namespace shotgun
@@ -87,6 +88,18 @@ class GridScheduler
     };
 
     /**
+     * Per-point tracing payload: the phase timing breakdown and the
+     * spans recorded while the point simulated. Only produced for
+     * traced jobs (a TraceContext was installed on the submitting
+     * thread); untraced jobs never allocate one.
+     */
+    struct PointObservation
+    {
+        obs::PointTiming timing;
+        std::vector<obs::SpanRecord> spans;
+    };
+
+    /**
      * Per-job callbacks. `simulate` is required and runs on pool
      * worker threads (thread-safe w.r.t. other jobs and other points
      * of the same job, up to the job's budget). The others are
@@ -109,6 +122,19 @@ class GridScheduler
                            const SimResult &)>
             onResult;
         std::function<void(const Outcome &)> onDone;
+
+        /**
+         * Optional tracing tap: for a *traced* job (the submitting
+         * thread had a TraceContext installed) this fires right
+         * before the point's onResult, on the same emitter thread
+         * and in the same strict grid order, carrying the point's
+         * phase timing and recorded spans. Never called for
+         * untraced jobs, so installing it costs nothing by default.
+         * Exceptions fail the job exactly like onResult's.
+         */
+        std::function<void(std::size_t index,
+                           const PointObservation &)>
+            onObservation;
 
         /**
          * Optional relative cost of a grid point (e.g. its simulated
@@ -186,7 +212,7 @@ class GridScheduler
   private:
     struct JobState;
 
-    void workerLoop();
+    void workerLoop(unsigned worker_index);
     bool anyDispatchableLocked() const;
     std::shared_ptr<JobState> pickJobLocked();
     std::vector<std::shared_ptr<JobState>> reapLocked();

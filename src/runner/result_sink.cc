@@ -78,6 +78,17 @@ writeRowJson(std::ostream &os, const ResultRow &row)
     }
     if (row.windows > 0)
         os << ",\n     \"windows\": " << row.windows;
+    if (row.hasTiming) {
+        os << ",\n     \"timing\": {\"decode_ms\": ";
+        num(os, static_cast<double>(row.timing.decodeUs) / 1000.0)
+            << ", \"warmup_ms\": ";
+        num(os, static_cast<double>(row.timing.warmupUs) / 1000.0)
+            << ", \"restore_ms\": ";
+        num(os, static_cast<double>(row.timing.restoreUs) / 1000.0)
+            << ", \"measure_ms\": ";
+        num(os, static_cast<double>(row.timing.measureUs) / 1000.0)
+            << "}";
+    }
     os << "}";
 }
 

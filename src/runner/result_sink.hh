@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/trace.hh"
 #include "sim/simulator.hh"
 
 namespace shotgun
@@ -44,6 +45,15 @@ struct ResultRow
      * monolithic run's -- which the smoke script exploits).
      */
     std::uint64_t windows = 0;
+
+    /**
+     * Optional per-point phase timing from a traced run, rendered in
+     * the JSON only (a "timing" object, milliseconds) and never in
+     * the CSV -- wall-clock numbers are nondeterministic, and the
+     * CSV is what the byte-comparison invariants diff.
+     */
+    bool hasTiming = false;
+    obs::PointTiming timing;
 };
 
 class ResultSink

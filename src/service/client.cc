@@ -255,6 +255,11 @@ submitSharded(const std::vector<std::string> &endpoints,
                     SubmitRequest shard;
                     shard.experiment = request.experiment;
                     shard.jobs = request.jobs;
+                    shard.priority = request.priority;
+                    // The trace ref rides on every shard so a traced
+                    // submit stays one trace across workers.
+                    shard.traceId = request.traceId;
+                    shard.parentSpan = request.parentSpan;
                     const std::vector<std::size_t> &origin =
                         assigned[w];
                     shard.grid.reserve(origin.size());
@@ -386,6 +391,9 @@ submitWindowSharded(const std::vector<std::string> &endpoints,
     SubmitRequest expanded;
     expanded.experiment = request.experiment;
     expanded.jobs = request.jobs;
+    expanded.priority = request.priority;
+    expanded.traceId = request.traceId;
+    expanded.parentSpan = request.parentSpan;
     std::vector<std::size_t> owner; // expanded index -> grid index
     for (std::size_t i = 0; i < request.grid.size(); ++i) {
         const runner::Experiment &exp = request.grid[i];

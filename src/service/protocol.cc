@@ -21,6 +21,81 @@ checkProtocol(const json::Value &frame)
                          std::to_string(kProtocolVersion) + ")");
 }
 
+// --- optional tracing members (see the header comment: all of these
+// are absent unless tracing is active, and peers that predate them
+// parse the frames unchanged).
+
+/** Append {"trace":{"id":N,"parent":N}} when a trace id is set. */
+void
+setTraceRef(Value &v, std::uint64_t trace_id,
+            std::uint64_t parent_span)
+{
+    if (trace_id == 0)
+        return;
+    Value trace = Value::object();
+    trace.set("id", Value::number(trace_id));
+    trace.set("parent", Value::number(parent_span));
+    v.set("trace", std::move(trace));
+}
+
+void
+getTraceRef(const Value &frame, std::uint64_t &trace_id,
+            std::uint64_t &parent_span)
+{
+    if (const Value *trace = frame.find("trace")) {
+        trace_id = trace->at("id").asU64();
+        parent_span = trace->at("parent").asU64();
+    }
+}
+
+void
+setSpans(Value &v, const std::vector<obs::SpanRecord> &spans)
+{
+    if (spans.empty())
+        return;
+    Value array = Value::array();
+    for (const obs::SpanRecord &span : spans)
+        array.push(obs::spanToJson(span));
+    v.set("spans", std::move(array));
+}
+
+std::vector<obs::SpanRecord>
+getSpans(const Value &frame)
+{
+    std::vector<obs::SpanRecord> spans;
+    if (const Value *array = frame.find("spans")) {
+        for (const Value &span : array->items())
+            spans.push_back(obs::spanFromJson(span));
+    }
+    return spans;
+}
+
+void
+setTiming(Value &v, bool has_timing, const obs::PointTiming &timing)
+{
+    if (!has_timing)
+        return;
+    Value t = Value::object();
+    t.set("decode_us", Value::number(timing.decodeUs));
+    t.set("warmup_us", Value::number(timing.warmupUs));
+    t.set("restore_us", Value::number(timing.restoreUs));
+    t.set("measure_us", Value::number(timing.measureUs));
+    v.set("timing", std::move(t));
+}
+
+bool
+getTiming(const Value &frame, obs::PointTiming &timing)
+{
+    const Value *t = frame.find("timing");
+    if (t == nullptr)
+        return false;
+    timing.decodeUs = t->at("decode_us").asU64();
+    timing.warmupUs = t->at("warmup_us").asU64();
+    timing.restoreUs = t->at("restore_us").asU64();
+    timing.measureUs = t->at("measure_us").asU64();
+    return true;
+}
+
 } // namespace
 
 json::Value
@@ -58,6 +133,7 @@ encodeSubmit(const SubmitRequest &request)
     v.set("jobs", Value::number(request.jobs));
     v.set("priority", Value::number(request.priority));
     v.set("grid", std::move(grid));
+    setTraceRef(v, request.traceId, request.parentSpan);
     return v;
 }
 
@@ -77,6 +153,7 @@ decodeSubmit(const json::Value &frame)
         throw CodecError("submit: empty grid");
     for (const Value &e : grid.items())
         request.grid.push_back(decodeExperiment(e));
+    getTraceRef(frame, request.traceId, request.parentSpan);
     return request;
 }
 
@@ -94,6 +171,8 @@ encodeResultEvent(const ResultEvent &event)
     v.set("result", encodeSimResult(event.result));
     if (event.hasDelta)
         v.set("delta", encodeStatsDelta(event.delta));
+    setSpans(v, event.spans);
+    setTiming(v, event.hasTiming, event.timing);
     return v;
 }
 
@@ -112,6 +191,8 @@ decodeResultEvent(const json::Value &frame)
         event.hasDelta = true;
         event.delta = decodeStatsDelta(*delta);
     }
+    event.spans = getSpans(frame);
+    event.hasTiming = getTiming(frame, event.timing);
     return event;
 }
 
@@ -205,12 +286,19 @@ encodeHeartbeat(const HeartbeatFrame &heartbeat)
     checkpoint.set("hits", Value::number(heartbeat.checkpointHits));
     checkpoint.set("misses",
                    Value::number(heartbeat.checkpointMisses));
+    Value phase = Value::object();
+    phase.set("decode_us", Value::number(heartbeat.phaseDecodeUs));
+    phase.set("warmup_us", Value::number(heartbeat.phaseWarmupUs));
+    phase.set("restore_us", Value::number(heartbeat.phaseRestoreUs));
+    phase.set("measure_us", Value::number(heartbeat.phaseMeasureUs));
+    phase.set("points", Value::number(heartbeat.phasePoints));
     Value v = Value::object();
     v.set("type", Value::string("heartbeat"));
     v.set("worker", Value::number(heartbeat.worker));
     v.set("completed", Value::number(heartbeat.completed));
     v.set("cache", std::move(cache));
     v.set("checkpoint", std::move(checkpoint));
+    v.set("phase", std::move(phase));
     return v;
 }
 
@@ -230,6 +318,14 @@ decodeHeartbeat(const json::Value &frame)
         heartbeat.checkpointMisses =
             checkpoint->at("misses").asU64();
     }
+    // Absent from workers predating per-phase accounting.
+    if (const Value *phase = frame.find("phase")) {
+        heartbeat.phaseDecodeUs = phase->at("decode_us").asU64();
+        heartbeat.phaseWarmupUs = phase->at("warmup_us").asU64();
+        heartbeat.phaseRestoreUs = phase->at("restore_us").asU64();
+        heartbeat.phaseMeasureUs = phase->at("measure_us").asU64();
+        heartbeat.phasePoints = phase->at("points").asU64();
+    }
     return heartbeat;
 }
 
@@ -240,6 +336,7 @@ encodeWork(const WorkItem &item)
     v.set("type", Value::string("work"));
     v.set("task", Value::number(item.task));
     v.set("experiment", encodeExperiment(item.experiment));
+    setTraceRef(v, item.traceId, item.parentSpan);
     return v;
 }
 
@@ -249,6 +346,7 @@ decodeWork(const json::Value &frame)
     WorkItem item;
     item.task = frame.at("task").asU64();
     item.experiment = decodeExperiment(frame.at("experiment"));
+    getTraceRef(frame, item.traceId, item.parentSpan);
     return item;
 }
 
@@ -268,6 +366,8 @@ encodeWorkResult(const WorkResult &result)
     v.set("result", encodeSimResult(result.result));
     if (result.hasDelta)
         v.set("delta", encodeStatsDelta(result.delta));
+    setSpans(v, result.spans);
+    setTiming(v, result.hasTiming, result.timing);
     return v;
 }
 
@@ -288,6 +388,8 @@ decodeWorkResult(const json::Value &frame)
         result.hasDelta = true;
         result.delta = decodeStatsDelta(*delta);
     }
+    result.spans = getSpans(frame);
+    result.hasTiming = getTiming(frame, result.timing);
     return result;
 }
 
@@ -309,6 +411,13 @@ encodeWorkerStatus(const WorkerStatus &status)
     v.set("checkpoint_hits", Value::number(status.checkpointHits));
     v.set("checkpoint_misses",
           Value::number(status.checkpointMisses));
+    Value phase = Value::object();
+    phase.set("decode_us", Value::number(status.phaseDecodeUs));
+    phase.set("warmup_us", Value::number(status.phaseWarmupUs));
+    phase.set("restore_us", Value::number(status.phaseRestoreUs));
+    phase.set("measure_us", Value::number(status.phaseMeasureUs));
+    phase.set("points", Value::number(status.phasePoints));
+    v.set("phase", std::move(phase));
     return v;
 }
 
@@ -332,6 +441,14 @@ decodeWorkerStatus(const json::Value &v)
         status.checkpointHits = hits->asU64();
     if (const Value *misses = v.find("checkpoint_misses"))
         status.checkpointMisses = misses->asU64();
+    // Absent from coordinators predating per-phase accounting.
+    if (const Value *phase = v.find("phase")) {
+        status.phaseDecodeUs = phase->at("decode_us").asU64();
+        status.phaseWarmupUs = phase->at("warmup_us").asU64();
+        status.phaseRestoreUs = phase->at("restore_us").asU64();
+        status.phaseMeasureUs = phase->at("measure_us").asU64();
+        status.phasePoints = phase->at("points").asU64();
+    }
     return status;
 }
 

@@ -56,6 +56,19 @@
  * additional "fleet" member: per-worker rows (encodeWorkerStatus)
  * plus queue depths and cache counters.
  *
+ * Tracing fields (all OPTIONAL -- the protocol version stays 3 and
+ * peers without them interoperate unchanged): `submit` and `work`
+ * may carry {"trace":{"id":N,"parent":N}} propagating a run-wide
+ * trace id and parent span id (submit -> coordinator -> worker);
+ * `result` frames (both the worker->coordinator and server->client
+ * kinds) may carry "spans" (an array of obs::SpanRecord objects
+ * recorded while the point simulated) and "timing" (the per-point
+ * phase breakdown in microseconds), which is how one fleet run
+ * assembles a single cross-process trace; `heartbeat` and worker
+ * status rows may carry "phase" totals (the always-on per-phase
+ * counters behind `--fleet-status`'s breakdown table). See
+ * src/obs/README.md.
+ *
  * This header provides typed encode/decode for the structured frames;
  * trivial frames (ping/pong/bye/attach/steal/ack/...) are built
  * inline where used. Decoding throws CodecError/JsonError on
@@ -72,6 +85,7 @@
 #include <vector>
 
 #include "common/json.hh"
+#include "obs/trace.hh"
 #include "runner/experiment.hh"
 #include "service/codec.hh"
 
@@ -100,6 +114,14 @@ struct SubmitRequest
     std::uint64_t priority = 1;
 
     std::vector<runner::Experiment> grid;
+
+    /**
+     * Optional tracing context ("trace" member, absent when 0): the
+     * run-wide trace id every process's spans share, and the
+     * client-side root span new server spans parent to.
+     */
+    std::uint64_t traceId = 0;
+    std::uint64_t parentSpan = 0;
 };
 
 json::Value encodeSubmit(const SubmitRequest &request);
@@ -122,6 +144,15 @@ struct ResultEvent
      */
     bool hasDelta = false;
     StatsDelta delta;
+
+    /**
+     * Optional tracing payload ("spans"/"timing" members, absent
+     * when the point was untraced): the spans recorded while this
+     * point simulated and its per-phase timing breakdown.
+     */
+    std::vector<obs::SpanRecord> spans;
+    bool hasTiming = false;
+    obs::PointTiming timing;
 };
 
 json::Value encodeResultEvent(const ResultEvent &event);
@@ -186,6 +217,16 @@ struct HeartbeatFrame
     // hits are restored warmups, misses are warmups simulated.
     std::uint64_t checkpointHits = 0;
     std::uint64_t checkpointMisses = 0;
+
+    // Always-on per-phase wall-clock totals from the worker's
+    // sim.phase.* registry counters ("phase" member, optional on the
+    // wire): what `--fleet-status` renders as the per-phase
+    // breakdown. Microseconds; `phasePoints` counts finished points.
+    std::uint64_t phaseDecodeUs = 0;
+    std::uint64_t phaseWarmupUs = 0;
+    std::uint64_t phaseRestoreUs = 0;
+    std::uint64_t phaseMeasureUs = 0;
+    std::uint64_t phasePoints = 0;
 };
 
 json::Value encodeHeartbeat(const HeartbeatFrame &heartbeat);
@@ -196,6 +237,14 @@ struct WorkItem
 {
     std::uint64_t task = 0; ///< Coordinator-assigned task id.
     runner::Experiment experiment;
+
+    /**
+     * Optional tracing context relayed from the owning submit
+     * ("trace" member, absent when 0): the worker records this
+     * point's spans under it and ships them back in the result.
+     */
+    std::uint64_t traceId = 0;
+    std::uint64_t parentSpan = 0;
 };
 
 json::Value encodeWork(const WorkItem &item);
@@ -217,6 +266,15 @@ struct WorkResult
     SimResult result;
     bool hasDelta = false;
     StatsDelta delta;
+
+    /**
+     * Optional tracing payload ("spans"/"timing", absent when the
+     * task was untraced): the worker-side spans the coordinator
+     * merges into the fleet trace and relays to the client.
+     */
+    std::vector<obs::SpanRecord> spans;
+    bool hasTiming = false;
+    obs::PointTiming timing;
 };
 
 json::Value encodeWorkResult(const WorkResult &result);
@@ -242,6 +300,14 @@ struct WorkerStatus
     std::uint64_t backendHits = 0;
     std::uint64_t checkpointHits = 0;   ///< Warmups restored.
     std::uint64_t checkpointMisses = 0; ///< Warmups simulated.
+
+    // Per-phase totals from the worker's last heartbeat ("phase"
+    // member, optional on the wire; zeros from older workers).
+    std::uint64_t phaseDecodeUs = 0;
+    std::uint64_t phaseWarmupUs = 0;
+    std::uint64_t phaseRestoreUs = 0;
+    std::uint64_t phaseMeasureUs = 0;
+    std::uint64_t phasePoints = 0;
 };
 
 json::Value encodeWorkerStatus(const WorkerStatus &status);

@@ -3,10 +3,13 @@
 #include <algorithm>
 #include <chrono>
 #include <exception>
+#include <memory>
 #include <thread>
 #include <utility>
 
 #include "common/cli.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "runner/thread_pool.hh"
 #include "sim/checkpoint.hh"
 #include "trace/decoded_trace.hh"
@@ -40,6 +43,43 @@ poolWorkers(unsigned jobs_option)
 {
     return jobs_option != 0 ? jobs_option
                             : runner::ThreadPool::hardwareJobs();
+}
+
+/**
+ * Decoded-trace-store counterpart of obs::publishCacheStats /
+ * cacheStatsJson: publish into registry gauges under `prefix`, then
+ * render the status frame's "traces" object (entries, bytes,
+ * decodes, rejected -- same names and order as before the registry
+ * existed) from those gauges.
+ */
+void
+publishTraceStoreStats(obs::Registry &registry,
+                       const std::string &prefix,
+                       const DecodedTraceStoreStats &stats)
+{
+    registry.gauge(prefix + ".entries")
+        ->set(static_cast<std::int64_t>(stats.cache.entries));
+    registry.gauge(prefix + ".bytes")
+        ->set(static_cast<std::int64_t>(stats.cache.bytes));
+    registry.gauge(prefix + ".decodes")
+        ->set(static_cast<std::int64_t>(stats.decodes));
+    registry.gauge(prefix + ".rejected")
+        ->set(static_cast<std::int64_t>(stats.rejected));
+}
+
+json::Value
+traceStoreStatsJson(obs::Registry &registry, const std::string &prefix)
+{
+    auto gauge = [&](const char *field) {
+        return Value::number(static_cast<std::uint64_t>(
+            registry.gauge(prefix + "." + field)->value()));
+    };
+    Value v = Value::object();
+    v.set("entries", gauge("entries"));
+    v.set("bytes", gauge("bytes"));
+    v.set("decodes", gauge("decodes"));
+    v.set("rejected", gauge("rejected"));
+    return v;
 }
 
 } // namespace
@@ -310,6 +350,8 @@ SimServer::handleSubmit(const std::shared_ptr<Connection> &conn,
     auto job = std::make_shared<Job>();
     job->request = std::move(request);
     job->total = job->request.grid.size();
+    const std::uint64_t request_trace_id = job->request.traceId;
+    const std::uint64_t request_parent_span = job->request.parentSpan;
     job->fingerprints.reserve(job->request.grid.size());
     for (const runner::Experiment &exp : job->request.grid)
         job->fingerprints.push_back(configFingerprint(exp.config));
@@ -350,7 +392,25 @@ SimServer::handleSubmit(const std::shared_ptr<Connection> &conn,
     auto outcomes = std::make_shared<
         std::vector<std::shared_ptr<const CachedResult>>>(job->total);
 
+    // For traced jobs the scheduler hands each point's observation
+    // (phase timing + spans) to onObservation right before that
+    // point's onResult, on the same emitter thread and never two
+    // points of one job concurrently -- one slot bridges the pair.
+    struct ObservationSlot
+    {
+        bool has = false;
+        runner::GridScheduler::PointObservation value;
+    };
+    auto observation = std::make_shared<ObservationSlot>();
+
     runner::GridScheduler::JobHooks hooks;
+    hooks.onObservation =
+        [observation](std::size_t,
+                      const runner::GridScheduler::PointObservation
+                          &point) {
+            observation->value = point;
+            observation->has = true;
+        };
     hooks.simulate = [this, job, cached_flags, outcomes](
                          std::size_t index,
                          const runner::Experiment &exp) {
@@ -393,11 +453,13 @@ SimServer::handleSubmit(const std::shared_ptr<Connection> &conn,
     // job still completes, warming the cache, it just stops
     // streaming.
     std::weak_ptr<Connection> owner = conn;
-    hooks.onResult = [job, owner, cached_flags, outcomes](
-                         std::size_t index,
-                         const runner::Experiment &exp,
-                         const SimResult &result) {
+    hooks.onResult = [job, owner, cached_flags, outcomes,
+                      observation](std::size_t index,
+                                   const runner::Experiment &exp,
+                                   const SimResult &result) {
         job->completed.fetch_add(1);
+        const bool has_observation = observation->has;
+        observation->has = false;
         auto conn = owner.lock();
         if (conn == nullptr)
             return;
@@ -414,6 +476,13 @@ SimServer::handleSubmit(const std::shared_ptr<Connection> &conn,
         if (outcome != nullptr && outcome->hasDelta) {
             event.hasDelta = true;
             event.delta = outcome->delta;
+        }
+        if (has_observation) {
+            event.spans = std::move(observation->value.spans);
+            if (observation->value.timing.any()) {
+                event.hasTiming = true;
+                event.timing = observation->value.timing;
+            }
         }
         conn->sendFrame(encodeResultEvent(event));
     };
@@ -454,11 +523,27 @@ SimServer::handleSubmit(const std::shared_ptr<Connection> &conn,
         pruneJobs();
     };
 
+    // A trace-carrying submit (or a server running with --trace-out)
+    // marks the job traced: installing a TraceContext on this thread
+    // for the duration of the admission is the scheduler's opt-in
+    // signal (runner/grid_scheduler.hh). The client's trace id wins;
+    // a tracing-enabled server fills in its own for bare submits.
+    obs::TraceContext trace_ctx;
+    std::unique_ptr<obs::ScopedTraceContext> trace_scope;
+    if (request_trace_id != 0 || obs::tracer().enabled()) {
+        trace_ctx.traceId = request_trace_id != 0
+                                ? request_trace_id
+                                : obs::tracer().defaultTraceId();
+        trace_ctx.parentSpan = request_parent_span;
+        trace_scope.reset(new obs::ScopedTraceContext(&trace_ctx));
+    }
+
     // The grid moves into the scheduler (which owns it for the
     // job's lifetime); the Job keeps only its size and fingerprints.
     const std::uint64_t scheduler_id =
         scheduler_.submit(std::move(job->request.grid), job->budget,
                           job->request.priority, std::move(hooks));
+    trace_scope.reset();
     bool cancel_now = false;
     {
         std::lock_guard<std::mutex> lock(mutex_);
@@ -490,50 +575,28 @@ SimServer::statusFrame()
             jobs.push(encodeJobStatus(status));
         }
     }
+    // Publish every cache's stats into the process metrics registry,
+    // then render the frame objects *from the registry* -- the frame
+    // and any other consumer (tests, future exporters) read the same
+    // source, and the rendered field names/order match the old
+    // hand-assembled objects byte for byte.
+    obs::Registry &registry = obs::metrics();
     const MemoCacheStats cache_stats = cache_.stats();
-    Value cache = Value::object();
-    cache.set("entries",
-              Value::number(std::uint64_t{cache_stats.entries}));
-    cache.set("bytes", Value::number(std::uint64_t{cache_stats.bytes}));
-    cache.set("budget_bytes",
-              Value::number(std::uint64_t{cache_stats.budgetBytes}));
-    cache.set("hits", Value::number(std::uint64_t{cache_stats.hits}));
-    cache.set("misses",
-              Value::number(std::uint64_t{cache_stats.misses}));
-    cache.set("evictions",
-              Value::number(std::uint64_t{cache_stats.evictions}));
-    cache.set("backend_hits",
-              Value::number(std::uint64_t{cache_stats.backendHits}));
+    obs::publishCacheStats(registry, "serve.cache", cache_stats);
+    Value cache =
+        obs::cacheStatsJson(registry, "serve.cache", true);
 
     // Warmed-state checkpoint store and decoded-trace store stats,
     // process-wide (shared by every job), beside the result cache:
     // the three caches the one-pass grid pipeline rests on.
-    const MemoCacheStats cp_stats = checkpointCache().stats();
-    Value checkpoint = Value::object();
-    checkpoint.set("entries",
-                   Value::number(std::uint64_t{cp_stats.entries}));
-    checkpoint.set("bytes",
-                   Value::number(std::uint64_t{cp_stats.bytes}));
-    checkpoint.set("budget_bytes",
-                   Value::number(std::uint64_t{cp_stats.budgetBytes}));
-    checkpoint.set("hits",
-                   Value::number(std::uint64_t{cp_stats.hits}));
-    checkpoint.set("misses",
-                   Value::number(std::uint64_t{cp_stats.misses}));
-    checkpoint.set("evictions",
-                   Value::number(std::uint64_t{cp_stats.evictions}));
+    obs::publishCacheStats(registry, "serve.checkpoint",
+                           checkpointCache().stats());
+    Value checkpoint =
+        obs::cacheStatsJson(registry, "serve.checkpoint", false);
 
-    const DecodedTraceStoreStats trace_stats =
-        decodedTraces().stats();
-    Value traces = Value::object();
-    traces.set("entries",
-               Value::number(std::uint64_t{trace_stats.cache.entries}));
-    traces.set("bytes",
-               Value::number(std::uint64_t{trace_stats.cache.bytes}));
-    traces.set("decodes",
-               Value::number(std::uint64_t{trace_stats.decodes}));
-    traces.set("rejected",
-               Value::number(std::uint64_t{trace_stats.rejected}));
+    publishTraceStoreStats(registry, "serve.traces",
+                           decodedTraces().stats());
+    Value traces = traceStoreStatsJson(registry, "serve.traces");
 
     Value server = Value::object();
     server.set("version", Value::string(cli::kVersion));

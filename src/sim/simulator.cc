@@ -7,6 +7,8 @@
 #include <utility>
 
 #include "common/memo.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "sim/checkpoint.hh"
 #include "trace/decoded_trace.hh"
 #include "trace/trace_io.hh"
@@ -160,6 +162,17 @@ runSimulationDelta(const SimConfig &config)
 
     const Program &program = programFor(config.workload);
 
+    // Phase accounting: the per-phase PhaseTimers below always feed
+    // the sim.phase.* registry counters (two steady-clock reads per
+    // phase -- well inside the bench budget); when the thread has a
+    // TraceContext they also fill its PointTiming slot, and the
+    // Spans (inert otherwise) record the lifecycle tree. None of it
+    // feeds back into simulation state, so the trajectory is
+    // identical with tracing on or off.
+    obs::TraceContext *trace_ctx = obs::currentTraceContext();
+    obs::PointTiming *point_timing =
+        trace_ctx != nullptr ? trace_ctx->timing : nullptr;
+
     // A workload either generates its control flow live or replays a
     // recorded trace file; both feed the core through TraceSource.
     // Trace replay prefers the process-wide decoded store (one file
@@ -172,6 +185,10 @@ runSimulationDelta(const SimConfig &config)
     std::uint64_t control_seed = config.traceSeed;
     TraceInfo trace_info;
     const std::string &trace_path = config.workload.tracePath;
+    obs::Span decode_span("decode", "sim");
+    obs::PhaseTimer decode_timer(
+        "sim.phase.decode_us",
+        point_timing != nullptr ? &point_timing->decodeUs : nullptr);
     if (!trace_path.empty()) {
         const WorkloadPreset *recorded = nullptr;
         if (auto decoded = decodedTraces().acquire(trace_path)) {
@@ -220,6 +237,8 @@ runSimulationDelta(const SimConfig &config)
         generator = live.get();
         source = std::move(live);
     }
+    decode_timer.stop();
+    decode_span.end();
 
     CoreParams core_params = config.core;
     core_params.loadFrac = config.workload.loadFrac;
@@ -250,12 +269,22 @@ runSimulationDelta(const SimConfig &config)
 
     std::unique_ptr<Core> core;
     if (restored != nullptr) {
+        obs::Span restore_span("restore", "sim");
+        obs::PhaseTimer restore_timer(
+            "sim.phase.restore_us",
+            point_timing != nullptr ? &point_timing->restoreUs
+                                    : nullptr);
         if (generator != nullptr)
             generator->restore(restored->generator);
         else
             cursor->seekToRecord(restored->cursorRecord);
         core = std::make_unique<Core>(*restored->core, source.get());
     } else {
+        obs::Span warmup_span("warmup", "sim");
+        obs::PhaseTimer warmup_timer(
+            "sim.phase.warmup_us",
+            point_timing != nullptr ? &point_timing->warmupUs
+                                    : nullptr);
         // Sampled-window mode: drop the stream prefix a short warm-up
         // stands in for. Whole basic blocks are skipped until the
         // threshold is reached, identically with or without a trace
@@ -282,6 +311,10 @@ runSimulationDelta(const SimConfig &config)
         }
     }
 
+    obs::Span measure_span("measure", "sim");
+    obs::PhaseTimer measure_timer(
+        "sim.phase.measure_us",
+        point_timing != nullptr ? &point_timing->measureUs : nullptr);
     core->resetStats();
     // Fast-forward to the window, then measure it as the snapshot
     // difference. Both bounds are thresholds relative to the
@@ -303,6 +336,9 @@ runSimulationDelta(const SimConfig &config)
                  core->instructionsRetired()),
              static_cast<unsigned long long>(measure_end));
     const Core::StatsSnapshot end = core->snapshotStats();
+    measure_timer.stop();
+    measure_span.end();
+    obs::metrics().counter("sim.points")->add(1);
 
     SimulationDelta out;
     out.workload = config.workload.name;

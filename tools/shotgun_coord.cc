@@ -25,6 +25,7 @@
 #include "common/logging.hh"
 #include "common/parse.hh"
 #include "fleet/coordinator.hh"
+#include "obs/trace.hh"
 
 using namespace shotgun;
 
@@ -63,6 +64,11 @@ const char *kUsage =
     "  --miss-limit N      heartbeats a worker may miss before its\n"
     "                      in-flight points are requeued on the\n"
     "                      survivors (default 3)\n"
+    "  --trace-out FILE    write a Chrome trace-event JSON when the\n"
+    "                      daemon shuts down: the coordinator's own\n"
+    "                      queue/emit spans plus every span its\n"
+    "                      workers shipped back, one cross-process\n"
+    "                      fleet timeline (Perfetto-loadable)\n"
     "  --quiet             no fleet/job log lines on stderr\n"
     "\n"
     "Stop it with: shotgun-submit --coordinator ENDPOINT --shutdown\n";
@@ -110,6 +116,7 @@ main(int argc, char **argv)
         return exit_code;
 
     std::string listen;
+    std::string trace_out;
     fleet::CoordinatorOptions options;
     options.log = &std::cerr;
 
@@ -147,6 +154,8 @@ main(int argc, char **argv)
                            text + "'");
             options.heartbeatMissLimit =
                 static_cast<unsigned>(limit);
+        } else if (std::strcmp(argv[i], "--trace-out") == 0) {
+            trace_out = next("--trace-out");
         } else if (std::strcmp(argv[i], "--quiet") == 0) {
             options.log = nullptr;
         } else {
@@ -157,12 +166,23 @@ main(int argc, char **argv)
     if (listen.empty())
         usageError("--listen ENDPOINT is required");
 
+    obs::tracer().setProcessName("coord");
+    if (!trace_out.empty())
+        obs::tracer().enable(obs::newTraceId());
+
     try {
         fleet::FleetCoordinator coordinator(listen, options);
         std::printf("listening on %s\n",
                     coordinator.endpoint().c_str());
         std::fflush(stdout);
         coordinator.serve();
+        if (!trace_out.empty()) {
+            if (!obs::writeChromeTrace(trace_out,
+                                       obs::tracer().snapshot()))
+                fatal("cannot write trace to '%s'",
+                      trace_out.c_str());
+            std::fprintf(stderr, "trace: %s\n", trace_out.c_str());
+        }
     } catch (const std::exception &e) {
         fatal("%s", e.what());
     }

@@ -28,6 +28,7 @@
 #include "common/parse.hh"
 #include "fleet/disk_cache.hh"
 #include "fleet/worker.hh"
+#include "obs/trace.hh"
 #include "runner/thread_pool.hh"
 #include "service/server.hh"
 
@@ -75,6 +76,10 @@ const char *kUsage =
     "  --name NAME         worker name shown in --fleet-status\n"
     "                      (default: serve-<pid>)\n"
     "  --heartbeat-ms N    fleet heartbeat period (default 1000)\n"
+    "  --trace-out FILE    write a Chrome trace-event JSON of every\n"
+    "                      span this daemon recorded (its own and\n"
+    "                      trace-carrying jobs') when it shuts down;\n"
+    "                      Perfetto-loadable\n"
     "  --quiet             no connection/job log lines on stderr\n"
     "\n"
     "Stop it with: shotgun-submit --server ENDPOINT --shutdown\n";
@@ -123,6 +128,7 @@ main(int argc, char **argv)
 
     std::string listen;
     std::string cache_dir;
+    std::string trace_out;
     std::uint64_t cache_max_bytes = 0;
     service::ServerOptions options;
     options.log = &std::cerr;
@@ -166,6 +172,8 @@ main(int argc, char **argv)
                                        "got '") +
                            text + "'");
             fleet_options.heartbeatMs = static_cast<unsigned>(ms);
+        } else if (std::strcmp(argv[i], "--trace-out") == 0) {
+            trace_out = next("--trace-out");
         } else if (std::strcmp(argv[i], "--quiet") == 0) {
             options.log = nullptr;
         } else {
@@ -175,6 +183,13 @@ main(int argc, char **argv)
     }
     if (listen.empty())
         usageError("--listen ENDPOINT is required");
+
+    // The worker name doubles as the span lane group, so spans
+    // shipped to a tracing coordinator say which worker ran them
+    // even when this daemon itself writes no trace file.
+    obs::tracer().setProcessName(fleet_options.name);
+    if (!trace_out.empty())
+        obs::tracer().enable(obs::newTraceId());
 
     try {
         service::SimServer server(listen, options);
@@ -215,6 +230,13 @@ main(int argc, char **argv)
             worker.stop();
         } else {
             server.serve();
+        }
+        if (!trace_out.empty()) {
+            if (!obs::writeChromeTrace(trace_out,
+                                       obs::tracer().snapshot()))
+                fatal("cannot write trace to '%s'",
+                      trace_out.c_str());
+            std::fprintf(stderr, "trace: %s\n", trace_out.c_str());
         }
     } catch (const std::exception &e) {
         // SocketError (bad endpoint, bind failure) or anything else

@@ -25,15 +25,18 @@
  * depth, heartbeat age, cache hit rate).
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/cli.hh"
 #include "common/logging.hh"
 #include "common/parse.hh"
+#include "obs/trace.hh"
 #include "runner/experiment.hh"
 #include "runner/grid_scheduler.hh"
 #include "runner/result_sink.hh"
@@ -116,6 +119,13 @@ const char *kUsage =
     "\n"
     "Output options:\n"
     "  --out BASE           write BASE.json and BASE.csv\n"
+    "  --trace-out FILE     write a Chrome trace-event JSON of the\n"
+    "                       run (Perfetto-loadable): per-point\n"
+    "                       queued/dispatched/decode/warmup/restore/\n"
+    "                       measure spans, one cross-process timeline\n"
+    "                       when the server or fleet echoes the trace\n"
+    "                       id; rows gain a JSON-only \"timing\"\n"
+    "                       object (the CSV is unchanged)\n"
     "  --no-progress        no per-point progress lines on stderr\n";
 
 [[noreturn]] void
@@ -173,6 +183,7 @@ struct Options
     std::uint64_t timeoutSeconds = service::kDefaultTimeoutSeconds;
 
     std::string outBase;
+    std::string traceOut;
     bool showProgress = true;
 };
 
@@ -264,6 +275,8 @@ parseOptions(int argc, char **argv)
                            "[0, 86400]");
         } else if (std::strcmp(arg, "--out") == 0) {
             opts.outBase = next("--out");
+        } else if (std::strcmp(arg, "--trace-out") == 0) {
+            opts.traceOut = next("--trace-out");
         } else if (std::strcmp(arg, "--no-progress") == 0) {
             opts.showProgress = false;
         } else {
@@ -317,11 +330,33 @@ runSubmit(const Options &opts)
 {
     const runner::ExperimentSet set = buildGrid(opts);
 
+    // Tracing is strictly additive: it observes wall-clock around
+    // the run and never feeds anything back into a simulation, so
+    // results (and the CSV) are bitwise identical with or without
+    // --trace-out.
+    const bool tracing = !opts.traceOut.empty();
+    std::vector<obs::PointTiming> timings(set.size());
+    obs::TraceContext trace_ctx;
+    std::unique_ptr<obs::ScopedTraceContext> trace_scope;
+    std::unique_ptr<obs::Span> root_span;
+    if (tracing) {
+        obs::tracer().setProcessName("submit");
+        obs::tracer().enable(obs::newTraceId());
+        trace_ctx.traceId = obs::tracer().defaultTraceId();
+        trace_ctx.lane = "main";
+        trace_scope.reset(new obs::ScopedTraceContext(&trace_ctx));
+        root_span.reset(new obs::Span("submit", "client"));
+    }
+
     service::SubmitRequest request;
     request.experiment = opts.experiment;
     request.jobs = opts.jobs;
     request.priority = opts.priority;
     request.grid = set.experiments();
+    if (tracing) {
+        request.traceId = obs::tracer().defaultTraceId();
+        request.parentSpan = root_span->id();
+    }
 
     const unsigned window_shards =
         static_cast<unsigned>(opts.windowShards);
@@ -330,6 +365,16 @@ runSubmit(const Options &opts)
         runner::RunnerOptions ropts;
         ropts.jobs = static_cast<unsigned>(opts.jobs);
         ropts.progress = opts.showProgress ? &std::cerr : nullptr;
+        if (tracing) {
+            // Spans land in the tracer as they close in-process;
+            // only the per-point timing needs harvesting for rows.
+            ropts.onObservation =
+                [&timings](std::size_t index,
+                           const obs::PointTiming &timing,
+                           const std::vector<obs::SpanRecord> &) {
+                    timings[index] = timing;
+                };
+        }
         results = runner::ExperimentRunner(ropts).run(set);
     } else if (opts.local) {
         // Windowed in-process: each experiment's windows run
@@ -361,6 +406,21 @@ runSubmit(const Options &opts)
         };
         shard_opts.timeoutSeconds =
             static_cast<unsigned>(opts.timeoutSeconds);
+        if (tracing) {
+            // Remote spans arrive inside result frames; fold them
+            // into the local tracer so one file holds the whole
+            // cross-process timeline. onEvent calls are serialized.
+            shard_opts.onEvent =
+                [&timings, window_shards](
+                    std::size_t grid_index,
+                    const service::ResultEvent &event) {
+                    if (window_shards == 0 && event.hasTiming &&
+                        grid_index < timings.size())
+                        timings[grid_index] = event.timing;
+                    if (!event.spans.empty())
+                        obs::tracer().record(event.spans);
+                };
+        }
         std::vector<service::ShardOutcome> outcomes;
         shard_opts.outcomes = &outcomes;
         try {
@@ -431,13 +491,25 @@ runSubmit(const Options &opts)
     // results imply byte-identical output artifacts. (Stitched rows
     // carry a JSON-only "windows" marker; the CSV stays comparable.)
     runner::ResultSink sink(opts.experiment);
-    runner::appendResultRows(set, results, sink, opts.windowShards);
+    runner::appendResultRows(set, results, sink, opts.windowShards,
+                             tracing ? &timings : nullptr);
     sink.printTable(std::cout);
     if (!opts.outBase.empty()) {
         if (!sink.writeFiles(opts.outBase))
             return 1;
         std::fprintf(stderr, "results: %s.json %s.csv\n",
                      opts.outBase.c_str(), opts.outBase.c_str());
+    }
+    if (tracing) {
+        root_span.reset(); // Close the run-wide root span.
+        trace_scope.reset();
+        if (!obs::writeChromeTrace(opts.traceOut,
+                                   obs::tracer().snapshot())) {
+            warn("cannot write trace to '%s'",
+                 opts.traceOut.c_str());
+            return 1;
+        }
+        std::fprintf(stderr, "trace: %s\n", opts.traceOut.c_str());
     }
     return 0;
 }
@@ -509,14 +581,22 @@ runFleetStatus(const Options &opts)
                     hitRate(hits, misses).c_str());
     }
 
-    const std::vector<json::Value> &rows =
-        fleet->at("workers").items();
+    // Sorted by worker name (ties by id): the frame lists workers in
+    // registration order, which varies run to run; sorting makes the
+    // table deterministic for a given fleet.
+    std::vector<service::WorkerStatus> workers;
+    for (const json::Value &row : fleet->at("workers").items())
+        workers.push_back(service::decodeWorkerStatus(row));
+    std::sort(workers.begin(), workers.end(),
+              [](const service::WorkerStatus &a,
+                 const service::WorkerStatus &b) {
+                  return a.name != b.name ? a.name < b.name
+                                          : a.id < b.id;
+              });
     std::printf("\n  %-4s %-16s %5s %8s %9s %9s %9s %9s %9s\n", "id",
                 "name", "slots", "inflight", "done", "hb-age",
                 "pts/s", "cache-hit", "ckpt-hit");
-    for (const json::Value &row : rows) {
-        const service::WorkerStatus worker =
-            service::decodeWorkerStatus(row);
+    for (const service::WorkerStatus &worker : workers) {
         char age[24];
         std::snprintf(age, sizeof(age), "%.1fs",
                       static_cast<double>(worker.heartbeatAgeMs) /
@@ -535,8 +615,38 @@ runFleetStatus(const Options &opts)
                             worker.checkpointMisses)
                         .c_str());
     }
-    if (rows.empty())
+    if (workers.empty())
         std::printf("  (no workers registered)\n");
+
+    // Per-phase wall-clock breakdown from the workers' heartbeat
+    // phase counters (always on; no tracing needed). Workers
+    // predating the counters report all zeros and are skipped; the
+    // section appears once any worker has simulated something.
+    bool any_phase = false;
+    for (const service::WorkerStatus &worker : workers) {
+        if (worker.phaseDecodeUs != 0 || worker.phaseWarmupUs != 0 ||
+            worker.phaseRestoreUs != 0 ||
+            worker.phaseMeasureUs != 0)
+            any_phase = true;
+    }
+    if (any_phase) {
+        auto seconds = [](std::uint64_t us) {
+            return static_cast<double>(us) / 1e6;
+        };
+        std::printf("\n  simulation time by phase (s)\n");
+        std::printf("  %-16s %9s %9s %9s %9s %8s\n", "name",
+                    "decode", "warmup", "restore", "measure",
+                    "points");
+        for (const service::WorkerStatus &worker : workers) {
+            std::printf(
+                "  %-16s %9.2f %9.2f %9.2f %9.2f %8llu\n",
+                worker.name.c_str(), seconds(worker.phaseDecodeUs),
+                seconds(worker.phaseWarmupUs),
+                seconds(worker.phaseRestoreUs),
+                seconds(worker.phaseMeasureUs),
+                static_cast<unsigned long long>(worker.phasePoints));
+        }
+    }
     return 0;
 }
 
