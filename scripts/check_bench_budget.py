@@ -48,12 +48,42 @@ def main():
         description="fail on simulator throughput regression")
     parser.add_argument("--baseline", required=True,
                         help="committed BENCH_sim_throughput.json")
-    parser.add_argument("--measured", required=True,
-                        help="fresh bench_sim_throughput output")
+    parser.add_argument("--measured",
+                        help="fresh bench_sim_throughput output "
+                             "(required unless --list-rows)")
     parser.add_argument("--budget", type=float, default=15.0,
                         help="allowed instr/sec regression, percent "
                              "(default 15)")
+    parser.add_argument("--list-rows", action="store_true",
+                        help="validate the baseline schema and print "
+                             "its rows (workload/scheme, enforced?) "
+                             "without measuring anything; --measured "
+                             "is not required")
     args = parser.parse_args()
+
+    if args.list_rows:
+        baseline = load_rows(args.baseline)
+        bad = 0
+        for (workload, scheme), row in sorted(baseline.items()):
+            missing = [f for f in ("measured_instructions",
+                                   "measured_cycles",
+                                   "instructions_per_second")
+                       if f not in row]
+            enforced = row.get("budget_enforced", True)
+            tag = "enforced" if enforced else "tracked"
+            if missing:
+                bad += 1
+                tag += ", MISSING: " + ", ".join(missing)
+            print(f"{workload}/{scheme}: {tag}")
+        if bad:
+            print(f"\n{args.baseline}: {bad} malformed row(s)",
+                  file=sys.stderr)
+            return 1
+        print(f"{len(baseline)} row(s) OK")
+        return 0
+
+    if args.measured is None:
+        parser.error("--measured is required unless --list-rows")
 
     baseline = load_rows(args.baseline)
     measured = load_rows(args.measured)

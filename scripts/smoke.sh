@@ -22,6 +22,38 @@ cmake --build "$BUILD_DIR" -j
 echo "== ctest =="
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
 
+echo "== shotgun-lint: tree green, mutated clone ctor fails =="
+# The tree must be lint-clean, and the linter must demonstrably
+# still have teeth: in a scratch copy, delete one member-copy line
+# from Core's clone constructor and assert shotgun-lint fails with a
+# clone-completeness finding (the exact silent-restore-divergence
+# bug the check exists to catch).
+python3 tools/lint/shotgun_lint.py --root .
+
+LINT_SCRATCH="$BUILD_DIR/smoke/lint_mutation"
+rm -rf "$LINT_SCRATCH"
+mkdir -p "$LINT_SCRATCH/tools"
+cp -r src "$LINT_SCRATCH/src"
+cp -r tools/lint "$LINT_SCRATCH/tools/lint"
+grep -q 'stalls_(other.stalls_), btbMisses_(other.btbMisses_),' \
+    "$LINT_SCRATCH/src/cpu/core.cc" || {
+    echo "clone-ctor line to mutate not found in core.cc" >&2
+    exit 1
+}
+sed -i '/stalls_(other.stalls_), btbMisses_(other.btbMisses_),/d' \
+    "$LINT_SCRATCH/src/cpu/core.cc"
+LINT_RC=0
+python3 tools/lint/shotgun_lint.py --root "$LINT_SCRATCH" \
+    > "$LINT_SCRATCH/findings.txt" 2> /dev/null || LINT_RC=$?
+test "$LINT_RC" -eq 1 || {
+    echo "shotgun-lint exited $LINT_RC on the mutated tree" \
+         "(expected 1)" >&2
+    exit 1
+}
+grep -q "clone-completeness.*'stalls_' of Core" \
+    "$LINT_SCRATCH/findings.txt"
+rm -rf "$LINT_SCRATCH"
+
 echo "== bench smoke (fig7, --quick --jobs 2) =="
 OUT="$BUILD_DIR/smoke/fig7_speedup"
 "$BUILD_DIR/bench_fig7_speedup" --quick --jobs 2 --workload nutch \

@@ -213,7 +213,7 @@ class Core
     struct BackendItem
     {
         BBRecord record;
-        std::uint8_t remaining;
+        std::uint8_t remaining = 0;
     };
     std::deque<BackendItem> backendQ_;
     std::size_t backendInstrs_ = 0;

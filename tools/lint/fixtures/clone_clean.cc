@@ -1,0 +1,33 @@
+// Fixture: a complete clone path produces no findings. `impl_` is
+// covered by the body assignment (the Core::scheme_ idiom), the rest
+// by the member-init list. Also proves that a mere *mention* of a
+// member does not count: `count_` appears in touch() but is covered
+// by the init list, not by that mention.
+#include <cstdint>
+#include <memory>
+
+namespace fix
+{
+
+struct Impl
+{
+    Impl *clone(int *ctx) const;
+};
+
+class Engine
+{
+  public:
+    Engine(const Engine &other, int *ctx)
+        : count_(other.count_)
+    {
+        impl_.reset(other.impl_ ? other.impl_->clone(ctx) : nullptr);
+    }
+
+    void touch() { ++count_; }
+
+  private:
+    std::unique_ptr<Impl> impl_;
+    std::uint64_t count_ = 0;
+};
+
+} // namespace fix

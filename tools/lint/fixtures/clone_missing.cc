@@ -1,0 +1,25 @@
+// Fixture: clone-completeness must flag a member absent from the
+// copy constructor. `misses_` is neither read from `other` nor
+// initialized by the ctor -> one finding at its declaration.
+#include <cstdint>
+#include <vector>
+
+namespace fix
+{
+
+class Tracker
+{
+  public:
+    Tracker() = default;
+    Tracker(const Tracker &other)
+        : entries_(other.entries_), hits_(other.hits_)
+    {
+    }
+
+  private:
+    std::vector<std::uint64_t> entries_;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+};
+
+} // namespace fix

@@ -1,0 +1,19 @@
+// Fixture: a lint:allow with a reason on the line above the member
+// waives the clone-completeness finding for `scratch_`.
+#include <vector>
+
+namespace fix
+{
+
+class Cache
+{
+  public:
+    Cache(const Cache &other) : lines_(other.lines_) {}
+
+  private:
+    std::vector<int> lines_;
+    // lint:allow(clone-completeness): scratch buffer, rebuilt lazily on first use after a restore
+    std::vector<int> scratch_;
+};
+
+} // namespace fix

@@ -1,0 +1,41 @@
+// Fixture: codec-coverage. `label` is missing from the encoder ->
+// one finding. The decoder covers every member; the fingerprint
+// covers alpha/beta through delegation to the encoder, and `label`
+// is excluded for it (with a reason) in fixtures/config.json.
+#include <cstdint>
+#include <string>
+
+namespace fix
+{
+
+struct WireConfig
+{
+    std::uint64_t alpha = 0;
+    std::uint64_t beta = 0;
+    std::string label;
+};
+
+std::uint64_t
+encodeWireConfig(const WireConfig &c)
+{
+    return c.alpha * 31 + c.beta;
+}
+
+WireConfig
+decodeWireConfig(std::uint64_t alpha, std::uint64_t beta,
+                 const std::string &label)
+{
+    WireConfig c;
+    c.alpha = alpha;
+    c.beta = beta;
+    c.label = label;
+    return c;
+}
+
+std::uint64_t
+wireFingerprint(const WireConfig &c)
+{
+    return encodeWireConfig(c);
+}
+
+} // namespace fix

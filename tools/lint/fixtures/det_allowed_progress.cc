@@ -1,0 +1,19 @@
+// Fixture: this file matches the `clock_allowed` scope (the
+// src/obs/ + src/runner/progress.* carve-out), so wall-clock reads
+// here are fine -> zero findings.
+#include <chrono>
+#include <cstdint>
+
+namespace fix
+{
+
+inline std::uint64_t
+wallClockMs()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+} // namespace fix

@@ -1,0 +1,29 @@
+// Fixture: ordered containers keyed on raw pointers with the default
+// comparator iterate in allocation-dependent address order -> two
+// findings (byTask_, all_). A custom deterministic comparator
+// (ordered_) or a pointer as the *value* (byId_) is fine.
+#include <map>
+#include <set>
+
+namespace fix
+{
+
+struct Task
+{
+    int id = 0;
+};
+
+struct TaskOrder
+{
+    bool operator()(const Task *a, const Task *b) const;
+};
+
+struct Queues
+{
+    std::map<Task *, int> byTask_;
+    std::set<Task *, TaskOrder> ordered_;
+    std::map<int, Task *> byId_;
+    std::multiset<const Task *> all_;
+};
+
+} // namespace fix

@@ -1,0 +1,34 @@
+// Fixture: libc randomness and wall-clock reads in sim-reachable
+// code -> three findings. The reasonless lint:allow above the
+// random_device does NOT suppress (a waiver must say why) and is
+// itself a suppression-syntax finding.
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <random>
+
+namespace fix
+{
+
+inline unsigned
+jitter()
+{
+    return static_cast<unsigned>(rand());
+}
+
+inline std::uint64_t
+entropy()
+{
+    // lint:allow(determinism-hazards)
+    std::random_device rd;
+    return rd();
+}
+
+inline std::uint64_t
+stamp()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::steady_clock::now().time_since_epoch().count());
+}
+
+} // namespace fix

@@ -1,0 +1,28 @@
+// Fixture: uninitialized scalar members of checkpointable structs
+// -> three findings (instrs, ipc, cursor). Default member
+// initializers and constructor-body assignments both count as
+// initialization.
+#include <cstdint>
+
+namespace fix
+{
+
+struct Snapshot
+{
+    std::uint64_t cycles = 0;
+    std::uint64_t instrs;
+    double ipc;
+    int *cursor;
+};
+
+class Window
+{
+  public:
+    Window() { start_ = 0; }
+
+  private:
+    std::uint64_t start_;
+    std::uint64_t end_ = 0;
+};
+
+} // namespace fix

@@ -1,0 +1,39 @@
+// Fixture: iterating an unordered container (range-for or explicit
+// iterators) is a determinism hazard -> two findings.
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace fix
+{
+
+class Histogram
+{
+  public:
+    std::uint64_t
+    total() const
+    {
+        std::uint64_t sum = 0;
+        for (const auto &kv : counts_)
+            sum += kv.second;
+        return sum;
+    }
+
+    std::uint64_t
+    first() const
+    {
+        return *seen_.begin();
+    }
+
+    bool
+    contains(std::uint64_t key) const
+    {
+        return seen_.count(key) != 0; // point lookups are fine
+    }
+
+  private:
+    std::unordered_map<std::uint64_t, std::uint64_t> counts_;
+    std::unordered_set<std::uint64_t> seen_;
+};
+
+} // namespace fix

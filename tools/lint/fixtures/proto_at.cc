@@ -1,0 +1,28 @@
+// Fixture: protocol-optional-discipline. Optional members read with
+// .at() -> two findings ("timing" via `.`, "spans" via `->`).
+// Required members may use .at(); optional members via find() are
+// the correct pattern.
+#include <string>
+
+namespace fix
+{
+
+struct Value
+{
+    const Value &at(const std::string &key) const;
+    const Value *find(const std::string &key) const;
+    bool boolean() const;
+};
+
+inline bool
+readFrame(const Value &v, const Value *pv)
+{
+    bool ok = v.at("required").boolean();
+    if (const Value *t = v.find("timing"))
+        ok = ok && t->boolean();
+    ok = ok && v.at("timing").boolean();
+    ok = ok && pv->at("spans").boolean();
+    return ok;
+}
+
+} // namespace fix

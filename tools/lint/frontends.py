@@ -1,0 +1,112 @@
+"""Frontend selection for shotgun-lint.
+
+The *internal* frontend (cpp_lexer + cpp_model) is the reference
+implementation: pure Python, zero dependencies, pinned by the fixture
+corpus, and what CI runs. When `clang.cindex` (pip `libclang`) is
+importable, the *libclang* frontend can replace the declaration model
+with a real AST walk driven by `compile_commands.json` -- strictly
+more precise on exotic C++, identical on this repository's idiom.
+
+`--frontend auto` (the default) tries libclang and silently falls
+back; `--frontend libclang` makes its absence an error; `--frontend
+internal` never imports it, which is what the golden fixture outputs
+are recorded against.
+"""
+
+import os
+
+from cpp_model import ClassInfo, Ctor, Member
+
+
+def load_libclang():
+    """Return the clang.cindex module, or None when unavailable."""
+    try:
+        import clang.cindex  # type: ignore
+        return clang.cindex
+    except Exception:
+        return None
+
+
+class LibclangFrontend:
+    """Builds the same (classes, out_of_line_ctors) model as
+    cpp_model.parse_file, from a libclang AST."""
+
+    def __init__(self, cindex, compile_args_by_file=None):
+        self.cindex = cindex
+        self.index = cindex.Index.create()
+        self.compile_args = compile_args_by_file or {}
+
+    def parse_file(self, path, relpath):
+        args = self.compile_args.get(os.path.abspath(path),
+                                     ["-std=c++17"])
+        tu = self.index.parse(path, args=args)
+        classes = []
+        ctors = []
+        self._walk(tu.cursor, path, relpath, classes, ctors)
+        return classes, ctors
+
+    def _walk(self, cursor, path, relpath, classes, ctors):
+        ck = self.cindex.CursorKind
+        for child in cursor.get_children():
+            loc = child.location
+            if loc.file is None or \
+                    os.path.abspath(loc.file.name) != \
+                    os.path.abspath(path):
+                continue
+            if child.kind in (ck.NAMESPACE,):
+                self._walk(child, path, relpath, classes, ctors)
+            elif child.kind in (ck.CLASS_DECL, ck.STRUCT_DECL) and \
+                    child.is_definition():
+                self._class(child, relpath, child.spelling, classes,
+                            ctors)
+            elif child.kind == ck.CONSTRUCTOR and \
+                    child.is_definition() and \
+                    child.semantic_parent is not None and \
+                    child.lexical_parent != child.semantic_parent:
+                ctors.append(self._ctor(child, relpath))
+
+    def _class(self, cursor, relpath, qualified, classes, ctors):
+        ck = self.cindex.CursorKind
+        members = []
+        own_ctors = []
+        for child in cursor.get_children():
+            if child.kind == ck.FIELD_DECL:
+                members.append(Member(
+                    child.spelling,
+                    child.type.spelling,
+                    self._has_default_init(child),
+                    child.location.line))
+            elif child.kind == ck.CONSTRUCTOR:
+                own_ctors.append(self._ctor(child, relpath))
+            elif child.kind in (ck.CLASS_DECL, ck.STRUCT_DECL) and \
+                    child.is_definition():
+                self._class(child, relpath,
+                            qualified + "::" + child.spelling,
+                            classes, ctors)
+        classes.append(ClassInfo(
+            cursor.spelling, qualified, relpath,
+            cursor.location.line, members, own_ctors))
+
+    def _ctor(self, cursor, relpath):
+        cls = cursor.semantic_parent.spelling
+        is_copy = cursor.is_copy_constructor()
+        if not is_copy:
+            # Clone-style: first param `const X &` with extras.
+            params = [c for c in cursor.get_children()
+                      if c.kind == self.cindex.CursorKind.PARM_DECL]
+            if params:
+                t = params[0].type.spelling.replace("const ", "")
+                is_copy = t.rstrip("& ") .endswith(cls)
+        idents = set()
+        if cursor.is_definition():
+            for tok in cursor.get_tokens():
+                if tok.kind.name == "IDENTIFIER":
+                    idents.add(tok.spelling)
+        return Ctor(cls, is_copy, cursor.is_definition(), idents,
+                    cursor.location.line, relpath)
+
+    def _has_default_init(self, field):
+        for tok in field.get_tokens():
+            if tok.spelling in ("=", "{"):
+                return True
+        return False
