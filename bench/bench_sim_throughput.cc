@@ -271,6 +271,64 @@ main(int argc, char **argv)
                      best_seconds);
     }
 
+    {
+        // Uarch-probe-overhead row: the shotgun scheme re-run with
+        // the microarchitectural probes on (cycle-exact stall
+        // attribution, lifecycle counters, miss-site sketches), the
+        // tracked twin of the tracing row above: budget_enforced is
+        // false, while the determinism fields pin that the probes
+        // cannot change simulated results.
+        SimConfig config =
+            SimConfig::make(preset, schemeTypeByName("shotgun"));
+        config.warmupInstructions = warmup;
+        config.measureInstructions = measure;
+        config.core.uarchProbes = true;
+        programFor(config.workload);
+
+        double best_seconds = 0.0;
+        SimResult result;
+        for (std::uint64_t r = 0; r < repeats; ++r) {
+            const auto start = std::chrono::steady_clock::now();
+            result = runSimulation(config);
+            const double seconds =
+                std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+            if (r == 0 || seconds < best_seconds)
+                best_seconds = seconds;
+        }
+
+        const double simulated =
+            static_cast<double>(warmup + result.instructions);
+        const double ips =
+            best_seconds > 0.0 ? simulated / best_seconds : 0.0;
+        const double cps =
+            best_seconds > 0.0
+                ? static_cast<double>(result.cycles) / best_seconds
+                : 0.0;
+
+        Value row = Value::object();
+        row.set("workload", Value::string(result.workload));
+        row.set("scheme", Value::string("shotgun+uarch-probes"));
+        row.set("warmup_instructions", Value::number(warmup));
+        row.set("measured_instructions",
+                Value::number(result.instructions));
+        row.set("measured_cycles",
+                Value::number(std::uint64_t{result.cycles}));
+        row.set("best_seconds", Value::number(best_seconds));
+        row.set("instructions_per_second", Value::number(ips));
+        row.set("cycles_per_second", Value::number(cps));
+        row.set("budget_enforced", Value::boolean(false));
+        rows.push(std::move(row));
+
+        std::fprintf(stderr,
+                     "%s/shotgun+uarch-probes: %.2f Minstr/s, %.2f "
+                     "Mcycles/s (best of %llu x %.3fs, probes on)\n",
+                     result.workload.c_str(), ips / 1e6, cps / 1e6,
+                     static_cast<unsigned long long>(repeats),
+                     best_seconds);
+    }
+
     if (!grid_schemes.empty()) {
         // One-pass pipeline row: record the workload to a temporary
         // trace (setup, untimed), then time a multi-scheme grid over

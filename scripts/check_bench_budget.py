@@ -15,6 +15,12 @@ per-scheme rows imply for six separate runs. For every row:
   * ``instructions_per_second`` must be within ``--budget`` percent
     (default 15) of the baseline row.
 
+A baseline row missing from the measured output fails the check when
+the row is budget-enforced (dropping a bench case must not silently
+drop its budget) and warns when the row is tracked-only
+(``budget_enforced: false``); measured rows absent from the baseline
+warn that the baseline wants regenerating.
+
 The throughput check is wall-clock and therefore machine-sensitive:
 the committed baseline is meaningful on hardware comparable to the
 machine that produced it. Regenerate it alongside intentional perf
@@ -89,12 +95,23 @@ def main():
     measured = load_rows(args.measured)
 
     failures = []
+    warnings = []
     for key, base in sorted(baseline.items()):
         workload, scheme = key
         fresh = measured.get(key)
         if fresh is None:
-            failures.append(f"{workload}/{scheme}: missing from "
-                            f"{args.measured}")
+            # A baseline row the fresh run did not produce: a silent
+            # pass here would let an enforced budget evaporate by
+            # dropping its bench case. Tracked (budget_enforced:
+            # false) rows only warn -- their absence loses trajectory
+            # data, not a guarantee.
+            if base.get("budget_enforced", True):
+                failures.append(f"{workload}/{scheme}: enforced "
+                                f"baseline row missing from "
+                                f"{args.measured}")
+            else:
+                warnings.append(f"{workload}/{scheme}: tracked row "
+                                f"missing from {args.measured}")
             continue
 
         for field in ("measured_instructions", "measured_cycles"):
@@ -133,6 +150,16 @@ def main():
                 f"delta {delta:+.1f}% exceeds the "
                 f"-{args.budget:.0f}% budget")
 
+    # Rows the fresh run measured that the baseline does not know:
+    # fine (a new bench case lands before its baseline), but worth a
+    # note so the baseline gets regenerated.
+    for key in sorted(set(measured) - set(baseline)):
+        warnings.append(f"{key[0]}/{key[1]}: measured but not in "
+                        f"{args.baseline}; regenerate the baseline "
+                        f"to start tracking it")
+
+    for warning in warnings:
+        print(f"warning: {warning}", file=sys.stderr)
     if failures:
         print("\nbench budget check FAILED:", file=sys.stderr)
         for failure in failures:

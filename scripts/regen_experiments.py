@@ -9,8 +9,10 @@ hand-edited. The generator runs the two calibration sweeps
   bench_table1_btb_mpki   (Table 1: BTB/L1-I MPKI, no prefetch)
   bench_fig7_speedup      (Fig 7: scheme speedups over baseline)
 
-and formats their JSON into markdown tables. Determinism makes this
-reproducible: the same build regenerates the same file byte for byte.
+plus a probed six-scheme grid through `shotgun-submit
+--uarch-report` for the stall-attribution table, and formats their
+JSON into markdown tables. Determinism makes this reproducible: the
+same build regenerates the same file byte for byte.
 
 Usage:
   scripts/regen_experiments.py [--build-dir build] [--quick]
@@ -87,6 +89,44 @@ def run_bench(build_dir, name, out_base, args, jobs):
     return doc
 
 
+UARCH_SCHEMES = ["baseline", "fdip", "boomerang", "confluence",
+                 "shotgun", "rdip"]
+UARCH_STALLS = [
+    # (report field, column header)
+    ("active_cycles", "active"),
+    ("stall_icache_miss", "icache"),
+    ("stall_btb_miss", "btb"),
+    ("stall_redirect", "redirect"),
+    ("stall_ftq_empty", "ftq-empty"),
+    ("stall_backend_pressure", "backend"),
+    ("stall_prefetch_in_flight", "pf-wait"),
+]
+
+
+def run_uarch_report(build_dir, work, warmup, measure, jobs):
+    """Probed six-scheme grid; returns the --uarch-report document."""
+    binary = build_dir / "shotgun-submit"
+    if not binary.exists():
+        sys.exit(f"{binary} not built (cmake --build {build_dir} first)")
+    report = work / "uarch_report.json"
+    cmd = [str(binary), "--local", "--workload", "nutch",
+           "--schemes", ",".join(UARCH_SCHEMES),
+           "--warmup", str(warmup), "--instructions", str(measure),
+           "--no-progress", "--out", str(work / "uarch_grid"),
+           "--uarch-report", str(report)]
+    if jobs:
+        cmd += ["--jobs", str(jobs)]
+    print("+", " ".join(cmd), file=sys.stderr)
+    subprocess.run(cmd, check=True, stdout=subprocess.DEVNULL)
+    with open(report) as f:
+        doc = json.load(f)
+    if not doc.get("conserves", False):
+        sys.exit(f"{report}: conservation invariant violated -- "
+                 f"some measured cycle is unattributed or "
+                 f"double-charged (simulator bug)")
+    return doc
+
+
 def rows_by_workload(doc):
     by = {}
     for row in doc["rows"]:
@@ -130,6 +170,8 @@ def main():
     fig7 = rows_by_workload(run_bench(
         build_dir, "bench_fig7_speedup", work / "fig7_speedup",
         lengths, args.jobs))
+    uarch = run_uarch_report(build_dir, work, warmup, measure,
+                             args.jobs)
 
     out = []
     out.append("# EXPERIMENTS — measured calibration values")
@@ -183,6 +225,28 @@ def main():
     out.append("| **geomean** | " +
                " | ".join(f"**{geomean(per_scheme[s]):.3f}**"
                           for s in schemes) + " |")
+    out.append("")
+    out.append("## Stall attribution — % of measured cycles, nutch")
+    out.append("")
+    out.append("Cycle-exact attribution from the uarch probes")
+    out.append("(`src/obs/README.md`, \"uarch probes\"): every")
+    out.append("measured cycle is active or charged to exactly one")
+    out.append("stall cause, so each row sums to 100% -- the")
+    out.append("conservation invariant, asserted by the generator.")
+    out.append("")
+    out.append("| Scheme | " +
+               " | ".join(header for _, header in UARCH_STALLS) +
+               " |")
+    out.append("|---|" + "---|" * len(UARCH_STALLS))
+    uarch_rows = {row["label"]: row for row in uarch["rows"]}
+    for scheme in UARCH_SCHEMES:
+        if scheme not in uarch_rows:
+            sys.exit(f"uarch report: no row for scheme {scheme}")
+        row = uarch_rows[scheme]
+        cycles = row["cycles"]
+        cells = [f"{100.0 * row['uarch'][field] / cycles:.1f}"
+                 for field, _ in UARCH_STALLS]
+        out.append(f"| {scheme} | " + " | ".join(cells) + " |")
     out.append("")
     out.append("## Reproducing")
     out.append("")

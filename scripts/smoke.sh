@@ -376,6 +376,8 @@ grep -q '"scheme":"batched-grid"' \
     "$BUILD_DIR/smoke/sim_throughput.json"
 grep -q '"scheme":"shotgun+tracing"' \
     "$BUILD_DIR/smoke/sim_throughput.json"
+grep -q '"scheme":"shotgun+uarch-probes"' \
+    "$BUILD_DIR/smoke/sim_throughput.json"
 
 echo "== one-pass grid: shared decode + warmed checkpoints, bitwise =="
 # A 6-scheme grid over one recorded trace must be byte-identical to
@@ -430,6 +432,40 @@ start_serve "$SOCK_C" --cache-bytes 600
     > /dev/null
 "$BUILD_DIR/shotgun-submit" --server "unix:$SOCK_C" --status \
     | grep -q '"evictions":[1-9]'
+
+echo "== uarch probes: report conserves, outputs trajectory-invisible =="
+# Probed local run: --uarch-report must be valid JSON whose
+# conservation flag holds (every measured cycle is active or charged
+# to exactly one stall cause), the CSV must be byte-identical to the
+# probe-free run of the same grid (probes are observer-only,
+# src/obs/README.md "uarch probes"), and the row JSON gains its
+# optional "uarch" member only when probed.
+UARCH_REPORT="$BUILD_DIR/smoke/uarch_report.json"
+"$BUILD_DIR/shotgun-submit" --local "${GRID[@]}" \
+    --out "$BUILD_DIR/smoke/uarch_local" \
+    --uarch-report "$UARCH_REPORT" > /dev/null
+python3 -m json.tool "$UARCH_REPORT" > /dev/null
+grep -q '"conserves":true' "$UARCH_REPORT"
+if grep -q '"conserves":false' "$UARCH_REPORT"; then
+    echo "uarch report has a non-conserved row" >&2
+    exit 1
+fi
+cmp "$BUILD_DIR/smoke/uarch_local.csv" "$BUILD_DIR/smoke/svc_local.csv"
+grep -q '"uarch"' "$BUILD_DIR/smoke/uarch_local.json"
+if grep -q '"uarch"' "$BUILD_DIR/smoke/svc_local.json"; then
+    echo "probe-free row JSON must not carry a uarch member" >&2
+    exit 1
+fi
+
+# The same probed grid sharded across two workers: the breakdown
+# rides the result frames' optional "uarch" member home, so the
+# fleet's report (and CSV) must match the local ones byte for byte.
+"$BUILD_DIR/shotgun-submit" --workers "unix:$SOCK_A,unix:$SOCK_B" \
+    "${GRID[@]}" --out "$BUILD_DIR/smoke/uarch_fleet" \
+    --uarch-report "$BUILD_DIR/smoke/uarch_fleet_report.json" \
+    > /dev/null
+cmp "$BUILD_DIR/smoke/uarch_fleet.csv" "$BUILD_DIR/smoke/svc_local.csv"
+cmp "$BUILD_DIR/smoke/uarch_fleet_report.json" "$UARCH_REPORT"
 
 "$BUILD_DIR/shotgun-submit" --server "unix:$SOCK_A" --shutdown
 "$BUILD_DIR/shotgun-submit" --server "unix:$SOCK_B" --shutdown

@@ -26,6 +26,14 @@ struct BTBEntry
     std::uint8_t numInstrs = 1; ///< Block size (5-bit field).
     BranchType type = BranchType::None;
 
+    /**
+     * Installed by a prefill (Confluence predecode-and-prefill) and
+     * not yet consumed by a demand lookup. Lifecycle bookkeeping for
+     * the uarch probes only; never read by prediction logic and not
+     * counted in bitsPerEntry().
+     */
+    bool prefilled = false;
+
     BTBEntry() = default;
 
     explicit BTBEntry(const StaticBBInfo &info)

@@ -15,8 +15,16 @@ ConventionalBTB::lookup(Addr bb_start)
 {
     ++lookups_;
     BTBEntry *entry = table_.touch(btbKey(bb_start));
-    if (entry)
+    if (entry) {
         ++hits_;
+        // First demand use of a prefilled entry: the prefill was
+        // timely. Clearing the flag only affects the probe counters,
+        // never the prediction the caller reads.
+        if (entry->prefilled) {
+            ++prefillUses_;
+            entry->prefilled = false;
+        }
+    }
     return entry;
 }
 
@@ -29,7 +37,29 @@ ConventionalBTB::probe(Addr bb_start) const
 void
 ConventionalBTB::insert(const BTBEntry &entry)
 {
-    table_.insert(btbKey(entry.bbStart), entry);
+    BTBEntry evicted;
+    if (table_.insert(btbKey(entry.bbStart), entry, nullptr,
+                      &evicted) &&
+        evicted.prefilled) {
+        // A still-unused prefill displaced by demand training.
+        ++prefillEvictions_;
+    }
+}
+
+void
+ConventionalBTB::insertPrefill(const BTBEntry &entry)
+{
+    ++prefills_;
+    BTBEntry marked = entry;
+    marked.prefilled = true;
+    BTBEntry evicted;
+    if (table_.insert(btbKey(marked.bbStart), marked, nullptr,
+                      &evicted)) {
+        if (evicted.prefilled)
+            ++prefillEvictions_;
+        else
+            ++prefillPollution_;
+    }
 }
 
 } // namespace shotgun

@@ -36,12 +36,26 @@ class ConventionalBTB
     /** Install or refresh an entry. */
     void insert(const BTBEntry &entry);
 
+    /**
+     * Install an entry on behalf of a prefill mechanism (Confluence's
+     * predecode-and-prefill). Identical placement/replacement to
+     * insert(); additionally marks the entry prefilled and maintains
+     * the prefill lifecycle counters (uarch probes).
+     */
+    void insertPrefill(const BTBEntry &entry);
+
     std::size_t numEntries() const { return table_.capacity(); }
     std::size_t occupancy() const { return table_.occupancy(); }
 
     std::uint64_t lookups() const { return lookups_.value(); }
     std::uint64_t hits() const { return hits_.value(); }
     std::uint64_t misses() const { return lookups_.value() - hits_.value(); }
+
+    // Prefill lifecycle (monotonic; reported by the uarch probes).
+    std::uint64_t prefills() const { return prefills_.value(); }
+    std::uint64_t prefillUses() const { return prefillUses_.value(); }
+    std::uint64_t prefillEvictions() const { return prefillEvictions_.value(); }
+    std::uint64_t prefillPollution() const { return prefillPollution_.value(); }
 
     void
     resetStats()
@@ -76,6 +90,10 @@ class ConventionalBTB
     SetAssocTable<BTBEntry> table_;
     Counter lookups_;
     Counter hits_;
+    Counter prefills_;
+    Counter prefillUses_;
+    Counter prefillEvictions_;
+    Counter prefillPollution_;
 };
 
 } // namespace shotgun

@@ -29,6 +29,8 @@ BTBPrefetchBuffer::insert(const BTBEntry &entry)
         if (slot.lru < victim->lru)
             victim = &slot;
     }
+    if (victim->valid)
+        ++evictions_;
     victim->entry = entry;
     victim->valid = true;
     victim->lru = ++clock_;

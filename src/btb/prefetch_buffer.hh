@@ -42,6 +42,9 @@ class BTBPrefetchBuffer
     std::uint64_t hits() const { return hits_; }
     std::uint64_t inserts() const { return inserts_; }
 
+    /** Valid entries overwritten before a front-end hit extracted them. */
+    std::uint64_t evictions() const { return evictions_; }
+
     void clear();
 
   private:
@@ -56,6 +59,7 @@ class BTBPrefetchBuffer
     std::uint64_t clock_ = 0;
     std::uint64_t hits_ = 0;
     std::uint64_t inserts_ = 0;
+    std::uint64_t evictions_ = 0;
 };
 
 } // namespace shotgun

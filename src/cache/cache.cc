@@ -13,13 +13,28 @@ Cache::Cache(const CacheParams &params)
     fatal_if(params.sizeKB == 0, "cache size must be positive");
 }
 
+void
+Cache::enablePollutionTracking()
+{
+    pollutionVictims_.assign(kPollutionSlots, ~Addr(0));
+}
+
 bool
 Cache::access(Addr block_number)
 {
     ++accesses_;
     BlockState *state = table_.touch(block_number);
-    if (!state)
+    if (!state) {
+        if (!pollutionVictims_.empty()) {
+            Addr &slot =
+                pollutionVictims_[block_number % kPollutionSlots];
+            if (slot == block_number) {
+                ++polluting_;
+                slot = ~Addr(0);
+            }
+        }
         return false;
+    }
     ++hits_;
     if (state->prefetched) {
         state->prefetched = false;
@@ -57,6 +72,14 @@ Cache::fill(Addr block_number, bool prefetched)
     if (table_.insert(block_number, state, &evicted_key, &evicted)) {
         if (evicted.prefetched)
             ++useless_;
+        // Pollution tracking: a prefetch fill displacing a
+        // demand-resident block records the victim; a demand miss on
+        // it later confirms the prefetch was polluting.
+        if (prefetched && !evicted.prefetched &&
+            !pollutionVictims_.empty()) {
+            pollutionVictims_[evicted_key % kPollutionSlots] =
+                evicted_key;
+        }
     }
 }
 
@@ -69,6 +92,10 @@ Cache::resetStats()
     useful_.reset();
     useless_.reset();
     prefetchFills_.reset();
+    // The victim table is trajectory state (it evolves with fills and
+    // accesses, identically in monolithic and windowed runs), so only
+    // the counter resets here.
+    polluting_.reset();
 }
 
 } // namespace shotgun

@@ -10,6 +10,7 @@
 #define SHOTGUN_CACHE_CACHE_HH
 
 #include <string>
+#include <vector>
 
 #include "btb/assoc_table.hh"
 #include "common/stats.hh"
@@ -65,6 +66,18 @@ class Cache
     /** All prefetch fills (useful + useless + still resident). */
     std::uint64_t prefetchFills() const { return prefetchFills_.value(); }
 
+    /**
+     * Demand-resident blocks evicted by a prefetch fill that then
+     * missed again on demand -- the "polluting" prefetch lifecycle
+     * class. Counted only while pollution tracking is enabled
+     * (uarch probes); the tracker is a fixed-size victim table whose
+     * bookkeeping never influences replacement decisions.
+     */
+    std::uint64_t pollutingPrefetches() const { return polluting_.value(); }
+
+    /** Turn on the pollution victim table (observer-only). */
+    void enablePollutionTracking();
+
     void resetStats();
     void clear() { table_.clear(); }
 
@@ -82,6 +95,17 @@ class Cache
     Counter useful_;
     Counter useless_;
     Counter prefetchFills_;
+    Counter polluting_;
+
+    /**
+     * Direct-mapped table of demand-resident blocks recently evicted
+     * by prefetch fills (~Addr(0) marks an empty slot); a demand miss
+     * matching its slot confirms pollution. Empty (tracking off)
+     * unless enablePollutionTracking() was called.
+     */
+    std::vector<Addr> pollutionVictims_;
+
+    static constexpr std::size_t kPollutionSlots = 256;
 };
 
 } // namespace shotgun

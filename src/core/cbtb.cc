@@ -15,8 +15,15 @@ CBTB::lookup(Addr bb_start)
 {
     ++lookups_;
     CBTBEntry *entry = table_.touch(btbKey(bb_start));
-    if (entry)
+    if (entry) {
         ++hits_;
+        // First demand use of a prefilled entry: the prefill was
+        // timely. Flag is probe bookkeeping only.
+        if (entry->prefilled) {
+            ++prefillUses_;
+            entry->prefilled = false;
+        }
+    }
     return entry;
 }
 
@@ -29,7 +36,29 @@ CBTB::probe(Addr bb_start) const
 void
 CBTB::insert(const CBTBEntry &entry)
 {
-    table_.insert(btbKey(entry.bbStart), entry);
+    CBTBEntry evicted;
+    if (table_.insert(btbKey(entry.bbStart), entry, nullptr,
+                      &evicted) &&
+        evicted.prefilled) {
+        // A still-unused prefill displaced by demand training.
+        ++prefillEvictions_;
+    }
+}
+
+void
+CBTB::insertPrefill(const CBTBEntry &entry)
+{
+    ++prefills_;
+    CBTBEntry marked = entry;
+    marked.prefilled = true;
+    CBTBEntry evicted;
+    if (table_.insert(btbKey(marked.bbStart), marked, nullptr,
+                      &evicted)) {
+        if (evicted.prefilled)
+            ++prefillEvictions_;
+        else
+            ++prefillPollution_;
+    }
 }
 
 } // namespace shotgun

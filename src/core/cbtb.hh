@@ -27,6 +27,13 @@ struct CBTBEntry
     Addr bbStart = 0;
     Addr target = 0;
     std::uint8_t numInstrs = 1;
+
+    /**
+     * Installed by predecode-driven prefill and not yet consumed by a
+     * demand lookup. Uarch-probe lifecycle bookkeeping only; never
+     * read by prediction logic and not counted in bitsPerEntry().
+     */
+    bool prefilled = false;
 };
 
 class CBTB
@@ -38,6 +45,12 @@ class CBTB
     const CBTBEntry *probe(Addr bb_start) const;
     void insert(const CBTBEntry &entry);
 
+    /**
+     * Proactive (predecode-driven) install: identical placement to
+     * insert(), plus prefill lifecycle accounting (uarch probes).
+     */
+    void insertPrefill(const CBTBEntry &entry);
+
     std::size_t numEntries() const { return table_.capacity(); }
     std::size_t occupancy() const { return table_.occupancy(); }
 
@@ -46,8 +59,10 @@ class CBTB
     std::uint64_t misses() const { return lookups() - hits(); }
     std::uint64_t prefills() const { return prefills_.value(); }
 
-    /** Count a proactive (predecode-driven) fill, for stats. */
-    void notePrefill() { ++prefills_; }
+    // Prefill lifecycle (monotonic; reported by the uarch probes).
+    std::uint64_t prefillUses() const { return prefillUses_.value(); }
+    std::uint64_t prefillEvictions() const { return prefillEvictions_.value(); }
+    std::uint64_t prefillPollution() const { return prefillPollution_.value(); }
 
     void
     resetStats()
@@ -86,6 +101,9 @@ class CBTB
     Counter lookups_;
     Counter hits_;
     Counter prefills_;
+    Counter prefillUses_;
+    Counter prefillEvictions_;
+    Counter prefillPollution_;
 };
 
 } // namespace shotgun

@@ -128,8 +128,7 @@ ShotgunScheme::prefillFromBlock(Addr block_number)
                                ? decoded.target
                                : decoded.fallThrough();
             entry.numInstrs = decoded.numInstrs;
-            btbs_.cbtb().insert(entry);
-            btbs_.cbtb().notePrefill();
+            btbs_.cbtb().insertPrefill(entry);
         } else {
             buffer_.insert(decoded);
         }
@@ -158,6 +157,22 @@ ShotgunScheme::storageBits() const
 {
     return btbs_.storageBits() +
            buffer_.capacity() * (46 + 46 + 5 + 3 + 2);
+}
+
+void
+ShotgunScheme::collectUarch(obs::UarchBreakdown &u) const
+{
+    obs::PrefetchLifecycle &buf =
+        u.at(obs::UarchStructure::PrefetchBuffer);
+    buf.issued = buffer_.inserts();
+    buf.timely = buffer_.hits();
+    buf.unusedEvicted = buffer_.evictions();
+
+    obs::PrefetchLifecycle &cbtb = u.at(obs::UarchStructure::CBTB);
+    cbtb.issued = btbs_.cbtb().prefills();
+    cbtb.timely = btbs_.cbtb().prefillUses();
+    cbtb.unusedEvicted = btbs_.cbtb().prefillEvictions();
+    cbtb.polluting = btbs_.cbtb().prefillPollution();
 }
 
 } // namespace shotgun

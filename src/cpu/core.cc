@@ -19,6 +19,11 @@ Core::Core(const Program &program, TraceSource &source,
     ctx.predecoder = &predecoder_;
     ctx.params = &params_;
     scheme_ = makeScheme(scheme_config, ctx);
+    // The pollution victim table only observes fills/misses (it never
+    // influences replacement), so enabling it with the probes keeps
+    // the trajectory bitwise-identical to a probe-free run.
+    if (params_.uarchProbes)
+        mem_.l1i().enablePollutionTracking();
 }
 
 Core::Core(const Core &other, TraceSource *source)
@@ -37,12 +42,16 @@ Core::Core(const Core &other, TraceSource *source)
       fetchStallKind_(other.fetchStallKind_),
       dataStallUntil_(other.dataStallUntil_),
       deliveredThisCycle_(other.deliveredThisCycle_),
-      retireCredit_(other.retireCredit_), dataRng_(other.dataRng_),
+      retireCredit_(other.retireCredit_),
+      fetchStallOnPrefetch_(other.fetchStallOnPrefetch_),
+      dataRng_(other.dataRng_),
       cyclesSinceReset_(other.cyclesSinceReset_),
       retiredSinceReset_(other.retiredSinceReset_),
       stalls_(other.stalls_), btbMisses_(other.btbMisses_),
       mispredicts_(other.mispredicts_),
-      misfetches_(other.misfetches_), l1dFill_(other.l1dFill_)
+      misfetches_(other.misfetches_), l1dFill_(other.l1dFill_),
+      uarch_(other.uarch_), btbMissSketch_(other.btbMissSketch_),
+      l1iMissSketch_(other.l1iMissSketch_)
 {
     SchemeContext ctx;
     ctx.tage = &tage_;
@@ -97,7 +106,28 @@ Core::snapshotStats() const
     snap.lateUsefulPrefetches = mem_.lateUsefulPrefetches();
     snap.l1dFillSum = l1dFill_.sum();
     snap.l1dFillCount = l1dFill_.count();
+    if (params_.uarchProbes) {
+        snap.uarch = uarch_;
+        snap.uarch.enabled = true;
+        obs::PrefetchLifecycle &l1i =
+            snap.uarch.at(obs::UarchStructure::L1I);
+        l1i.issued = mem_.prefetchesIssued();
+        l1i.timely = mem_.l1i().usefulPrefetches();
+        l1i.late = mem_.lateUsefulPrefetches();
+        l1i.unusedEvicted = mem_.l1i().uselessPrefetches();
+        l1i.polluting = mem_.l1i().pollutingPrefetches();
+        scheme_->collectUarch(snap.uarch);
+        snap.uarch.btbMissSites = btbMissSketch_.sites();
+        snap.uarch.l1iMissSites = l1iMissSketch_.sites();
+    }
     return snap;
+}
+
+void
+Core::clearUarchSites()
+{
+    btbMissSketch_.clear();
+    l1iMissSketch_.clear();
 }
 
 void
@@ -111,6 +141,8 @@ Core::resetStats()
     misfetches_ = 0;
     l1dFill_.reset();
     mem_.resetStats();
+    uarch_ = obs::UarchBreakdown{};
+    clearUarchSites();
 }
 
 void
@@ -127,6 +159,8 @@ Core::step()
     fetchStep();
     backendStep();
     accountStarvation();
+    if (params_.uarchProbes)
+        attributeCycle();
 
     ++now_;
     ++cyclesSinceReset_;
@@ -155,6 +189,8 @@ Core::bpuStep()
         btbMisses_ += result.btbMiss;
         mispredicts_ += result.mispredict;
         misfetches_ += result.misfetch;
+        if (params_.uarchProbes && result.btbMiss)
+            btbMissSketch_.record(truth.startAddr);
 
         if (result.resolveStall && result.stallUntil > now_) {
             bpuStallUntil_ = result.stallUntil;
@@ -204,6 +240,16 @@ Core::fetchStep()
                     scheme_->onDemandMiss(block, now_);
                     fetchStallUntil_ = result.readyAt;
                     fetchStallKind_ = BpuStallKind::ICache;
+                    if (params_.uarchProbes) {
+                        // Probe-only reads: was this miss waiting on
+                        // an in-flight prefetch, and which fetch PC
+                        // missed? Neither perturbs the hierarchy.
+                        const MSHRFile::Entry *mshr =
+                            mem_.mshrs().find(block);
+                        fetchStallOnPrefetch_ =
+                            mshr != nullptr && mshr->isPrefetch;
+                        l1iMissSketch_.record(cur_addr);
+                    }
                     return;
                 }
             }
@@ -327,6 +373,64 @@ Core::accountStarvation()
         }
     }
     ++stalls_.other;
+}
+
+void
+Core::attributeCycle()
+{
+    // Cycle-exact taxonomy (probes only): every cycle is either
+    // active (fetch delivered instructions) or charged to exactly one
+    // cause, mirroring the predicates that blocked this cycle's
+    // fetchStep. The conservation invariant
+    // stallTotal() + activeCycles == cycles holds by construction.
+    if (deliveredThisCycle_ > 0) {
+        ++uarch_.activeCycles;
+        return;
+    }
+    if (backendInstrs_ >= params_.backendEntries) {
+        ++uarch_.stallBackendPressure;
+        return;
+    }
+    if (fetchStallUntil_ > now_) {
+        switch (fetchStallKind_) {
+          case BpuStallKind::Misfetch:
+          case BpuStallKind::Mispredict:
+            ++uarch_.stallRedirect;
+            return;
+          default:
+            if (fetchStallOnPrefetch_)
+                ++uarch_.stallPrefetchInFlight;
+            else
+                ++uarch_.stallICacheMiss;
+            return;
+        }
+    }
+    if (ftq_.empty()) {
+        if (bpuWaitingRedirect_) {
+            ++uarch_.stallRedirect;
+            return;
+        }
+        if (bpuStallUntil_ > now_) {
+            switch (bpuStallKind_) {
+              case BpuStallKind::Resolve:
+                ++uarch_.stallBTBMiss;
+                return;
+              case BpuStallKind::Misfetch:
+              case BpuStallKind::Mispredict:
+                ++uarch_.stallRedirect;
+                return;
+              default:
+                ++uarch_.stallICacheMiss;
+                return;
+            }
+        }
+        ++uarch_.stallFTQEmpty;
+        return;
+    }
+    // FTQ non-empty, fetch unblocked, backend has room, yet nothing
+    // was delivered: the BPU failed to keep the head entry fetchable
+    // this cycle -- an instruction-supply gap like an empty FTQ.
+    ++uarch_.stallFTQEmpty;
 }
 
 double

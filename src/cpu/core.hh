@@ -27,6 +27,7 @@
 #include "common/random.hh"
 #include "cpu/ftq.hh"
 #include "cpu/params.hh"
+#include "obs/uarch.hh"
 #include "prefetch/factory.hh"
 #include "trace/generator.hh"
 
@@ -141,10 +142,27 @@ class Core
         std::uint64_t lateUsefulPrefetches = 0;
         double l1dFillSum = 0.0;
         std::uint64_t l1dFillCount = 0;
+
+        /**
+         * Microarchitectural probe readout; all-zero (enabled false)
+         * unless CoreParams::uarchProbes is set. Stall/lifecycle
+         * fields are monotonic counters and subtract like the rest;
+         * the miss-site tables cover the span since the last
+         * clearUarchSites() (see uarchDelta()).
+         */
+        obs::UarchBreakdown uarch{};
     };
 
     /** Capture every measurement counter (cheap; no side effects). */
     StatsSnapshot snapshotStats() const;
+
+    /**
+     * Reset the miss-site sketches so the tables cover exactly the
+     * measurement window about to run (sketches are per-window state,
+     * not snapshot-subtractable). Observer-only: touches no
+     * simulation state, so calling it never perturbs the trajectory.
+     */
+    void clearUarchSites();
 
     std::uint64_t btbMisses() const { return btbMisses_; }
     std::uint64_t mispredicts() const { return mispredicts_; }
@@ -196,6 +214,7 @@ class Core
     void fetchStep();
     void backendStep();
     void accountStarvation();
+    void attributeCycle();
 
     const Program &program_;
     TraceSource *source_; ///< Null only for a parked checkpoint clone.
@@ -241,6 +260,14 @@ class Core
     unsigned deliveredThisCycle_ = 0;
     double retireCredit_ = 0.0;
 
+    /**
+     * Whether the current ICache fetch stall piggybacked on an
+     * in-flight *prefetch* MSHR (the prefetch-in-flight taxonomy
+     * cause) rather than a fresh demand miss. Probe bookkeeping
+     * only; never read by simulation logic.
+     */
+    bool fetchStallOnPrefetch_ = false;
+
     Rng dataRng_;
 
     // Measurement state.
@@ -251,6 +278,14 @@ class Core
     std::uint64_t mispredicts_ = 0;
     std::uint64_t misfetches_ = 0;
     Average l1dFill_;
+
+    // Microarchitectural probe state (params_.uarchProbes): the
+    // cycle-attribution counters (stalls + activeCycles; lifecycle
+    // and site tables are assembled by snapshotStats) and the two
+    // deterministic miss-site sketches.
+    obs::UarchBreakdown uarch_;
+    obs::SpaceSavingSketch btbMissSketch_;
+    obs::SpaceSavingSketch l1iMissSketch_;
 };
 
 } // namespace shotgun

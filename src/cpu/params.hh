@@ -66,6 +66,16 @@ struct CoreParams
 
     /** Seed for the data-side Bernoulli draws. */
     std::uint64_t dataSeed = 0xdada;
+
+    /**
+     * Enable the microarchitectural probe layer (src/obs/uarch.hh):
+     * cycle-exact stall attribution, prefetch lifecycle tracking and
+     * miss-site sketches. Trajectory-invisible -- every simulation
+     * counter is bitwise-identical probes on or off -- but part of
+     * the configuration's canonical identity (distinct fingerprints
+     * and checkpoint keys), since results carry extra payload.
+     */
+    bool uarchProbes = false;
 };
 
 } // namespace shotgun

@@ -1096,6 +1096,9 @@ FleetCoordinator::statusFrame()
             status.phaseRestoreUs = worker.stats.phaseRestoreUs;
             status.phaseMeasureUs = worker.stats.phaseMeasureUs;
             status.phasePoints = worker.stats.phasePoints;
+            status.measureP50Us = worker.stats.measureP50Us;
+            status.measureP95Us = worker.stats.measureP95Us;
+            status.measureP99Us = worker.stats.measureP99Us;
             // Heartbeat freshness per worker, published as registry
             // gauges so liveness is inspectable from the same source
             // the frame reads.

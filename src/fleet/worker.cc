@@ -162,6 +162,19 @@ FleetWorker::controlLoop()
                     registry.counter("sim.phase.measure_us")->value();
                 hb.phasePoints =
                     registry.counter("sim.points")->value();
+                // Measure-latency percentiles from the per-point
+                // histogram the simulator records; stays all-zero
+                // (member omitted on the wire) until the first
+                // point finishes.
+                for (const obs::MetricSample &s :
+                     registry.snapshot()) {
+                    if (s.kind != obs::MetricSample::Kind::Histogram ||
+                        s.name != "sim.phase.measure_us_hist")
+                        continue;
+                    hb.measureP50Us = obs::histogramQuantile(s, 0.50);
+                    hb.measureP95Us = obs::histogramQuantile(s, 0.95);
+                    hb.measureP99Us = obs::histogramQuantile(s, 0.99);
+                }
                 if (!channel->sendLine(
                         service::encodeHeartbeat(hb).dump()))
                     break;

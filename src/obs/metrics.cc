@@ -29,6 +29,27 @@ Histogram::record(std::uint64_t value)
     sum_.fetch_add(value, std::memory_order_relaxed);
 }
 
+std::uint64_t
+histogramQuantile(const MetricSample &sample, double q)
+{
+    if (sample.count == 0 || sample.bounds.empty())
+        return 0;
+    // ceil(q * count) in integers: the rank of the quantile sample,
+    // clamped to [1, count].
+    const std::uint64_t scaled =
+        static_cast<std::uint64_t>(q * 1000000.0);
+    std::uint64_t rank = (sample.count * scaled + 999999) / 1000000;
+    rank = std::min(std::max<std::uint64_t>(rank, 1), sample.count);
+
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < sample.buckets.size(); ++i) {
+        cumulative += sample.buckets[i];
+        if (cumulative >= rank)
+            return sample.bounds[std::min(i, sample.bounds.size() - 1)];
+    }
+    return sample.bounds.back();
+}
+
 Counter *
 Registry::counter(const std::string &name)
 {
@@ -115,6 +136,9 @@ Registry::snapshotJson() const
             for (const std::uint64_t c : s.buckets)
                 buckets.push(Value::number(c));
             hist.set("buckets", std::move(buckets));
+            hist.set("p50", Value::number(histogramQuantile(s, 0.50)));
+            hist.set("p95", Value::number(histogramQuantile(s, 0.95)));
+            hist.set("p99", Value::number(histogramQuantile(s, 0.99)));
             out.set(s.name, std::move(hist));
         } else {
             out.set(s.name,

@@ -147,6 +147,17 @@ struct MetricSample
 };
 
 /**
+ * Deterministic quantile estimate from a histogram sample: the
+ * inclusive upper bound of the first bucket whose cumulative count
+ * reaches ceil(q * count), with the overflow bucket saturating to the
+ * last bound (the estimate is a lower bound there). Returns 0 for an
+ * empty histogram. Bucket-resolution precision only, but integer
+ * arithmetic end to end, so the same counts always render the same
+ * percentile -- on any platform, in any thread interleaving.
+ */
+std::uint64_t histogramQuantile(const MetricSample &sample, double q);
+
+/**
  * The registry. counter()/gauge()/histogram() get-or-create by name
  * under a mutex and return stable pointers; snapshot() walks every
  * instrument (name-sorted) without stopping writers.

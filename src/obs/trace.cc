@@ -222,6 +222,13 @@ spanFromJson(const json::Value &value)
 json::Value
 chromeTraceJson(const std::vector<SpanRecord> &spans)
 {
+    return chromeTraceJson(spans, {});
+}
+
+json::Value
+chromeTraceJson(const std::vector<SpanRecord> &spans,
+                const std::vector<CounterSample> &counters)
+{
     // Stable lane assignment: pids by process-name sort order, tids
     // by (process, lane) sort order, so equal span sets always
     // serialize identically regardless of arrival order.
@@ -231,6 +238,8 @@ chromeTraceJson(const std::vector<SpanRecord> &spans)
         pids.emplace(span.process, 0);
         tids.emplace(std::make_pair(span.process, span.lane), 0);
     }
+    for (const CounterSample &counter : counters)
+        pids.emplace(counter.process, 0);
     std::uint64_t next_pid = 1;
     for (auto &pair : pids)
         pair.second = next_pid++;
@@ -291,6 +300,34 @@ chromeTraceJson(const std::vector<SpanRecord> &spans)
         events.push(std::move(event));
     }
 
+    // Counter tracks last, in (ts, process, name) order -- equal
+    // sample sets always serialize identically.
+    std::vector<const CounterSample *> counter_order;
+    counter_order.reserve(counters.size());
+    for (const CounterSample &counter : counters)
+        counter_order.push_back(&counter);
+    std::sort(counter_order.begin(), counter_order.end(),
+              [](const CounterSample *a, const CounterSample *b) {
+                  if (a->ts != b->ts)
+                      return a->ts < b->ts;
+                  if (a->process != b->process)
+                      return a->process < b->process;
+                  return a->name < b->name;
+              });
+    for (const CounterSample *counter : counter_order) {
+        Value event = Value::object();
+        event.set("name", Value::string(counter->name));
+        event.set("ph", Value::string("C"));
+        event.set("pid", Value::number(pids.at(counter->process)));
+        event.set("tid", Value::number(std::uint64_t{0}));
+        event.set("ts", Value::number(counter->ts));
+        Value args = Value::object();
+        for (const auto &pair : counter->values)
+            args.set(pair.first, Value::number(pair.second));
+        event.set("args", std::move(args));
+        events.push(std::move(event));
+    }
+
     Value doc = Value::object();
     doc.set("traceEvents", std::move(events));
     doc.set("displayTimeUnit", Value::string("ms"));
@@ -301,10 +338,18 @@ bool
 writeChromeTrace(const std::string &path,
                  const std::vector<SpanRecord> &spans)
 {
+    return writeChromeTrace(path, spans, {});
+}
+
+bool
+writeChromeTrace(const std::string &path,
+                 const std::vector<SpanRecord> &spans,
+                 const std::vector<CounterSample> &counters)
+{
     std::ofstream out(path);
     if (!out)
         return false;
-    out << chromeTraceJson(spans).dump() << "\n";
+    out << chromeTraceJson(spans, counters).dump() << "\n";
     return out.good();
 }
 

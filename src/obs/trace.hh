@@ -264,18 +264,42 @@ json::Value spanToJson(const SpanRecord &span);
 SpanRecord spanFromJson(const json::Value &value);
 
 /**
+ * One sample on a Chrome counter track ("ph":"C"): the named series
+ * values at one timestamp, rendered by Perfetto as stacked area
+ * charts under the owning process. The uarch probe layer emits these
+ * (stall-attribution per measure span); anything with a (ts, values)
+ * shape can.
+ */
+struct CounterSample
+{
+    std::string process;  ///< Same lane-group key spans use.
+    std::string name;     ///< Track name, e.g. "uarch stalls".
+    std::uint64_t ts = 0; ///< Wall-clock µs (span timebase).
+    /** Series name -> value; rendered in the given order. */
+    std::vector<std::pair<std::string, std::uint64_t>> values;
+};
+
+/**
  * Chrome trace-event JSON ({"traceEvents":[...]}) for Perfetto /
  * chrome://tracing. Distinct `process` strings become pids with
  * process_name metadata; distinct (process, lane) pairs become tids
  * with thread_name metadata; spans are complete ("ph":"X") events
  * carrying trace/span/parent ids in args. Events are sorted by
- * (ts, id) so equal span sets serialize identically.
+ * (ts, id) so equal span sets serialize identically. `counters`
+ * (optional) append "ph":"C" counter events, sorted by
+ * (ts, process, name); the no-counter form emits the exact bytes it
+ * always did.
  */
 json::Value chromeTraceJson(const std::vector<SpanRecord> &spans);
+json::Value chromeTraceJson(const std::vector<SpanRecord> &spans,
+                            const std::vector<CounterSample> &counters);
 
 /** Write chromeTraceJson() to `path`; false on I/O failure. */
 bool writeChromeTrace(const std::string &path,
                       const std::vector<SpanRecord> &spans);
+bool writeChromeTrace(const std::string &path,
+                      const std::vector<SpanRecord> &spans,
+                      const std::vector<CounterSample> &counters);
 
 } // namespace obs
 } // namespace shotgun

@@ -36,6 +36,16 @@ class BoomerangScheme : public Scheme
 
     std::uint64_t storageBits() const override;
 
+    void
+    collectUarch(obs::UarchBreakdown &u) const override
+    {
+        obs::PrefetchLifecycle &buf =
+            u.at(obs::UarchStructure::PrefetchBuffer);
+        buf.issued = buffer_.inserts();
+        buf.timely = buffer_.hits();
+        buf.unusedEvicted = buffer_.evictions();
+    }
+
     std::unique_ptr<Scheme> clone(SchemeContext ctx) const override
     {
         auto copy = std::make_unique<BoomerangScheme>(*this);

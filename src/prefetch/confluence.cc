@@ -131,8 +131,18 @@ ConfluenceScheme::onFill(Addr block_number, bool was_prefetch, Cycle now)
     // free").
     for (const BTBEntry &entry :
          ctx_.predecoder->decodeBlock(block_number)) {
-        btb_.insert(entry);
+        btb_.insertPrefill(entry);
     }
+}
+
+void
+ConfluenceScheme::collectUarch(obs::UarchBreakdown &u) const
+{
+    obs::PrefetchLifecycle &conv = u.at(obs::UarchStructure::ConvBTB);
+    conv.issued = btb_.prefills();
+    conv.timely = btb_.prefillUses();
+    conv.unusedEvicted = btb_.prefillEvictions();
+    conv.polluting = btb_.prefillPollution();
 }
 
 std::uint64_t

@@ -66,6 +66,8 @@ class ConfluenceScheme : public Scheme
 
     std::uint64_t storageBits() const override;
 
+    void collectUarch(obs::UarchBreakdown &u) const override;
+
     std::unique_ptr<Scheme> clone(SchemeContext ctx) const override
     {
         auto copy = std::make_unique<ConfluenceScheme>(*this);

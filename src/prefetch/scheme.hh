@@ -19,6 +19,7 @@
 #include "cache/hierarchy.hh"
 #include "cache/predecoder.hh"
 #include "cpu/params.hh"
+#include "obs/uarch.hh"
 #include "trace/instruction.hh"
 
 namespace shotgun
@@ -103,6 +104,14 @@ class Scheme
 
     /** Control-flow metadata storage (BTBs + history), in bits. */
     virtual std::uint64_t storageBits() const = 0;
+
+    /**
+     * Deposit the scheme's prefetch-lifecycle counters into the
+     * per-structure slots of `u` (uarch probes; see obs/uarch.hh).
+     * Read-only with respect to scheme state; schemes without
+     * prefilled structures leave their slots zero.
+     */
+    virtual void collectUarch(obs::UarchBreakdown &u) const { (void)u; }
 
     /**
      * Deep-copy every piece of scheme state, rebound onto `ctx` (the

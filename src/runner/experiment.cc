@@ -56,13 +56,23 @@ ExperimentSet::baselineIndex(const std::string &workload) const
     return it == baselines_.end() ? npos : it->second;
 }
 
+void
+ExperimentSet::enableUarchProbes()
+{
+    for (Experiment &exp : all_)
+        exp.config.core.uarchProbes = true;
+}
+
 SimResult
 runExperiment(const Experiment &exp)
 {
     // The baseline memo is keyed on (workload, lengths, seed) only --
     // a windowed config is a different simulation and must not alias
-    // the whole-region baseline.
-    return exp.viaBaselineCache && !exp.config.window.enabled()
+    // the whole-region baseline, and a probed config carries a
+    // payload (the uarch breakdown) the memo's probe-free run never
+    // produced, so both route around the cache.
+    return exp.viaBaselineCache && !exp.config.window.enabled() &&
+                   !exp.config.core.uarchProbes
                ? baselineFor(exp.config.workload,
                              exp.config.warmupInstructions,
                              exp.config.measureInstructions,

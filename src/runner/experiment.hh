@@ -65,6 +65,14 @@ class ExperimentSet
     /** Index of the workload's baseline entry, or npos. */
     std::size_t baselineIndex(const std::string &workload) const;
 
+    /**
+     * Flip CoreParams::uarchProbes on every experiment added so far
+     * (the `--uarch-report` path). Probe-carrying configs fingerprint
+     * and checkpoint separately from probe-free ones, so the switch
+     * must happen before submission, uniformly for the whole grid.
+     */
+    void enableUarchProbes();
+
     static constexpr std::size_t npos = static_cast<std::size_t>(-1);
 
     const std::vector<Experiment> &experiments() const { return all_; }

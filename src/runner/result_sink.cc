@@ -6,6 +6,7 @@
 #include "common/json.hh"
 #include "common/logging.hh"
 #include "common/table.hh"
+#include "obs/uarch.hh"
 
 namespace shotgun
 {
@@ -49,6 +50,8 @@ num(std::ostream &os, double v)
     return os << json::formatDouble(v);
 }
 
+void writeUarchJson(std::ostream &os, const obs::UarchBreakdown &u);
+
 void
 writeRowJson(std::ostream &os, const ResultRow &row)
 {
@@ -89,6 +92,59 @@ writeRowJson(std::ostream &os, const ResultRow &row)
         num(os, static_cast<double>(row.timing.measureUs) / 1000.0)
             << "}";
     }
+    if (r.uarch.enabled)
+        writeUarchJson(os, r.uarch);
+    os << "}";
+}
+
+void
+writeSitesJson(std::ostream &os, const char *key,
+               const std::vector<obs::SiteCount> &sites)
+{
+    // Presentation truncation only: the full tables travel in frames.
+    const auto top = obs::topSites(sites, 8);
+    os << "\"" << key << "\": [";
+    for (std::size_t i = 0; i < top.size(); ++i) {
+        if (i > 0)
+            os << ", ";
+        os << "{\"pc\": " << top[i].pc << ", \"count\": "
+           << top[i].count << ", \"error\": " << top[i].error << "}";
+    }
+    os << "]";
+}
+
+/**
+ * Optional, JSON-only microarchitectural block (never in the CSV):
+ * rows from probe-free runs are byte-identical to what they were
+ * before the probe layer existed.
+ */
+void
+writeUarchJson(std::ostream &os, const obs::UarchBreakdown &u)
+{
+    os << ",\n     \"uarch\": {\"active_cycles\": " << u.activeCycles
+       << ", \"stall_icache_miss\": " << u.stallICacheMiss
+       << ", \"stall_btb_miss\": " << u.stallBTBMiss
+       << ", \"stall_redirect\": " << u.stallRedirect
+       << ",\n      \"stall_ftq_empty\": " << u.stallFTQEmpty
+       << ", \"stall_backend_pressure\": " << u.stallBackendPressure
+       << ", \"stall_prefetch_in_flight\": "
+       << u.stallPrefetchInFlight << ",\n      \"lifecycle\": {";
+    for (std::size_t i = 0; i < obs::kNumUarchStructures; ++i) {
+        const obs::PrefetchLifecycle &l = u.lifecycle[i];
+        if (i > 0)
+            os << ", ";
+        os << "\""
+           << obs::uarchStructureName(
+                  static_cast<obs::UarchStructure>(i))
+           << "\": {\"issued\": " << l.issued << ", \"timely\": "
+           << l.timely << ", \"late\": " << l.late
+           << ", \"unused_evicted\": " << l.unusedEvicted
+           << ", \"polluting\": " << l.polluting << "}";
+    }
+    os << "},\n      ";
+    writeSitesJson(os, "btb_miss_sites", u.btbMissSites);
+    os << ", ";
+    writeSitesJson(os, "l1i_miss_sites", u.l1iMissSites);
     os << "}";
 }
 

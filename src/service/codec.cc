@@ -102,6 +102,24 @@ class ObjectReader
                          key + "\"");
     }
 
+    /**
+     * Optional member: consumed when present, nullptr when absent.
+     * For fields newer encoders emit conditionally (e.g. "uarch"),
+     * keeping older payloads decodable while finish() still rejects
+     * genuinely unknown fields.
+     */
+    const Value *optional(const char *key)
+    {
+        const auto &members = object_->members();
+        for (std::size_t i = 0; i < members.size(); ++i) {
+            if (members[i].first == key) {
+                consumed_[i] = true;
+                return &members[i].second;
+            }
+        }
+        return nullptr;
+    }
+
     std::string str(const char *key) { return get(key).asString(); }
     bool boolean(const char *key) { return get(key).asBool(); }
     double number(const char *key) { return get(key).asDouble(); }
@@ -227,6 +245,7 @@ encodeCoreParams(const CoreParams &p)
     v.set("mem_level_parallelism",
           Value::number(p.memLevelParallelism));
     v.set("data_seed", Value::number(p.dataSeed));
+    v.set("uarch_probes", Value::boolean(p.uarchProbes));
     return v;
 }
 
@@ -329,6 +348,116 @@ encodeSimConfig(const SimConfig &config)
 }
 
 json::Value
+encodeUarchBreakdown(const obs::UarchBreakdown &u)
+{
+    Value lifecycle = Value::array();
+    for (std::size_t i = 0; i < obs::kNumUarchStructures; ++i) {
+        const obs::PrefetchLifecycle &l = u.lifecycle[i];
+        Value entry = Value::object();
+        entry.set("structure",
+                  Value::string(obs::uarchStructureName(
+                      static_cast<obs::UarchStructure>(i))));
+        entry.set("issued", Value::number(l.issued));
+        entry.set("timely", Value::number(l.timely));
+        entry.set("late", Value::number(l.late));
+        entry.set("unused_evicted", Value::number(l.unusedEvicted));
+        entry.set("polluting", Value::number(l.polluting));
+        lifecycle.push(std::move(entry));
+    }
+
+    const auto encode_sites =
+        [](const std::vector<obs::SiteCount> &sites) {
+            Value arr = Value::array();
+            for (const obs::SiteCount &s : sites) {
+                Value site = Value::object();
+                site.set("pc", Value::number(std::uint64_t{s.pc}));
+                site.set("count", Value::number(s.count));
+                site.set("error", Value::number(s.error));
+                arr.push(std::move(site));
+            }
+            return arr;
+        };
+
+    Value v = Value::object();
+    v.set("enabled", Value::boolean(u.enabled));
+    v.set("active_cycles", Value::number(u.activeCycles));
+    v.set("stall_icache_miss", Value::number(u.stallICacheMiss));
+    v.set("stall_btb_miss", Value::number(u.stallBTBMiss));
+    v.set("stall_redirect", Value::number(u.stallRedirect));
+    v.set("stall_ftq_empty", Value::number(u.stallFTQEmpty));
+    v.set("stall_backend_pressure",
+          Value::number(u.stallBackendPressure));
+    v.set("stall_prefetch_in_flight",
+          Value::number(u.stallPrefetchInFlight));
+    v.set("lifecycle", std::move(lifecycle));
+    v.set("btb_miss_sites", encode_sites(u.btbMissSites));
+    v.set("l1i_miss_sites", encode_sites(u.l1iMissSites));
+    return v;
+}
+
+obs::UarchBreakdown
+decodeUarchBreakdown(const json::Value &v)
+{
+    ObjectReader r(v, "uarch");
+    obs::UarchBreakdown u;
+    u.enabled = r.boolean("enabled");
+    u.activeCycles = r.u64("active_cycles");
+    u.stallICacheMiss = r.u64("stall_icache_miss");
+    u.stallBTBMiss = r.u64("stall_btb_miss");
+    u.stallRedirect = r.u64("stall_redirect");
+    u.stallFTQEmpty = r.u64("stall_ftq_empty");
+    u.stallBackendPressure = r.u64("stall_backend_pressure");
+    u.stallPrefetchInFlight = r.u64("stall_prefetch_in_flight");
+
+    const Value &lifecycle = r.get("lifecycle");
+    if (!lifecycle.isArray() ||
+        lifecycle.items().size() != obs::kNumUarchStructures)
+        throw CodecError("uarch.lifecycle: expected an array of " +
+                         std::to_string(obs::kNumUarchStructures) +
+                         " structures");
+    for (std::size_t i = 0; i < obs::kNumUarchStructures; ++i) {
+        ObjectReader lr(lifecycle.items()[i], "uarch.lifecycle");
+        const std::string structure = lr.str("structure");
+        if (structure !=
+            obs::uarchStructureName(
+                static_cast<obs::UarchStructure>(i)))
+            throw CodecError("uarch.lifecycle: structure \"" +
+                             structure + "\" out of order");
+        obs::PrefetchLifecycle &l = u.lifecycle[i];
+        l.issued = lr.u64("issued");
+        l.timely = lr.u64("timely");
+        l.late = lr.u64("late");
+        l.unusedEvicted = lr.u64("unused_evicted");
+        l.polluting = lr.u64("polluting");
+        lr.finish();
+    }
+
+    const auto decode_sites = [](const Value &arr, const char *what) {
+        if (!arr.isArray())
+            throw CodecError(std::string(what) +
+                             ": expected an array");
+        std::vector<obs::SiteCount> sites;
+        sites.reserve(arr.items().size());
+        for (const Value &e : arr.items()) {
+            ObjectReader sr(e, what);
+            obs::SiteCount s;
+            s.pc = sr.u64("pc");
+            s.count = sr.u64("count");
+            s.error = sr.u64("error");
+            sr.finish();
+            sites.push_back(s);
+        }
+        return sites;
+    };
+    u.btbMissSites =
+        decode_sites(r.get("btb_miss_sites"), "uarch.btb_miss_sites");
+    u.l1iMissSites =
+        decode_sites(r.get("l1i_miss_sites"), "uarch.l1i_miss_sites");
+    r.finish();
+    return u;
+}
+
+json::Value
 encodeSimResult(const SimResult &result)
 {
     // Key names match ResultSink's JSON emission where the two
@@ -358,6 +487,10 @@ encodeSimResult(const SimResult &result)
     v.set("prefetches_issued",
           Value::number(result.prefetchesIssued));
     v.set("storage_bits", Value::number(result.schemeStorageBits));
+    // Optional member: emitted only for probed runs so probe-free
+    // results keep their historical byte-exact encoding.
+    if (result.uarch.enabled)
+        v.set("uarch", encodeUarchBreakdown(result.uarch));
     return v;
 }
 
@@ -390,6 +523,8 @@ encodeStatsDelta(const StatsDelta &delta)
     // double formatting round-trips it bit for bit.
     v.set("l1d_fill_sum", Value::number(delta.l1dFillSum));
     v.set("l1d_fill_count", Value::number(delta.l1dFillCount));
+    if (delta.uarch.enabled)
+        v.set("uarch", encodeUarchBreakdown(delta.uarch));
     return v;
 }
 
@@ -513,6 +648,7 @@ decodeCoreParams(const json::Value &v)
     p.llcDataMissFrac = r.number("llc_data_miss_frac");
     p.memLevelParallelism = r.number("mem_level_parallelism");
     p.dataSeed = r.u64("data_seed");
+    p.uarchProbes = r.boolean("uarch_probes");
     r.finish();
     return p;
 }
@@ -645,6 +781,8 @@ decodeSimResult(const json::Value &v)
     result.avgL1DFillCycles = r.number("avg_l1d_fill_cycles");
     result.prefetchesIssued = r.u64("prefetches_issued");
     result.schemeStorageBits = r.u64("storage_bits");
+    if (const Value *uarch = r.optional("uarch"))
+        result.uarch = decodeUarchBreakdown(*uarch);
     r.finish();
     return result;
 }
@@ -674,6 +812,8 @@ decodeStatsDelta(const json::Value &v)
     delta.lateUsefulPrefetches = r.u64("late_useful_prefetches");
     delta.l1dFillSum = r.number("l1d_fill_sum");
     delta.l1dFillCount = r.u64("l1d_fill_count");
+    if (const Value *uarch = r.optional("uarch"))
+        delta.uarch = decodeUarchBreakdown(*uarch);
     r.finish();
     return delta;
 }

@@ -28,6 +28,7 @@
 #include <string>
 
 #include "common/json.hh"
+#include "obs/uarch.hh"
 #include "sim/simulator.hh"
 #include "trace/trace_io.hh"
 
@@ -61,6 +62,14 @@ json::Value encodeSimResult(const SimResult &result);
  */
 json::Value encodeStatsDelta(const StatsDelta &delta);
 
+/**
+ * Microarchitectural probe payload (obs/uarch.hh). SimResult and
+ * StatsDelta embed it as the *optional* "uarch" member, emitted only
+ * when the run had probes enabled, so probe-free payloads are
+ * byte-identical to what they were before the probe layer existed.
+ */
+json::Value encodeUarchBreakdown(const obs::UarchBreakdown &u);
+
 // ------------------------------------------------------------- decode
 
 ProgramParams decodeProgramParams(const json::Value &v);
@@ -86,6 +95,7 @@ SimWindow decodeSimWindow(const json::Value &v);
 SimConfig decodeSimConfig(const json::Value &v);
 SimResult decodeSimResult(const json::Value &v);
 StatsDelta decodeStatsDelta(const json::Value &v);
+obs::UarchBreakdown decodeUarchBreakdown(const json::Value &v);
 
 // ------------------------------------------------- trace validation
 

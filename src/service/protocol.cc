@@ -299,6 +299,19 @@ encodeHeartbeat(const HeartbeatFrame &heartbeat)
     v.set("cache", std::move(cache));
     v.set("checkpoint", std::move(checkpoint));
     v.set("phase", std::move(phase));
+    // Optional: absent until the first point has been measured, so a
+    // freshly started worker heartbeats the exact bytes it always did.
+    if (heartbeat.measureP50Us != 0 || heartbeat.measureP95Us != 0 ||
+        heartbeat.measureP99Us != 0) {
+        Value percentiles = Value::object();
+        percentiles.set("measure_p50_us",
+                        Value::number(heartbeat.measureP50Us));
+        percentiles.set("measure_p95_us",
+                        Value::number(heartbeat.measureP95Us));
+        percentiles.set("measure_p99_us",
+                        Value::number(heartbeat.measureP99Us));
+        v.set("percentiles", std::move(percentiles));
+    }
     return v;
 }
 
@@ -325,6 +338,12 @@ decodeHeartbeat(const json::Value &frame)
         heartbeat.phaseRestoreUs = phase->at("restore_us").asU64();
         heartbeat.phaseMeasureUs = phase->at("measure_us").asU64();
         heartbeat.phasePoints = phase->at("points").asU64();
+    }
+    // Absent from workers predating measure-latency percentiles.
+    if (const Value *pct = frame.find("percentiles")) {
+        heartbeat.measureP50Us = pct->at("measure_p50_us").asU64();
+        heartbeat.measureP95Us = pct->at("measure_p95_us").asU64();
+        heartbeat.measureP99Us = pct->at("measure_p99_us").asU64();
     }
     return heartbeat;
 }
@@ -418,6 +437,17 @@ encodeWorkerStatus(const WorkerStatus &status)
     phase.set("measure_us", Value::number(status.phaseMeasureUs));
     phase.set("points", Value::number(status.phasePoints));
     v.set("phase", std::move(phase));
+    if (status.measureP50Us != 0 || status.measureP95Us != 0 ||
+        status.measureP99Us != 0) {
+        Value percentiles = Value::object();
+        percentiles.set("measure_p50_us",
+                        Value::number(status.measureP50Us));
+        percentiles.set("measure_p95_us",
+                        Value::number(status.measureP95Us));
+        percentiles.set("measure_p99_us",
+                        Value::number(status.measureP99Us));
+        v.set("percentiles", std::move(percentiles));
+    }
     return v;
 }
 
@@ -448,6 +478,12 @@ decodeWorkerStatus(const json::Value &v)
         status.phaseRestoreUs = phase->at("restore_us").asU64();
         status.phaseMeasureUs = phase->at("measure_us").asU64();
         status.phasePoints = phase->at("points").asU64();
+    }
+    // Absent from coordinators predating measure percentiles.
+    if (const Value *pct = v.find("percentiles")) {
+        status.measureP50Us = pct->at("measure_p50_us").asU64();
+        status.measureP95Us = pct->at("measure_p95_us").asU64();
+        status.measureP99Us = pct->at("measure_p99_us").asU64();
     }
     return status;
 }

@@ -227,6 +227,15 @@ struct HeartbeatFrame
     std::uint64_t phaseRestoreUs = 0;
     std::uint64_t phaseMeasureUs = 0;
     std::uint64_t phasePoints = 0;
+
+    // Deterministic per-point measure-phase latency percentiles from
+    // the worker's sim.phase.measure_us_hist histogram
+    // (obs::histogramQuantile; bucket-resolution). "percentiles"
+    // member, optional on the wire -- absent until the worker has
+    // finished a point, and from workers predating it.
+    std::uint64_t measureP50Us = 0;
+    std::uint64_t measureP95Us = 0;
+    std::uint64_t measureP99Us = 0;
 };
 
 json::Value encodeHeartbeat(const HeartbeatFrame &heartbeat);
@@ -308,6 +317,13 @@ struct WorkerStatus
     std::uint64_t phaseRestoreUs = 0;
     std::uint64_t phaseMeasureUs = 0;
     std::uint64_t phasePoints = 0;
+
+    // Measure-phase latency percentiles relayed from the worker's
+    // last heartbeat ("percentiles" member, optional on the wire;
+    // zeros from older workers or before the first finished point).
+    std::uint64_t measureP50Us = 0;
+    std::uint64_t measureP95Us = 0;
+    std::uint64_t measureP99Us = 0;
 };
 
 json::Value encodeWorkerStatus(const WorkerStatus &status);

@@ -81,7 +81,11 @@ checkpointPrefixFingerprint(const SimConfig &config)
           std::uint64_t(c.misfetchPenalty),
           std::uint64_t(c.mispredictPenalty),
           std::uint64_t(c.predecodeCycles),
-          std::uint64_t(c.rasEntries), c.dataSeed}) {
+          std::uint64_t(c.rasEntries), c.dataSeed,
+          // Probe-on and probe-off runs must not share warmed clones:
+          // the clone carries the probe flag, sketches and the
+          // pollution victim table.
+          std::uint64_t(c.uarchProbes ? 1 : 0)}) {
         h = mixIn(h, v);
     }
     for (double v : {c.issueEfficiency, c.loadFrac, c.l1dMissRate,

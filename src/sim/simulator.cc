@@ -323,6 +323,11 @@ runSimulationDelta(const SimConfig &config)
     // monolithic run passes through -- which is what makes the
     // windows of a contiguous plan partition its cycles exactly.
     core->runUntilRetired(measure_start);
+    // The miss-site sketches are per-window state, not
+    // snapshot-subtractable: clear them at the window boundary so the
+    // end snapshot's tables cover exactly [measure_start, measure_end)
+    // (uarchDelta takes the end tables verbatim). Observer-only.
+    core->clearUarchSites();
     const Core::StatsSnapshot begin = core->snapshotStats();
     core->runUntilRetired(measure_end);
     fatal_if(core->sourceExhausted() &&
@@ -336,15 +341,41 @@ runSimulationDelta(const SimConfig &config)
                  core->instructionsRetired()),
              static_cast<unsigned long long>(measure_end));
     const Core::StatsSnapshot end = core->snapshotStats();
-    measure_timer.stop();
+    const std::uint64_t measure_us = measure_timer.stop();
     measure_span.end();
     obs::metrics().counter("sim.points")->add(1);
+    // Per-point measure-time distribution: the percentile source for
+    // metrics snapshots and the fleet heartbeat's p50/p95/p99.
+    obs::metrics()
+        .histogram("sim.phase.measure_us_hist",
+                   {100, 300, 1000, 3000, 10000, 30000, 100000,
+                    300000, 1000000, 3000000, 10000000})
+        ->record(measure_us);
 
     SimulationDelta out;
     out.workload = config.workload.name;
     out.scheme = core->scheme().name();
     out.schemeStorageBits = core->scheme().storageBits();
     out.stats = deltaBetween(begin, end);
+    if (out.stats.uarch.enabled) {
+        // Fleet-visible attribution totals, accumulated across every
+        // probed point this process runs.
+        obs::Registry &reg = obs::metrics();
+        const obs::UarchBreakdown &u = out.stats.uarch;
+        // Measured cycles alongside the causes, so process-lifetime
+        // totals can still assert the conservation invariant.
+        reg.counter("sim.uarch.cycles")->add(out.stats.cycles);
+        reg.counter("sim.uarch.active_cycles")->add(u.activeCycles);
+        reg.counter("sim.uarch.stall_icache_miss")
+            ->add(u.stallICacheMiss);
+        reg.counter("sim.uarch.stall_btb_miss")->add(u.stallBTBMiss);
+        reg.counter("sim.uarch.stall_redirect")->add(u.stallRedirect);
+        reg.counter("sim.uarch.stall_ftq_empty")->add(u.stallFTQEmpty);
+        reg.counter("sim.uarch.stall_backend_pressure")
+            ->add(u.stallBackendPressure);
+        reg.counter("sim.uarch.stall_prefetch_in_flight")
+            ->add(u.stallPrefetchInFlight);
+    }
     return out;
 }
 
@@ -401,7 +432,8 @@ operator==(const SimResult &a, const SimResult &b)
            a.prefetchAccuracy == b.prefetchAccuracy &&
            a.avgL1DFillCycles == b.avgL1DFillCycles &&
            a.prefetchesIssued == b.prefetchesIssued &&
-           a.schemeStorageBits == b.schemeStorageBits;
+           a.schemeStorageBits == b.schemeStorageBits &&
+           a.uarch == b.uarch;
 }
 
 } // namespace shotgun

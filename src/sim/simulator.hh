@@ -113,6 +113,13 @@ struct SimResult
     std::uint64_t prefetchesIssued = 0;
 
     std::uint64_t schemeStorageBits = 0;
+
+    /**
+     * Microarchitectural probe payload; all-zero with enabled false
+     * unless the run's CoreParams::uarchProbes was set. Part of the
+     * bitwise-equality contract like every other field.
+     */
+    obs::UarchBreakdown uarch{};
 };
 
 /**

@@ -35,6 +35,7 @@ deltaBetween(const Core::StatsSnapshot &begin,
     // 2^53, so the double subtraction loses nothing.
     d.l1dFillSum = end.l1dFillSum - begin.l1dFillSum;
     d.l1dFillCount = end.l1dFillCount - begin.l1dFillCount;
+    d.uarch = obs::uarchDelta(begin.uarch, end.uarch);
     return d;
 }
 
@@ -57,6 +58,7 @@ merge(StatsDelta &into, const StatsDelta &d)
     into.lateUsefulPrefetches += d.lateUsefulPrefetches;
     into.l1dFillSum += d.l1dFillSum;
     into.l1dFillCount += d.l1dFillCount;
+    obs::mergeUarch(into.uarch, d.uarch);
 }
 
 bool
@@ -71,7 +73,7 @@ operator==(const StatsDelta &a, const StatsDelta &b)
            a.usefulPrefetches == b.usefulPrefetches &&
            a.lateUsefulPrefetches == b.lateUsefulPrefetches &&
            a.l1dFillSum == b.l1dFillSum &&
-           a.l1dFillCount == b.l1dFillCount;
+           a.l1dFillCount == b.l1dFillCount && a.uarch == b.uarch;
 }
 
 SimResult
@@ -123,6 +125,7 @@ finalizeResult(const std::string &workload, const std::string &scheme,
                   static_cast<double>(delta.l1dFillCount);
     result.prefetchesIssued = delta.prefetchesIssued;
     result.schemeStorageBits = scheme_storage_bits;
+    result.uarch = delta.uarch;
     return result;
 }
 

@@ -44,6 +44,15 @@ struct StatsDelta
     std::uint64_t lateUsefulPrefetches = 0;
     double l1dFillSum = 0.0;
     std::uint64_t l1dFillCount = 0;
+
+    /**
+     * Microarchitectural probe payload (all-zero, enabled false,
+     * unless the window ran with CoreParams::uarchProbes). Stall and
+     * lifecycle counters subtract/merge exactly like the rest; the
+     * miss-site tables are per-window (see obs::uarchDelta) and merge
+     * by summing per-PC counts.
+     */
+    obs::UarchBreakdown uarch{};
 };
 
 /**

@@ -6,7 +6,9 @@
  * TraceContext, the span JSON round-trip, a golden Chrome
  * trace-event export, and -- the load-bearing property -- that a
  * grid run with tracing enabled is bitwise-identical to the same
- * grid run untraced.
+ * grid run untraced. Also covers the uarch probe layer's
+ * Space-Saving sketch (exact regime, deterministic eviction) and
+ * that probed grids are deterministic under parallel execution.
  */
 
 #include <gtest/gtest.h>
@@ -21,6 +23,8 @@
 #include "common/memo.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
+#include "obs/uarch.hh"
+#include "prefetch/factory.hh"
 #include "runner/experiment.hh"
 #include "runner/result_sink.hh"
 #include "sim/simulator.hh"
@@ -417,6 +421,133 @@ TEST(ChromeTraceTest, GoldenExportForSmallFleetGrid)
         "\"pid\":2,\"tid\":3,\"ts\":1200,\"dur\":300,"
         "\"args\":{\"trace_id\":42,\"span_id\":3,\"parent_id\":2}}"
         "],\"displayTimeUnit\":\"ms\"}");
+}
+
+// ------------------------------------------------ Space-Saving sketch
+
+TEST(SpaceSavingSketchTest, ExactRegimeCountsAreExact)
+{
+    obs::SpaceSavingSketch sketch(4);
+    for (int i = 0; i < 5; ++i)
+        sketch.record(0x100);
+    for (int i = 0; i < 3; ++i)
+        sketch.record(0x200);
+    sketch.record(0x300);
+    EXPECT_EQ(sketch.size(), 3u);
+    const std::vector<obs::SiteCount> sites = sketch.sites();
+    ASSERT_EQ(sites.size(), 3u);
+    // Canonical order: count desc, pc asc; no eviction => error 0.
+    EXPECT_EQ(sites[0].pc, 0x100u);
+    EXPECT_EQ(sites[0].count, 5u);
+    EXPECT_EQ(sites[0].error, 0u);
+    EXPECT_EQ(sites[1].pc, 0x200u);
+    EXPECT_EQ(sites[1].count, 3u);
+    EXPECT_EQ(sites[1].error, 0u);
+    EXPECT_EQ(sites[2].pc, 0x300u);
+    EXPECT_EQ(sites[2].count, 1u);
+    EXPECT_EQ(sites[2].error, 0u);
+}
+
+TEST(SpaceSavingSketchTest, EvictionIsDeterministicAndBoundsError)
+{
+    // Two independently-built sketches fed the same stream must emit
+    // identical tables even past capacity -- eviction picks the
+    // minimum count with the smallest pc as tie-break, never
+    // anything iteration-order dependent.
+    obs::SpaceSavingSketch a(2);
+    obs::SpaceSavingSketch b(2);
+    const Addr stream[] = {0x10, 0x10, 0x10, 0x20, 0x30,
+                           0x30, 0x40, 0x10, 0x40};
+    for (Addr pc : stream) {
+        a.record(pc);
+        b.record(pc);
+    }
+    EXPECT_EQ(a.sites(), b.sites());
+    EXPECT_EQ(a.size(), 2u);
+    // Hand-traced expected table: 0x20 is evicted by 0x30 (count
+    // 1+1, error 1), then the min-count tie at 3 between 0x10 and
+    // 0x30 resolves to the smaller pc, so 0x40 inherits 0x10's
+    // count; 0x10 re-enters over 0x30 the same way.
+    const std::vector<obs::SiteCount> sites = a.sites();
+    ASSERT_EQ(sites.size(), 2u);
+    EXPECT_EQ(sites[0].pc, 0x40u);
+    EXPECT_EQ(sites[0].count, 5u);
+    EXPECT_EQ(sites[0].error, 3u);
+    EXPECT_EQ(sites[1].pc, 0x10u);
+    EXPECT_EQ(sites[1].count, 4u);
+    EXPECT_EQ(sites[1].error, 3u);
+    for (const obs::SiteCount &site : sites) {
+        // Space-Saving guarantee: estimate is an upper bound and the
+        // true count is within [count - error, count]. True counts
+        // here: 0x40 seen 2 (within [2, 5]), 0x10 seen 4 (exact).
+        EXPECT_GE(site.count, site.error);
+    }
+
+    a.clear();
+    EXPECT_EQ(a.size(), 0u);
+    EXPECT_TRUE(a.sites().empty());
+}
+
+TEST(SpaceSavingSketchTest, MergedWindowTablesMatchMonolithic)
+{
+    // Exact regime: recording a stream in two halves into two
+    // sketches and merging their tables equals one sketch over the
+    // whole stream -- the property window stitching leans on.
+    obs::SpaceSavingSketch whole;
+    obs::SpaceSavingSketch first;
+    obs::SpaceSavingSketch second;
+    for (int i = 0; i < 200; ++i) {
+        const Addr pc = 0x1000 + (i * i) % 37 * 64;
+        whole.record(pc);
+        (i < 100 ? first : second).record(pc);
+    }
+    obs::UarchBreakdown merged;
+    merged.l1iMissSites = first.sites();
+    obs::UarchBreakdown delta;
+    delta.l1iMissSites = second.sites();
+    obs::mergeUarch(merged, delta);
+    EXPECT_EQ(merged.l1iMissSites, whole.sites());
+}
+
+// ------------------------------------- Probed-grid parallel determinism
+
+TEST(UarchProbeTest, ProbedGridIsDeterministicUnderParallelRun)
+{
+    // The probe layer holds no shared state, so a probed grid run
+    // across 4 worker threads must produce results (including every
+    // sketch table) bitwise identical to the serial run.
+    const WorkloadPreset preset = makePreset(WorkloadId::Nutch);
+    auto run = [&preset](unsigned jobs) {
+        ExperimentSet set;
+        for (const SchemeType scheme :
+             {SchemeType::Baseline, SchemeType::FDIP,
+              SchemeType::Boomerang, SchemeType::Shotgun}) {
+            SimConfig config = SimConfig::make(preset, scheme);
+            config.warmupInstructions = 2000;
+            config.measureInstructions = 8000;
+            set.add(preset, schemeTypeName(scheme),
+                    std::move(config));
+        }
+        set.enableUarchProbes();
+        RunnerOptions options;
+        options.jobs = jobs;
+        return ExperimentRunner(options).run(set);
+    };
+    const std::vector<SimResult> serial = run(1);
+    const std::vector<SimResult> parallel = run(4);
+    ASSERT_EQ(serial.size(), parallel.size());
+    bool any_sites = false;
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        EXPECT_TRUE(serial[i].uarch.enabled);
+        EXPECT_TRUE(serial[i].uarch.conserves(serial[i].cycles));
+        // SimResult::operator== covers every field, uarch included.
+        EXPECT_TRUE(serial[i] == parallel[i])
+            << "probed grid diverged under jobs=4 at point " << i;
+        any_sites = any_sites ||
+                    !serial[i].uarch.l1iMissSites.empty();
+    }
+    // The comparison exercised real sketch content.
+    EXPECT_TRUE(any_sites);
 }
 
 // -------------------------------------------- Tracing-invisibility contract

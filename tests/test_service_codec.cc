@@ -225,8 +225,9 @@ TEST(ServiceCodecTest, FingerprintIsStableAndDiscriminates)
     // field) invalidates every cached fingerprint and must be a
     // conscious decision -- this golden value is the tripwire.
     // (Moved deliberately in protocol 2, which added the "window"
-    // member to every canonical config.)
-    EXPECT_EQ(configFingerprint(config), "f1da860b0b9b7400");
+    // member to every canonical config, and again when "uarch_probes"
+    // joined the canonical core parameters.)
+    EXPECT_EQ(configFingerprint(config), "8d5412b9b6d44732");
 
     // Identical for an encode/decode round trip.
     const SimConfig decoded =

@@ -20,6 +20,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/uarch.hh"
 #include "runner/experiment.hh"
 #include "runner/grid_scheduler.hh"
 #include "service/client.hh"
@@ -287,6 +288,106 @@ TEST(WindowStitchTest, MergeIsPermutationInvariant)
                     finalizeResult(mono.workload, mono.scheme,
                                    mono.schemeStorageBits,
                                    mono.stats));
+}
+
+// ------------------------------------------------ uarch probe stitching
+
+TEST(WindowStitchTest, UarchBreakdownStitchesExactlyAcrossSchemes)
+{
+    // Probes on, all six schemes: the stitched breakdown must equal
+    // the monolithic one bit for bit (stall counters subtract and
+    // merge exactly; the miss-site sketches run eviction-free at
+    // these sizes, so per-window tables merge into the monolithic
+    // tables), and every result -- monolithic, stitched, and each
+    // window delta -- must satisfy the conservation invariant.
+    //
+    // The program is kept smaller than tinyPreset: schemes without
+    // BTB prefill (baseline/FDIP/RDIP) take a cold BTB miss at every
+    // static branch site, and the monolithic run's site population
+    // must stay under the sketch's 512 slots for the exact regime
+    // the bit-for-bit comparison relies on.
+    WorkloadPreset preset = tinyPreset("uarch", 12);
+    preset.program.numFuncs = 40;
+    preset.program.numOsFuncs = 8;
+    for (const SchemeType type :
+         {SchemeType::Baseline, SchemeType::FDIP,
+          SchemeType::Boomerang, SchemeType::Confluence,
+          SchemeType::Shotgun, SchemeType::RDIP}) {
+        runner::Experiment exp = experimentFor(preset, type);
+        exp.config.core.uarchProbes = true;
+        const SimResult mono = runSimulation(exp.config);
+        ASSERT_TRUE(mono.uarch.enabled) << exp.label;
+        EXPECT_TRUE(mono.uarch.conserves(mono.cycles)) << exp.label;
+        // A probed run actually profiles: the tiny preset misses in
+        // the L1-I, so its hot-site table cannot be empty.
+        EXPECT_FALSE(mono.uarch.l1iMissSites.empty()) << exp.label;
+
+        const window::WindowedOutcome outcome = runWindowedExperiment(
+            exp, contiguousPlan(exp.config, 4), 2);
+        EXPECT_TRUE(outcome.stitched.uarch == mono.uarch)
+            << exp.label;
+        expectIdentical(outcome.stitched, mono);
+        EXPECT_TRUE(
+            outcome.stitched.uarch.conserves(outcome.stitched.cycles))
+            << exp.label;
+        for (const SimulationDelta &w : outcome.windows)
+            EXPECT_TRUE(w.stats.uarch.conserves(w.stats.cycles))
+                << exp.label;
+    }
+}
+
+TEST(WindowStitchTest, UarchBreakdownStitchesForRecordedTrace)
+{
+    // Same property on a recorded trace replay: record, index,
+    // replay probed, window it, and compare against the monolithic
+    // probed replay.
+    const WorkloadPreset recorded = tinyPreset("uarch-trace", 13);
+    const std::string path = "/tmp/shotgun_test_uarch_window.trace";
+    Program prog(recorded.program);
+    TraceGenerator gen(prog, 17);
+    recordTraceInstructions(gen, recorded, 17, path,
+                            kWarmup + kMeasure + 20000);
+    writeTraceIndex(traceIndexPath(path),
+                    buildTraceIndex(path, 1024));
+
+    const WorkloadPreset preset = presetByName("trace:" + path);
+    runner::Experiment exp =
+        experimentFor(preset, SchemeType::Shotgun);
+    exp.config.core.uarchProbes = true;
+    const SimResult mono = runSimulation(exp.config);
+    ASSERT_TRUE(mono.uarch.enabled);
+    EXPECT_TRUE(mono.uarch.conserves(mono.cycles));
+
+    const window::WindowedOutcome outcome = runWindowedExperiment(
+        exp, contiguousPlan(exp.config, 3), 3);
+    EXPECT_TRUE(outcome.stitched.uarch == mono.uarch);
+    expectIdentical(outcome.stitched, mono);
+
+    std::remove(traceIndexPath(path).c_str());
+    std::remove(path.c_str());
+}
+
+TEST(WindowStitchTest, ProbesAreTrajectoryInvisible)
+{
+    // The other half of the contract: enabling the probes must not
+    // change a single simulated counter. Compare probed vs probe-free
+    // runs of the same config field by field (everything except the
+    // uarch member itself must match).
+    const WorkloadPreset preset = tinyPreset("uarch-off", 14);
+    for (const SchemeType type :
+         {SchemeType::Baseline, SchemeType::Shotgun}) {
+        SimConfig off = quickConfig(preset, type);
+        SimConfig on = off;
+        on.core.uarchProbes = true;
+        const SimResult r_off = runSimulation(off);
+        SimResult r_on = runSimulation(on);
+        EXPECT_FALSE(r_off.uarch.enabled);
+        EXPECT_TRUE(r_on.uarch.enabled);
+        // Blank the probe payload; all simulation counters must then
+        // compare bitwise equal.
+        r_on.uarch = obs::UarchBreakdown{};
+        expectIdentical(r_on, r_off);
+    }
 }
 
 TEST(WindowStitchDeathTest, RejectsPiecesOfDifferentRuns)

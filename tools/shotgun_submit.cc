@@ -28,6 +28,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <string>
@@ -37,6 +38,8 @@
 #include "common/logging.hh"
 #include "common/parse.hh"
 #include "obs/trace.hh"
+#include "obs/uarch.hh"
+#include "service/codec.hh"
 #include "runner/experiment.hh"
 #include "runner/grid_scheduler.hh"
 #include "runner/result_sink.hh"
@@ -126,6 +129,15 @@ const char *kUsage =
     "                       when the server or fleet echoes the trace\n"
     "                       id; rows gain a JSON-only \"timing\"\n"
     "                       object (the CSV is unchanged)\n"
+    "  --uarch-report FILE  enable the deterministic uarch probes\n"
+    "                       (cycle-exact stall attribution, prefetch\n"
+    "                       lifecycle, miss-site hotspots) on every\n"
+    "                       grid point and write the aggregated JSON\n"
+    "                       report to FILE; with --trace-out the\n"
+    "                       trace gains per-point stall counter\n"
+    "                       tracks. Simulation counters are bitwise\n"
+    "                       identical with probes on or off; probed\n"
+    "                       configs fingerprint separately\n"
     "  --no-progress        no per-point progress lines on stderr\n";
 
 [[noreturn]] void
@@ -184,6 +196,7 @@ struct Options
 
     std::string outBase;
     std::string traceOut;
+    std::string uarchReport;
     bool showProgress = true;
 };
 
@@ -277,6 +290,8 @@ parseOptions(int argc, char **argv)
             opts.outBase = next("--out");
         } else if (std::strcmp(arg, "--trace-out") == 0) {
             opts.traceOut = next("--trace-out");
+        } else if (std::strcmp(arg, "--uarch-report") == 0) {
+            opts.uarchReport = next("--uarch-report");
         } else if (std::strcmp(arg, "--no-progress") == 0) {
             opts.showProgress = false;
         } else {
@@ -325,16 +340,60 @@ buildGrid(const Options &opts)
     return set;
 }
 
+/**
+ * The aggregated `--uarch-report` document: one entry per grid point
+ * (breakdown plus its conservation check against the point's cycle
+ * count) and a mergeUarch() total. Returns false on I/O failure.
+ */
+bool
+writeUarchReport(const std::string &path, const std::string &experiment,
+                 const std::vector<runner::Experiment> &grid,
+                 const std::vector<SimResult> &results)
+{
+    json::Value rows = json::Value::array();
+    obs::UarchBreakdown total;
+    total.enabled = true;
+    bool conserved = true;
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const SimResult &r = results[i];
+        const bool ok = r.uarch.conserves(r.cycles);
+        conserved = conserved && ok;
+        json::Value row = json::Value::object();
+        row.set("workload", json::Value::string(grid[i].workload));
+        row.set("label", json::Value::string(grid[i].label));
+        row.set("cycles", json::Value::number(r.cycles));
+        row.set("conserves", json::Value::boolean(ok));
+        row.set("uarch", service::encodeUarchBreakdown(r.uarch));
+        rows.push(std::move(row));
+        obs::mergeUarch(total, r.uarch);
+    }
+    json::Value doc = json::Value::object();
+    doc.set("experiment", json::Value::string(experiment));
+    doc.set("conserves", json::Value::boolean(conserved));
+    doc.set("rows", std::move(rows));
+    doc.set("total", service::encodeUarchBreakdown(total));
+    std::ofstream out(path);
+    if (!out)
+        return false;
+    out << doc.dump() << "\n";
+    return out.good();
+}
+
 int
 runSubmit(const Options &opts)
 {
-    const runner::ExperimentSet set = buildGrid(opts);
+    runner::ExperimentSet set = buildGrid(opts);
+    if (!opts.uarchReport.empty())
+        set.enableUarchProbes();
 
     // Tracing is strictly additive: it observes wall-clock around
     // the run and never feeds anything back into a simulation, so
     // results (and the CSV) are bitwise identical with or without
     // --trace-out.
     const bool tracing = !opts.traceOut.empty();
+    // Counter-track timebase: grid-order samples are laid out from
+    // here (1 ms apart), matching the span timestamps' wall-clock µs.
+    const std::uint64_t trace_t0 = tracing ? obs::wallClockUs() : 0;
     std::vector<obs::PointTiming> timings(set.size());
     obs::TraceContext trace_ctx;
     std::unique_ptr<obs::ScopedTraceContext> trace_scope;
@@ -500,11 +559,47 @@ runSubmit(const Options &opts)
         std::fprintf(stderr, "results: %s.json %s.csv\n",
                      opts.outBase.c_str(), opts.outBase.c_str());
     }
+    if (!opts.uarchReport.empty()) {
+        if (!writeUarchReport(opts.uarchReport, opts.experiment,
+                              set.experiments(), results)) {
+            warn("cannot write uarch report to '%s'",
+                 opts.uarchReport.c_str());
+            return 1;
+        }
+        std::fprintf(stderr, "uarch report: %s\n",
+                     opts.uarchReport.c_str());
+    }
     if (tracing) {
         root_span.reset(); // Close the run-wide root span.
         trace_scope.reset();
+        // With probes on, the trace gains a stall-attribution counter
+        // track: one sample per grid point, laid out in grid order,
+        // so Perfetto renders the stall mix across the sweep as a
+        // stacked chart alongside the span lanes.
+        std::vector<obs::CounterSample> counters;
+        if (!opts.uarchReport.empty()) {
+            for (std::size_t i = 0; i < results.size(); ++i) {
+                const obs::UarchBreakdown &u = results[i].uarch;
+                if (!u.enabled)
+                    continue;
+                obs::CounterSample sample;
+                sample.process = "submit";
+                sample.name = "uarch stall cycles";
+                sample.ts = trace_t0 + i * 1000;
+                sample.values = {
+                    {"icache_miss", u.stallICacheMiss},
+                    {"btb_miss", u.stallBTBMiss},
+                    {"redirect", u.stallRedirect},
+                    {"ftq_empty", u.stallFTQEmpty},
+                    {"backend_pressure", u.stallBackendPressure},
+                    {"prefetch_in_flight", u.stallPrefetchInFlight},
+                };
+                counters.push_back(std::move(sample));
+            }
+        }
         if (!obs::writeChromeTrace(opts.traceOut,
-                                   obs::tracer().snapshot())) {
+                                   obs::tracer().snapshot(),
+                                   counters)) {
             warn("cannot write trace to '%s'",
                  opts.traceOut.c_str());
             return 1;
@@ -633,18 +728,32 @@ runFleetStatus(const Options &opts)
         auto seconds = [](std::uint64_t us) {
             return static_cast<double>(us) / 1e6;
         };
+        // Percentiles are bucket-resolution estimates of per-point
+        // measure latency (optional frame member; "-" from workers
+        // that have not finished a point or predate the field).
+        auto pct = [](std::uint64_t us) {
+            if (us == 0)
+                return std::string("-");
+            char buf[24];
+            std::snprintf(buf, sizeof(buf), "%.0fms",
+                          static_cast<double>(us) / 1000.0);
+            return std::string(buf);
+        };
         std::printf("\n  simulation time by phase (s)\n");
-        std::printf("  %-16s %9s %9s %9s %9s %8s\n", "name",
-                    "decode", "warmup", "restore", "measure",
-                    "points");
+        std::printf("  %-16s %9s %9s %9s %9s %8s %7s %7s %7s\n",
+                    "name", "decode", "warmup", "restore", "measure",
+                    "points", "p50", "p95", "p99");
         for (const service::WorkerStatus &worker : workers) {
             std::printf(
-                "  %-16s %9.2f %9.2f %9.2f %9.2f %8llu\n",
+                "  %-16s %9.2f %9.2f %9.2f %9.2f %8llu %7s %7s %7s\n",
                 worker.name.c_str(), seconds(worker.phaseDecodeUs),
                 seconds(worker.phaseWarmupUs),
                 seconds(worker.phaseRestoreUs),
                 seconds(worker.phaseMeasureUs),
-                static_cast<unsigned long long>(worker.phasePoints));
+                static_cast<unsigned long long>(worker.phasePoints),
+                pct(worker.measureP50Us).c_str(),
+                pct(worker.measureP95Us).c_str(),
+                pct(worker.measureP99Us).c_str());
         }
     }
     return 0;
